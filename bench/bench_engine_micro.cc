@@ -1,0 +1,103 @@
+// Engine micro-benchmarks (google-benchmark): per-operator throughput of the
+// temporal engine. Not a paper figure — these guard the substrate's
+// performance so the figure benches stay meaningful.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "temporal/executor.h"
+#include "temporal/query.h"
+
+namespace {
+
+using namespace timr;
+namespace T = timr::temporal;
+
+Schema TwoColSchema() {
+  return Schema::Of({{"Key", ValueType::kInt64}, {"Val", ValueType::kInt64}});
+}
+
+std::vector<T::Event> MakeEvents(int64_t n, int64_t keys, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<T::Event> events;
+  events.reserve(n);
+  for (int64_t i = 0; i < n; ++i) {
+    events.push_back(T::Event::Point(
+        i, {Value(rng.UniformInt(0, keys - 1)), Value(rng.UniformInt(0, 100))}));
+  }
+  return events;
+}
+
+void RunPlan(benchmark::State& state, const T::PlanNodePtr& plan,
+             const std::vector<T::Event>& events) {
+  for (auto _ : state) {
+    auto out = T::Executor::Execute(plan, {{"S", events}});
+    TIMR_CHECK(out.ok());
+    benchmark::DoNotOptimize(out.ValueOrDie().size());
+  }
+  state.SetItemsProcessed(state.iterations() * events.size());
+}
+
+void BM_Select(benchmark::State& state) {
+  auto events = MakeEvents(state.range(0), 100, 1);
+  auto plan = T::Query::Input("S", TwoColSchema())
+                  .Where([](const Row& r) { return r[1].AsInt64() > 50; })
+                  .node();
+  RunPlan(state, plan, events);
+}
+BENCHMARK(BM_Select)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_WindowedCount(benchmark::State& state) {
+  auto events = MakeEvents(state.range(0), 100, 2);
+  auto plan = T::Query::Input("S", TwoColSchema()).Window(512).Count().node();
+  RunPlan(state, plan, events);
+}
+BENCHMARK(BM_WindowedCount)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_GroupedCount(benchmark::State& state) {
+  auto events = MakeEvents(1 << 15, state.range(0), 3);
+  auto plan = T::Query::Input("S", TwoColSchema())
+                  .GroupApply({"Key"},
+                              [](T::Query g) { return g.Window(512).Count(); })
+                  .node();
+  RunPlan(state, plan, events);
+}
+BENCHMARK(BM_GroupedCount)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_TemporalJoin(benchmark::State& state) {
+  auto left = MakeEvents(state.range(0), 256, 4);
+  auto right = MakeEvents(state.range(0), 256, 5);
+  Schema s = TwoColSchema();
+  auto plan = T::Query::TemporalJoin(T::Query::Input("S", s).Window(64),
+                                     T::Query::Input("R", s).Window(64), {"Key"},
+                                     {"Key"})
+                  .node();
+  for (auto _ : state) {
+    auto out = T::Executor::Execute(plan, {{"S", left}, {"R", right}});
+    TIMR_CHECK(out.ok());
+    benchmark::DoNotOptimize(out.ValueOrDie().size());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * left.size());
+}
+BENCHMARK(BM_TemporalJoin)->Arg(1 << 13)->Arg(1 << 15);
+
+void BM_AntiSemiJoin(benchmark::State& state) {
+  auto left = MakeEvents(state.range(0), 256, 6);
+  auto right = MakeEvents(state.range(0) / 4, 256, 7);
+  Schema s = TwoColSchema();
+  auto plan = T::Query::AntiSemiJoin(T::Query::Input("S", s),
+                                     T::Query::Input("R", s).Window(64), {"Key"},
+                                     {"Key"})
+                  .node();
+  for (auto _ : state) {
+    auto out = T::Executor::Execute(plan, {{"S", left}, {"R", right}});
+    TIMR_CHECK(out.ok());
+    benchmark::DoNotOptimize(out.ValueOrDie().size());
+  }
+  state.SetItemsProcessed(state.iterations() * left.size());
+}
+BENCHMARK(BM_AntiSemiJoin)->Arg(1 << 13)->Arg(1 << 15);
+
+}  // namespace
+
+BENCHMARK_MAIN();

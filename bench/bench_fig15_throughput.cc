@@ -1,0 +1,62 @@
+// Figure 15 (paper §V-B): per-machine engine event rates for each BT
+// sub-query. The paper plots events/sec of the embedded DSMS inside one
+// reducer; we run each sub-query single-node over the bench log and report
+// engine events consumed per second of engine time.
+
+#include "bench/bench_util.h"
+#include "bt/model.h"
+#include "common/stopwatch.h"
+#include "temporal/executor.h"
+
+namespace {
+
+using namespace timr;
+namespace T = timr::temporal;
+
+struct SubQuery {
+  const char* name;
+  T::PlanNodePtr plan;
+};
+
+}  // namespace
+
+int main() {
+  benchutil::Header("Figure 15: per-machine engine throughput per BT sub-query");
+  auto log = workload::GenerateBtLog(benchutil::BenchWorkload());
+  bt::BtQueryConfig cfg = benchutil::BenchBtConfig();
+
+  // Reconstruct the paper's sub-query list (§IV-B): BotElim, GenTrainData,
+  // TotalCount+PerKWCount+CalcScore (= FeatureScores), and Model+Scoring.
+  T::Query input = bt::BtInput();
+  T::Query clean = bt::BotElimination(input, cfg);
+  T::Query train = bt::GenTrainData(clean, cfg);
+  T::Query scores = bt::FeatureScores(clean, train, cfg);
+  T::Query model = bt::ModelBuildQuery(train, 8 * T::kDay, 8 * T::kDay);
+  T::Query scoring = bt::ScoringQuery(train, model);
+
+  std::vector<SubQuery> subqueries = {
+      {"BotElim", clean.node()},
+      {"GenTrainData", train.node()},
+      {"FeatureSelection", scores.node()},
+      {"ModelBuild+Score", scoring.node()},
+  };
+
+  std::printf("%-18s %12s %12s %12s\n", "sub-query", "input rows",
+              "engine evts", "evts/sec");
+  for (const auto& sq : subqueries) {
+    auto exec = T::Executor::Create(sq.plan);
+    TIMR_CHECK(exec.ok()) << exec.status().ToString();
+    Stopwatch sw;
+    auto out = exec.ValueOrDie()->RunBatch({{bt::kBtInput, log.events}});
+    const double secs = sw.ElapsedSeconds();
+    TIMR_CHECK(out.ok()) << out.status().ToString();
+    const uint64_t consumed = exec.ValueOrDie()->TotalEventsConsumed();
+    std::printf("%-18s %12zu %12llu %12.0f\n", sq.name, log.events.size(),
+                static_cast<unsigned long long>(consumed),
+                static_cast<double>(consumed) / secs);
+  }
+  benchutil::Note(
+      "\npaper shape: all sub-queries sustain high per-machine rates and the\n"
+      "pipeline scales with machines since every stage is partitionable.");
+  return 0;
+}

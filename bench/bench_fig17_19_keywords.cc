@@ -1,0 +1,62 @@
+// Figures 17-19 (paper §V-C): the most positively / negatively z-scored
+// keywords for three ad classes (deodorant, laptop, cellphone). The planted
+// vocabulary reuses the paper's words, so the recovered tables read like the
+// originals — and the ground-truth column shows whether each keyword was
+// actually planted with that sign.
+
+#include <algorithm>
+
+#include "bench/bench_util.h"
+#include "bt/reduction.h"
+#include "temporal/executor.h"
+
+int main() {
+  using namespace timr;
+  namespace T = timr::temporal;
+
+  benchutil::Header("Figures 17-19: keyword z-scores per ad class");
+  auto log = workload::GenerateBtLog(benchutil::BenchWorkload());
+  bt::BtQueryConfig cfg = benchutil::BenchBtConfig();
+
+  auto out = T::Executor::Execute(
+      bt::BtFeaturePipeline(cfg, bt::Annotation::kNone).node(),
+      {{bt::kBtInput, log.events}});
+  TIMR_CHECK(out.ok()) << out.status().ToString();
+  auto scores = bt::ScoresFromEvents(out.ValueOrDie());
+
+  auto truth_mark = [&](int64_t ad, int64_t kw) {
+    const auto& cls = log.truth.ad_classes[ad];
+    if (cls.pos_keywords.count(kw)) return "planted+";
+    if (cls.neg_keywords.count(kw)) return "planted-";
+    return "";
+  };
+
+  for (int64_t ad : {int64_t{0}, int64_t{1}, int64_t{2}}) {
+    std::vector<bt::FeatureScore> rows;
+    for (const auto& s : scores) {
+      if (s.ad == ad && s.HasSupport()) rows.push_back(s);
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const auto& a, const auto& b) { return a.z > b.z; });
+    std::printf("\n--- ad class '%s' (Figure %d analogue) ---\n",
+                log.truth.ad_classes[ad].name.c_str(), 17 + static_cast<int>(ad));
+    std::printf("%-14s %8s %-9s | %-14s %8s %-9s\n", "positive kw", "z", "truth",
+                "negative kw", "z", "truth");
+    const size_t n = std::min<size_t>(8, rows.size());
+    for (size_t i = 0; i < n; ++i) {
+      const auto& hi = rows[i];
+      const auto& lo = rows[rows.size() - 1 - i];
+      std::printf("%-14s %8.1f %-9s | %-14s %8.1f %-9s\n",
+                  log.truth.KeywordName(hi.keyword).c_str(), hi.z,
+                  truth_mark(ad, hi.keyword),
+                  log.truth.KeywordName(lo.keyword).c_str(), lo.z,
+                  truth_mark(ad, lo.keyword));
+    }
+  }
+  benchutil::Note(
+      "\npaper shape: planted interests dominate the positive column (icarly,\n"
+      "celebrity... for deodorant; dell, laptops... for laptop), planted\n"
+      "distractors the negative column; popular-but-uncorrelated keywords\n"
+      "(facebook-alikes) appear in neither despite high raw frequency.");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 20 (paper §V-C): dimensionality reduction — number of keywords
+// retained per ad class as the z threshold grows, against the F-Ex constant
+// (~2000 categories from the static concept hierarchy).
+
+#include "bench/bench_util.h"
+#include "bt/reduction.h"
+#include "temporal/executor.h"
+
+int main() {
+  using namespace timr;
+  namespace T = timr::temporal;
+
+  benchutil::Header("Figure 20: dimensionality reduction (keywords retained)");
+  auto log = workload::GenerateBtLog(benchutil::BenchWorkload());
+  bt::BtQueryConfig cfg = benchutil::BenchBtConfig();
+
+  auto out = T::Executor::Execute(
+      bt::BtFeaturePipeline(cfg, bt::Annotation::kNone).node(),
+      {{bt::kBtInput, log.events}});
+  TIMR_CHECK(out.ok()) << out.status().ToString();
+  auto scores = bt::ScoresFromEvents(out.ValueOrDie());
+
+  // Distinct keywords ever seen in any profile, per ad (the raw dimension).
+  std::map<int64_t, size_t> raw;
+  {
+    std::map<int64_t, std::set<int64_t>> seen;
+    for (const auto& s : scores) seen[s.ad].insert(s.keyword);
+    // `scores` only carries click-associated keywords; the true raw dimension
+    // is the vocabulary size.
+    for (auto& [ad, kws] : seen) raw[ad] = kws.size();
+  }
+  std::printf("source vocabulary: %d keywords (paper: ~50M)\n\n",
+              benchutil::BenchWorkload().vocab_size);
+
+  const std::vector<double> thresholds = {0, 1.28, 1.96, 2.56, 3.29};
+  std::printf("%-12s", "ad class");
+  for (double z : thresholds) std::printf("  KE-%-5.2f", z);
+  std::printf("  %8s %8s\n", "F-Ex", "raw-clk");
+  for (int64_t ad = 0; ad < 4; ++ad) {
+    std::printf("%-12s", log.truth.ad_classes[ad].name.c_str());
+    for (double z : thresholds) {
+      auto sel = bt::SelectKeZ(scores, z);
+      const size_t n = sel.count(ad) ? sel.at(ad).size() : 0;
+      std::printf("  %8zu", n);
+    }
+    std::printf("  %8d %8zu\n", 2000, raw[ad]);
+  }
+  benchutil::Note(
+      "\npaper shape: the support requirement alone (z=0) collapses the\n"
+      "dimensionality by orders of magnitude vs the raw vocabulary; higher z\n"
+      "thresholds shrink it further (up to ~10x), while F-Ex is pinned at\n"
+      "~2000 by the static hierarchy.");
+  return 0;
+}

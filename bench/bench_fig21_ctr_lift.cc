@@ -1,0 +1,90 @@
+// Figure 21 (paper §V-C): impact of z-scored keywords on CTR — the CTR of
+// test-example subsets selected by presence of positive / negative keywords
+// (z > 1.28, 80% confidence), for two ad classes. Also reports the §V-D
+// memory (avg UBP entries) and LR learning-time comparison.
+
+#include "bench/bench_util.h"
+#include "bt/evaluation.h"
+#include "temporal/executor.h"
+
+int main() {
+  using namespace timr;
+  namespace T = timr::temporal;
+
+  benchutil::Header("Figure 21: keyword elimination and CTR (z > 1.28)");
+  auto log = workload::GenerateBtLog(benchutil::BenchWorkload());
+  bt::BtQueryConfig cfg = benchutil::BenchBtConfig();
+  auto [train_events, test_events] = workload::SplitByTime(log.events);
+
+  auto train_rows_q = bt::GenTrainData(
+      bt::BotElimination(bt::BtInput(), cfg), cfg);
+  auto scores_out = T::Executor::Execute(
+      bt::BtFeaturePipeline(cfg, bt::Annotation::kNone).node(),
+      {{bt::kBtInput, train_events}});
+  auto test_out =
+      T::Executor::Execute(train_rows_q.node(), {{bt::kBtInput, test_events}});
+  auto train_out =
+      T::Executor::Execute(train_rows_q.node(), {{bt::kBtInput, train_events}});
+  TIMR_CHECK(scores_out.ok()) << scores_out.status().ToString();
+  TIMR_CHECK(test_out.ok()) << test_out.status().ToString();
+  TIMR_CHECK(train_out.ok()) << train_out.status().ToString();
+
+  auto scores = bt::ScoresFromEvents(scores_out.ValueOrDie());
+  auto test_examples = bt::ExamplesFromTrainRows(test_out.ValueOrDie());
+  auto train_examples = bt::ExamplesFromTrainRows(train_out.ValueOrDie());
+
+  auto pos = bt::SelectKeZSigned(scores, 1.28, /*positive=*/true);
+  auto neg = bt::SelectKeZSigned(scores, 1.28, /*positive=*/false);
+
+  for (int64_t ad : {int64_t{1}, int64_t{3}}) {  // laptop & movies classes
+    std::printf("\n--- ad class '%s' ---\n", log.truth.ad_classes[ad].name.c_str());
+    std::printf("%-14s %8s %8s %8s %9s\n", "examples", "#click", "#impr", "CTR",
+                "lift (%)");
+    for (const auto& row :
+         bt::ComputeKeywordImpact(pos, neg, test_examples, ad)) {
+      std::printf("%-14s %8lld %8lld %8.4f %+9.1f\n", row.subset.c_str(),
+                  static_cast<long long>(row.clicks),
+                  static_cast<long long>(row.impressions), row.ctr,
+                  row.lift_pct);
+    }
+  }
+  benchutil::Note(
+      "\npaper shape: positive-keyword subsets show large positive lift,\n"
+      "only-negative subsets negative lift (milder: negatives are plentiful).");
+
+  // --- §V-D memory and learning time. ---
+  benchutil::Header("§V-D: memory (avg UBP entries) and LR learning time");
+  const std::vector<int64_t> ads = {1, 4};  // laptop, dieting
+  struct SchemeSpec {
+    const char* name;
+    bt::ReductionScheme scheme;
+  };
+  std::vector<SchemeSpec> schemes;
+  schemes.push_back({"none", bt::ReductionScheme::Identity("none")});
+  schemes.push_back({"F-Ex", bt::ReductionScheme::FEx("F-Ex")});
+  schemes.push_back({"KE-1.28", bt::ReductionScheme::KeZ("KE-1.28", scores, 1.28)});
+  schemes.push_back({"KE-2.56", bt::ReductionScheme::KeZ("KE-2.56", scores, 2.56)});
+
+  std::printf("%-10s", "scheme");
+  for (int64_t ad : ads) {
+    std::printf("  %s: entries/UBP  learn(ms)",
+                log.truth.ad_classes[ad].name.c_str());
+  }
+  std::printf("\n");
+  for (const auto& spec : schemes) {
+    auto eval = bt::EvaluateScheme(spec.scheme, train_examples, test_examples, ads);
+    std::printf("%-10s", spec.name);
+    for (int64_t ad : ads) {
+      const auto& e = eval.per_ad.at(ad);
+      std::printf("  %10.2f %16.1f  ", e.avg_entries_per_ubp,
+                  e.learn_seconds * 1e3);
+    }
+    std::printf("\n");
+  }
+  benchutil::Note(
+      "\npaper shape: F-Ex inflates UBPs (1 keyword -> up to 3 categories) and\n"
+      "learns slowest; KE-z shrinks UBPs below the unreduced size and learning\n"
+      "time drops with the z threshold (paper: 31s F-Ex, 18s KE-1.28, 5s\n"
+      "KE-2.56 for the dieting ad).");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Figures 22-23 (paper §V-D): CTR lift vs coverage for the end-to-end BT
+// solution — KE-z variants against the F-Ex and KE-pop baselines, for two ad
+// classes (the paper shows movies and dieting).
+
+#include "bench/bench_util.h"
+#include "bt/evaluation.h"
+#include "temporal/executor.h"
+
+int main() {
+  using namespace timr;
+  namespace T = timr::temporal;
+
+  benchutil::Header("Figures 22-23: CTR lift vs coverage per reduction scheme");
+  auto log = workload::GenerateBtLog(benchutil::BenchWorkload());
+  bt::BtQueryConfig cfg = benchutil::BenchBtConfig();
+  auto [train_events, test_events] = workload::SplitByTime(log.events);
+
+  auto rows_q = bt::GenTrainData(bt::BotElimination(bt::BtInput(), cfg), cfg);
+  auto scores_out = T::Executor::Execute(
+      bt::BtFeaturePipeline(cfg, bt::Annotation::kNone).node(),
+      {{bt::kBtInput, train_events}});
+  auto train_out =
+      T::Executor::Execute(rows_q.node(), {{bt::kBtInput, train_events}});
+  auto test_out =
+      T::Executor::Execute(rows_q.node(), {{bt::kBtInput, test_events}});
+  TIMR_CHECK(scores_out.ok() && train_out.ok() && test_out.ok());
+
+  auto scores = bt::ScoresFromEvents(scores_out.ValueOrDie());
+  auto train_ex = bt::ExamplesFromTrainRows(train_out.ValueOrDie());
+  auto test_ex = bt::ExamplesFromTrainRows(test_out.ValueOrDie());
+  std::printf("train examples: %zu, test examples: %zu\n", train_ex.size(),
+              test_ex.size());
+
+  std::vector<bt::ReductionScheme> schemes;
+  schemes.push_back(bt::ReductionScheme::KeZ("KE-1.28", scores, 1.28));
+  schemes.push_back(bt::ReductionScheme::KeZ("KE-1.96", scores, 1.96));
+  schemes.push_back(bt::ReductionScheme::KeZ("KE-2.56", scores, 2.56));
+  schemes.push_back(bt::ReductionScheme::KePop("KE-pop", scores, 20));
+  schemes.push_back(bt::ReductionScheme::FEx("F-Ex"));
+
+  const std::vector<int64_t> ads = {3, 4};  // movies, dieting (paper's classes)
+  for (int64_t ad : ads) {
+    std::printf("\n--- ad class '%s' (base CTR and lift vs coverage) ---\n",
+                log.truth.ad_classes[ad].name.c_str());
+    std::printf("%-10s", "coverage");
+    for (const auto& s : schemes) std::printf(" %9s", s.name().c_str());
+    std::printf("\n");
+
+    std::vector<bt::SchemeEvaluation> evals;
+    for (const auto& s : schemes) {
+      evals.push_back(bt::EvaluateScheme(s, train_ex, test_ex, {ad}));
+    }
+    // All schemes share the coverage grid (quantile sweep of equal length).
+    const auto& ref = evals[0].per_ad.at(ad);
+    std::printf("(base CTR V0 = %.4f)\n", ref.base_ctr);
+    for (size_t i = 0; i < ref.curve.size(); ++i) {
+      std::printf("%9.2f ", ref.curve[i].coverage);
+      for (const auto& ev : evals) {
+        const auto& e = ev.per_ad.at(ad);
+        std::printf(" %9.2f", i < e.curve.size() ? e.curve[i].lift : 0.0);
+      }
+      std::printf("\n");
+    }
+  }
+  benchutil::Note(
+      "\npaper shape: KE-z curves dominate F-Ex and KE-pop at low coverage\n"
+      "(0-20%), by up to several x lift; KE-pop trails because raw popularity\n"
+      "ignores click correlation; all curves meet lift=1 at coverage=1.");
+  return 0;
+}

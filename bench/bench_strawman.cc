@@ -1,0 +1,84 @@
+// §II-C strawman (paper): the SCOPE-style relational formulation of
+// RunningClickCount is a self equi-join on AdId with a time-band predicate —
+// quadratic in events per ad — while the temporal formulation is a windowed
+// count — near-linear. We execute both at growing scales to show the blow-up
+// (the paper calls the relational plan "intractable" at production scale).
+
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "temporal/executor.h"
+#include "temporal/query.h"
+
+namespace {
+
+using namespace timr;
+namespace T = timr::temporal;
+
+// OUT1/OUT2 of the paper's SCOPE query, evaluated the way a set-oriented
+// engine without temporal operators must: per-AdId nested band join, then a
+// group-by count. (A real M-R plan hashes by AdId first; the per-ad cost is
+// what explodes.)
+size_t RelationalRunningClickCount(const std::vector<T::Event>& clicks,
+                                   T::Timestamp window) {
+  std::unordered_map<int64_t, std::vector<T::Timestamp>> by_ad;
+  for (const auto& e : clicks) by_ad[e.payload[1].AsInt64()].push_back(e.le);
+  size_t result_rows = 0;
+  for (auto& [ad, times] : by_ad) {
+    for (T::Timestamp a : times) {
+      for (T::Timestamp b : times) {  // the self equi-join
+        if (b > a - window && b <= a) ++result_rows;
+      }
+    }
+  }
+  return result_rows;
+}
+
+std::vector<T::Event> MakeClicks(int n, int ads, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<T::Event> events;
+  for (int i = 0; i < n; ++i) {
+    events.push_back(T::Event::Point(
+        rng.UniformInt(0, 7 * T::kDay),
+        {Value(rng.UniformInt(0, 100000)), Value(rng.UniformInt(0, ads - 1))}));
+  }
+  std::sort(events.begin(), events.end(),
+            [](const T::Event& a, const T::Event& b) { return a.le < b.le; });
+  return events;
+}
+
+}  // namespace
+
+int main() {
+  benchutil::Header(
+      "Strawman (paper II-C): relational self-join vs temporal windowed count");
+  const T::Timestamp w = 6 * T::kHour;
+  Schema s =
+      Schema::Of({{"UserId", ValueType::kInt64}, {"AdId", ValueType::kInt64}});
+  T::Query temporal_q =
+      T::Query::Input("ClickLog", s).GroupApply({"AdId"}, [&](T::Query g) {
+        return g.Window(w).Count();
+      });
+
+  std::printf("%10s %6s %16s %16s %9s\n", "clicks", "ads", "relational (s)",
+              "temporal (s)", "ratio");
+  for (int n : {2000, 8000, 32000, 128000}) {
+    auto clicks = MakeClicks(n, 10, 7);
+    Stopwatch sw;
+    const size_t join_rows = RelationalRunningClickCount(clicks, w);
+    const double rel_s = sw.ElapsedSeconds();
+    sw.Restart();
+    auto out = T::Executor::Execute(temporal_q.node(), {{"ClickLog", clicks}});
+    const double tmp_s = sw.ElapsedSeconds();
+    TIMR_CHECK(out.ok());
+    std::printf("%10d %6d %16.3f %16.3f %8.1fx   (join rows: %zu)\n", n, 10,
+                rel_s, tmp_s, rel_s / tmp_s, join_rows);
+  }
+  benchutil::Note(
+      "\npaper shape: the relational plan's cost grows quadratically with\n"
+      "clicks-per-ad and becomes intractable; the temporal plan stays\n"
+      "near-linear. This motivates TiMR's temporal surface language.");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Shared helpers for the figure-reproduction harnesses.
+//
+// Each bench binary regenerates one table/figure of the paper's §V and prints
+// it in a comparable layout. Scale with TIMR_BENCH_SCALE (default 1.0): the
+// synthetic log grows linearly with it.
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bt/queries.h"
+#include "workload/generator.h"
+
+namespace timr::benchutil {
+
+inline double BenchScale() {
+  const char* s = std::getenv("TIMR_BENCH_SCALE");
+  if (s == nullptr) return 1.0;
+  const double v = std::atof(s);
+  return v > 0 ? v : 1.0;
+}
+
+/// The "one week of logs" stand-in used by every BT bench (paper §V-A).
+inline workload::GeneratorConfig BenchWorkload() {
+  workload::GeneratorConfig cfg;
+  cfg.num_users = static_cast<int>(2000 * BenchScale());
+  cfg.vocab_size = 20000;
+  cfg.duration = 7 * temporal::kDay;
+  cfg.num_ad_classes = 10;
+  return cfg;
+}
+
+inline bt::BtQueryConfig BenchBtConfig() {
+  bt::BtQueryConfig cfg;
+  cfg.selection_period = 8 * temporal::kDay;  // covers the whole log
+  // Thresholds tuned to the generator's bot intensity (~25x search rate).
+  cfg.bot_search_threshold = 60;
+  cfg.bot_click_threshold = 30;
+  return cfg;
+}
+
+inline void Header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void Note(const std::string& text) { std::printf("%s\n", text.c_str()); }
+
+}  // namespace timr::benchutil

@@ -1,0 +1,215 @@
+#include "bt/custom_reducers.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "bt/schema.h"
+#include "temporal/time.h"
+
+namespace timr::bt {
+
+using temporal::kTick;
+using temporal::Timestamp;
+
+namespace {
+
+// Intermediate row layout between the two custom stages:
+// [Time, RowType, LabelOrStream, UserId, AdId, Keyword, KwCount]
+// RowType 0: training row (one per example-keyword pair).
+// RowType 1: clean ad event (impression or click) for the per-ad totals.
+Schema MidSchema() {
+  return Schema::Of({{"Time", ValueType::kInt64},
+                     {"RowType", ValueType::kInt64},
+                     {"LabelOrStream", ValueType::kInt64},
+                     {"UserId", ValueType::kInt64},
+                     {"AdId", ValueType::kInt64},
+                     {"Keyword", ValueType::kInt64},
+                     {"KwCount", ValueType::kInt64}});
+}
+
+// Count of values v in `sorted` with lo < v <= hi (two binary searches).
+int64_t CountInWindow(const std::vector<Timestamp>& sorted, Timestamp lo,
+                      Timestamp hi) {
+  auto a = std::upper_bound(sorted.begin(), sorted.end(), lo);
+  auto b = std::upper_bound(sorted.begin(), sorted.end(), hi);
+  return b - a;
+}
+
+// Per-user stage: bot elimination, non-click detection, profile join.
+// Input rows are sorted by Time; each partition holds whole users.
+Status UserStageReducer(const BtQueryConfig& config,
+                        const std::vector<Row>& rows,
+                        std::vector<Row>* output) {
+  const Timestamp w = config.profile_window;
+  const Timestamp hop = config.bot_hop;
+  const Timestamp d = config.click_horizon;
+
+  // First pass: collect per-user activity timelines (raw — bot detection
+  // looks at the uncleaned stream, exactly like the CQ's BotStream).
+  struct UserData {
+    std::vector<Timestamp> clicks;    // any ad
+    std::vector<Timestamp> searches;  // any keyword
+    std::unordered_map<int64_t, std::vector<Timestamp>> clicks_by_ad;
+    std::unordered_map<int64_t, std::vector<Timestamp>> kw_times;
+  };
+  std::unordered_map<int64_t, UserData> users;
+  for (const Row& r : rows) {
+    const Timestamp t = r[0].AsInt64();
+    const int64_t stream = r[1].AsInt64();
+    UserData& u = users[r[2].AsInt64()];
+    if (stream == kStreamClick) {
+      u.clicks.push_back(t);
+      u.clicks_by_ad[r[3].AsInt64()].push_back(t);
+    } else if (stream == kStreamKeyword) {
+      u.kw_times[r[3].AsInt64()].push_back(t);
+      u.searches.push_back(t);
+    }
+  }
+
+  // A user is a bot *at time t* when the count over the hopping-window
+  // snapshot containing t exceeds a threshold: boundary b = floor(t/hop)*hop,
+  // window (b - w, b].
+  auto is_bot_at = [&](const UserData& u, Timestamp t) {
+    const Timestamp b = (t / hop) * hop;
+    return CountInWindow(u.clicks, b - w, b) > config.bot_click_threshold ||
+           CountInWindow(u.searches, b - w, b) > config.bot_search_threshold;
+  };
+
+  // The downstream pipeline sees only the *cleaned* stream: profiles and the
+  // non-click test must ignore activity that happened while the user was on
+  // the bot list.
+  for (auto& [uid, u] : users) {
+    auto clean = [&](std::vector<Timestamp>* times) {
+      times->erase(std::remove_if(times->begin(), times->end(),
+                                  [&](Timestamp t) { return is_bot_at(u, t); }),
+                   times->end());
+    };
+    // NOTE: is_bot_at reads u.clicks / u.searches, so clean the per-key maps
+    // first and the detector inputs not at all (detection stays raw).
+    for (auto& [kw, times] : u.kw_times) clean(&times);
+    for (auto& [ad, times] : u.clicks_by_ad) clean(&times);
+  }
+
+  // Second pass: emit training rows and clean ad events.
+  for (const Row& r : rows) {
+    const Timestamp t = r[0].AsInt64();
+    const int64_t stream = r[1].AsInt64();
+    const int64_t user = r[2].AsInt64();
+    const int64_t ad_or_kw = r[3].AsInt64();
+    const UserData& u = users[user];
+    if (stream == kStreamKeyword) continue;
+    if (is_bot_at(u, t)) continue;
+
+    // Clean ad event for per-ad totals.
+    output->push_back(Row{Value(t), Value(int64_t{1}), Value(stream),
+                          Value(user), Value(ad_or_kw), Value(int64_t{0}),
+                          Value(int64_t{0})});
+
+    // Is this an example? Impressions followed by a click (same user+ad)
+    // within [t, t+d] are dropped; the click itself is the positive example.
+    int64_t label;
+    if (stream == kStreamImpression) {
+      auto it = u.clicks_by_ad.find(ad_or_kw);
+      if (it != u.clicks_by_ad.end() &&
+          CountInWindow(it->second, t - kTick, t + d) > 0) {
+        continue;  // became a click example
+      }
+      label = 0;
+    } else {
+      label = 1;
+    }
+
+    // Join with the profile: every keyword searched in (t - w, t].
+    for (const auto& [kw, times] : u.kw_times) {
+      const int64_t cnt = CountInWindow(times, t - w, t);
+      if (cnt > 0) {
+        output->push_back(Row{Value(t), Value(int64_t{0}), Value(label),
+                              Value(user), Value(ad_or_kw), Value(kw),
+                              Value(cnt)});
+      }
+    }
+  }
+  return Status::OK();
+}
+
+// Per-ad stage: totals + per-keyword counts + z-scores.
+Status AdStageReducer(const std::vector<Row>& rows, std::vector<Row>* output) {
+  struct AdCounts {
+    int64_t clicks = 0, impressions = 0;
+    std::unordered_map<int64_t, std::pair<int64_t, int64_t>> per_kw;  // C_K, I_K
+  };
+  std::map<int64_t, AdCounts> ads;
+  for (const Row& r : rows) {
+    const int64_t type = r[1].AsInt64();
+    const int64_t ad = r[4].AsInt64();
+    AdCounts& c = ads[ad];
+    if (type == 1) {
+      const int64_t stream = r[2].AsInt64();
+      if (stream == kStreamClick) ++c.clicks;
+      if (stream == kStreamImpression) ++c.impressions;
+    } else {
+      auto& [ck, ik] = c.per_kw[r[5].AsInt64()];
+      ++ik;
+      if (r[2].AsInt64() == 1) ++ck;
+    }
+  }
+  for (const auto& [ad, c] : ads) {
+    std::vector<int64_t> kws;
+    kws.reserve(c.per_kw.size());
+    for (const auto& [kw, counts] : c.per_kw) kws.push_back(kw);
+    std::sort(kws.begin(), kws.end());
+    for (int64_t kw : kws) {
+      const auto& [ck, ik] = c.per_kw.at(kw);
+      const double z = TwoProportionZ(ck, ik, c.clicks, c.impressions);
+      output->push_back(Row{Value(ad), Value(kw), Value(ck), Value(ik),
+                            Value(c.clicks), Value(c.impressions), Value(z)});
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<CustomBtResult> RunCustomBtJob(mr::LocalCluster* cluster,
+                                      std::map<std::string, mr::Dataset>* store,
+                                      const BtQueryConfig& config) {
+  auto it = store->find(kBtInput);
+  if (it == store->end()) {
+    return Status::KeyError("store does not hold " + std::string(kBtInput));
+  }
+  const Schema in_schema = it->second.schema();
+  TIMR_ASSIGN_OR_RETURN(std::vector<int> user_key,
+                        in_schema.IndicesOf({kColUserId}));
+
+  mr::MRStage stage1;
+  stage1.name = "custom_user_stage";
+  stage1.inputs = {kBtInput};
+  stage1.output = "custom_mid";
+  stage1.output_schema = MidSchema();
+  stage1.partition_fn = mr::HashPartitioner({user_key});
+  stage1.reducer = [config](int, const std::vector<std::vector<Row>>& inputs,
+                            std::vector<Row>* output) {
+    return UserStageReducer(config, inputs[0], output);
+  };
+
+  mr::MRStage stage2;
+  stage2.name = "custom_ad_stage";
+  stage2.inputs = {"custom_mid"};
+  stage2.output = "custom_scores";
+  stage2.output_schema = FeatureScoreSchema();
+  TIMR_ASSIGN_OR_RETURN(std::vector<int> ad_key, MidSchema().IndicesOf({"AdId"}));
+  stage2.partition_fn = mr::HashPartitioner({ad_key});
+  stage2.reducer = [](int, const std::vector<std::vector<Row>>& inputs,
+                      std::vector<Row>* output) {
+    return AdStageReducer(inputs[0], output);
+  };
+
+  CustomBtResult result;
+  TIMR_ASSIGN_OR_RETURN(result.job_stats,
+                        cluster->RunJob({stage1, stage2}, store));
+  result.feature_scores = store->at("custom_scores").Gather();
+  return result;
+}
+
+}  // namespace timr::bt

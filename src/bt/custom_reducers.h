@@ -1,0 +1,37 @@
+// The hand-written baseline the paper compares TiMR against (§V-B, Figure 14):
+// custom map-reduce reducers implementing the same BT feature pipeline with
+// bespoke in-memory data structures instead of temporal queries.
+//
+// Deliberately written the way such code is written in practice — manual
+// sliding windows, two-pointer scans, per-user hash maps — so the Figure 14
+// comparison (lines of code, runtime overhead of TiMR's generality) is honest.
+// The equivalence test in tests/bt_pipeline_test.cc checks it produces the
+// same feature scores as the temporal-query pipeline.
+
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "bt/queries.h"
+#include "common/status.h"
+#include "mr/cluster.h"
+
+namespace timr::bt {
+
+struct CustomBtResult {
+  /// Rows of FeatureScoreSchema (no Time columns; the custom pipeline is
+  /// offline-only — that is the point the paper makes).
+  std::vector<Row> feature_scores;
+  mr::JobStats job_stats;
+};
+
+/// Run the custom two-stage job: stage 1 partitions by UserId (bot
+/// elimination, non-click detection, UBP join), stage 2 partitions by AdId
+/// (count aggregation + z-scores). `bt_log` must hold point-layout rows of
+/// the unified schema under the name bt::kBtInput.
+Result<CustomBtResult> RunCustomBtJob(mr::LocalCluster* cluster,
+                                      std::map<std::string, mr::Dataset>* store,
+                                      const BtQueryConfig& config);
+
+}  // namespace timr::bt

@@ -1,0 +1,168 @@
+#include "bt/evaluation.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/stopwatch.h"
+
+namespace timr::bt {
+
+std::vector<Example> ExamplesFromTrainRows(
+    const std::vector<temporal::Event>& events) {
+  // Row layout: [Label, UserId, AdId, Keyword, KwCount]; the example identity
+  // is (UserId, AdId, timestamp).
+  struct Key {
+    int64_t user, ad;
+    temporal::Timestamp t;
+    bool operator==(const Key& o) const {
+      return user == o.user && ad == o.ad && t == o.t;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return HashCombine(HashCombine(HashMix(k.user), HashMix(k.ad)),
+                         HashMix(static_cast<uint64_t>(k.t)));
+    }
+  };
+  std::unordered_map<Key, size_t, KeyHash> index;
+  std::vector<Example> out;
+  for (const auto& e : events) {
+    TIMR_CHECK(e.payload.size() == 5) << "not a TrainDataSchema event";
+    Key key{e.payload[1].AsInt64(), e.payload[2].AsInt64(), e.le};
+    auto [it, inserted] = index.emplace(key, out.size());
+    if (inserted) {
+      Example ex;
+      ex.user = key.user;
+      ex.ad = key.ad;
+      ex.t = key.t;
+      ex.clicked = e.payload[0].AsInt64() == 1;
+      out.push_back(std::move(ex));
+    }
+    out[it->second].features.emplace_back(e.payload[3].AsInt64(),
+                                          e.payload[4].AsNumeric());
+  }
+  return out;
+}
+
+SchemeEvaluation EvaluateScheme(const ReductionScheme& scheme,
+                                const std::vector<Example>& train_examples,
+                                const std::vector<Example>& test_examples,
+                                const std::vector<int64_t>& ads,
+                                const LrOptions& lr_options, int curve_points) {
+  SchemeEvaluation eval;
+  eval.scheme = scheme.name();
+
+  for (int64_t ad : ads) {
+    AdEvaluation ad_eval;
+    ad_eval.ad = ad;
+    ad_eval.dimensions = scheme.DimensionsFor(ad);
+
+    // Reduce the train set and fit.
+    std::vector<SparseExample> train;
+    size_t total_entries = 0;
+    for (const Example& ex : train_examples) {
+      if (ex.ad != ad) continue;
+      SparseExample se;
+      se.clicked = ex.clicked;
+      se.features = scheme.Reduce(ad, ex.features);
+      total_entries += se.features.size();
+      train.push_back(std::move(se));
+    }
+    if (train.empty()) continue;
+    ad_eval.avg_entries_per_ubp =
+        static_cast<double>(total_entries) / static_cast<double>(train.size());
+
+    Stopwatch learn;
+    LrModel model = TrainLogisticRegression(train, lr_options);
+    ad_eval.learn_seconds = learn.ElapsedSeconds();
+
+    // Score the test set.
+    struct Scored {
+      double score;
+      bool clicked;
+    };
+    std::vector<Scored> scored;
+    size_t clicks = 0;
+    for (const Example& ex : test_examples) {
+      if (ex.ad != ad) continue;
+      scored.push_back({model.Predict(scheme.Reduce(ad, ex.features)),
+                        ex.clicked});
+      if (ex.clicked) ++clicks;
+    }
+    if (scored.empty()) continue;
+    ad_eval.base_ctr =
+        static_cast<double>(clicks) / static_cast<double>(scored.size());
+
+    // Threshold sweep on score quantiles: coverage from ~1 down to ~0.
+    std::sort(scored.begin(), scored.end(),
+              [](const Scored& a, const Scored& b) { return a.score > b.score; });
+    for (int p = 0; p < curve_points; ++p) {
+      const size_t take = std::max<size_t>(
+          1, scored.size() * (curve_points - p) / curve_points);
+      size_t sel_clicks = 0;
+      for (size_t i = 0; i < take; ++i) {
+        if (scored[i].clicked) ++sel_clicks;
+      }
+      CurvePoint pt;
+      pt.threshold = scored[take - 1].score;
+      pt.coverage = static_cast<double>(take) / scored.size();
+      pt.ctr = static_cast<double>(sel_clicks) / static_cast<double>(take);
+      pt.lift = ad_eval.base_ctr > 0 ? pt.ctr / ad_eval.base_ctr : 0;
+      ad_eval.curve.push_back(pt);
+    }
+    eval.per_ad[ad] = std::move(ad_eval);
+  }
+  return eval;
+}
+
+std::vector<KeywordImpactRow> ComputeKeywordImpact(
+    const Selection& positive, const Selection& negative,
+    const std::vector<Example>& test_examples, int64_t ad) {
+  const std::unordered_set<int64_t>* pos = nullptr;
+  const std::unordered_set<int64_t>* neg = nullptr;
+  if (auto it = positive.find(ad); it != positive.end()) pos = &it->second;
+  if (auto it = negative.find(ad); it != negative.end()) neg = &it->second;
+
+  struct Counter {
+    int64_t clicks = 0, impressions = 0;
+    void Add(bool clicked) {
+      ++impressions;
+      if (clicked) ++clicks;
+    }
+    double Ctr() const {
+      return impressions > 0 ? static_cast<double>(clicks) / impressions : 0;
+    }
+  };
+  Counter all, ge1_pos, ge1_neg, only_pos, only_neg;
+
+  for (const Example& ex : test_examples) {
+    if (ex.ad != ad) continue;
+    bool has_pos = false, has_neg = false;
+    for (const auto& [kw, v] : ex.features) {
+      if (pos && pos->count(kw)) has_pos = true;
+      if (neg && neg->count(kw)) has_neg = true;
+    }
+    all.Add(ex.clicked);
+    if (has_pos) ge1_pos.Add(ex.clicked);
+    if (has_neg) ge1_neg.Add(ex.clicked);
+    if (has_pos && !has_neg) only_pos.Add(ex.clicked);
+    if (has_neg && !has_pos) only_neg.Add(ex.clicked);
+  }
+
+  const double base = all.Ctr();
+  auto row = [&](const char* name, const Counter& c) {
+    KeywordImpactRow r;
+    r.subset = name;
+    r.clicks = c.clicks;
+    r.impressions = c.impressions;
+    r.ctr = c.Ctr();
+    r.lift_pct = base > 0 ? (c.Ctr() / base - 1.0) * 100.0 : 0;
+    return r;
+  };
+  return {row("All", all), row(">=1 pos kw", ge1_pos), row(">=1 neg kw", ge1_neg),
+          row("Only pos kws", only_pos), row("Only neg kws", only_neg)};
+}
+
+}  // namespace timr::bt

@@ -1,0 +1,74 @@
+// End-to-end BT evaluation (paper §V-C / §V-D): CTR lift vs coverage curves,
+// keyword-impact tables, and the memory / learning-time metrics.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bt/model.h"
+#include "bt/reduction.h"
+#include "temporal/event.h"
+
+namespace timr::bt {
+
+/// One ad-impression example reconstructed from GenTrainData rows (the rows of
+/// one example share (UserId, AdId, timestamp)).
+struct Example {
+  int64_t user = 0;
+  int64_t ad = 0;
+  temporal::Timestamp t = 0;
+  bool clicked = false;
+  std::vector<std::pair<int64_t, double>> features;  // (keyword, count)
+};
+
+/// Group TrainDataSchema events into examples.
+std::vector<Example> ExamplesFromTrainRows(
+    const std::vector<temporal::Event>& events);
+
+struct CurvePoint {
+  double threshold = 0;
+  double coverage = 0;  // fraction of test examples with score >= threshold
+  double ctr = 0;       // CTR within the selected set
+  double lift = 0;      // ctr / base_ctr
+};
+
+struct AdEvaluation {
+  int64_t ad = 0;
+  double base_ctr = 0;  // V0 over the test examples
+  std::vector<CurvePoint> curve;
+  double learn_seconds = 0;
+  double avg_entries_per_ubp = 0;  // after reduction (paper §V-D memory)
+  size_t dimensions = 0;           // retained feature count (Figure 20)
+};
+
+struct SchemeEvaluation {
+  std::string scheme;
+  std::map<int64_t, AdEvaluation> per_ad;
+};
+
+/// Train (per ad) on the reduced train examples, score the reduced test
+/// examples, and sweep `curve_points` score thresholds.
+SchemeEvaluation EvaluateScheme(const ReductionScheme& scheme,
+                                const std::vector<Example>& train_examples,
+                                const std::vector<Example>& test_examples,
+                                const std::vector<int64_t>& ads,
+                                const LrOptions& lr_options = LrOptions(),
+                                int curve_points = 20);
+
+/// Figure 21: CTR of test-example subsets defined by the presence of
+/// positively / negatively scored keywords.
+struct KeywordImpactRow {
+  std::string subset;
+  int64_t clicks = 0;
+  int64_t impressions = 0;
+  double ctr = 0;
+  double lift_pct = 0;  // (ctr/base - 1) * 100
+};
+
+std::vector<KeywordImpactRow> ComputeKeywordImpact(
+    const Selection& positive, const Selection& negative,
+    const std::vector<Example>& test_examples, int64_t ad);
+
+}  // namespace timr::bt

@@ -1,0 +1,169 @@
+#include "bt/model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/rng.h"
+#include "temporal/event.h"
+
+namespace timr::bt {
+
+using temporal::Event;
+using temporal::Query;
+using temporal::Timestamp;
+
+namespace {
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+}  // namespace
+
+double LrModel::Predict(
+    const std::vector<std::pair<int64_t, double>>& features) const {
+  double s = bias;
+  for (const auto& [f, v] : features) {
+    auto it = weights.find(f);
+    if (it != weights.end()) s += it->second * v;
+  }
+  return Sigmoid(s);
+}
+
+LrModel TrainLogisticRegression(const std::vector<SparseExample>& examples,
+                                const LrOptions& options) {
+  LrModel model;
+  // Balance the heavily negative-skewed data by subsampling negatives
+  // (paper §IV-B.4).
+  std::vector<const SparseExample*> train;
+  size_t num_pos = 0;
+  for (const auto& e : examples) {
+    if (e.clicked) ++num_pos;
+  }
+  if (options.balance_ratio > 0 && num_pos > 0) {
+    const double target_neg = options.balance_ratio * static_cast<double>(num_pos);
+    const size_t num_neg = examples.size() - num_pos;
+    const double keep = num_neg > 0 ? std::min(1.0, target_neg / num_neg) : 1.0;
+    Rng rng(options.seed);
+    for (const auto& e : examples) {
+      if (e.clicked || rng.Bernoulli(keep)) train.push_back(&e);
+    }
+  } else {
+    for (const auto& e : examples) train.push_back(&e);
+  }
+  if (train.empty()) return model;
+
+  const double n = static_cast<double>(train.size());
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    double grad_bias = 0.0;
+    std::unordered_map<int64_t, double> grad;
+    for (const SparseExample* e : train) {
+      const double p = model.Predict(e->features);
+      const double err = (e->clicked ? 1.0 : 0.0) - p;
+      grad_bias += err;
+      for (const auto& [f, v] : e->features) grad[f] += err * v;
+    }
+    model.bias += options.learning_rate * grad_bias / n;
+    for (const auto& [f, g] : grad) {
+      double& w = model.weights[f];
+      w += options.learning_rate * (g / n - options.l2 * w);
+    }
+  }
+  return model;
+}
+
+Schema ModelSchema() {
+  return Schema::Of({{"AdId", ValueType::kInt64},
+                     {"Feature", ValueType::kInt64},
+                     {"Weight", ValueType::kDouble}});
+}
+
+Query ModelBuildQuery(const Query& reduced_train, Timestamp window,
+                      Timestamp hop, const LrOptions& options) {
+  Schema in = reduced_train.schema();
+  const int user = in.IndexOf("UserId").ValueOrDie();
+  const int label = in.IndexOf("Label").ValueOrDie();
+  const int keyword = in.IndexOf("Keyword").ValueOrDie();
+  const int count = in.IndexOf("KwCount").ValueOrDie();
+
+  temporal::UdoFn lr_udo = [=](Timestamp, Timestamp,
+                               const std::vector<Event>& active) {
+    // Rebuild per-example sparse vectors: rows of one example share the
+    // (UserId, timestamp) pair.
+    std::map<std::pair<int64_t, Timestamp>, SparseExample> examples;
+    for (const Event& e : active) {
+      auto& ex = examples[{e.payload[user].AsInt64(), e.le}];
+      ex.clicked = e.payload[label].AsInt64() == 1;
+      ex.features.emplace_back(e.payload[keyword].AsInt64(),
+                               e.payload[count].AsNumeric());
+    }
+    std::vector<SparseExample> flat;
+    flat.reserve(examples.size());
+    for (auto& [key, ex] : examples) flat.push_back(std::move(ex));
+    LrModel model = TrainLogisticRegression(flat, options);
+
+    std::vector<Row> out;
+    out.push_back(Row{Value(int64_t{-1}), Value(model.bias)});
+    // Deterministic output order for repeatability.
+    std::vector<std::pair<int64_t, double>> sorted(model.weights.begin(),
+                                                   model.weights.end());
+    std::sort(sorted.begin(), sorted.end());
+    for (const auto& [f, w] : sorted) out.push_back(Row{Value(f), Value(w)});
+    return out;
+  };
+
+  Schema udo_schema = Schema::Of(
+      {{"Feature", ValueType::kInt64}, {"Weight", ValueType::kDouble}});
+  return reduced_train.GroupApply({"AdId"}, [&](Query g) {
+    return g.Udo(window, hop, lr_udo, udo_schema);
+  });
+}
+
+Query ScoringQuery(const Query& example_rows, const Query& model_stream) {
+  // Non-bias weights join each example row on (AdId, Keyword).
+  Query weights = model_stream.Where(
+      [](const Row& r) { return r[1].AsInt64() >= 0; });
+  Query bias = model_stream.WhereEq("Feature", Value(int64_t{-1}));
+
+  Query joined = Query::TemporalJoin(example_rows, weights, {"AdId", "Keyword"},
+                                     {"AdId", "Feature"});
+  Schema js = joined.schema();
+  const int label = js.IndexOf("Label").ValueOrDie();
+  const int user = js.IndexOf("UserId").ValueOrDie();
+  const int ad = js.IndexOf("AdId").ValueOrDie();
+  const int count = js.IndexOf("KwCount").ValueOrDie();
+  const int weight = js.IndexOf("Weight").ValueOrDie();
+  Query terms = joined.Project(
+      [=](const Row& r) {
+        return Row{r[user], r[ad], r[label],
+                   Value(r[count].AsNumeric() * r[weight].AsDouble())};
+      },
+      Schema::Of({{"UserId", ValueType::kInt64},
+                  {"AdId", ValueType::kInt64},
+                  {"Label", ValueType::kInt64},
+                  {"Term", ValueType::kDouble}}));
+
+  // All of one example's terms are points at the example's timestamp, so the
+  // snapshot Sum *is* the example's dot product.
+  Query dots = terms.GroupApply({"UserId", "AdId", "Label"}, [](Query g) {
+    return g.Sum("Term", "Dot");
+  });
+
+  Query scored = Query::TemporalJoin(dots, bias, {"AdId"}, {"AdId"});
+  Schema ss = scored.schema();
+  const int s_user = ss.IndexOf("UserId").ValueOrDie();
+  const int s_ad = ss.IndexOf("AdId").ValueOrDie();
+  const int s_label = ss.IndexOf("Label").ValueOrDie();
+  const int s_dot = ss.IndexOf("Dot").ValueOrDie();
+  const int s_bias = ss.IndexOf("Weight").ValueOrDie();
+  return scored.Project(
+      [=](const Row& r) {
+        return Row{r[s_user], r[s_ad], r[s_label],
+                   Value(Sigmoid(r[s_dot].AsDouble() + r[s_bias].AsDouble()))};
+      },
+      Schema::Of({{"UserId", ValueType::kInt64},
+                  {"AdId", ValueType::kInt64},
+                  {"Label", ValueType::kInt64},
+                  {"Score", ValueType::kDouble}}));
+}
+
+}  // namespace timr::bt

@@ -1,0 +1,69 @@
+// Model building and scoring (paper §IV-B.4): logistic regression over
+// reduced UBPs, trained periodically inside a hopping-window UDO, with
+// scoring via TemporalJoin against the model stream.
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "temporal/query.h"
+
+namespace timr::bt {
+
+/// One training/scoring example: the (sparse) reduced UBP and the outcome.
+struct SparseExample {
+  bool clicked = false;
+  /// (feature id, count). Feature ids are keyword ids (KE schemes) or
+  /// category ids (F-Ex).
+  std::vector<std::pair<int64_t, double>> features;
+};
+
+struct LrOptions {
+  int epochs = 60;
+  double learning_rate = 0.15;
+  double l2 = 1e-4;
+  /// Subsample negatives to `balance_ratio` x positives (paper: "create a
+  /// balanced dataset by sampling the negative examples"). <= 0 disables.
+  double balance_ratio = 1.0;
+  uint64_t seed = 1;
+};
+
+/// y = 1 / (1 + exp(-(w0 + w.x))) (paper §IV-B.4).
+struct LrModel {
+  double bias = 0.0;
+  std::unordered_map<int64_t, double> weights;
+
+  double Predict(const std::vector<std::pair<int64_t, double>>& features) const;
+};
+
+/// Batch gradient-descent logistic regression. Deterministic in the options.
+LrModel TrainLogisticRegression(const std::vector<SparseExample>& examples,
+                                const LrOptions& options);
+
+/// Output schema of the model CQ: [AdId, Feature, Weight] where Feature == -1
+/// carries the bias term.
+Schema ModelSchema();
+
+/// Model-building CQ: GroupApply(AdId) over reduced training rows
+/// ([Label, UserId, AdId, Keyword, KwCount]) with an LR UDO recomputing the
+/// model every `hop` over the last `window` of data (paper: "periodic
+/// recomputation of the LR model, using a UDO over a hopping window").
+/// Each model weight event lives for one hop: the model in force at time t is
+/// the one trained on data before t.
+temporal::Query ModelBuildQuery(const temporal::Query& reduced_train,
+                                temporal::Timestamp window,
+                                temporal::Timestamp hop,
+                                const LrOptions& options = LrOptions());
+
+/// Scoring CQ: every example row joins the model weights valid at its
+/// instant; the per-example dot product is a snapshot Sum over the example's
+/// feature-weight products (all points at the example's timestamp), and the
+/// logistic link is applied in a final projection. Output:
+/// [UserId, AdId, Label, Score].
+temporal::Query ScoringQuery(const temporal::Query& example_rows,
+                             const temporal::Query& model_stream);
+
+}  // namespace timr::bt

@@ -1,0 +1,237 @@
+#include "bt/queries.h"
+
+#include <cmath>
+
+namespace timr::bt {
+
+using temporal::AlterLifetimeSpec;
+using temporal::PartitionSpec;
+using temporal::Query;
+
+Query BtInput() { return Query::Input(kBtInput, UnifiedSchema()); }
+
+namespace {
+
+/// The per-user bot detector of Figure 11: within one user's sub-stream,
+/// count clicks and searches over a hopping window and keep intervals where
+/// either count exceeds its threshold.
+Query PerUserBotDetector(Query user_stream, const BtQueryConfig& config) {
+  auto branch = [&](int64_t stream_id, int64_t threshold) {
+    return user_stream.WhereEq(kColStreamId, Value(stream_id))
+        .HoppingWindow(config.profile_window, config.bot_hop)
+        .Count("cnt")
+        .Where([threshold](const Row& r) { return r[0].AsInt64() > threshold; });
+  };
+  Query clicks = branch(kStreamClick, config.bot_click_threshold);
+  Query searches = branch(kStreamKeyword, config.bot_search_threshold);
+  return Query::Union(clicks, searches);
+}
+
+}  // namespace
+
+Query BotStream(const Query& input, const BtQueryConfig& config) {
+  return input.GroupApply({kColUserId}, [&](Query user_stream) {
+    return PerUserBotDetector(std::move(user_stream), config);
+  });
+}
+
+Query BotElimination(const Query& input, const BtQueryConfig& config) {
+  // AntiSemiJoin the original point stream with the bot intervals: only
+  // events of users currently on the bot list are suppressed.
+  return Query::AntiSemiJoin(input, BotStream(input, config), {kColUserId},
+                             {kColUserId});
+}
+
+Schema TrainDataSchema() {
+  return Schema::Of({{"Label", ValueType::kInt64},
+                     {"UserId", ValueType::kInt64},
+                     {"AdId", ValueType::kInt64},
+                     {"Keyword", ValueType::kInt64},
+                     {"KwCount", ValueType::kInt64}});
+}
+
+Query GenTrainData(const Query& clean_input, const BtQueryConfig& config,
+                   Annotation annotation) {
+  Query input = clean_input;
+  if (annotation == Annotation::kStandard) {
+    // Example 3's optimized choice: one fragment partitioned by {UserId};
+    // a {UserId} partitioning implies a {UserId, Keyword} partitioning for
+    // the UBP GroupApply.
+    input = input.Exchange(PartitionSpec::ByKeys({kColUserId}));
+  }
+
+  // --- Click / non-click examples (paper: S1). ---
+  Query impressions = input.WhereEq(kColStreamId, Value(kStreamImpression));
+  Query clicks = input.WhereEq(kColStreamId, Value(kStreamClick));
+  // Figure 12's "LE = OldLE - 5min": a click covers the preceding horizon so
+  // the AntiSemiJoin removes the impression it resulted from.
+  Query clicks_back = clicks.AlterLifetime(AlterLifetimeSpec::ShiftAndWindow(
+      -config.click_horizon, config.click_horizon + temporal::kTick));
+  Query non_clicks = Query::AntiSemiJoin(impressions, clicks_back,
+                                         {kColUserId, kColKwAdId},
+                                         {kColUserId, kColKwAdId});
+  Query examples = Query::Union(non_clicks, clicks);  // StreamId is the label
+
+  // --- Per-(user, keyword) behavior profiles, refreshed on every activity
+  // (paper: S2, the sparse UBP representation). ---
+  Query keywords = input.WhereEq(kColStreamId, Value(kStreamKeyword));
+  if (annotation == Annotation::kNaive) {
+    keywords = keywords.Exchange(PartitionSpec::ByKeys({kColUserId, kColKwAdId}));
+  }
+  Query ubp = keywords.GroupApply({kColUserId, kColKwAdId}, [&](Query g) {
+    return g.Window(config.profile_window).Count("KwCount");
+  });
+  if (annotation == Annotation::kNaive) {
+    ubp = ubp.Exchange(PartitionSpec::ByKeys({kColUserId}));
+  }
+
+  // --- Attach the profile active at each example's instant. ---
+  Query joined = Query::TemporalJoin(examples, ubp, {kColUserId}, {kColUserId});
+  Schema js = joined.schema();
+  const int label = js.IndexOf(kColStreamId).ValueOrDie();
+  const int user = js.IndexOf(kColUserId).ValueOrDie();
+  const int ad = js.IndexOf(kColKwAdId).ValueOrDie();
+  // The UBP side's key columns got collision-suffixed by Concat.
+  const int keyword = js.IndexOf("KwAdId_2").ValueOrDie();
+  const int kw_count = js.IndexOf("KwCount").ValueOrDie();
+  return joined.Project(
+      [=](const Row& r) {
+        return Row{r[label], r[user], r[ad], r[keyword], r[kw_count]};
+      },
+      TrainDataSchema());
+}
+
+Schema FeatureScoreSchema() {
+  return Schema::Of({{"AdId", ValueType::kInt64},
+                     {"Keyword", ValueType::kInt64},
+                     {"ClicksWith", ValueType::kInt64},
+                     {"ExamplesWith", ValueType::kInt64},
+                     {"ClicksTotal", ValueType::kInt64},
+                     {"ExamplesTotal", ValueType::kInt64},
+                     {"Z", ValueType::kDouble}});
+}
+
+double TwoProportionZ(int64_t clicks_with, int64_t examples_with,
+                      int64_t clicks_total, int64_t examples_total,
+                      int64_t min_support) {
+  const int64_t clicks_without = clicks_total - clicks_with;
+  const int64_t examples_without = examples_total - examples_with;
+  if (examples_with < min_support || examples_without < min_support ||
+      clicks_without < 1) {
+    return 0.0;
+  }
+  // Laplace-smoothed proportions. The paper's >= 5-successes-per-side rule
+  // keeps the unpooled statistic away from its p(1-p)=0 degeneracy; at
+  // simulation scale strong negatives legitimately have ~0 clicks-with, so we
+  // regularize instead — half-a-click smoothing bounds |z| by the actual
+  // observation volume and leaves well-supported scores essentially unchanged.
+  const double pk = (static_cast<double>(clicks_with) + 0.5) /
+                    (static_cast<double>(examples_with) + 1.0);
+  const double pn = (static_cast<double>(clicks_without) + 0.5) /
+                    (static_cast<double>(examples_without) + 1.0);
+  const double var = pk * (1 - pk) / static_cast<double>(examples_with) +
+                     pn * (1 - pn) / static_cast<double>(examples_without);
+  if (var <= 0) return 0.0;
+  return (pk - pn) / std::sqrt(var);
+}
+
+Query FeatureScores(const Query& clean_input, const Query& train_data,
+                    const BtQueryConfig& config, Annotation annotation) {
+  const temporal::Timestamp period = config.selection_period;
+
+  // TotalCount (Figure 13 left): per-ad click and impression totals over the
+  // elimination period, computed from the clean composite stream.
+  auto totals = [&](Query q, std::vector<std::string> keys, const char* out) {
+    return q.GroupApply(std::move(keys), [&](Query g) {
+      return g.HoppingWindow(period, period).Count(out);
+    });
+  };
+
+  // Rename the ad column to AdId up front so every downstream partitioning
+  // key is {AdId} regardless of which side it came from — exchanges feeding
+  // one fragment must agree on the key (paper footnote 1).
+  Query per_ad = clean_input.Where([](const Row& r) {
+                   return r[0].AsInt64() != kStreamKeyword;
+                 }).Project(
+      [](const Row& r) { return Row{r[0], r[2]}; },
+      Schema::Of({{"Label", ValueType::kInt64}, {"AdId", ValueType::kInt64}}));
+  Query train = train_data;
+  if (annotation != Annotation::kNone) {
+    per_ad = per_ad.Exchange(PartitionSpec::ByKeys({"AdId"}));
+    train = train.Exchange(PartitionSpec::ByKeys({"AdId", "Keyword"}));
+  }
+
+  // Click counts are computed as Sum(Label) over the *unfiltered* stream
+  // (labels are 0/1), not as Count over a click-filtered stream: a filtered
+  // Count emits nothing for keywords whose examples were never clicked, and
+  // the subsequent inner join would silently drop exactly the strongly
+  // negative keywords the z-test is after.
+  auto sums = [&](Query q, std::vector<std::string> keys, const char* col,
+                  const char* out) {
+    return q.GroupApply(std::move(keys), [&](Query g) {
+      return g.HoppingWindow(period, period)
+          .Aggregate(temporal::AggregateSpec::Sum(col, out));
+    });
+  };
+
+  // Every impression becomes exactly one example (click or non-click), so the
+  // per-ad example total is the impression count.
+  Query total_all =
+      totals(per_ad.WhereEq("Label", Value(kStreamImpression)), {"AdId"},
+             "ExamplesTotal");
+  Query total_clicks = sums(per_ad, {"AdId"}, "Label", "ClicksTotal");
+  // PerKWCount (Figure 13 right): counts over the training rows, which carry
+  // one row per (example, profile keyword).
+  Query per_kw_all = totals(train, {"AdId", "Keyword"}, "ExamplesWith");
+  Query per_kw_clicks = sums(train, {"AdId", "Keyword"}, "Label", "ClicksWith");
+
+  Query ad_totals =
+      Query::TemporalJoin(total_clicks, total_all, {"AdId"}, {"AdId"});
+  Query kw_counts = Query::TemporalJoin(per_kw_clicks, per_kw_all,
+                                        {"AdId", "Keyword"}, {"AdId", "Keyword"});
+  if (annotation != Annotation::kNone) {
+    // CalcScore's join brings the per-keyword stream to the per-ad totals.
+    kw_counts = kw_counts.Exchange(PartitionSpec::ByKeys({"AdId"}));
+    ad_totals = ad_totals.Exchange(PartitionSpec::ByKeys({"AdId"}));
+  }
+  Query scored = Query::TemporalJoin(kw_counts, ad_totals, {"AdId"}, {"AdId"});
+
+  Schema ss = scored.schema();
+  const int ad_idx = ss.IndexOf("AdId").ValueOrDie();
+  const int kw_idx = ss.IndexOf("Keyword").ValueOrDie();
+  const int ck = ss.IndexOf("ClicksWith").ValueOrDie();
+  const int ik = ss.IndexOf("ExamplesWith").ValueOrDie();
+  const int c = ss.IndexOf("ClicksTotal").ValueOrDie();
+  const int i_all = ss.IndexOf("ExamplesTotal").ValueOrDie();
+  return scored.Project(
+      [=](const Row& r) {
+        // ClicksWith / ClicksTotal come from Sum and are doubles holding
+        // integral values; coerce back to counts.
+        const auto cw = static_cast<int64_t>(r[ck].AsNumeric() + 0.5);
+        const auto ct = static_cast<int64_t>(r[c].AsNumeric() + 0.5);
+        const double z =
+            TwoProportionZ(cw, r[ik].AsInt64(), ct, r[i_all].AsInt64());
+        return Row{r[ad_idx], r[kw_idx],  Value(cw),
+                   r[ik],     Value(ct),  r[i_all],
+                   Value(z)};
+      },
+      FeatureScoreSchema());
+}
+
+Query BtFeaturePipeline(const BtQueryConfig& config, Annotation annotation) {
+  Query input = BtInput();
+  if (annotation != Annotation::kNone) {
+    input = input.Exchange(PartitionSpec::ByKeys({kColUserId}));
+  }
+  Query clean = BotElimination(input, config);
+  // Materialize the cleaned stream at a fragment boundary so both consumers
+  // (GenTrainData and the per-ad totals) read it instead of recomputing it.
+  Query clean_by_user =
+      annotation != Annotation::kNone
+          ? clean.Exchange(PartitionSpec::ByKeys({kColUserId}))
+          : clean;
+  Query train = GenTrainData(clean_by_user, config, Annotation::kNone);
+  return FeatureScores(clean, train, config, annotation);
+}
+
+}  // namespace timr::bt

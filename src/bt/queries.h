@@ -1,0 +1,90 @@
+// The ~20 temporal queries making up the end-to-end BT pipeline (paper §IV-B):
+// bot elimination, training-data generation (UBPs), and feature scoring by
+// two-proportion z-test. Each builder returns a CQ over the unified BT stream;
+// pass an annotation mode to get the TiMR-ready (exchange-annotated) form.
+
+#pragma once
+
+#include <string>
+
+#include "bt/schema.h"
+#include "temporal/query.h"
+
+namespace timr::bt {
+
+struct BtQueryConfig {
+  /// τ: the short-term behavior window (paper uses 6 hours, §IV-A).
+  temporal::Timestamp profile_window = 6 * temporal::kHour;
+
+  /// Bot list refresh cadence and thresholds (paper §IV-B.1, Figure 11).
+  temporal::Timestamp bot_hop = 15 * temporal::kMinute;
+  int64_t bot_click_threshold = 100;   // T1
+  int64_t bot_search_threshold = 100;  // T2
+
+  /// d: an impression followed by a click within this horizon is a click
+  /// example, otherwise a non-click (paper §IV-B.2, Figure 12).
+  temporal::Timestamp click_horizon = 5 * temporal::kMinute;
+
+  /// The interval over which feature selection counts are accumulated
+  /// (paper §IV-B.3: "h covering the time interval over which we perform
+  /// keyword elimination"). Must cover the training data's time range.
+  temporal::Timestamp selection_period = 4 * temporal::kDay;
+};
+
+/// How builders annotate plans for TiMR (paper §III-A step 2 / Example 3).
+enum class Annotation {
+  kNone,      // plain CQ for single-node execution
+  kStandard,  // the optimizer's choice (single {UserId} fragment upstream)
+  kNaive,     // Example 3's naive plan: {UserId,Keyword} then {UserId}
+};
+
+/// The unified BT source.
+temporal::Query BtInput();
+
+/// Figure 11: remove every event of users exceeding the click or search
+/// thresholds within the profile window. Output schema = unified schema.
+temporal::Query BotElimination(const temporal::Query& input,
+                               const BtQueryConfig& config);
+
+/// The bot sub-stream itself ([UserId, cnt] intervals while a user is over
+/// threshold) — used by tests and the live-monitoring example.
+temporal::Query BotStream(const temporal::Query& input,
+                          const BtQueryConfig& config);
+
+/// Output schema of GenTrainData: one row per (ad impression example, profile
+/// keyword): [Label (1=click/0=non-click), UserId, AdId, Keyword, KwCount].
+/// The example's timestamp is the event time.
+Schema TrainDataSchema();
+
+/// Figure 12: click/non-click examples joined with the user's behavior
+/// profile at the example's instant.
+temporal::Query GenTrainData(const temporal::Query& clean_input,
+                             const BtQueryConfig& config,
+                             Annotation annotation = Annotation::kNone);
+
+/// Output schema of FeatureScores:
+/// [AdId, Keyword, ClicksWith, ExamplesWith, ClicksTotal, ExamplesTotal, Z].
+Schema FeatureScoreSchema();
+
+/// Figure 13: per-(ad, keyword) z-scores for the unpooled two-proportion test
+/// (paper §IV-B.3). Keywords without the minimum support emit Z = 0. The raw
+/// counts stay in the output so benches can sweep thresholds without
+/// re-running the pipeline.
+temporal::Query FeatureScores(const temporal::Query& clean_input,
+                              const temporal::Query& train_data,
+                              const BtQueryConfig& config,
+                              Annotation annotation = Annotation::kNone);
+
+/// Convenience: the full chain input -> BotElimination -> GenTrainData ->
+/// FeatureScores with the given annotation.
+temporal::Query BtFeaturePipeline(const BtQueryConfig& config,
+                                  Annotation annotation);
+
+/// The unpooled two-proportion z-score (paper §IV-B.3). `clicks_with` /
+/// `examples_with` are C_K / I_K; `clicks_total` / `examples_total` are C / I.
+/// Returns 0 when either side lacks `min_support` observations.
+double TwoProportionZ(int64_t clicks_with, int64_t examples_with,
+                      int64_t clicks_total, int64_t examples_total,
+                      int64_t min_support = 5);
+
+}  // namespace timr::bt

@@ -1,0 +1,172 @@
+#include "bt/reduction.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace timr::bt {
+
+bool FeatureScore::HasSupport(int64_t min_examples) const {
+  return examples_with >= min_examples &&
+         examples_total - examples_with >= min_examples &&
+         clicks_total - clicks_with >= 5;
+}
+
+std::vector<FeatureScore> ScoresFromEvents(
+    const std::vector<temporal::Event>& events) {
+  std::vector<FeatureScore> out;
+  out.reserve(events.size());
+  for (const auto& e : events) {
+    TIMR_CHECK(e.payload.size() == 7) << "not a FeatureScoreSchema event";
+    FeatureScore s;
+    s.ad = e.payload[0].AsInt64();
+    s.keyword = e.payload[1].AsInt64();
+    s.clicks_with = e.payload[2].AsInt64();
+    s.examples_with = e.payload[3].AsInt64();
+    s.clicks_total = e.payload[4].AsInt64();
+    s.examples_total = e.payload[5].AsInt64();
+    s.z = e.payload[6].AsDouble();
+    out.push_back(s);
+  }
+  return out;
+}
+
+Selection SelectKeZ(const std::vector<FeatureScore>& scores, double z_threshold) {
+  Selection sel;
+  for (const auto& s : scores) {
+    if (s.HasSupport() && std::abs(s.z) >= z_threshold) {
+      sel[s.ad].insert(s.keyword);
+    }
+  }
+  return sel;
+}
+
+Selection SelectKeZSigned(const std::vector<FeatureScore>& scores,
+                          double z_threshold, bool positive) {
+  Selection sel;
+  for (const auto& s : scores) {
+    if (!s.HasSupport()) continue;
+    if (positive ? s.z >= z_threshold : s.z <= -z_threshold) {
+      sel[s.ad].insert(s.keyword);
+    }
+  }
+  return sel;
+}
+
+Selection SelectKePop(const std::vector<FeatureScore>& scores, size_t top_n) {
+  std::unordered_map<int64_t, std::vector<std::pair<int64_t, int64_t>>> by_ad;
+  for (const auto& s : scores) {
+    // Chen et al. rank by raw frequency in user histories ("total ad clicks
+    // or rejects with that keyword"), i.e. appearances across all examples —
+    // which is exactly why the scheme keeps popular-but-uncorrelated
+    // keywords (paper §V-C).
+    by_ad[s.ad].emplace_back(s.examples_with, s.keyword);
+  }
+  Selection sel;
+  for (auto& [ad, kws] : by_ad) {
+    // Highest click count first; keyword id breaks ties deterministically.
+    std::sort(kws.begin(), kws.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;
+    });
+    for (size_t i = 0; i < std::min(top_n, kws.size()); ++i) {
+      sel[ad].insert(kws[i].second);
+    }
+  }
+  return sel;
+}
+
+std::vector<int64_t> FExCategories(int64_t keyword, int num_categories) {
+  // Up to 3 categories per keyword, deterministic; ~2/3 of keywords map to
+  // 2-3 categories, mirroring "each keyword potentially maps to 3 categories".
+  const uint64_t h = HashMix(static_cast<uint64_t>(keyword) ^ 0xFEC0FFEEULL);
+  std::vector<int64_t> cats;
+  const int n = 1 + static_cast<int>(h % 3);
+  for (int i = 0; i < n; ++i) {
+    cats.push_back(static_cast<int64_t>(
+        HashMix(h + static_cast<uint64_t>(i) * 0x9e37ULL) %
+        static_cast<uint64_t>(num_categories)));
+  }
+  std::sort(cats.begin(), cats.end());
+  cats.erase(std::unique(cats.begin(), cats.end()), cats.end());
+  return cats;
+}
+
+ReductionScheme ReductionScheme::KeZ(std::string name,
+                                     const std::vector<FeatureScore>& scores,
+                                     double z_threshold) {
+  ReductionScheme s;
+  s.name_ = std::move(name);
+  s.kind_ = Kind::kSelection;
+  s.selection_ = SelectKeZ(scores, z_threshold);
+  return s;
+}
+
+ReductionScheme ReductionScheme::KePop(std::string name,
+                                       const std::vector<FeatureScore>& scores,
+                                       size_t top_n) {
+  ReductionScheme s;
+  s.name_ = std::move(name);
+  s.kind_ = Kind::kSelection;
+  s.selection_ = SelectKePop(scores, top_n);
+  return s;
+}
+
+ReductionScheme ReductionScheme::FEx(std::string name, int num_categories) {
+  ReductionScheme s;
+  s.name_ = std::move(name);
+  s.kind_ = Kind::kFEx;
+  s.num_categories_ = num_categories;
+  return s;
+}
+
+ReductionScheme ReductionScheme::Identity(std::string name) {
+  ReductionScheme s;
+  s.name_ = std::move(name);
+  s.kind_ = Kind::kIdentity;
+  return s;
+}
+
+std::vector<std::pair<int64_t, double>> ReductionScheme::Reduce(
+    int64_t ad, const std::vector<std::pair<int64_t, double>>& features) const {
+  switch (kind_) {
+    case Kind::kIdentity:
+      return features;
+    case Kind::kSelection: {
+      std::vector<std::pair<int64_t, double>> out;
+      auto it = selection_.find(ad);
+      if (it == selection_.end()) return out;
+      for (const auto& f : features) {
+        if (it->second.count(f.first)) out.push_back(f);
+      }
+      return out;
+    }
+    case Kind::kFEx: {
+      std::unordered_map<int64_t, double> cats;
+      for (const auto& [kw, v] : features) {
+        for (int64_t c : FExCategories(kw, num_categories_)) cats[c] += v;
+      }
+      std::vector<std::pair<int64_t, double>> out(cats.begin(), cats.end());
+      std::sort(out.begin(), out.end());
+      return out;
+    }
+  }
+  return {};
+}
+
+size_t ReductionScheme::DimensionsFor(int64_t ad) const {
+  switch (kind_) {
+    case Kind::kIdentity:
+      return 0;  // unbounded — callers report the raw vocabulary size
+    case Kind::kSelection: {
+      auto it = selection_.find(ad);
+      return it == selection_.end() ? 0 : it->second.size();
+    }
+    case Kind::kFEx:
+      return static_cast<size_t>(num_categories_);
+  }
+  return 0;
+}
+
+}  // namespace timr::bt

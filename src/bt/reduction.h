@@ -1,0 +1,94 @@
+// Data-reduction schemes compared in the paper's §V-C:
+//  - KE-z:   keyword elimination by two-proportion z-score (the contribution);
+//  - KE-pop: keep the most popular keywords by click count (Chen et al. [7]);
+//  - F-Ex:   static feature extraction onto a ~2000-category concept
+//            hierarchy (the production baseline).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "temporal/event.h"
+
+namespace timr::bt {
+
+/// Parsed row of FeatureScoreSchema.
+struct FeatureScore {
+  int64_t ad = 0;
+  int64_t keyword = 0;
+  int64_t clicks_with = 0;
+  int64_t examples_with = 0;
+  int64_t clicks_total = 0;
+  int64_t examples_total = 0;
+  double z = 0.0;
+
+  /// Support requirement. The paper requires >= 5 clicks with the keyword —
+  /// trivially met at terabyte scale but structurally unsatisfiable for
+  /// *negative* keywords at simulation scale (a strong negative suppresses
+  /// the very clicks that would prove it). We therefore gate on observation
+  /// volume: enough examples on each side and >= 5 clicks without the
+  /// keyword. DESIGN.md records this substitution.
+  bool HasSupport(int64_t min_examples = 15) const;
+};
+
+/// Parse FeatureScores output events into structs.
+std::vector<FeatureScore> ScoresFromEvents(
+    const std::vector<temporal::Event>& events);
+
+/// ad id -> retained keyword ids.
+using Selection = std::unordered_map<int64_t, std::unordered_set<int64_t>>;
+
+/// KE-z: retain keywords with support and |z| >= threshold. threshold = 0
+/// keeps every supported keyword (the paper's "z = 0" row in Figure 20).
+Selection SelectKeZ(const std::vector<FeatureScore>& scores, double z_threshold);
+
+/// Positive-only / negative-only splits of a KE-z selection (Figure 21).
+Selection SelectKeZSigned(const std::vector<FeatureScore>& scores,
+                          double z_threshold, bool positive);
+
+/// KE-pop: per ad, the top-n keywords by click count in user histories.
+Selection SelectKePop(const std::vector<FeatureScore>& scores, size_t top_n);
+
+/// F-Ex: deterministic keyword -> categories mapping standing in for the
+/// production content-categorization engine. Every keyword maps to up to 3 of
+/// `num_categories` categories — static, so it can neither adapt to new
+/// keywords nor drop uninformative ones (the weaknesses §IV-B.3 describes).
+std::vector<int64_t> FExCategories(int64_t keyword, int num_categories = 2000);
+
+/// A reduction applied to example features before model building / scoring.
+class ReductionScheme {
+ public:
+  static ReductionScheme KeZ(std::string name,
+                             const std::vector<FeatureScore>& scores,
+                             double z_threshold);
+  static ReductionScheme KePop(std::string name,
+                               const std::vector<FeatureScore>& scores,
+                               size_t top_n);
+  static ReductionScheme FEx(std::string name, int num_categories = 2000);
+  /// No reduction at all (upper-bound memory reference).
+  static ReductionScheme Identity(std::string name);
+
+  const std::string& name() const { return name_; }
+
+  /// Map an example's raw (keyword, count) features for ad `ad`.
+  std::vector<std::pair<int64_t, double>> Reduce(
+      int64_t ad, const std::vector<std::pair<int64_t, double>>& features) const;
+
+  /// Number of retained dimensions for `ad` (Figure 20's y-axis).
+  size_t DimensionsFor(int64_t ad) const;
+
+  const Selection& selection() const { return selection_; }
+
+ private:
+  enum class Kind { kSelection, kFEx, kIdentity };
+  std::string name_;
+  Kind kind_ = Kind::kIdentity;
+  Selection selection_;
+  int num_categories_ = 0;
+};
+
+}  // namespace timr::bt

@@ -1,0 +1,36 @@
+// The unified BT log schema (paper Figure 9): one composite stream holding ad
+// impressions, ad clicks, and keyword activity (searches + page views),
+// disambiguated by StreamId. The Time column is event metadata (the LE), so
+// the payload schema is the remaining three columns.
+//
+// The paper stores UserId/KwAdId as strings; we use integer ids (with
+// generator-side name tables for display) — the analytics are id-based either
+// way and integer keys keep the simulation honest about costs.
+
+#pragma once
+
+#include "common/row.h"
+#include "temporal/time.h"
+
+namespace timr::bt {
+
+/// StreamId values (paper §III-C.4).
+inline constexpr int64_t kStreamImpression = 0;
+inline constexpr int64_t kStreamClick = 1;
+inline constexpr int64_t kStreamKeyword = 2;
+
+inline constexpr const char* kColStreamId = "StreamId";
+inline constexpr const char* kColUserId = "UserId";
+inline constexpr const char* kColKwAdId = "KwAdId";
+
+/// Payload schema of the unified BT stream.
+inline Schema UnifiedSchema() {
+  return Schema::Of({{kColStreamId, ValueType::kInt64},
+                     {kColUserId, ValueType::kInt64},
+                     {kColKwAdId, ValueType::kInt64}});
+}
+
+/// Canonical source name used by the BT queries.
+inline constexpr const char* kBtInput = "BtLog";
+
+}  // namespace timr::bt

@@ -1,0 +1,36 @@
+// Hashing helpers. Deterministic across runs and platforms (never use
+// std::hash for anything that feeds data partitioning: its value is
+// implementation-defined, and TiMR's repeatability guarantee requires a stable
+// partition function).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace timr {
+
+/// 64-bit finalizer (splitmix64); good avalanche for integer keys.
+inline uint64_t HashMix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a over raw bytes.
+inline uint64_t HashBytes(const void* data, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  return seed ^ (HashMix(v) + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace timr

@@ -1,0 +1,45 @@
+// Minimal CHECK / DCHECK macros in the Arrow/glog style.
+
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace timr::internal {
+
+/// Collects a message and aborts the process on destruction. Used only by the
+/// TIMR_CHECK family below; never by recoverable error paths (those use Status).
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line) {
+    stream_ << "[FATAL] " << file << ":" << line << ": ";
+  }
+  [[noreturn]] ~FatalLogMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace timr::internal
+
+#define TIMR_CHECK(cond)                                      \
+  if (!(cond))                                                \
+  ::timr::internal::FatalLogMessage(__FILE__, __LINE__).stream() \
+      << "Check failed: " #cond " "
+
+#define TIMR_CHECK_OK(expr)                                   \
+  do {                                                        \
+    ::timr::Status _st = (expr);                              \
+    TIMR_CHECK(_st.ok()) << _st.ToString();                   \
+  } while (0)
+
+#ifdef NDEBUG
+#define TIMR_DCHECK(cond) TIMR_CHECK(true || (cond))
+#else
+#define TIMR_DCHECK(cond) TIMR_CHECK(cond)
+#endif

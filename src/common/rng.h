@@ -1,0 +1,105 @@
+// Seeded pseudo-random generation for the synthetic workload. All experiment
+// results must be reproducible, so every random draw goes through an explicitly
+// seeded Rng (never std::random_device or global state).
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace timr {
+
+/// \brief xoshiro256** generator with convenience distributions.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (auto& si : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      si = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n).
+  uint64_t UniformU64(uint64_t n) {
+    TIMR_DCHECK(n > 0);
+    return Next() % n;  // modulo bias is negligible for our n << 2^64
+  }
+
+  /// Uniform integer in [lo, hi].
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    TIMR_DCHECK(hi >= lo);
+    return lo + static_cast<int64_t>(UniformU64(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform in [0, 1).
+  double UniformDouble() { return (Next() >> 11) * 0x1.0p-53; }
+
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Exponential with the given mean (> 0).
+  double Exponential(double mean) {
+    double u = UniformDouble();
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -mean * std::log(u);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+/// \brief Zipf(s) sampler over {0, ..., n-1} using a precomputed CDF and
+/// binary search. O(n) setup, O(log n) per draw.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double exponent) : cdf_(n) {
+    TIMR_CHECK(n > 0);
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+      cdf_[i] = total;
+    }
+    for (auto& c : cdf_) c /= total;
+  }
+
+  size_t Sample(Rng* rng) const {
+    double u = rng->UniformDouble();
+    size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace timr

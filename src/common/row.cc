@@ -1,0 +1,143 @@
+#include "common/row.h"
+
+#include <functional>
+#include <sstream>
+
+#include "common/hash.h"
+
+namespace timr {
+
+std::string Value::ToString() const {
+  std::ostringstream os;
+  switch (type()) {
+    case ValueType::kInt64:
+      os << AsInt64();
+      break;
+    case ValueType::kDouble:
+      os << AsDouble();
+      break;
+    case ValueType::kString:
+      os << '"' << AsString() << '"';
+      break;
+  }
+  return os.str();
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kInt64:
+      return HashMix(static_cast<uint64_t>(AsInt64()) + 0x9e3779b97f4a7c15ULL);
+    case ValueType::kDouble: {
+      double d = AsDouble();
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      return HashMix(bits ^ 0xc2b2ae3d27d4eb4fULL);
+    }
+    case ValueType::kString:
+      return HashBytes(AsString().data(), AsString().size());
+  }
+  return 0;
+}
+
+std::string RowToString(const Row& row) {
+  std::ostringstream os;
+  os << '[';
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << row[i].ToString();
+  }
+  os << ']';
+  return os.str();
+}
+
+size_t HashRow(const Row& row) {
+  size_t h = 0x51ed270b0a1f3c49ULL;
+  for (const Value& v : row) h = HashCombine(h, v.Hash());
+  return h;
+}
+
+Result<int> Schema::IndexOf(std::string_view name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return static_cast<int>(i);
+  }
+  return Status::KeyError("no column named '" + std::string(name) + "' in " +
+                          ToString());
+}
+
+Result<std::vector<int>> Schema::IndicesOf(
+    const std::vector<std::string>& names) const {
+  std::vector<int> out;
+  out.reserve(names.size());
+  for (const auto& n : names) {
+    TIMR_ASSIGN_OR_RETURN(int idx, IndexOf(n));
+    out.push_back(idx);
+  }
+  return out;
+}
+
+bool Schema::HasField(std::string_view name) const { return IndexOf(name).ok(); }
+
+Schema Schema::Concat(const Schema& other) const {
+  std::vector<Field> fields = fields_;
+  for (const Field& f : other.fields_) {
+    Field g = f;
+    int suffix = 1;
+    while (true) {
+      bool clash = false;
+      for (const Field& existing : fields) {
+        if (existing.name == g.name) {
+          clash = true;
+          break;
+        }
+      }
+      if (!clash) break;
+      g.name = f.name + "_" + std::to_string(++suffix);
+    }
+    fields.push_back(g);
+  }
+  return Schema(std::move(fields));
+}
+
+Schema Schema::Select(const std::vector<int>& indices) const {
+  std::vector<Field> fields;
+  fields.reserve(indices.size());
+  for (int i : indices) fields.push_back(fields_[i]);
+  return Schema(std::move(fields));
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (fields_.size() != other.fields_.size()) return false;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name != other.fields_[i].name ||
+        fields_[i].type != other.fields_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  os << '{';
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << fields_[i].name << ':';
+    switch (fields_[i].type) {
+      case ValueType::kInt64: os << "int64"; break;
+      case ValueType::kDouble: os << "double"; break;
+      case ValueType::kString: os << "string"; break;
+    }
+  }
+  os << '}';
+  return os.str();
+}
+
+Row ExtractKey(const Row& row, const std::vector<int>& indices) {
+  Row key;
+  key.reserve(indices.size());
+  for (int i : indices) key.push_back(row[i]);
+  return key;
+}
+
+}  // namespace timr

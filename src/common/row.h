@@ -1,0 +1,106 @@
+// Dynamic row representation shared by the temporal engine and the map-reduce
+// substrate. TiMR serializes events across stage boundaries and builds reducers
+// generically, so payloads are schema-described rows of variant values (the same
+// altitude SCOPE rows sit at).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+
+namespace timr {
+
+enum class ValueType : uint8_t { kInt64 = 0, kDouble = 1, kString = 2 };
+
+/// \brief One cell of a row: 64-bit integer, double, or string.
+class Value {
+ public:
+  Value() : repr_(int64_t{0}) {}
+  Value(int64_t v) : repr_(v) {}            // NOLINT implicit
+  Value(int v) : repr_(int64_t{v}) {}       // NOLINT implicit
+  Value(double v) : repr_(v) {}             // NOLINT implicit
+  Value(std::string v) : repr_(std::move(v)) {}  // NOLINT implicit
+  Value(const char* v) : repr_(std::string(v)) {}  // NOLINT implicit
+
+  ValueType type() const { return static_cast<ValueType>(repr_.index()); }
+
+  bool is_int64() const { return std::holds_alternative<int64_t>(repr_); }
+  bool is_double() const { return std::holds_alternative<double>(repr_); }
+  bool is_string() const { return std::holds_alternative<std::string>(repr_); }
+
+  int64_t AsInt64() const { return std::get<int64_t>(repr_); }
+  double AsDouble() const { return std::get<double>(repr_); }
+  const std::string& AsString() const { return std::get<std::string>(repr_); }
+
+  /// Numeric view: int64 widened to double; dies on string.
+  double AsNumeric() const {
+    return is_int64() ? static_cast<double>(AsInt64()) : AsDouble();
+  }
+
+  bool operator==(const Value& other) const { return repr_ == other.repr_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  bool operator<(const Value& other) const { return repr_ < other.repr_; }
+
+  std::string ToString() const;
+  size_t Hash() const;
+
+ private:
+  std::variant<int64_t, double, std::string> repr_;
+};
+
+using Row = std::vector<Value>;
+
+std::string RowToString(const Row& row);
+size_t HashRow(const Row& row);
+
+/// \brief Ordered list of named, typed columns.
+class Schema {
+ public:
+  struct Field {
+    std::string name;
+    ValueType type;
+  };
+
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  static Schema Of(std::initializer_list<Field> fields) {
+    return Schema(std::vector<Field>(fields));
+  }
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the column with the given name, or KeyError.
+  Result<int> IndexOf(std::string_view name) const;
+
+  /// Indices for several names, in order; KeyError if any is missing.
+  Result<std::vector<int>> IndicesOf(const std::vector<std::string>& names) const;
+
+  bool HasField(std::string_view name) const;
+
+  /// New schema that appends `other`'s fields after this one's. Collisions get
+  /// a numeric suffix so the result stays unambiguous.
+  Schema Concat(const Schema& other) const;
+
+  /// Schema consisting of the fields at `indices`, in that order.
+  Schema Select(const std::vector<int>& indices) const;
+
+  bool operator==(const Schema& other) const;
+  bool operator!=(const Schema& other) const { return !(*this == other); }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+/// Extract the values of `indices` from `row` as a key vector.
+Row ExtractKey(const Row& row, const std::vector<int>& indices);
+
+}  // namespace timr

@@ -1,0 +1,13 @@
+#include "common/status.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace timr::internal {
+
+void DieOnBadStatus(const Status& st) {
+  std::cerr << "[FATAL] ValueOrDie on error status: " << st.ToString() << std::endl;
+  std::abort();
+}
+
+}  // namespace timr::internal

@@ -1,0 +1,151 @@
+// Status / Result error model, in the style of Apache Arrow and RocksDB.
+//
+// Core library code does not throw exceptions; fallible operations return a
+// Status (or Result<T> when they produce a value). Callers either handle the
+// error or propagate it with TIMR_RETURN_NOT_OK / TIMR_ASSIGN_OR_RETURN.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace timr {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalid = 1,        // caller passed something malformed
+  kKeyError = 2,       // lookup of a name/key failed
+  kNotImplemented = 3,
+  kExecutionError = 4,  // runtime failure inside an operator / task
+  kIOError = 5,
+};
+
+/// \brief Outcome of a fallible operation: a code plus a human-readable message.
+///
+/// The OK status carries no allocation; error statuses hold their message on
+/// the heap so that Status stays one pointer wide.
+class Status {
+ public:
+  Status() = default;  // OK
+
+  static Status OK() { return Status(); }
+  static Status Invalid(std::string msg) {
+    return Status(StatusCode::kInvalid, std::move(msg));
+  }
+  static Status KeyError(std::string msg) {
+    return Status(StatusCode::kKeyError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return ok() ? kEmpty : state_->msg;
+  }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return CodeName(code()) + ": " + state_->msg;
+  }
+
+  static std::string CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalid: return "Invalid";
+      case StatusCode::kKeyError: return "KeyError";
+      case StatusCode::kNotImplemented: return "NotImplemented";
+      case StatusCode::kExecutionError: return "ExecutionError";
+      case StatusCode::kIOError: return "IOError";
+    }
+    return "Unknown";
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+
+  Status(StatusCode code, std::string msg)
+      : state_(std::make_shared<State>(State{code, std::move(msg)})) {}
+
+  std::shared_ptr<State> state_;  // nullptr means OK
+};
+
+/// \brief Either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT implicit
+  Result(Status status) : repr_(std::move(status)) {}  // NOLINT implicit
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(repr_);
+  }
+
+  T& ValueOrDie() & {
+    AbortIfError();
+    return std::get<T>(repr_);
+  }
+  const T& ValueOrDie() const& {
+    AbortIfError();
+    return std::get<T>(repr_);
+  }
+  T ValueOrDie() && {
+    AbortIfError();
+    return std::move(std::get<T>(repr_));
+  }
+
+  /// Move the contained value out; undefined if !ok().
+  T MoveValue() { return std::move(std::get<T>(repr_)); }
+
+ private:
+  void AbortIfError() const;
+  std::variant<T, Status> repr_;
+};
+
+namespace internal {
+[[noreturn]] void DieOnBadStatus(const Status& st);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::AbortIfError() const {
+  if (!ok()) internal::DieOnBadStatus(status());
+}
+
+#define TIMR_RETURN_NOT_OK(expr)                \
+  do {                                          \
+    ::timr::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+#define TIMR_CONCAT_IMPL(a, b) a##b
+#define TIMR_CONCAT(a, b) TIMR_CONCAT_IMPL(a, b)
+
+#define TIMR_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).MoveValue();
+
+/// Evaluate `expr` (a Result<T>); on error propagate, otherwise bind to `lhs`.
+#define TIMR_ASSIGN_OR_RETURN(lhs, expr) \
+  TIMR_ASSIGN_OR_RETURN_IMPL(TIMR_CONCAT(_res_, __COUNTER__), lhs, expr)
+
+}  // namespace timr

@@ -1,0 +1,192 @@
+#include "mr/cluster.h"
+
+#include <time.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <queue>
+#include <sstream>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+
+namespace timr::mr {
+
+namespace {
+
+double ThreadCpuSeconds() {
+  timespec ts;
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+bool RowTimeLess(const Row& a, const Row& b) {
+  // Primary: Time column. Ties: full lexicographic row comparison, making the
+  // sorted order canonical (independent of arrival order).
+  const int64_t ta = a[0].AsInt64();
+  const int64_t tb = b[0].AsInt64();
+  if (ta != tb) return ta < tb;
+  return std::lexicographical_compare(a.begin() + 1, a.end(), b.begin() + 1,
+                                      b.end());
+}
+
+/// Deterministic list scheduling: assign task durations (in partition order)
+/// to the least-loaded of `machines`; returns the makespan.
+double Makespan(const std::vector<double>& task_seconds, int machines) {
+  std::priority_queue<double, std::vector<double>, std::greater<>> loads;
+  for (int i = 0; i < machines; ++i) loads.push(0.0);
+  for (double t : task_seconds) {
+    double least = loads.top();
+    loads.pop();
+    loads.push(least + t);
+  }
+  double makespan = 0;
+  while (!loads.empty()) {
+    makespan = std::max(makespan, loads.top());
+    loads.pop();
+  }
+  return makespan;
+}
+
+}  // namespace
+
+std::string JobStats::ToString() const {
+  std::ostringstream os;
+  for (const auto& s : stages) {
+    os << s.name << ": in=" << s.rows_in << " shuffled=" << s.rows_shuffled
+       << " out=" << s.rows_out << " parts=" << s.partitions
+       << " cpu_total=" << s.task_cpu_seconds_total
+       << "s cpu_max=" << s.task_cpu_seconds_max
+       << "s simulated=" << s.simulated_parallel_seconds << "s";
+    if (s.restarted_tasks > 0) os << " restarts=" << s.restarted_tasks;
+    os << "\n";
+  }
+  return os.str();
+}
+
+class LocalCluster::Impl {
+ public:
+  explicit Impl(size_t threads) : pool(threads) {}
+  ThreadPool pool;
+};
+
+LocalCluster::LocalCluster(int num_machines, int num_threads)
+    : num_machines_(num_machines) {
+  TIMR_CHECK(num_machines > 0);
+  size_t threads = num_threads > 0
+                       ? static_cast<size_t>(num_threads)
+                       : std::max<size_t>(1, std::thread::hardware_concurrency());
+  impl_ = std::make_unique<Impl>(threads);
+}
+
+LocalCluster::~LocalCluster() = default;
+
+Status LocalCluster::RunStage(const MRStage& stage,
+                              std::map<std::string, Dataset>* store,
+                              StageStats* stats) {
+  Stopwatch wall;
+  stats->name = stage.name;
+  const int parts = stage.num_partitions > 0 ? stage.num_partitions : num_machines_;
+  stats->partitions = parts;
+
+  std::vector<const Dataset*> inputs;
+  for (const auto& name : stage.inputs) {
+    auto it = store->find(name);
+    if (it == store->end()) {
+      return Status::KeyError("stage " + stage.name + ": no dataset named " +
+                              name);
+    }
+    inputs.push_back(&it->second);
+  }
+
+  // --- Map + shuffle: route rows to per-partition, per-input buckets. ---
+  // buckets[p][i] = rows of input i landing in partition p.
+  std::vector<std::vector<std::vector<Row>>> buckets(
+      parts, std::vector<std::vector<Row>>(inputs.size()));
+  std::vector<int> targets;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    for (size_t p = 0; p < inputs[i]->num_partitions(); ++p) {
+      for (const Row& row : inputs[i]->partition(p)) {
+        ++stats->rows_in;
+        targets.clear();
+        stage.partition_fn(static_cast<int>(i), row, parts, &targets);
+        for (int t : targets) {
+          if (t < 0 || t >= parts) {
+            return Status::ExecutionError("partitioner produced target " +
+                                          std::to_string(t) + " out of range");
+          }
+          buckets[t][i].push_back(row);
+          ++stats->rows_shuffled;
+        }
+      }
+    }
+  }
+  // Sort each bucket by Time (canonical order; see header comment).
+  for (auto& part : buckets) {
+    for (auto& rows : part) std::sort(rows.begin(), rows.end(), RowTimeLess);
+  }
+
+  // --- Reduce: one task per partition on the pool. ---
+  Dataset output(stage.output_schema, parts);
+  std::vector<double> task_seconds(parts, 0.0);
+  std::vector<int> restarts(parts, 0);
+  std::mutex err_mu;
+  Status first_error;
+
+  for (int p = 0; p < parts; ++p) {
+    impl_->pool.Submit([&, p] {
+      int attempts = 0;
+      while (true) {
+        ++attempts;
+        std::vector<Row> out_rows;
+        const double cpu0 = ThreadCpuSeconds();
+        Status st = stage.reducer(p, buckets[p], &out_rows);
+        task_seconds[p] += ThreadCpuSeconds() - cpu0;
+        if (!st.ok()) {
+          std::lock_guard<std::mutex> lock(err_mu);
+          if (first_error.ok()) first_error = st;
+          return;
+        }
+        // Simulated task failure: discard this attempt's output and restart,
+        // exactly as M-R handles a lost reducer (paper §III-C.1).
+        if (injector_ != nullptr && injector_->ShouldFail(stage.name, p)) {
+          restarts[p]++;
+          continue;
+        }
+        output.partition(p) = std::move(out_rows);
+        return;
+      }
+    });
+  }
+  impl_->pool.WaitIdle();
+  TIMR_RETURN_NOT_OK(first_error);
+
+  for (int p = 0; p < parts; ++p) {
+    stats->rows_out += output.partition(p).size();
+    stats->task_cpu_seconds_total += task_seconds[p];
+    stats->task_cpu_seconds_max =
+        std::max(stats->task_cpu_seconds_max, task_seconds[p]);
+    stats->restarted_tasks += restarts[p];
+  }
+  stats->simulated_parallel_seconds = Makespan(task_seconds, num_machines_);
+  stats->wall_seconds = wall.ElapsedSeconds();
+
+  (*store)[stage.output] = std::move(output);
+  return Status::OK();
+}
+
+Result<JobStats> LocalCluster::RunJob(const std::vector<MRStage>& stages,
+                                      std::map<std::string, Dataset>* store) {
+  JobStats job;
+  for (const MRStage& stage : stages) {
+    StageStats stats;
+    TIMR_RETURN_NOT_OK(RunStage(stage, store, &stats));
+    job.stages.push_back(std::move(stats));
+  }
+  return job;
+}
+
+}  // namespace timr::mr

@@ -1,0 +1,109 @@
+// LocalCluster: an in-process shared-nothing map-reduce runtime.
+//
+// It reproduces the execution contract TiMR depends on (paper §II-B, §III):
+//  - map: each row is routed to one or more partitions by the stage's
+//    partition function;
+//  - shuffle: each partition's rows are sorted by the Time column (ties broken
+//    by full row comparison so reducer input is canonical — a restarted
+//    reducer sees byte-identical input, which together with the temporal
+//    algebra gives the paper's repeatable-output failure handling, §III-C.1);
+//  - reduce: one task per partition, run on a thread pool.
+//
+// Because this host has few cores while the paper's cluster had ~150
+// machines, every task's CPU time is measured (CLOCK_THREAD_CPUTIME_ID) and a
+// deterministic list-scheduling model computes the *simulated* parallel
+// makespan for the configured machine count. Benches report that simulated
+// time; correctness paths never depend on it.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "mr/dataset.h"
+#include "mr/stage.h"
+
+namespace timr::mr {
+
+struct StageStats {
+  std::string name;
+  size_t rows_in = 0;
+  size_t rows_shuffled = 0;  // includes replication by the partitioner
+  size_t rows_out = 0;
+  int partitions = 0;
+  double wall_seconds = 0;            // actual elapsed on this host
+  double task_cpu_seconds_total = 0;  // sum over reducer tasks
+  double task_cpu_seconds_max = 0;    // slowest single reducer task
+  double simulated_parallel_seconds = 0;  // modeled makespan on the cluster
+  int restarted_tasks = 0;
+};
+
+struct JobStats {
+  std::vector<StageStats> stages;
+
+  double TotalSimulatedSeconds() const {
+    double t = 0;
+    for (const auto& s : stages) t += s.simulated_parallel_seconds;
+    return t;
+  }
+  double TotalWallSeconds() const {
+    double t = 0;
+    for (const auto& s : stages) t += s.wall_seconds;
+    return t;
+  }
+  std::string ToString() const;
+};
+
+/// Injects one failure per marked (stage, partition): the first attempt's
+/// output is discarded and the task restarted, as M-R failure handling does.
+/// Tests use this to verify the repeatability guarantee.
+class FailureInjector {
+ public:
+  void FailOnce(const std::string& stage, int partition) {
+    pending_.insert({stage, partition});
+  }
+
+  /// True exactly once per marked task.
+  bool ShouldFail(const std::string& stage, int partition) {
+    return pending_.erase({stage, partition}) > 0;
+  }
+
+  bool empty() const { return pending_.empty(); }
+
+ private:
+  std::set<std::pair<std::string, int>> pending_;
+};
+
+class LocalCluster {
+ public:
+  /// `num_machines`: modeled cluster size (partition default & makespan
+  /// model). `num_threads`: actual host concurrency (0 = hardware).
+  explicit LocalCluster(int num_machines, int num_threads = 0);
+  ~LocalCluster();
+
+  int num_machines() const { return num_machines_; }
+
+  void set_failure_injector(FailureInjector* injector) { injector_ = injector; }
+
+  /// Run one stage against the named datasets; adds the output under
+  /// stage.output and records stats.
+  Status RunStage(const MRStage& stage, std::map<std::string, Dataset>* store,
+                  StageStats* stats);
+
+  /// Run stages in order against `store` (must already hold all external
+  /// inputs); intermediate and final outputs are added to the store.
+  Result<JobStats> RunJob(const std::vector<MRStage>& stages,
+                          std::map<std::string, Dataset>* store);
+
+ private:
+  int num_machines_;
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+  FailureInjector* injector_ = nullptr;
+};
+
+}  // namespace timr::mr

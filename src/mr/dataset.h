@@ -1,0 +1,53 @@
+// Partitioned datasets: the map-reduce substrate's unit of storage, standing
+// in for files in a distributed store (Cosmos/HDFS/GFS in the paper). A
+// dataset is a schema plus one row vector per partition (per "machine").
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/row.h"
+#include "common/status.h"
+
+namespace timr::mr {
+
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(Schema schema, size_t num_partitions)
+      : schema_(std::move(schema)), partitions_(num_partitions) {}
+
+  /// Single-partition dataset holding all rows (how source logs enter a job).
+  static Dataset FromRows(Schema schema, std::vector<Row> rows) {
+    Dataset d(std::move(schema), 1);
+    d.partitions_[0] = std::move(rows);
+    return d;
+  }
+
+  const Schema& schema() const { return schema_; }
+  size_t num_partitions() const { return partitions_.size(); }
+
+  std::vector<Row>& partition(size_t i) { return partitions_[i]; }
+  const std::vector<Row>& partition(size_t i) const { return partitions_[i]; }
+
+  size_t TotalRows() const {
+    size_t n = 0;
+    for (const auto& p : partitions_) n += p.size();
+    return n;
+  }
+
+  /// All rows concatenated in partition order (for result inspection).
+  std::vector<Row> Gather() const {
+    std::vector<Row> out;
+    out.reserve(TotalRows());
+    for (const auto& p : partitions_) out.insert(out.end(), p.begin(), p.end());
+    return out;
+  }
+
+ private:
+  Schema schema_;
+  std::vector<std::vector<Row>> partitions_;
+};
+
+}  // namespace timr::mr

@@ -1,0 +1,27 @@
+#include "mr/stage.h"
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace timr::mr {
+
+PartitionFn HashPartitioner(std::vector<std::vector<int>> key_indices_per_input) {
+  return [keys = std::move(key_indices_per_input)](
+             int input_index, const Row& row, int num_partitions,
+             std::vector<int>* targets) {
+    TIMR_DCHECK(input_index >= 0 &&
+                static_cast<size_t>(input_index) < keys.size());
+    const auto& idx = keys[input_index];
+    uint64_t h = 0x51ed270b0a1f3c49ULL;
+    for (int i : idx) h = HashCombine(h, row[i].Hash());
+    targets->push_back(static_cast<int>(h % static_cast<uint64_t>(num_partitions)));
+  };
+}
+
+PartitionFn SinglePartition() {
+  return [](int, const Row&, int, std::vector<int>* targets) {
+    targets->push_back(0);
+  };
+}
+
+}  // namespace timr::mr

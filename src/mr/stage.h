@@ -1,0 +1,52 @@
+// A map-reduce stage: the paper's basic model (§II-B). The map phase assigns
+// each row to one or more partitions; the framework shuffles and sorts each
+// partition by Time; the reduce phase runs a user reducer per partition.
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/row.h"
+#include "common/status.h"
+
+namespace timr::mr {
+
+/// Map-side partition assignment. May emit a row into several partitions —
+/// TiMR's temporal partitioning replicates span-boundary rows (paper §III-B).
+/// `input_index` identifies which of the stage's inputs the row came from.
+using PartitionFn =
+    std::function<void(int input_index, const Row& row, int num_partitions,
+                       std::vector<int>* targets)>;
+
+/// Reduce-side computation for one partition. `inputs[i]` holds this
+/// partition's rows from the stage's i-th input, sorted by the Time column.
+/// Appends result rows to `output`.
+using ReducerFn = std::function<Status(
+    int partition_index, const std::vector<std::vector<Row>>& inputs,
+    std::vector<Row>* output)>;
+
+struct MRStage {
+  std::string name;
+
+  /// Names of input datasets (resolved against the job's dataset namespace).
+  std::vector<std::string> inputs;
+  std::string output;
+  Schema output_schema;
+
+  int num_partitions = 0;  // 0: use the cluster's machine count
+
+  PartitionFn partition_fn;
+  ReducerFn reducer;
+};
+
+/// Hash partitioner over the given column indices (the paper's
+/// hash(key) % machines bucketing, §III-C.3). Columns are resolved per input
+/// because inputs may have different schemas.
+PartitionFn HashPartitioner(std::vector<std::vector<int>> key_indices_per_input);
+
+/// Everything to partition 0 (for final global merges / single reducers).
+PartitionFn SinglePartition();
+
+}  // namespace timr::mr

@@ -1,0 +1,87 @@
+#include "temporal/aggregate.h"
+
+#include "common/logging.h"
+
+namespace timr::temporal::internal {
+
+namespace {
+
+class CountAcc : public Accumulator {
+ public:
+  void Add(double) override { ++count_; }
+  void Remove(double) override { --count_; }
+  Value Current() const override { return Value(count_); }
+};
+
+class SumAcc : public Accumulator {
+ public:
+  void Add(double v) override {
+    ++count_;
+    sum_ += v;
+  }
+  void Remove(double v) override {
+    --count_;
+    sum_ -= v;
+  }
+  Value Current() const override { return Value(sum_); }
+
+ private:
+  double sum_ = 0;
+};
+
+class AvgAcc : public Accumulator {
+ public:
+  void Add(double v) override {
+    ++count_;
+    sum_ += v;
+  }
+  void Remove(double v) override {
+    --count_;
+    sum_ -= v;
+  }
+  Value Current() const override {
+    TIMR_DCHECK(count_ > 0);
+    return Value(sum_ / static_cast<double>(count_));
+  }
+
+ private:
+  double sum_ = 0;
+};
+
+// Min/Max need retraction, so keep the full multiset of active values.
+template <bool kIsMin>
+class ExtremeAcc : public Accumulator {
+ public:
+  void Add(double v) override {
+    ++count_;
+    values_.insert(v);
+  }
+  void Remove(double v) override {
+    --count_;
+    auto it = values_.find(v);
+    TIMR_DCHECK(it != values_.end());
+    values_.erase(it);
+  }
+  Value Current() const override {
+    TIMR_DCHECK(!values_.empty());
+    return Value(kIsMin ? *values_.begin() : *values_.rbegin());
+  }
+
+ private:
+  std::multiset<double> values_;
+};
+
+}  // namespace
+
+std::unique_ptr<Accumulator> MakeAccumulator(AggKind kind) {
+  switch (kind) {
+    case AggKind::kCount: return std::make_unique<CountAcc>();
+    case AggKind::kSum: return std::make_unique<SumAcc>();
+    case AggKind::kAvg: return std::make_unique<AvgAcc>();
+    case AggKind::kMin: return std::make_unique<ExtremeAcc<true>>();
+    case AggKind::kMax: return std::make_unique<ExtremeAcc<false>>();
+  }
+  return nullptr;
+}
+
+}  // namespace timr::temporal::internal

@@ -1,0 +1,129 @@
+// Snapshot aggregation (Count, Sum, Min, Max, Avg). Paper §II-A.2.
+//
+// An aggregate reports a value for every *snapshot* — every maximal interval
+// over which the set of active events is constant — and only for snapshots
+// with at least one active event (StreamInsight behaviour). Input events are
+// typically windowed first with AlterLifetime, which turns "count of events in
+// the last w time units" into "count of active events at every instant".
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "temporal/operator.h"
+
+namespace timr::temporal {
+
+enum class AggKind { kCount, kSum, kMin, kMax, kAvg };
+
+struct AggregateSpec {
+  AggKind kind = AggKind::kCount;
+  /// Column whose numeric value feeds the aggregate; ignored for kCount.
+  std::string value_column;
+  /// Name of the single output column.
+  std::string output_name = "agg";
+
+  static AggregateSpec Count(std::string output_name = "count") {
+    return {AggKind::kCount, "", std::move(output_name)};
+  }
+  static AggregateSpec Sum(std::string col, std::string output_name = "sum") {
+    return {AggKind::kSum, std::move(col), std::move(output_name)};
+  }
+  static AggregateSpec Min(std::string col, std::string output_name = "min") {
+    return {AggKind::kMin, std::move(col), std::move(output_name)};
+  }
+  static AggregateSpec Max(std::string col, std::string output_name = "max") {
+    return {AggKind::kMax, std::move(col), std::move(output_name)};
+  }
+  static AggregateSpec Avg(std::string col, std::string output_name = "avg") {
+    return {AggKind::kAvg, std::move(col), std::move(output_name)};
+  }
+};
+
+namespace internal {
+
+/// Incrementally maintainable aggregate state supporting retraction.
+class Accumulator {
+ public:
+  virtual ~Accumulator() = default;
+  virtual void Add(double v) = 0;
+  virtual void Remove(double v) = 0;
+  virtual Value Current() const = 0;
+  int64_t count() const { return count_; }
+
+ protected:
+  int64_t count_ = 0;
+};
+
+std::unique_ptr<Accumulator> MakeAccumulator(AggKind kind);
+
+}  // namespace internal
+
+/// \brief Snapshot aggregate via a boundary sweep: each event contributes a
+/// +delta at LE and a -delta at RE; on CTI t, all snapshots ending at or
+/// before t are final and are flushed in time order.
+class AggregateOp : public UnaryOperator {
+ public:
+  /// `value_index` is the resolved column index, or -1 for Count.
+  AggregateOp(AggregateSpec spec, int value_index)
+      : spec_(spec),
+        value_index_(value_index),
+        acc_(internal::MakeAccumulator(spec.kind)) {}
+
+  void OnEvent(Event event) override {
+    CountConsumed();
+    TIMR_DCHECK(event.le >= flushed_to_) << "event arrived below aggregate CTI";
+    const double v = spec_.kind == AggKind::kCount
+                         ? 1.0
+                         : event.payload[value_index_].AsNumeric();
+    boundaries_[event.le].push_back({v, +1});
+    boundaries_[event.re].push_back({v, -1});
+  }
+
+  void OnCti(Timestamp t) override {
+    // Finalize every snapshot [b_i, b_{i+1}) with b_{i+1} <= t.
+    while (!boundaries_.empty() && boundaries_.begin()->first <= t) {
+      const Timestamp b = boundaries_.begin()->first;
+      FlushOpenSnapshot(b);
+      for (const Delta& d : boundaries_.begin()->second) {
+        if (d.sign > 0) {
+          acc_->Add(d.value);
+        } else {
+          acc_->Remove(d.value);
+        }
+      }
+      boundaries_.erase(boundaries_.begin());
+      open_since_ = b;
+    }
+    flushed_to_ = t;
+    // Future output LEs are at least the start of the still-open snapshot (if
+    // any events are active) or t (if none are).
+    EmitCti(acc_->count() > 0 ? open_since_ : t);
+  }
+
+ private:
+  struct Delta {
+    double value;
+    int sign;
+  };
+
+  void FlushOpenSnapshot(Timestamp upto) {
+    if (acc_->count() > 0 && upto > open_since_) {
+      Emit(Event(open_since_, upto, Row{acc_->Current()}));
+    }
+  }
+
+  AggregateSpec spec_;
+  int value_index_;
+  std::unique_ptr<internal::Accumulator> acc_;
+  std::map<Timestamp, std::vector<Delta>> boundaries_;
+  Timestamp open_since_ = kMinTime;
+  Timestamp flushed_to_ = kMinTime;
+};
+
+}  // namespace timr::temporal

@@ -1,0 +1,81 @@
+#include "temporal/convert.h"
+
+namespace timr::temporal {
+
+bool IsIntervalLayout(const Schema& schema) {
+  return schema.num_fields() >= 2 && schema.field(0).name == kTimeColumn &&
+         schema.field(1).name == kREndColumn;
+}
+
+Schema PointRowSchema(const Schema& payload_schema) {
+  Schema time(std::vector<Schema::Field>{{kTimeColumn, ValueType::kInt64}});
+  return time.Concat(payload_schema);
+}
+
+Schema IntervalRowSchema(const Schema& payload_schema) {
+  Schema head(std::vector<Schema::Field>{{kTimeColumn, ValueType::kInt64},
+                                         {kREndColumn, ValueType::kInt64}});
+  return head.Concat(payload_schema);
+}
+
+Result<Schema> PayloadSchemaOf(const Schema& row_schema) {
+  if (row_schema.num_fields() == 0 || row_schema.field(0).name != kTimeColumn) {
+    return Status::Invalid("row schema must start with Time: " +
+                           row_schema.ToString());
+  }
+  const size_t skip = IsIntervalLayout(row_schema) ? 2 : 1;
+  std::vector<int> rest;
+  for (size_t i = skip; i < row_schema.num_fields(); ++i) {
+    rest.push_back(static_cast<int>(i));
+  }
+  return row_schema.Select(rest);
+}
+
+Result<Event> EventFromRow(const Schema& row_schema, const Row& row) {
+  if (row.size() != row_schema.num_fields()) {
+    return Status::Invalid("row width does not match schema");
+  }
+  const bool interval = IsIntervalLayout(row_schema);
+  const Timestamp le = row[0].AsInt64();
+  const Timestamp re = interval ? row[1].AsInt64() : le + kTick;
+  if (re <= le) return Status::Invalid("event with empty lifetime");
+  Row payload(row.begin() + (interval ? 2 : 1), row.end());
+  return Event(le, re, std::move(payload));
+}
+
+Result<Row> RowFromEvent(const Event& event, bool interval_layout) {
+  if (!interval_layout && !event.IsPoint()) {
+    return Status::Invalid(
+        "cannot serialize interval event to point layout: " + event.ToString());
+  }
+  Row row;
+  row.reserve(event.payload.size() + (interval_layout ? 2 : 1));
+  row.push_back(Value(event.le));
+  if (interval_layout) row.push_back(Value(event.re));
+  row.insert(row.end(), event.payload.begin(), event.payload.end());
+  return row;
+}
+
+Result<std::vector<Event>> EventsFromRows(const Schema& row_schema,
+                                          const std::vector<Row>& rows) {
+  std::vector<Event> events;
+  events.reserve(rows.size());
+  for (const Row& r : rows) {
+    TIMR_ASSIGN_OR_RETURN(Event e, EventFromRow(row_schema, r));
+    events.push_back(std::move(e));
+  }
+  return events;
+}
+
+Result<std::vector<Row>> RowsFromEvents(const std::vector<Event>& events,
+                                        bool interval_layout) {
+  std::vector<Row> rows;
+  rows.reserve(events.size());
+  for (const Event& e : events) {
+    TIMR_ASSIGN_OR_RETURN(Row r, RowFromEvent(e, interval_layout));
+    rows.push_back(std::move(r));
+  }
+  return rows;
+}
+
+}  // namespace timr::temporal

@@ -1,0 +1,52 @@
+// Row <-> event conversion, the boundary between the set-oriented map-reduce
+// world and the temporal engine (paper §III-A step 4 and footnote 2: the first
+// column of source/intermediate/output files is constrained to be Time).
+//
+// Two layouts:
+//  - Point layout  [Time, payload...]        — source logs (all point events).
+//  - Interval layout [Time, __REnd, payload...] — intermediate stage data, so
+//    fragments whose outputs carry lifetimes round-trip losslessly (the
+//    paper's "extension to interval events is straightforward").
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/row.h"
+#include "common/status.h"
+#include "temporal/event.h"
+
+namespace timr::temporal {
+
+/// Name of the synthesized right-endpoint column in interval layout.
+inline constexpr const char* kREndColumn = "__REnd";
+inline constexpr const char* kTimeColumn = "Time";
+
+/// True if `schema` (a row schema) is in interval layout.
+bool IsIntervalLayout(const Schema& schema);
+
+/// Row schema for point layout: Time followed by the payload fields.
+Schema PointRowSchema(const Schema& payload_schema);
+
+/// Row schema for interval layout: Time, __REnd, then the payload fields.
+Schema IntervalRowSchema(const Schema& payload_schema);
+
+/// Payload schema obtained by stripping the layout columns from a row schema.
+Result<Schema> PayloadSchemaOf(const Schema& row_schema);
+
+/// Convert one data row to an event. Point layout rows become point events;
+/// interval layout rows reconstruct [Time, __REnd).
+Result<Event> EventFromRow(const Schema& row_schema, const Row& row);
+
+/// Convert an event to a row in the given layout. Converting a non-point
+/// event to point layout is an error (information loss).
+Result<Row> RowFromEvent(const Event& event, bool interval_layout);
+
+/// Bulk helpers.
+Result<std::vector<Event>> EventsFromRows(const Schema& row_schema,
+                                          const std::vector<Row>& rows);
+Result<std::vector<Row>> RowsFromEvents(const std::vector<Event>& events,
+                                        bool interval_layout);
+
+}  // namespace timr::temporal

@@ -1,0 +1,60 @@
+#include "temporal/event.h"
+
+#include <algorithm>
+#include <map>
+
+namespace timr::temporal {
+
+namespace {
+
+bool RowLess(const Row& a, const Row& b) {
+  return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
+}
+
+bool EventLess(const Event& a, const Event& b) {
+  if (a.le != b.le) return a.le < b.le;
+  if (a.re != b.re) return a.re < b.re;
+  return RowLess(a.payload, b.payload);
+}
+
+struct RowOrder {
+  bool operator()(const Row& a, const Row& b) const { return RowLess(a, b); }
+};
+
+// Canonical form of a temporal relation: per distinct payload, the step
+// function "number of simultaneously valid copies", encoded as a delta map
+// timestamp -> +/- multiplicity with zero entries removed. Two event multisets
+// that differ only in how lifetimes are split into adjacent pieces (as happens
+// under TiMR's temporal partitioning) normalize to the same form.
+using StepFunction = std::map<Timestamp, int64_t>;
+
+std::map<Row, StepFunction, RowOrder> Normalize(const std::vector<Event>& events) {
+  std::map<Row, StepFunction, RowOrder> out;
+  for (const Event& e : events) {
+    StepFunction& f = out[e.payload];
+    f[e.le] += 1;
+    f[e.re] -= 1;
+  }
+  for (auto& [row, f] : out) {
+    for (auto it = f.begin(); it != f.end();) {
+      if (it->second == 0) {
+        it = f.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void SortEventsCanonical(std::vector<Event>* events) {
+  std::sort(events->begin(), events->end(), EventLess);
+}
+
+bool SameTemporalRelation(std::vector<Event> a, std::vector<Event> b) {
+  return Normalize(a) == Normalize(b);
+}
+
+}  // namespace timr::temporal

@@ -1,0 +1,57 @@
+// Events: the unit of data flowing through the temporal engine.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/row.h"
+#include "temporal/time.h"
+
+namespace timr::temporal {
+
+/// \brief A payload with a half-open validity interval [le, re).
+///
+/// `le` is the application-specified occurrence time; `re - le` is the period
+/// over which the event influences downstream computation (paper §II-A.1). A
+/// point event has re == le + kTick.
+struct Event {
+  Timestamp le = 0;
+  Timestamp re = kTick;
+  Row payload;
+
+  Event() = default;
+  Event(Timestamp le_in, Timestamp re_in, Row payload_in)
+      : le(le_in), re(re_in), payload(std::move(payload_in)) {
+    TIMR_DCHECK(re > le);
+  }
+
+  static Event Point(Timestamp t, Row payload_in) {
+    return Event(t, t + kTick, std::move(payload_in));
+  }
+
+  bool IsPoint() const { return re == le + kTick; }
+
+  bool Contains(Timestamp t) const { return le <= t && t < re; }
+
+  bool Intersects(const Event& other) const {
+    return le < other.re && other.le < re;
+  }
+
+  std::string ToString() const {
+    return "[" + std::to_string(le) + "," +
+           (re >= kMaxTime ? std::string("inf") : std::to_string(re)) + ") " +
+           RowToString(payload);
+  }
+};
+
+/// Sort events by (le, re) then payload, for canonical comparisons in tests.
+void SortEventsCanonical(std::vector<Event>* events);
+
+/// True if the two event multisets describe the same temporal relation after
+/// canonical sorting. Used by tests to compare plan outputs produced by
+/// different execution strategies (single-node vs TiMR vs custom reducers).
+bool SameTemporalRelation(std::vector<Event> a, std::vector<Event> b);
+
+}  // namespace timr::temporal

@@ -1,0 +1,244 @@
+#include "temporal/executor.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "temporal/group_apply.h"
+
+namespace timr::temporal {
+
+/// Source operator: accepts pushed events, enforces per-source ordering.
+class Executor::InputNode : public UnaryOperator {
+ public:
+  void OnEvent(Event event) override {
+    TIMR_CHECK(event.le >= last_le_)
+        << "source events must be pushed in non-decreasing LE order ("
+        << event.le << " after " << last_le_ << ")";
+    last_le_ = event.le;
+    CountConsumed();
+    Emit(std::move(event));
+  }
+  void OnCti(Timestamp t) override { EmitCti(t); }
+
+ private:
+  Timestamp last_le_ = kMinTime;
+};
+
+namespace {
+
+/// Recursive network builder. Shared plan nodes become one operator with
+/// multiple downstream sinks (implicit Multicast).
+class NetworkBuilder {
+ public:
+  NetworkBuilder(std::vector<std::shared_ptr<Operator>>* ops,
+                 std::map<std::string, Executor::InputNode*>* inputs)
+      : ops_(ops), inputs_(inputs) {}
+
+  Result<Operator*> Build(const PlanNodePtr& node) {
+    auto it = memo_.find(node.get());
+    if (it != memo_.end()) return it->second;
+    TIMR_ASSIGN_OR_RETURN(Operator * op, Create(node));
+    memo_[node.get()] = op;
+    for (size_t i = 0; i < node->children.size(); ++i) {
+      TIMR_ASSIGN_OR_RETURN(Operator * child, Build(node->children[i]));
+      child->AddOutput(op->InputPort(static_cast<int>(i)));
+    }
+    return op;
+  }
+
+  /// The operator built for the (unique) kSubplanInput leaf, if any.
+  Operator* subplan_entry() const { return subplan_entry_; }
+
+ private:
+  Result<Operator*> Create(const PlanNodePtr& node) {
+    // Validate schemas eagerly so errors surface at build time.
+    TIMR_RETURN_NOT_OK(node->OutputSchema().status());
+    switch (node->kind) {
+      case OpKind::kInput: {
+        auto op = std::make_shared<Executor::InputNode>();
+        if (inputs_->count(node->name)) {
+          return Status::Invalid("duplicate input name: " + node->name);
+        }
+        (*inputs_)[node->name] = op.get();
+        return Register(std::move(op));
+      }
+      case OpKind::kSubplanInput: {
+        if (subplan_entry_ != nullptr) {
+          return Status::Invalid("group sub-plan has multiple input leaves");
+        }
+        Operator* op = Register(std::make_shared<PassthroughOp>());
+        subplan_entry_ = op;
+        return op;
+      }
+      case OpKind::kSelect:
+        return Register(std::make_shared<SelectOp>(node->pred));
+      case OpKind::kProject:
+        return Register(std::make_shared<ProjectOp>(node->project_fn));
+      case OpKind::kAlterLifetime:
+        return Register(std::make_shared<AlterLifetimeOp>(node->alter));
+      case OpKind::kExchange:
+        // Single-node execution: an exchange is a no-op passthrough.
+        return Register(std::make_shared<PassthroughOp>());
+      case OpKind::kAggregate: {
+        int value_index = -1;
+        if (node->agg.kind != AggKind::kCount) {
+          TIMR_ASSIGN_OR_RETURN(Schema in, node->children[0]->OutputSchema());
+          TIMR_ASSIGN_OR_RETURN(value_index, in.IndexOf(node->agg.value_column));
+        }
+        return Register(std::make_shared<AggregateOp>(node->agg, value_index));
+      }
+      case OpKind::kGroupApply: {
+        TIMR_ASSIGN_OR_RETURN(Schema in, node->children[0]->OutputSchema());
+        TIMR_ASSIGN_OR_RETURN(std::vector<int> key_idx,
+                              in.IndicesOf(node->group_keys));
+        PlanNodePtr sub = node->subplan;
+        SubPlanFactory factory = [sub](EventSink* output) {
+          std::vector<std::shared_ptr<Operator>> ops;
+          std::map<std::string, Executor::InputNode*> no_inputs;
+          NetworkBuilder b(&ops, &no_inputs);
+          auto root = b.Build(sub);
+          TIMR_CHECK(root.ok()) << root.status().ToString();
+          root.ValueOrDie()->AddOutput(output);
+          TIMR_CHECK(b.subplan_entry() != nullptr)
+              << "group sub-plan has no input leaf";
+          return std::make_unique<SubPlanNetwork>(b.subplan_entry()->InputPort(0),
+                                                  std::move(ops));
+        };
+        return Register(std::make_shared<GroupApplyOp>(std::move(key_idx),
+                                                       std::move(factory)));
+      }
+      case OpKind::kUnion:
+        return Register(std::make_shared<UnionOp>());
+      case OpKind::kTemporalJoin: {
+        TIMR_ASSIGN_OR_RETURN(Schema ls, node->children[0]->OutputSchema());
+        TIMR_ASSIGN_OR_RETURN(Schema rs, node->children[1]->OutputSchema());
+        TIMR_ASSIGN_OR_RETURN(std::vector<int> lk, ls.IndicesOf(node->left_keys));
+        TIMR_ASSIGN_OR_RETURN(std::vector<int> rk,
+                              rs.IndicesOf(node->right_keys));
+        return Register(std::make_shared<TemporalJoinOp>(
+            std::move(lk), std::move(rk), node->join_pred, node->join_project));
+      }
+      case OpKind::kAntiSemiJoin: {
+        TIMR_ASSIGN_OR_RETURN(Schema ls, node->children[0]->OutputSchema());
+        TIMR_ASSIGN_OR_RETURN(Schema rs, node->children[1]->OutputSchema());
+        TIMR_ASSIGN_OR_RETURN(std::vector<int> lk, ls.IndicesOf(node->left_keys));
+        TIMR_ASSIGN_OR_RETURN(std::vector<int> rk,
+                              rs.IndicesOf(node->right_keys));
+        return Register(
+            std::make_shared<AntiSemiJoinOp>(std::move(lk), std::move(rk)));
+      }
+      case OpKind::kUdo:
+        return Register(std::make_shared<HoppingUdoOp>(
+            node->udo_window, node->udo_hop, node->udo_fn));
+    }
+    return Status::Invalid("unknown plan node kind");
+  }
+
+  Operator* Register(std::shared_ptr<Operator> op) {
+    ops_->push_back(op);
+    return ops_->back().get();
+  }
+
+  std::vector<std::shared_ptr<Operator>>* ops_;
+  std::map<std::string, Executor::InputNode*>* inputs_;
+  std::unordered_map<const PlanNode*, Operator*> memo_;
+  Operator* subplan_entry_ = nullptr;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Executor>> Executor::Create(const PlanNodePtr& root) {
+  auto exec = std::unique_ptr<Executor>(new Executor());
+  NetworkBuilder builder(&exec->operators_, &exec->inputs_);
+  TIMR_ASSIGN_OR_RETURN(exec->root_op_, builder.Build(root));
+  exec->root_op_->AddOutput(&exec->collector_);
+  for (const auto& [name, op] : exec->inputs_) {
+    (void)op;
+    exec->input_names_.push_back(name);
+  }
+  if (exec->inputs_.empty()) {
+    return Status::Invalid("plan has no Input sources");
+  }
+  return exec;
+}
+
+Status Executor::PushEvent(const std::string& input, Event event) {
+  auto it = inputs_.find(input);
+  if (it == inputs_.end()) return Status::KeyError("no input named " + input);
+  it->second->OnEvent(std::move(event));
+  return Status::OK();
+}
+
+Status Executor::PushCti(const std::string& input, Timestamp t) {
+  auto it = inputs_.find(input);
+  if (it == inputs_.end()) return Status::KeyError("no input named " + input);
+  it->second->OnCti(t);
+  return Status::OK();
+}
+
+void Executor::PushCtiAll(Timestamp t) {
+  for (auto& [name, op] : inputs_) {
+    (void)name;
+    op->OnCti(t);
+  }
+}
+
+void Executor::Finish() { PushCtiAll(kMaxTime); }
+
+void Executor::AddOutputSink(EventSink* sink) { root_op_->AddOutput(sink); }
+
+uint64_t Executor::TotalEventsConsumed() const {
+  uint64_t total = 0;
+  for (const auto& op : operators_) total += op->events_consumed();
+  return total;
+}
+
+Result<std::vector<Event>> Executor::Execute(
+    const PlanNodePtr& root, std::map<std::string, std::vector<Event>> inputs) {
+  TIMR_ASSIGN_OR_RETURN(std::unique_ptr<Executor> exec, Create(root));
+  return exec->RunBatch(std::move(inputs));
+}
+
+Result<std::vector<Event>> Executor::RunBatch(
+    std::map<std::string, std::vector<Event>> inputs) {
+  // Global LE-order merge across sources, advancing every source's CTI to the
+  // current merge position so binary operators make progress.
+  struct Cursor {
+    InputNode* op;
+    std::vector<Event>* events;
+    size_t pos = 0;
+  };
+  std::vector<Cursor> cursors;
+  for (auto& [name, events] : inputs) {
+    auto it = inputs_.find(name);
+    if (it == inputs_.end()) {
+      return Status::KeyError("plan has no input named " + name);
+    }
+    std::stable_sort(events.begin(), events.end(),
+                     [](const Event& a, const Event& b) { return a.le < b.le; });
+    cursors.push_back(Cursor{it->second, &events, 0});
+  }
+  Timestamp last_cti = kMinTime;
+  while (true) {
+    int pick = -1;
+    for (size_t i = 0; i < cursors.size(); ++i) {
+      if (cursors[i].pos >= cursors[i].events->size()) continue;
+      const Timestamp le = (*cursors[i].events)[cursors[i].pos].le;
+      if (pick == -1 || le < (*cursors[pick].events)[cursors[pick].pos].le) {
+        pick = static_cast<int>(i);
+      }
+    }
+    if (pick == -1) break;
+    Cursor& c = cursors[pick];
+    Event ev = std::move((*c.events)[c.pos++]);
+    if (ev.le > last_cti) {
+      last_cti = ev.le;
+      PushCtiAll(last_cti);
+    }
+    c.op->OnEvent(std::move(ev));
+  }
+  Finish();
+  return TakeOutput();
+}
+
+}  // namespace timr::temporal

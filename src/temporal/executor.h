@@ -1,0 +1,80 @@
+// Single-node plan execution: instantiates a CQ plan as a network of physical
+// operators and drives it with punctuated event streams. This is the engine
+// TiMR embeds inside map-reduce reducers (paper §III-A step 4) and the engine
+// a "real-time" deployment would run directly.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "temporal/operator.h"
+#include "temporal/plan.h"
+
+namespace timr::temporal {
+
+/// \brief A running instance of a CQ plan.
+///
+/// Two usage modes, identical semantics (that is the point of the temporal
+/// algebra):
+///  - Offline: Execute() replays sorted event collections and returns the
+///    full output (used inside TiMR reducers and tests).
+///  - Incremental: PushEvent/PushCti/Finish feed a live stream; output is
+///    delivered to the collector (poll TakeOutput) or a callback sink.
+class Executor {
+ public:
+  /// Builds the network. `root`'s output feeds the internal collector.
+  static Result<std::unique_ptr<Executor>> Create(const PlanNodePtr& root);
+
+  /// One-shot: run `root` over the given per-source event collections
+  /// (sorted internally) and return all output events.
+  static Result<std::vector<Event>> Execute(
+      const PlanNodePtr& root, std::map<std::string, std::vector<Event>> inputs);
+
+  /// Instance form of Execute: replay `inputs` through this (fresh) executor.
+  /// Leaves the executor finished; engine statistics remain queryable.
+  Result<std::vector<Event>> RunBatch(
+      std::map<std::string, std::vector<Event>> inputs);
+
+  /// Push one event into the named source. Events per source must arrive in
+  /// non-decreasing LE order.
+  Status PushEvent(const std::string& input, Event event);
+
+  /// Advance the named source's CTI.
+  Status PushCti(const std::string& input, Timestamp t);
+
+  /// Advance every source's CTI (valid when the caller interleaves sources in
+  /// global LE order, as the offline driver does).
+  void PushCtiAll(Timestamp t);
+
+  /// Signal end-of-stream on all sources, flushing all state.
+  void Finish();
+
+  /// Drain events collected so far.
+  std::vector<Event> TakeOutput() { return collector_.TakeEvents(); }
+
+  /// Also deliver output to `sink` as it is produced (live mode).
+  void AddOutputSink(EventSink* sink);
+
+  /// Total events processed across all operators — the paper's Figure 15
+  /// throughput metric counts engine events, not just source rows.
+  uint64_t TotalEventsConsumed() const;
+
+  const std::vector<std::string>& input_names() const { return input_names_; }
+
+  class InputNode;
+
+ private:
+  Executor() = default;
+
+  std::vector<std::shared_ptr<Operator>> operators_;
+  std::map<std::string, InputNode*> inputs_;
+  std::vector<std::string> input_names_;
+  Operator* root_op_ = nullptr;
+  CollectorSink collector_;
+};
+
+}  // namespace timr::temporal

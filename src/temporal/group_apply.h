@@ -1,0 +1,180 @@
+// GroupApply: apply a query sub-plan to every sub-stream of a grouping key.
+// Paper §II-A.2 / Figure 4.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "temporal/operator.h"
+
+namespace timr::temporal {
+
+/// \brief An instantiated sub-plan network: the executor builds one per group.
+/// Owns the operators; exposes the entry sink. Output is wired at build time
+/// to a sink supplied by GroupApplyOp.
+class SubPlanNetwork {
+ public:
+  SubPlanNetwork(EventSink* input, std::vector<std::shared_ptr<Operator>> ops)
+      : input_(input), ops_(std::move(ops)) {}
+
+  EventSink* input() const { return input_; }
+
+ private:
+  EventSink* input_;
+  std::vector<std::shared_ptr<Operator>> ops_;
+};
+
+/// Builds a fresh sub-plan instance whose final output feeds `output`.
+using SubPlanFactory =
+    std::function<std::unique_ptr<SubPlanNetwork>(EventSink* output)>;
+
+/// \brief Routes events to per-group sub-plan instances and merges their
+/// outputs back into one ordered stream, with the group key prepended to each
+/// output payload.
+///
+/// Watermarking: sub-plan output CTIs are data-dependent (an aggregate with an
+/// open snapshot holds its CTI at the snapshot start), so the operator's
+/// output watermark is the minimum of every live instance's output CTI. A
+/// *prototype* instance that receives every punctuation but no events bounds
+/// what groups created in the future could emit. Output events are reordered
+/// through a buffer released up to that watermark.
+///
+/// Punctuation delivery to instances is lazy and amortized: an instance gets
+/// the pending CTI when it next receives an event, and a full broadcast runs
+/// every ~max(64, groups/4) punctuations (and always at end-of-stream), so a
+/// quiet group cannot stall the watermark forever while per-punctuation cost
+/// stays near O(1) amortized.
+class GroupApplyOp : public UnaryOperator {
+ public:
+  GroupApplyOp(std::vector<int> key_indices, SubPlanFactory factory)
+      : key_indices_(std::move(key_indices)), factory_(std::move(factory)) {
+    prototype_sink_ = std::make_unique<InstanceSink>(this, Row(), /*proto=*/true);
+    prototype_ = factory_(prototype_sink_.get());
+  }
+
+  void OnEvent(Event event) override {
+    CountConsumed();
+    Row key = ExtractKey(event.payload, key_indices_);
+    auto it = groups_.find(key);
+    if (it == groups_.end()) {
+      auto sink = std::make_unique<InstanceSink>(this, key, /*proto=*/false);
+      // New instances can only emit at or above the prototype's output CTI
+      // (they will only ever see events with LE >= the pending input CTI).
+      sink->out_cti = proto_out_cti_;
+      ctis_.insert(sink->out_cti);
+      auto instance = factory_(sink.get());
+      it = groups_.emplace(std::move(key),
+                           Group{std::move(instance), std::move(sink)}).first;
+    }
+    Group& group = it->second;
+    if (group.sink->delivered_cti < pending_cti_) {
+      group.sink->delivered_cti = pending_cti_;
+      group.instance->input()->OnCti(pending_cti_);
+    }
+    group.instance->input()->OnEvent(std::move(event));
+  }
+
+  void OnCti(Timestamp t) override {
+    if (t <= pending_cti_) return;
+    pending_cti_ = t;
+    prototype_->input()->OnCti(t);
+    const size_t period = std::max<size_t>(64, groups_.size() / 4);
+    if (t >= kMaxTime || ++ctis_since_broadcast_ >= period) {
+      ctis_since_broadcast_ = 0;
+      for (auto& [key, group] : groups_) {
+        if (group.sink->delivered_cti < t) {
+          group.sink->delivered_cti = t;
+          group.instance->input()->OnCti(t);
+        }
+      }
+    }
+    Release();
+  }
+
+  size_t num_groups() const { return groups_.size(); }
+
+ private:
+  struct Buffered {
+    Event event;
+    uint64_t seq;
+    bool operator>(const Buffered& other) const {
+      if (event.le != other.event.le) return event.le > other.event.le;
+      return seq > other.seq;
+    }
+  };
+
+  // Captures one instance's sub-plan output. For real groups: prepends the
+  // key, buffers events, and tracks the instance's output CTI in the parent's
+  // watermark multiset. For the prototype: tracks the lower bound for
+  // yet-to-be-created groups.
+  struct InstanceSink : public EventSink {
+    InstanceSink(GroupApplyOp* op_in, Row key_in, bool proto_in)
+        : op(op_in), key(std::move(key_in)), proto(proto_in) {}
+
+    void OnEvent(Event event) override {
+      TIMR_DCHECK(!proto) << "prototype sub-plan instance produced an event";
+      Row out = key;
+      out.insert(out.end(), event.payload.begin(), event.payload.end());
+      event.payload = std::move(out);
+      op->buffer_.push(Buffered{std::move(event), op->next_seq_++});
+    }
+
+    void OnCti(Timestamp t) override {
+      if (proto) {
+        op->proto_out_cti_ = t;
+        return;
+      }
+      if (t <= out_cti) return;
+      auto it = op->ctis_.find(out_cti);
+      TIMR_DCHECK(it != op->ctis_.end());
+      op->ctis_.erase(it);
+      out_cti = t;
+      op->ctis_.insert(out_cti);
+    }
+
+    GroupApplyOp* op;
+    Row key;
+    bool proto;
+    Timestamp delivered_cti = kMinTime;  // last input CTI pushed to instance
+    Timestamp out_cti = kMinTime;        // instance's last output CTI
+  };
+
+  void Release() {
+    Timestamp watermark = proto_out_cti_;
+    if (!ctis_.empty()) watermark = std::min(watermark, *ctis_.begin());
+    while (!buffer_.empty() && buffer_.top().event.le < watermark) {
+      Emit(buffer_.top().event);
+      buffer_.pop();
+    }
+    EmitCti(watermark);
+  }
+
+  std::vector<int> key_indices_;
+  SubPlanFactory factory_;
+
+  struct Group {
+    std::unique_ptr<SubPlanNetwork> instance;
+    std::unique_ptr<InstanceSink> sink;
+  };
+  struct RowHasher {
+    size_t operator()(const Row& r) const { return HashRow(r); }
+  };
+  std::unordered_map<Row, Group, RowHasher> groups_;
+
+  std::unique_ptr<InstanceSink> prototype_sink_;
+  std::unique_ptr<SubPlanNetwork> prototype_;
+
+  std::priority_queue<Buffered, std::vector<Buffered>, std::greater<>> buffer_;
+  uint64_t next_seq_ = 0;
+  Timestamp pending_cti_ = kMinTime;
+  Timestamp proto_out_cti_ = kMinTime;
+  std::multiset<Timestamp> ctis_;  // live instances' output CTIs
+  size_t ctis_since_broadcast_ = 0;
+};
+
+}  // namespace timr::temporal

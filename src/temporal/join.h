@@ -1,0 +1,176 @@
+// TemporalJoin, AntiSemiJoin, and Union. Paper §II-A.2.
+
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "temporal/operator.h"
+
+namespace timr::temporal {
+
+using JoinPredicate = std::function<bool(const Row& left, const Row& right)>;
+using JoinProjectFn = std::function<Row(const Row& left, const Row& right)>;
+
+namespace internal {
+
+struct RowHash {
+  size_t operator()(const Row& r) const { return HashRow(r); }
+};
+
+/// Per-side join synopsis: active events grouped by equality key.
+class Synopsis {
+ public:
+  explicit Synopsis(std::vector<int> key_indices)
+      : key_indices_(std::move(key_indices)) {}
+
+  void Insert(const Event& event) {
+    map_[ExtractKey(event.payload, key_indices_)].push_back(event);
+    ++size_;
+  }
+
+  /// Events whose key matches `key` (lifetime filtering is the caller's job).
+  const std::vector<Event>* Find(const Row& key) const {
+    auto it = map_.find(key);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  Row KeyOf(const Row& payload) const { return ExtractKey(payload, key_indices_); }
+
+  /// Drop events that can no longer intersect any future arrival (re <=
+  /// watermark, since future events have LE >= watermark).
+  void Purge(Timestamp watermark) {
+    for (auto it = map_.begin(); it != map_.end();) {
+      auto& vec = it->second;
+      size_t kept = 0;
+      for (size_t i = 0; i < vec.size(); ++i) {
+        if (vec[i].re <= watermark) continue;
+        if (kept != i) vec[kept] = std::move(vec[i]);
+        ++kept;
+      }
+      size_ -= vec.size() - kept;
+      vec.resize(kept);
+      if (vec.empty()) {
+        it = map_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  size_t size() const { return size_; }
+
+ private:
+  std::vector<int> key_indices_;
+  std::unordered_map<Row, std::vector<Event>, RowHash> map_;
+  size_t size_ = 0;
+};
+
+}  // namespace internal
+
+/// \brief Symmetric hash join on equality keys. Output lifetime is the
+/// intersection of the joining lifetimes; an optional residual predicate and
+/// projection shape the result (default: left payload ++ right payload).
+///
+/// Because inputs are consumed in merged LE order, the later-arriving event of
+/// a matching pair determines the output LE (the intersection starts at
+/// max(le_l, le_r)), so output order is preserved for free.
+class TemporalJoinOp : public BinaryOperator {
+ public:
+  TemporalJoinOp(std::vector<int> left_keys, std::vector<int> right_keys,
+                 JoinPredicate pred = nullptr, JoinProjectFn project = nullptr)
+      : left_(std::move(left_keys)),
+        right_(std::move(right_keys)),
+        pred_(std::move(pred)),
+        project_(std::move(project)) {}
+
+ protected:
+  void ProcessMerged(int side, Event event) override {
+    internal::Synopsis& own = side == 0 ? left_ : right_;
+    const internal::Synopsis& other = side == 0 ? right_ : left_;
+    const Row key = own.KeyOf(event.payload);
+    if (const auto* matches = other.Find(key)) {
+      // Collect first: matches may alias storage we append to below.
+      std::vector<Event> out;
+      for (const Event& m : *matches) {
+        const Timestamp ile = std::max(event.le, m.le);
+        const Timestamp ire = std::min(event.re, m.re);
+        if (ile >= ire) continue;
+        const Row& lrow = side == 0 ? event.payload : m.payload;
+        const Row& rrow = side == 0 ? m.payload : event.payload;
+        if (pred_ && !pred_(lrow, rrow)) continue;
+        out.push_back(Event(ile, ire, MakeOutput(lrow, rrow)));
+      }
+      for (auto& e : out) Emit(std::move(e));
+    }
+    own.Insert(event);
+  }
+
+  void ProcessWatermark(Timestamp t) override {
+    left_.Purge(t);
+    right_.Purge(t);
+    EmitCti(t);
+  }
+
+ private:
+  Row MakeOutput(const Row& l, const Row& r) const {
+    if (project_) return project_(l, r);
+    Row out = l;
+    out.insert(out.end(), r.begin(), r.end());
+    return out;
+  }
+
+  internal::Synopsis left_;
+  internal::Synopsis right_;
+  JoinPredicate pred_;
+  JoinProjectFn project_;
+};
+
+/// \brief Emits each left *point* event that intersects no matching right
+/// event (paper: "eliminate point events from the left input that do
+/// intersect some matching event in the right synopsis").
+///
+/// Correctness relies on the BinaryOperator merge discipline: a left point at
+/// t is only processed once every right event with LE <= t has been inserted,
+/// and right events with LE > t cannot contain t.
+class AntiSemiJoinOp : public BinaryOperator {
+ public:
+  AntiSemiJoinOp(std::vector<int> left_keys, std::vector<int> right_keys)
+      : left_keys_(std::move(left_keys)), right_(std::move(right_keys)) {}
+
+ protected:
+  void ProcessMerged(int side, Event event) override {
+    if (side == 1) {
+      right_.Insert(event);
+      return;
+    }
+    TIMR_DCHECK(event.IsPoint()) << "AntiSemiJoin left input must be point events";
+    const Row key = ExtractKey(event.payload, left_keys_);
+    if (const auto* matches = right_.Find(key)) {
+      for (const Event& m : *matches) {
+        if (m.Contains(event.le)) return;  // suppressed
+      }
+    }
+    Emit(std::move(event));
+  }
+
+  void ProcessWatermark(Timestamp t) override {
+    right_.Purge(t);
+    EmitCti(t);
+  }
+
+ private:
+  std::vector<int> left_keys_;
+  internal::Synopsis right_;
+};
+
+/// \brief Merges two streams with identical schemas into one (paper §II-A.2).
+class UnionOp : public BinaryOperator {
+ protected:
+  void ProcessMerged(int /*side*/, Event event) override { Emit(std::move(event)); }
+  void ProcessWatermark(Timestamp t) override { EmitCti(t); }
+};
+
+}  // namespace timr::temporal

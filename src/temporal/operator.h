@@ -1,0 +1,212 @@
+// Operator framework for the temporal engine.
+//
+// A stream is delivered to an operator as a sequence of events in
+// non-decreasing LE order, interleaved with CTI (current-time-increment)
+// punctuations. CTI(t) promises that no later event on that input will carry
+// LE < t; operators use it to finalize snapshots, purge join synopses, and
+// fire window boundaries. Every operator in turn emits its own output events
+// in non-decreasing LE order with its own CTIs, so the invariant composes
+// through arbitrary plans. This is the published StreamInsight/CEDR execution
+// discipline the paper builds on.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/logging.h"
+#include "temporal/event.h"
+
+namespace timr::temporal {
+
+/// \brief Consumer of one punctuated event stream.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void OnEvent(Event event) = 0;
+  virtual void OnCti(Timestamp t) = 0;
+};
+
+/// \brief Base for engine operators: owns downstream wiring and enforces the
+/// ordered-emission invariant.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// Sink to feed for input port `i` (0 for unary operators).
+  virtual EventSink* InputPort(int i) = 0;
+  virtual int num_inputs() const = 0;
+
+  void AddOutput(EventSink* sink) { outputs_.push_back(sink); }
+
+  /// Number of events this operator has emitted; used by throughput benches.
+  uint64_t events_emitted() const { return events_emitted_; }
+  uint64_t events_consumed() const { return events_consumed_; }
+
+ protected:
+  void Emit(Event event) {
+    TIMR_DCHECK(event.le >= emitted_cti_)
+        << "operator emitted event at " << event.le
+        << " after promising CTI " << emitted_cti_;
+    TIMR_DCHECK(event.le >= last_emitted_le_) << "out-of-order emission";
+    last_emitted_le_ = event.le;
+    ++events_emitted_;
+    for (EventSink* out : outputs_) out->OnEvent(event);
+  }
+
+  void EmitCti(Timestamp t) {
+    if (t <= emitted_cti_) return;  // CTIs must advance; drop stale ones
+    emitted_cti_ = t;
+    for (EventSink* out : outputs_) out->OnCti(t);
+  }
+
+  void CountConsumed() { ++events_consumed_; }
+
+  Timestamp emitted_cti() const { return emitted_cti_; }
+
+ private:
+  std::vector<EventSink*> outputs_;
+  Timestamp emitted_cti_ = kMinTime;
+  Timestamp last_emitted_le_ = kMinTime;
+  uint64_t events_emitted_ = 0;
+  uint64_t events_consumed_ = 0;
+};
+
+/// \brief Base for single-input operators: the operator is its own input port.
+class UnaryOperator : public Operator, public EventSink {
+ public:
+  EventSink* InputPort(int i) override {
+    TIMR_DCHECK(i == 0);
+    return this;
+  }
+  int num_inputs() const override { return 1; }
+};
+
+/// \brief Merges two punctuated inputs into one globally LE-ordered sequence.
+///
+/// A buffered event from one side is released only once the other side can no
+/// longer produce an event with LE <= it (its CTI has passed, or its next
+/// buffered event is later). On LE ties the *right* input (index 1) drains
+/// first — AntiSemiJoin correctness requires right-side insertions at time t
+/// to precede the left-side containment decision at t.
+class BinaryOperator : public Operator {
+ public:
+  BinaryOperator() : ports_{Port(this, 0), Port(this, 1)} {}
+
+  EventSink* InputPort(int i) override {
+    TIMR_DCHECK(i == 0 || i == 1);
+    return &ports_[i];
+  }
+  int num_inputs() const override { return 2; }
+
+ protected:
+  /// Called with events in merged LE order (ties: side 1 first).
+  virtual void ProcessMerged(int side, Event event) = 0;
+
+  /// Called when the merged watermark advances: no future ProcessMerged call
+  /// will carry an event with LE < t.
+  virtual void ProcessWatermark(Timestamp t) = 0;
+
+ private:
+  struct Port : public EventSink {
+    Port(BinaryOperator* op_in, int side_in) : op(op_in), side(side_in) {}
+    void OnEvent(Event event) override {
+      TIMR_DCHECK(event.le >= last_le) << "input not LE-ordered";
+      TIMR_DCHECK(event.le >= cti) << "input event violates its CTI";
+      last_le = event.le;
+      op->CountConsumed();
+      buffer.push_back(std::move(event));
+      op->Drain();
+    }
+    void OnCti(Timestamp t) override {
+      if (t <= cti) return;
+      cti = t;
+      op->Drain();
+    }
+    BinaryOperator* op;
+    int side;
+    std::deque<Event> buffer;
+    Timestamp cti = kMinTime;
+    Timestamp last_le = kMinTime;
+  };
+
+  // Lower bound on the LE of any event side `i` may still deliver.
+  Timestamp Frontier(int i) const {
+    const Port& p = ports_[i];
+    return p.buffer.empty() ? p.cti : p.buffer.front().le;
+  }
+
+  void Drain() {
+    if (draining_) return;  // Drain is not re-entrant
+    draining_ = true;
+    while (true) {
+      int pick = -1;
+      // Prefer side 1 on ties (see class comment).
+      for (int side : {1, 0}) {
+        Port& p = ports_[side];
+        if (p.buffer.empty()) continue;
+        if (pick == -1 || p.buffer.front().le < ports_[pick].buffer.front().le) {
+          pick = side;
+        }
+      }
+      if (pick == -1) break;
+      const Timestamp le = ports_[pick].buffer.front().le;
+      const int other = 1 - pick;
+      // The other side may still produce an event with LE <= le: wait.
+      if (ports_[other].buffer.empty() && ports_[other].cti <= le) break;
+      Event ev = std::move(ports_[pick].buffer.front());
+      ports_[pick].buffer.pop_front();
+      ProcessMerged(pick, std::move(ev));
+    }
+    const Timestamp watermark = std::min(Frontier(0), Frontier(1));
+    if (watermark > watermark_) {
+      watermark_ = watermark;
+      ProcessWatermark(watermark);
+    }
+    draining_ = false;
+  }
+
+  Port ports_[2];
+  Timestamp watermark_ = kMinTime;
+  bool draining_ = false;
+};
+
+/// \brief Terminal sink that appends events to a vector (used by executors and
+/// tests to collect plan output).
+class CollectorSink : public EventSink {
+ public:
+  void OnEvent(Event event) override { events_.push_back(std::move(event)); }
+  void OnCti(Timestamp t) override { last_cti_ = t; }
+
+  const std::vector<Event>& events() const { return events_; }
+  std::vector<Event> TakeEvents() { return std::move(events_); }
+  Timestamp last_cti() const { return last_cti_; }
+
+ private:
+  std::vector<Event> events_;
+  Timestamp last_cti_ = kMinTime;
+};
+
+/// \brief Sink that forwards to a user callback (used for live/push mode).
+class CallbackSink : public EventSink {
+ public:
+  using EventFn = std::function<void(const Event&)>;
+  using CtiFn = std::function<void(Timestamp)>;
+
+  explicit CallbackSink(EventFn on_event, CtiFn on_cti = nullptr)
+      : on_event_(std::move(on_event)), on_cti_(std::move(on_cti)) {}
+
+  void OnEvent(Event event) override { on_event_(event); }
+  void OnCti(Timestamp t) override {
+    if (on_cti_) on_cti_(t);
+  }
+
+ private:
+  EventFn on_event_;
+  CtiFn on_cti_;
+};
+
+}  // namespace timr::temporal

@@ -1,0 +1,216 @@
+#include "temporal/plan.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace timr::temporal {
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kInput: return "Input";
+    case OpKind::kSubplanInput: return "SubplanInput";
+    case OpKind::kSelect: return "Select";
+    case OpKind::kProject: return "Project";
+    case OpKind::kAlterLifetime: return "AlterLifetime";
+    case OpKind::kAggregate: return "Aggregate";
+    case OpKind::kGroupApply: return "GroupApply";
+    case OpKind::kUnion: return "Union";
+    case OpKind::kTemporalJoin: return "TemporalJoin";
+    case OpKind::kAntiSemiJoin: return "AntiSemiJoin";
+    case OpKind::kUdo: return "Udo";
+    case OpKind::kExchange: return "Exchange";
+  }
+  return "?";
+}
+
+std::string PartitionSpec::ToString() const {
+  if (kind == Kind::kTemporal) {
+    return "TIME(span=" + std::to_string(span_width) +
+           ",overlap=" + std::to_string(overlap) + ")";
+  }
+  std::string out = "{";
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (i > 0) out += ",";
+    out += keys[i];
+  }
+  return out + "}";
+}
+
+Result<Schema> PlanNode::OutputSchema() const {
+  if (!cached_schema_.has_value()) cached_schema_ = ComputeSchema();
+  return *cached_schema_;
+}
+
+Result<Schema> PlanNode::ComputeSchema() const {
+  switch (kind) {
+    case OpKind::kInput:
+    case OpKind::kSubplanInput:
+      return input_schema;
+    case OpKind::kSelect:
+    case OpKind::kExchange:
+      return children[0]->OutputSchema();
+    case OpKind::kAlterLifetime:
+      return children[0]->OutputSchema();
+    case OpKind::kProject:
+      return project_schema;
+    case OpKind::kAggregate: {
+      ValueType out_type = ValueType::kDouble;
+      if (agg.kind == AggKind::kCount) out_type = ValueType::kInt64;
+      return Schema({{agg.output_name, out_type}});
+    }
+    case OpKind::kGroupApply: {
+      TIMR_ASSIGN_OR_RETURN(Schema in, children[0]->OutputSchema());
+      TIMR_ASSIGN_OR_RETURN(std::vector<int> key_idx, in.IndicesOf(group_keys));
+      TIMR_ASSIGN_OR_RETURN(Schema sub, subplan->OutputSchema());
+      return in.Select(key_idx).Concat(sub);
+    }
+    case OpKind::kUnion: {
+      TIMR_ASSIGN_OR_RETURN(Schema a, children[0]->OutputSchema());
+      TIMR_ASSIGN_OR_RETURN(Schema b, children[1]->OutputSchema());
+      if (a != b) {
+        return Status::Invalid("Union inputs have different schemas: " +
+                               a.ToString() + " vs " + b.ToString());
+      }
+      return a;
+    }
+    case OpKind::kTemporalJoin: {
+      TIMR_ASSIGN_OR_RETURN(Schema a, children[0]->OutputSchema());
+      TIMR_ASSIGN_OR_RETURN(Schema b, children[1]->OutputSchema());
+      TIMR_RETURN_NOT_OK(a.IndicesOf(left_keys).status());
+      TIMR_RETURN_NOT_OK(b.IndicesOf(right_keys).status());
+      if (join_project) return join_schema;
+      return a.Concat(b);
+    }
+    case OpKind::kAntiSemiJoin: {
+      TIMR_ASSIGN_OR_RETURN(Schema a, children[0]->OutputSchema());
+      TIMR_ASSIGN_OR_RETURN(Schema b, children[1]->OutputSchema());
+      TIMR_RETURN_NOT_OK(a.IndicesOf(left_keys).status());
+      TIMR_RETURN_NOT_OK(b.IndicesOf(right_keys).status());
+      return a;
+    }
+    case OpKind::kUdo:
+      return udo_schema;
+  }
+  return Status::Invalid("unknown plan node kind");
+}
+
+namespace {
+
+void CollectNodesImpl(const PlanNodePtr& node,
+                      std::unordered_set<const PlanNode*>* seen,
+                      std::vector<PlanNode*>* out, bool enter_subplans) {
+  if (!node || seen->count(node.get())) return;
+  seen->insert(node.get());
+  out->push_back(node.get());
+  for (const auto& c : node->children) {
+    CollectNodesImpl(c, seen, out, enter_subplans);
+  }
+  if (enter_subplans && node->subplan) {
+    CollectNodesImpl(node->subplan, seen, out, enter_subplans);
+  }
+}
+
+}  // namespace
+
+std::vector<PlanNode*> CollectNodes(const PlanNodePtr& root) {
+  std::unordered_set<const PlanNode*> seen;
+  std::vector<PlanNode*> out;
+  CollectNodesImpl(root, &seen, &out, /*enter_subplans=*/true);
+  return out;
+}
+
+std::vector<PlanNode*> CollectInputs(const PlanNodePtr& root) {
+  std::vector<PlanNode*> inputs;
+  for (PlanNode* n : CollectNodes(root)) {
+    if (n->kind == OpKind::kInput) inputs.push_back(n);
+  }
+  return inputs;
+}
+
+namespace {
+
+PlanNodePtr CloneImpl(const PlanNodePtr& node,
+                      std::unordered_map<const PlanNode*, PlanNodePtr>* memo) {
+  if (!node) return nullptr;
+  auto it = memo->find(node.get());
+  if (it != memo->end()) return it->second;
+  auto copy = std::make_shared<PlanNode>(*node);
+  (*memo)[node.get()] = copy;
+  for (auto& c : copy->children) c = CloneImpl(c, memo);
+  copy->subplan = CloneImpl(node->subplan, memo);
+  return copy;
+}
+
+}  // namespace
+
+PlanNodePtr ClonePlan(const PlanNodePtr& root) {
+  std::unordered_map<const PlanNode*, PlanNodePtr> memo;
+  return CloneImpl(root, &memo);
+}
+
+Timestamp PlanNode::MaxWindow() const {
+  Timestamp w = kTick;
+  std::unordered_set<const PlanNode*> seen;
+  std::vector<const PlanNode*> stack = {this};
+  while (!stack.empty()) {
+    const PlanNode* n = stack.back();
+    stack.pop_back();
+    if (seen.count(n)) continue;
+    seen.insert(n);
+    if (n->kind == OpKind::kAlterLifetime) {
+      w = std::max(w, n->alter.MaxWindow());
+    }
+    if (n->kind == OpKind::kUdo) w = std::max(w, n->udo_window + n->udo_hop);
+    for (const auto& c : n->children) stack.push_back(c.get());
+    if (n->subplan) stack.push_back(n->subplan.get());
+  }
+  return w;
+}
+
+namespace {
+
+void RenderNode(const PlanNode* node, int indent, std::ostringstream* os) {
+  for (int i = 0; i < indent; ++i) *os << "  ";
+  *os << OpKindName(node->kind);
+  switch (node->kind) {
+    case OpKind::kInput:
+      *os << "(" << node->name << ")";
+      break;
+    case OpKind::kGroupApply: {
+      *os << "(";
+      for (size_t i = 0; i < node->group_keys.size(); ++i) {
+        if (i > 0) *os << ",";
+        *os << node->group_keys[i];
+      }
+      *os << ")";
+      break;
+    }
+    case OpKind::kExchange:
+      *os << " " << node->exchange.ToString();
+      break;
+    case OpKind::kAggregate:
+      *os << "(" << node->agg.output_name << ")";
+      break;
+    default:
+      break;
+  }
+  *os << "\n";
+  for (const auto& c : node->children) RenderNode(c.get(), indent + 1, os);
+  if (node->subplan) {
+    for (int i = 0; i < indent + 1; ++i) *os << "  ";
+    *os << "[per-group sub-plan]\n";
+    RenderNode(node->subplan.get(), indent + 2, os);
+  }
+}
+
+}  // namespace
+
+std::string PlanNode::ToString() const {
+  std::ostringstream os;
+  RenderNode(this, 0, &os);
+  return os.str();
+}
+
+}  // namespace timr::temporal

@@ -1,0 +1,135 @@
+// Logical continuous-query plans: a DAG of temporal operators (paper Figures
+// 2-4, 6-8). A plan is the unit TiMR compiles: it gets annotated with exchange
+// operators, cut into fragments, and executed either single-node (embedded
+// DSMS) or as map-reduce stages.
+
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/row.h"
+#include "common/status.h"
+#include "temporal/aggregate.h"
+#include "temporal/join.h"
+#include "temporal/stateless_ops.h"
+#include "temporal/udo.h"
+
+namespace timr::temporal {
+
+enum class OpKind {
+  kInput,         // named external source
+  kSubplanInput,  // the per-group substream inside a GroupApply
+  kSelect,
+  kProject,
+  kAlterLifetime,
+  kAggregate,
+  kGroupApply,
+  kUnion,
+  kTemporalJoin,
+  kAntiSemiJoin,
+  kUdo,
+  kExchange,  // logical repartitioning marker inserted by TiMR annotation
+};
+
+const char* OpKindName(OpKind kind);
+
+/// \brief How an exchange operator repartitions its stream (paper §III-A step
+/// 2 and §III-B).
+struct PartitionSpec {
+  enum class Kind {
+    kKeys,      // hash of a column subset
+    kTemporal,  // overlapping time spans (paper §III-B)
+  };
+
+  Kind kind = Kind::kKeys;
+  std::vector<std::string> keys;  // kKeys
+  Timestamp span_width = 0;       // kTemporal: s
+  Timestamp overlap = 0;          // kTemporal: w (max window across inputs)
+
+  static PartitionSpec ByKeys(std::vector<std::string> keys) {
+    PartitionSpec spec;
+    spec.kind = Kind::kKeys;
+    spec.keys = std::move(keys);
+    return spec;
+  }
+  static PartitionSpec ByTime(Timestamp span_width, Timestamp overlap) {
+    PartitionSpec spec;
+    spec.kind = Kind::kTemporal;
+    spec.span_width = span_width;
+    spec.overlap = overlap;
+    return spec;
+  }
+
+  std::string ToString() const;
+};
+
+struct PlanNode;
+using PlanNodePtr = std::shared_ptr<PlanNode>;
+
+/// \brief One logical operator. A node shared by several parents acts as a
+/// Multicast (paper §II-A.2); the executor instantiates it once.
+struct PlanNode {
+  OpKind kind;
+  std::vector<PlanNodePtr> children;
+
+  /// kInput: source name. Other kinds: optional debug label.
+  std::string name;
+
+  Schema input_schema;  // kInput / kSubplanInput
+
+  Predicate pred;  // kSelect
+
+  ProjectFn project_fn;   // kProject
+  Schema project_schema;  // kProject
+
+  AlterLifetimeSpec alter;  // kAlterLifetime
+
+  AggregateSpec agg;  // kAggregate
+
+  std::vector<std::string> group_keys;  // kGroupApply
+  PlanNodePtr subplan;                  // kGroupApply (rooted at kSubplanInput)
+
+  std::vector<std::string> left_keys;   // kTemporalJoin / kAntiSemiJoin
+  std::vector<std::string> right_keys;  // kTemporalJoin / kAntiSemiJoin
+  JoinPredicate join_pred;              // kTemporalJoin (optional residual)
+  JoinProjectFn join_project;           // kTemporalJoin (optional)
+  Schema join_schema;                   // kTemporalJoin (with join_project)
+
+  Timestamp udo_window = 0;  // kUdo
+  Timestamp udo_hop = 0;     // kUdo
+  UdoFn udo_fn;              // kUdo
+  Schema udo_schema;         // kUdo
+
+  PartitionSpec exchange;  // kExchange
+
+  /// Output schema, derived from children; computed once and cached.
+  Result<Schema> OutputSchema() const;
+
+  /// Multi-line plan rendering for debugging and the docs.
+  std::string ToString() const;
+
+  /// Largest window any AlterLifetime / UDO in this plan (excluding nested
+  /// group sub-plans' inputs — they see the same events) applies; TiMR uses it
+  /// as the temporal-partitioning overlap (paper §III-B).
+  Timestamp MaxWindow() const;
+
+ private:
+  mutable std::optional<Result<Schema>> cached_schema_;
+  Result<Schema> ComputeSchema() const;
+};
+
+/// Deep-copies the DAG structure (operators/params are shared where immutable;
+/// node objects are fresh so annotations can be edited without aliasing).
+/// Shared sub-DAGs stay shared in the copy.
+PlanNodePtr ClonePlan(const PlanNodePtr& root);
+
+/// All distinct nodes reachable from root (pre-order, each once).
+std::vector<PlanNode*> CollectNodes(const PlanNodePtr& root);
+
+/// All kInput nodes reachable from root (including inside group sub-plans).
+std::vector<PlanNode*> CollectInputs(const PlanNodePtr& root);
+
+}  // namespace timr::temporal

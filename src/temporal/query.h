@@ -1,0 +1,214 @@
+// Fluent builder for temporal continuous queries — the reproduction's
+// LINQ/StreamSQL-analogue programming surface (paper §III-A step 1).
+//
+// Example (the paper's RunningClickCount):
+//
+//   Query clicks = Query::Input("BtLog", kUnifiedSchema)
+//                      .Where(Eq("StreamId", 1));
+//   Query counts = clicks.GroupApply({"AdId"}, [](Query g) {
+//     return g.Window(6 * kHour).Count("ClickCount");
+//   });
+//
+// Schema errors in builder calls are programmer errors, not data errors, so
+// they fail fast with TIMR_CHECK rather than returning Status.
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "temporal/plan.h"
+
+namespace timr::temporal {
+
+class Query {
+ public:
+  explicit Query(PlanNodePtr node) : node_(std::move(node)) {}
+
+  /// A named external source with the given schema. The Time column is engine
+  /// metadata (it becomes the event LE) and is *not* part of the payload
+  /// schema passed here.
+  static Query Input(std::string name, Schema schema) {
+    auto n = std::make_shared<PlanNode>();
+    n->kind = OpKind::kInput;
+    n->name = std::move(name);
+    n->input_schema = std::move(schema);
+    return Query(std::move(n));
+  }
+
+  const PlanNodePtr& node() const { return node_; }
+
+  Schema schema() const {
+    auto s = node_->OutputSchema();
+    TIMR_CHECK(s.ok()) << s.status().ToString();
+    return s.ValueOrDie();
+  }
+
+  /// Filter on a payload predicate.
+  Query Where(Predicate pred) const {
+    auto n = Child(OpKind::kSelect);
+    n->pred = std::move(pred);
+    return Query(std::move(n));
+  }
+
+  /// Filter column == value (the common case; keeps the intent introspectable
+  /// in examples).
+  Query WhereEq(const std::string& column, Value value) const {
+    const int idx = Index(column);
+    return Where([idx, value = std::move(value)](const Row& r) {
+      return r[idx] == value;
+    });
+  }
+
+  /// Stateless payload transformation.
+  Query Project(ProjectFn fn, Schema out_schema) const {
+    auto n = Child(OpKind::kProject);
+    n->project_fn = std::move(fn);
+    n->project_schema = std::move(out_schema);
+    return Query(std::move(n));
+  }
+
+  /// Keep only the named columns, in order.
+  Query SelectColumns(const std::vector<std::string>& columns) const {
+    Schema in = schema();
+    auto idx_res = in.IndicesOf(columns);
+    TIMR_CHECK(idx_res.ok()) << idx_res.status().ToString();
+    std::vector<int> idx = idx_res.ValueOrDie();
+    return Project(
+        [idx](const Row& r) { return ExtractKey(r, idx); }, in.Select(idx));
+  }
+
+  Query AlterLifetime(AlterLifetimeSpec spec) const {
+    auto n = Child(OpKind::kAlterLifetime);
+    n->alter = spec;
+    return Query(std::move(n));
+  }
+
+  /// Sliding window: event influences output for `w` time units.
+  Query Window(Timestamp w) const {
+    return AlterLifetime(AlterLifetimeSpec::Window(w));
+  }
+
+  /// Hopping window: results refresh every `hop`, over the last `w` units.
+  Query HoppingWindow(Timestamp w, Timestamp hop) const {
+    return AlterLifetime(AlterLifetimeSpec::HoppingWindow(w, hop));
+  }
+
+  Query ShiftLifetime(Timestamp shift) const {
+    return AlterLifetime(AlterLifetimeSpec::Shift(shift));
+  }
+
+  Query ToPointEvents() const {
+    return AlterLifetime(AlterLifetimeSpec::ToPoint());
+  }
+
+  Query Aggregate(AggregateSpec spec) const {
+    auto n = Child(OpKind::kAggregate);
+    if (spec.kind != AggKind::kCount) Index(spec.value_column);  // validate
+    n->agg = std::move(spec);
+    return Query(std::move(n));
+  }
+
+  Query Count(std::string output_name = "count") const {
+    return Aggregate(AggregateSpec::Count(std::move(output_name)));
+  }
+  Query Sum(const std::string& col, std::string output_name = "sum") const {
+    return Aggregate(AggregateSpec::Sum(col, std::move(output_name)));
+  }
+
+  /// Apply `body` to each sub-stream of the grouping key; output rows are
+  /// key columns followed by the sub-plan's output columns.
+  Query GroupApply(std::vector<std::string> keys,
+                   const std::function<Query(Query)>& body) const {
+    auto n = Child(OpKind::kGroupApply);
+    n->group_keys = keys;
+    auto sub_in = std::make_shared<PlanNode>();
+    sub_in->kind = OpKind::kSubplanInput;
+    sub_in->input_schema = schema();
+    n->subplan = body(Query(sub_in)).node();
+    auto check = n->OutputSchema();
+    TIMR_CHECK(check.ok()) << check.status().ToString();
+    return Query(std::move(n));
+  }
+
+  static Query Union(const Query& a, const Query& b) {
+    auto n = std::make_shared<PlanNode>();
+    n->kind = OpKind::kUnion;
+    n->children = {a.node_, b.node_};
+    auto check = n->OutputSchema();
+    TIMR_CHECK(check.ok()) << check.status().ToString();
+    return Query(std::move(n));
+  }
+
+  static Query TemporalJoin(const Query& left, const Query& right,
+                            std::vector<std::string> left_keys,
+                            std::vector<std::string> right_keys,
+                            JoinPredicate pred = nullptr,
+                            JoinProjectFn project = nullptr,
+                            Schema project_schema = Schema()) {
+    auto n = std::make_shared<PlanNode>();
+    n->kind = OpKind::kTemporalJoin;
+    n->children = {left.node_, right.node_};
+    n->left_keys = std::move(left_keys);
+    n->right_keys = std::move(right_keys);
+    n->join_pred = std::move(pred);
+    n->join_project = std::move(project);
+    n->join_schema = std::move(project_schema);
+    auto check = n->OutputSchema();
+    TIMR_CHECK(check.ok()) << check.status().ToString();
+    return Query(std::move(n));
+  }
+
+  static Query AntiSemiJoin(const Query& left, const Query& right,
+                            std::vector<std::string> left_keys,
+                            std::vector<std::string> right_keys) {
+    auto n = std::make_shared<PlanNode>();
+    n->kind = OpKind::kAntiSemiJoin;
+    n->children = {left.node_, right.node_};
+    n->left_keys = std::move(left_keys);
+    n->right_keys = std::move(right_keys);
+    auto check = n->OutputSchema();
+    TIMR_CHECK(check.ok()) << check.status().ToString();
+    return Query(std::move(n));
+  }
+
+  /// Hopping-window user-defined operator (paper §II-A.2).
+  Query Udo(Timestamp window, Timestamp hop, UdoFn fn, Schema out_schema) const {
+    auto n = Child(OpKind::kUdo);
+    n->udo_window = window;
+    n->udo_hop = hop;
+    n->udo_fn = std::move(fn);
+    n->udo_schema = std::move(out_schema);
+    return Query(std::move(n));
+  }
+
+  /// Explicit annotation hint: repartition here (paper §III-A step 2 allows
+  /// query-writer hints; the optimizer in timr/optimizer.h derives these
+  /// automatically).
+  Query Exchange(PartitionSpec spec) const {
+    auto n = Child(OpKind::kExchange);
+    n->exchange = std::move(spec);
+    return Query(std::move(n));
+  }
+
+  /// Resolved index of `column` in this query's output schema.
+  int Index(const std::string& column) const {
+    auto idx = schema().IndexOf(column);
+    TIMR_CHECK(idx.ok()) << idx.status().ToString();
+    return idx.ValueOrDie();
+  }
+
+ private:
+  PlanNodePtr Child(OpKind kind) const {
+    auto n = std::make_shared<PlanNode>();
+    n->kind = kind;
+    n->children = {node_};
+    return n;
+  }
+
+  PlanNodePtr node_;
+};
+
+}  // namespace timr::temporal

@@ -1,0 +1,175 @@
+// Stateless operators: Select (filter), Project, AlterLifetime (windowing),
+// and Passthrough (the wiring form of Multicast). Paper §II-A.2.
+
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "temporal/operator.h"
+
+namespace timr::temporal {
+
+using Predicate = std::function<bool(const Row&)>;
+using ProjectFn = std::function<Row(const Row&)>;
+
+/// \brief Filters events by a predicate over the payload.
+class SelectOp : public UnaryOperator {
+ public:
+  explicit SelectOp(Predicate pred) : pred_(std::move(pred)) {}
+
+  void OnEvent(Event event) override {
+    CountConsumed();
+    if (pred_(event.payload)) Emit(std::move(event));
+  }
+  void OnCti(Timestamp t) override { EmitCti(t); }
+
+ private:
+  Predicate pred_;
+};
+
+/// \brief Stateless payload transformation (schema change).
+class ProjectOp : public UnaryOperator {
+ public:
+  explicit ProjectOp(ProjectFn fn) : fn_(std::move(fn)) {}
+
+  void OnEvent(Event event) override {
+    CountConsumed();
+    event.payload = fn_(event.payload);
+    Emit(std::move(event));
+  }
+  void OnCti(Timestamp t) override { EmitCti(t); }
+
+ private:
+  ProjectFn fn_;
+};
+
+/// \brief How AlterLifetime rewrites event lifetimes.
+struct AlterLifetimeSpec {
+  enum class Mode {
+    kShift,          // le += shift; re += shift
+    kWindow,         // re = le + window (sliding window of width `window`)
+    kHop,            // snap to hop grid: visible at every boundary b (multiple
+                     // of `hop`) with original timestamp in (b - window, b]
+    kPoint,          // re = le + kTick
+    kShiftAndWindow  // le += shift; re = le + window
+  };
+
+  Mode mode = Mode::kWindow;
+  Timestamp shift = 0;
+  Timestamp window = 0;
+  Timestamp hop = 0;
+
+  static AlterLifetimeSpec Shift(Timestamp s) {
+    return {Mode::kShift, s, 0, 0};
+  }
+  static AlterLifetimeSpec Window(Timestamp w) {
+    return {Mode::kWindow, 0, w, 0};
+  }
+  static AlterLifetimeSpec HoppingWindow(Timestamp w, Timestamp h) {
+    return {Mode::kHop, 0, w, h};
+  }
+  static AlterLifetimeSpec ToPoint() { return {Mode::kPoint, 0, 0, 0}; }
+  static AlterLifetimeSpec ShiftAndWindow(Timestamp s, Timestamp w) {
+    return {Mode::kShiftAndWindow, s, w, 0};
+  }
+
+  /// Maximum lifetime duration this spec can produce from a point event;
+  /// TiMR's temporal partitioning uses it as the span overlap (paper §III-B).
+  Timestamp MaxWindow() const {
+    switch (mode) {
+      case Mode::kShift: return kTick;
+      case Mode::kWindow: return window;
+      case Mode::kHop: return window + hop;
+      case Mode::kPoint: return kTick;
+      case Mode::kShiftAndWindow: return window;
+    }
+    return kTick;
+  }
+};
+
+/// Next multiple of `hop` that is >= t (t may be negative).
+inline Timestamp CeilToGrid(Timestamp t, Timestamp hop) {
+  Timestamp q = t / hop;
+  if (q * hop < t) ++q;
+  return q * hop;
+}
+
+/// \brief Adjusts event lifetimes (the windowing primitive). All modes apply a
+/// constant, monotone transformation to LE, so input LE order — and therefore
+/// the engine's ordering invariant — is preserved without a reorder buffer,
+/// and the CTI maps through the same transformation.
+class AlterLifetimeOp : public UnaryOperator {
+ public:
+  explicit AlterLifetimeOp(AlterLifetimeSpec spec) : spec_(spec) {
+    TIMR_CHECK(spec_.mode != AlterLifetimeSpec::Mode::kHop || spec_.hop > 0);
+  }
+
+  void OnEvent(Event event) override {
+    CountConsumed();
+    switch (spec_.mode) {
+      case AlterLifetimeSpec::Mode::kShift:
+        event.le += spec_.shift;
+        event.re += spec_.shift;
+        break;
+      case AlterLifetimeSpec::Mode::kWindow:
+        event.re = event.le + spec_.window;
+        break;
+      case AlterLifetimeSpec::Mode::kHop: {
+        // Original timestamp t contributes to boundaries b in [t, t + window),
+        // b on the hop grid. Lifetime becomes the span of those boundaries.
+        const Timestamp t = event.le;
+        const Timestamp first = CeilToGrid(t, spec_.hop);
+        const Timestamp last = CeilToGrid(t + spec_.window, spec_.hop);
+        if (first >= last) return;  // contributes to no boundary
+        event.le = first;
+        event.re = last;
+        break;
+      }
+      case AlterLifetimeSpec::Mode::kPoint:
+        event.re = event.le + kTick;
+        break;
+      case AlterLifetimeSpec::Mode::kShiftAndWindow:
+        event.le += spec_.shift;
+        event.re = event.le + spec_.window;
+        break;
+    }
+    Emit(std::move(event));
+  }
+
+  void OnCti(Timestamp t) override {
+    switch (spec_.mode) {
+      case AlterLifetimeSpec::Mode::kShift:
+      case AlterLifetimeSpec::Mode::kShiftAndWindow:
+        if (t >= kMaxTime) {
+          EmitCti(kMaxTime);
+        } else {
+          EmitCti(t + spec_.shift);
+        }
+        break;
+      case AlterLifetimeSpec::Mode::kHop:
+        EmitCti(t >= kMaxTime ? kMaxTime : CeilToGrid(t, spec_.hop));
+        break;
+      case AlterLifetimeSpec::Mode::kWindow:
+      case AlterLifetimeSpec::Mode::kPoint:
+        EmitCti(t);
+        break;
+    }
+  }
+
+ private:
+  AlterLifetimeSpec spec_;
+};
+
+/// \brief Identity operator; exists so Multicast and Exchange have a physical
+/// node when a plan is executed single-node.
+class PassthroughOp : public UnaryOperator {
+ public:
+  void OnEvent(Event event) override {
+    CountConsumed();
+    Emit(std::move(event));
+  }
+  void OnCti(Timestamp t) override { EmitCti(t); }
+};
+
+}  // namespace timr::temporal

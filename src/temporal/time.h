@@ -1,0 +1,32 @@
+// Application-time definitions for the temporal algebra.
+//
+// All engine semantics are expressed over application time (a column of the
+// data), never over wall-clock processing time. That is the property the paper
+// leans on for (a) identical results offline under map-reduce and online over
+// live feeds, and (b) safe reducer restart (TiMR §III-C.1).
+
+#pragma once
+
+#include <cstdint>
+
+namespace timr::temporal {
+
+/// Application timestamp. The unit is opaque to the engine; the BT workload
+/// uses seconds.
+using Timestamp = int64_t;
+
+/// Smallest representable time unit (the paper's delta): a point event at t
+/// has lifetime [t, t + kTick).
+inline constexpr Timestamp kTick = 1;
+
+/// Sentinels kept well inside the int64 range so that constant lifetime shifts
+/// can never overflow.
+inline constexpr Timestamp kMinTime = INT64_MIN / 4;
+inline constexpr Timestamp kMaxTime = INT64_MAX / 4;
+
+inline constexpr Timestamp kSecond = 1;
+inline constexpr Timestamp kMinute = 60 * kSecond;
+inline constexpr Timestamp kHour = 60 * kMinute;
+inline constexpr Timestamp kDay = 24 * kHour;
+
+}  // namespace timr::temporal

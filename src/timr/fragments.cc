@@ -1,0 +1,142 @@
+#include "timr/fragments.h"
+
+#include <optional>
+#include <unordered_map>
+
+namespace timr::framework {
+
+using temporal::OpKind;
+using temporal::PartitionSpec;
+using temporal::PlanNode;
+using temporal::PlanNodePtr;
+
+namespace {
+
+bool SpecEqual(const PartitionSpec& a, const PartitionSpec& b) {
+  return a.kind == b.kind && a.keys == b.keys && a.span_width == b.span_width &&
+         a.overlap == b.overlap;
+}
+
+class FragmentCutter {
+ public:
+  Result<FragmentedPlan> Cut(const PlanNodePtr& root) {
+    FragmentedPlan out;
+    TIMR_ASSIGN_OR_RETURN(std::string final_name, BuildFragment(root, &out));
+    // The final fragment writes the job output dataset.
+    TIMR_CHECK(!out.fragments.empty());
+    TIMR_CHECK(out.fragments.back().name == final_name);
+    out.output_dataset = final_name;
+    return out;
+  }
+
+ private:
+  /// Builds the fragment rooted at `node` (which must NOT itself be an
+  /// exchange), appends it (after its dependencies) to out->fragments, and
+  /// returns its name.
+  Result<std::string> BuildFragment(const PlanNodePtr& node, FragmentedPlan* out) {
+    auto memo = fragment_memo_.find(node.get());
+    if (memo != fragment_memo_.end()) return memo->second;
+
+    Fragment frag;
+    frag.name = "frag_" + std::to_string(counter_++);
+    std::optional<PartitionSpec> key;
+    // Per-fragment node memo: a plan node shared *within* one fragment is a
+    // multicast; sharing across fragments must re-record inputs per fragment.
+    FragContext ctx;
+    TIMR_ASSIGN_OR_RETURN(frag.root, Extract(node, &frag, &key, &ctx, out));
+    if (key.has_value()) {
+      frag.key = *key;
+    } else {
+      // No exchange feeds this fragment: it runs as a single partition.
+      frag.key = PartitionSpec::ByKeys({});
+    }
+    fragment_memo_[node.get()] = frag.name;
+    out->fragments.push_back(std::move(frag));
+    return out->fragments.back().name;
+  }
+
+  /// Per-fragment extraction state: a plan node shared *within* one fragment
+  /// is a multicast, and all reads of one dataset collapse to one leaf (the
+  /// executor requires unique input names).
+  struct FragContext {
+    std::unordered_map<const PlanNode*, PlanNodePtr> node_memo;
+    std::unordered_map<std::string, PlanNodePtr> leaf_by_dataset;
+  };
+
+  /// Copies the sub-plan for the current fragment, cutting at exchanges.
+  Result<PlanNodePtr> Extract(const PlanNodePtr& node, Fragment* frag,
+                              std::optional<PartitionSpec>* key,
+                              FragContext* ctx, FragmentedPlan* out) {
+    if (node->kind == OpKind::kExchange) {
+      if (key->has_value() && !SpecEqual(**key, node->exchange)) {
+        return Status::Invalid(
+            "fragment fed by exchanges with conflicting partitioning keys: " +
+            (*key)->ToString() + " vs " + node->exchange.ToString() +
+            " (paper footnote 1 requires them to be identical)");
+      }
+      *key = node->exchange;
+      const PlanNodePtr& child = node->children[0];
+      std::string dataset;
+      bool external;
+      if (child->kind == OpKind::kInput) {
+        dataset = child->name;
+        external = true;
+      } else {
+        TIMR_ASSIGN_OR_RETURN(dataset, BuildFragment(child, out));
+        external = false;
+      }
+      auto existing = ctx->leaf_by_dataset.find(dataset);
+      if (existing != ctx->leaf_by_dataset.end()) return existing->second;
+      TIMR_ASSIGN_OR_RETURN(Schema payload, child->OutputSchema());
+      auto leaf = std::make_shared<PlanNode>();
+      leaf->kind = OpKind::kInput;
+      leaf->name = dataset;
+      leaf->input_schema = std::move(payload);
+      ctx->leaf_by_dataset[dataset] = leaf;
+      RecordInput(frag, dataset, external);
+      return leaf;
+    }
+    if (node->kind == OpKind::kInput) {
+      // Raw source read in place (no repartitioning marker). The stage's map
+      // phase will still partition it by the fragment key.
+      auto existing = ctx->leaf_by_dataset.find(node->name);
+      if (existing != ctx->leaf_by_dataset.end()) return existing->second;
+      auto leaf = std::make_shared<PlanNode>(*node);
+      ctx->leaf_by_dataset[node->name] = leaf;
+      RecordInput(frag, node->name, /*external=*/true);
+      return leaf;
+    }
+    auto copy_it = ctx->node_memo.find(node.get());
+    if (copy_it != ctx->node_memo.end()) return copy_it->second;
+    auto copy = std::make_shared<PlanNode>(*node);
+    for (auto& c : copy->children) {
+      TIMR_ASSIGN_OR_RETURN(c, Extract(c, frag, key, ctx, out));
+    }
+    ctx->node_memo[node.get()] = copy;
+    return copy;
+  }
+
+  void RecordInput(Fragment* frag, const std::string& dataset, bool external) {
+    for (size_t i = 0; i < frag->inputs.size(); ++i) {
+      if (frag->inputs[i] == dataset) return;  // multicast: read once
+    }
+    frag->inputs.push_back(dataset);
+    frag->input_is_external.push_back(external);
+  }
+
+  int counter_ = 0;
+  // exchange-child plan node -> fragment name (multicast across fragments).
+  std::unordered_map<const PlanNode*, std::string> fragment_memo_;
+};
+
+}  // namespace
+
+Result<FragmentedPlan> MakeFragments(const temporal::PlanNodePtr& annotated_root) {
+  if (annotated_root->kind == OpKind::kExchange) {
+    return Status::Invalid("plan root must not be an exchange operator");
+  }
+  FragmentCutter cutter;
+  return cutter.Cut(annotated_root);
+}
+
+}  // namespace timr::framework

@@ -1,0 +1,407 @@
+#include "timr/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+namespace timr::framework {
+
+using temporal::OpKind;
+using temporal::PartitionSpec;
+using temporal::PlanNode;
+using temporal::PlanNodePtr;
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// A candidate partitioning property: a canonical (sorted) column set, the
+/// singleton partitioning (everything on one machine), the temporal
+/// partitioning, or "random" (how raw inputs arrive).
+struct PKey {
+  enum class Kind { kColumns, kSingleton, kTime, kRandom };
+  Kind kind = Kind::kSingleton;
+  std::vector<std::string> cols;  // kColumns, sorted
+
+  static PKey Columns(std::vector<std::string> c) {
+    std::sort(c.begin(), c.end());
+    return PKey{Kind::kColumns, std::move(c)};
+  }
+  static PKey Singleton() { return PKey{Kind::kSingleton, {}}; }
+  static PKey Time() { return PKey{Kind::kTime, {}}; }
+  static PKey Random() { return PKey{Kind::kRandom, {}}; }
+
+  bool operator==(const PKey& o) const {
+    return kind == o.kind && cols == o.cols;
+  }
+
+  std::string Str() const {
+    switch (kind) {
+      case Kind::kSingleton: return "<single>";
+      case Kind::kTime: return "<time>";
+      case Kind::kRandom: return "<random>";
+      case Kind::kColumns: {
+        std::string s = "{";
+        for (size_t i = 0; i < cols.size(); ++i) {
+          if (i) s += ",";
+          s += cols[i];
+        }
+        return s + "}";
+      }
+    }
+    return "?";
+  }
+};
+
+bool IsSubset(const std::vector<std::string>& a,
+              const std::vector<std::string>& b) {
+  // a ⊆ b; both sorted.
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+class Annotator {
+ public:
+  Annotator(const PlanStats& stats, const OptimizerOptions& options)
+      : stats_(stats), options_(options) {}
+
+  Result<OptimizeResult> Run(const PlanNodePtr& root) {
+    // Overlap for any temporal exchange must cover every window the consuming
+    // side applies; the plan-wide maximum is a safe (paper §III-B: "the
+    // maximum w across the streams") choice.
+    max_window_ = root->MaxWindow();
+    CollectInterestingKeys(root.get());
+    candidates_.push_back(PKey::Singleton());
+    candidates_.push_back(PKey::Time());
+
+    double best = kInf;
+    PKey best_key = PKey::Singleton();
+    for (const PKey& k : candidates_) {
+      const double c = OptWithExchange(root.get(), k);
+      if (c < best) {
+        best = c;
+        best_key = k;
+      }
+    }
+    if (!std::isfinite(best)) {
+      return Status::Invalid("no valid annotation found for plan");
+    }
+    OptimizeResult result;
+    result.cost = best;
+    result.annotated_plan = BuildWithExchange(root, best_key);
+    // A trailing exchange above the root adds no value; strip it.
+    if (result.annotated_plan->kind == OpKind::kExchange) {
+      result.annotated_plan = result.annotated_plan->children[0];
+    }
+    return result;
+  }
+
+ private:
+  // ---- Interesting keys: every stateful operator's key set plus its single
+  // columns (the classic interesting-properties trick keeps the search
+  // finite). ----
+  void CollectInterestingKeys(const PlanNode* node) {
+    for (const PlanNode* n : temporal::CollectNodes(
+             std::const_pointer_cast<PlanNode>(
+                 PlanNodePtr(const_cast<PlanNode*>(node),
+                             [](PlanNode*) {})))) {
+      std::vector<std::string> key;
+      if (n->kind == OpKind::kGroupApply) key = n->group_keys;
+      if (n->kind == OpKind::kTemporalJoin || n->kind == OpKind::kAntiSemiJoin) {
+        key = n->left_keys;
+      }
+      if (key.empty()) continue;
+      AddCandidate(PKey::Columns(key));
+      for (const auto& col : key) AddCandidate(PKey::Columns({col}));
+    }
+  }
+
+  void AddCandidate(PKey k) {
+    for (const auto& c : candidates_) {
+      if (c == k) return;
+    }
+    candidates_.push_back(std::move(k));
+  }
+
+  // ---- Cardinality and cost model. ----
+  double Rows(const PlanNode* node) {
+    auto it = rows_memo_.find(node);
+    if (it != rows_memo_.end()) return it->second;
+    double rows = 0;
+    switch (node->kind) {
+      case OpKind::kInput: {
+        auto sit = stats_.input_rows.find(node->name);
+        rows = sit != stats_.input_rows.end() ? sit->second
+                                              : stats_.default_input_rows;
+        break;
+      }
+      case OpKind::kSelect:
+        rows = 0.5 * Rows(node->children[0].get());
+        break;
+      case OpKind::kGroupApply:
+      case OpKind::kAggregate:
+      case OpKind::kProject:
+      case OpKind::kAlterLifetime:
+      case OpKind::kExchange:
+      case OpKind::kSubplanInput:
+        rows = Rows(node->children.empty() ? node : node->children[0].get());
+        if (!node->children.empty()) rows = Rows(node->children[0].get());
+        break;
+      case OpKind::kUnion:
+        rows = Rows(node->children[0].get()) + Rows(node->children[1].get());
+        break;
+      case OpKind::kTemporalJoin:
+        rows = 2.0 * std::max(Rows(node->children[0].get()),
+                              Rows(node->children[1].get()));
+        break;
+      case OpKind::kAntiSemiJoin:
+        rows = 0.7 * Rows(node->children[0].get());
+        break;
+      case OpKind::kUdo:
+        rows = 0.1 * Rows(node->children[0].get());
+        break;
+    }
+    rows_memo_[node] = rows;
+    return rows;
+  }
+
+  double Parallelism(const PKey& key) {
+    switch (key.kind) {
+      case PKey::Kind::kSingleton: return 1;
+      case PKey::Kind::kRandom:
+      case PKey::Kind::kTime: return options_.machines;
+      case PKey::Kind::kColumns: {
+        double distinct = kInf;
+        for (const auto& col : key.cols) {
+          auto it = stats_.distinct_values.find(col);
+          const double d =
+              it != stats_.distinct_values.end() ? it->second
+                                                 : stats_.default_distinct;
+          // Partitioning by several columns has at least the max per-column
+          // distinct count.
+          distinct = distinct == kInf ? d : std::max(distinct, d);
+        }
+        return std::min<double>(options_.machines, distinct);
+      }
+    }
+    return 1;
+  }
+
+  double OpCost(const PlanNode* node, const PKey& key) {
+    return options_.op_cost_per_row * Rows(node) / Parallelism(key);
+  }
+  double ExchangeCost(const PlanNode* node) {
+    return options_.exchange_cost_per_row * Rows(node);
+  }
+
+  // ---- Validity: can `node` execute on a stream partitioned by `key`? ----
+  bool Valid(const PlanNode* node, const PKey& key) {
+    if (key.kind == PKey::Kind::kSingleton) return true;
+    if (key.kind == PKey::Kind::kTime) {
+      // Temporal partitioning applies to windowed plans (paper §III-B);
+      // every plan we build is windowed, so accept it universally.
+      return node->kind != OpKind::kInput;
+    }
+    if (key.kind == PKey::Kind::kRandom) {
+      // Random placement is only sound for stateless row-local operators.
+      return node->kind == OpKind::kSelect || node->kind == OpKind::kProject ||
+             node->kind == OpKind::kAlterLifetime;
+    }
+    // Column keys must exist in the node's output schema (we treat same-named
+    // columns as pass-through provenance, which holds for our builders).
+    auto schema = node->OutputSchema();
+    if (!schema.ok()) return false;
+    for (const auto& col : key.cols) {
+      if (!schema.ValueOrDie().HasField(col)) return false;
+    }
+    switch (node->kind) {
+      case OpKind::kGroupApply: {
+        auto sorted = node->group_keys;
+        std::sort(sorted.begin(), sorted.end());
+        return IsSubset(key.cols, sorted);
+      }
+      case OpKind::kTemporalJoin:
+      case OpKind::kAntiSemiJoin: {
+        auto sorted = node->left_keys;
+        std::sort(sorted.begin(), sorted.end());
+        return IsSubset(key.cols, sorted);
+      }
+      case OpKind::kAggregate:
+      case OpKind::kUdo:
+        return false;  // global operators need singleton or time
+      case OpKind::kSelect:
+      case OpKind::kProject:
+      case OpKind::kAlterLifetime:
+      case OpKind::kUnion:
+        return true;
+      case OpKind::kInput:
+        return false;  // raw inputs arrive randomly partitioned
+      case OpKind::kSubplanInput:
+      case OpKind::kExchange:
+        return false;
+    }
+    return false;
+  }
+
+  /// The key a child must deliver when `node` runs under `key`. For joins the
+  /// columns translate positionally from left names to right names.
+  PKey ChildKey(const PlanNode* node, int child, const PKey& key) {
+    if (key.kind != PKey::Kind::kColumns || child == 0) return key;
+    if (node->kind == OpKind::kTemporalJoin ||
+        node->kind == OpKind::kAntiSemiJoin) {
+      std::vector<std::string> translated;
+      for (const auto& col : key.cols) {
+        for (size_t i = 0; i < node->left_keys.size(); ++i) {
+          if (node->left_keys[i] == col) {
+            translated.push_back(node->right_keys[i]);
+            break;
+          }
+        }
+      }
+      return PKey::Columns(std::move(translated));
+    }
+    return key;
+  }
+
+  // ---- The search (paper Algorithm 1, memoized). ----
+  struct MemoKey {
+    const PlanNode* node;
+    std::string key;
+    bool operator<(const MemoKey& o) const {
+      return std::tie(node, key) < std::tie(o.node, o.key);
+    }
+  };
+
+  /// Cost of executing node's subtree so that node itself runs under `key`
+  /// (no exchange above node).
+  double OptNoExchange(const PlanNode* node, const PKey& key) {
+    if (node->kind == OpKind::kInput) {
+      return key.kind == PKey::Kind::kRandom ? 0 : kInf;
+    }
+    if (!Valid(node, key)) return kInf;
+    MemoKey mk{node, key.Str()};
+    auto it = noexch_memo_.find(mk);
+    if (it != noexch_memo_.end()) return it->second;
+    noexch_memo_[mk] = kInf;  // cycle guard (plans are DAGs, defensive)
+    double cost = OpCost(node, key);
+    for (size_t i = 0; i < node->children.size(); ++i) {
+      cost += OptWithExchange(node->children[i].get(),
+                              ChildKey(node, static_cast<int>(i), key));
+    }
+    noexch_memo_[mk] = cost;
+    return cost;
+  }
+
+  /// Cost of delivering node's output partitioned by `key`, allowing an
+  /// exchange above node.
+  double OptWithExchange(const PlanNode* node, const PKey& key) {
+    MemoKey mk{node, key.Str()};
+    auto it = exch_memo_.find(mk);
+    if (it != exch_memo_.end()) return it->second.cost;
+    exch_memo_[mk] = {kInf, key, false};
+
+    double best = OptNoExchange(node, key);
+    PKey best_inner = key;
+    bool use_exchange = false;
+
+    // Random delivery from an input counts as "no exchange" too.
+    if (node->kind == OpKind::kInput && key.kind != PKey::Kind::kRandom) {
+      // fall through to the exchange options below
+    }
+    const double exch = ExchangeCost(node);
+    for (const PKey& inner : AllKeys(node)) {
+      if (inner == key) continue;
+      const double c = OptNoExchange(node, inner) + exch;
+      if (c < best) {
+        best = c;
+        best_inner = inner;
+        use_exchange = true;
+      }
+    }
+    exch_memo_[mk] = {best, best_inner, use_exchange};
+    return best;
+  }
+
+  std::vector<PKey> AllKeys(const PlanNode* node) {
+    std::vector<PKey> keys = candidates_;
+    if (node->kind == OpKind::kInput) keys.push_back(PKey::Random());
+    return keys;
+  }
+
+  // ---- Plan reconstruction from the memoized decisions. ----
+  PlanNodePtr BuildWithExchange(const PlanNodePtr& node, const PKey& key) {
+    MemoKey mk{node.get(), key.Str()};
+    auto it = exch_memo_.find(mk);
+    TIMR_CHECK(it != exch_memo_.end());
+    const Decision& d = it->second;
+    PlanNodePtr inner = BuildNoExchange(node, d.inner);
+    if (!d.use_exchange) return inner;
+    auto exch = std::make_shared<PlanNode>();
+    exch->kind = OpKind::kExchange;
+    exch->children = {inner};
+    exch->exchange = ToSpec(node.get(), key);
+    return exch;
+  }
+
+  PlanNodePtr BuildNoExchange(const PlanNodePtr& node, const PKey& key) {
+    if (node->kind == OpKind::kInput) return node;
+    auto copy = std::make_shared<PlanNode>(*node);
+    for (size_t i = 0; i < copy->children.size(); ++i) {
+      copy->children[i] = BuildWithExchange(
+          node->children[i], ChildKey(node.get(), static_cast<int>(i), key));
+    }
+    return copy;
+  }
+
+  PartitionSpec ToSpec(const PlanNode* /*node*/, const PKey& key) {
+    switch (key.kind) {
+      case PKey::Kind::kColumns:
+        return PartitionSpec::ByKeys(key.cols);
+      case PKey::Kind::kTime:
+        return PartitionSpec::ByTime(/*span_width=*/8 * max_window_,
+                                     /*overlap=*/max_window_);
+      case PKey::Kind::kSingleton:
+      case PKey::Kind::kRandom:
+        return PartitionSpec::ByKeys({});
+    }
+    return PartitionSpec::ByKeys({});
+  }
+
+  struct Decision {
+    double cost;
+    PKey inner;
+    bool use_exchange;
+  };
+
+  const PlanStats& stats_;
+  const OptimizerOptions& options_;
+  temporal::Timestamp max_window_ = temporal::kTick;
+  std::vector<PKey> candidates_;
+  std::unordered_map<const PlanNode*, double> rows_memo_;
+  std::map<MemoKey, double> noexch_memo_;
+  std::map<MemoKey, Decision> exch_memo_;
+};
+
+}  // namespace
+
+std::string OptimizeResult::Describe() const {
+  std::ostringstream os;
+  os << "cost=" << cost << "\n" << annotated_plan->ToString();
+  return os.str();
+}
+
+Result<OptimizeResult> OptimizeAnnotation(const temporal::PlanNodePtr& plan,
+                                          const PlanStats& stats,
+                                          const OptimizerOptions& options) {
+  for (PlanNode* n : temporal::CollectNodes(plan)) {
+    if (n->kind == OpKind::kExchange) {
+      return Status::Invalid("plan is already annotated with exchanges");
+    }
+  }
+  Annotator annotator(stats, options);
+  return annotator.Run(plan);
+}
+
+}  // namespace timr::framework

@@ -1,0 +1,57 @@
+// Cost-based CQ plan annotation (paper §VI, Algorithm 1): a Cascades-style
+// top-down search that decides where to insert exchange operators and with
+// which partitioning keys, using operator key-compatibility rules, functional
+// key implications, and a cost model that charges exchanges for
+// write/shuffle/read and divides operator cost by the effective parallelism.
+//
+// This reproduces the paper's Example 3 automatically: given GenTrainData's
+// plan, the optimizer prefers a single {UserId} fragment over the naive
+// {UserId, Keyword} + {UserId} pair because the {UserId} partitioning implies
+// the finer one and saves a repartition.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "temporal/plan.h"
+
+namespace timr::framework {
+
+/// Statistics the optimizer consults. Everything defaults to something
+/// reasonable so the optimizer is usable without profiling.
+struct PlanStats {
+  /// Rows per named input dataset.
+  std::map<std::string, double> input_rows;
+
+  /// Distinct values per column name (for parallelism estimates).
+  std::map<std::string, double> distinct_values;
+
+  double default_input_rows = 1e6;
+  double default_distinct = 1e4;
+};
+
+struct OptimizerOptions {
+  int machines = 16;
+
+  /// Cost units per row. Exchange covers write + network + read of a
+  /// repartition; op_cost is per-row operator work (divided by parallelism).
+  double exchange_cost_per_row = 3.0;
+  double op_cost_per_row = 1.0;
+};
+
+struct OptimizeResult {
+  temporal::PlanNodePtr annotated_plan;
+  double cost = 0;
+  std::string Describe() const;
+};
+
+/// Annotate `plan` (which must contain no exchanges yet) with the lowest-cost
+/// exchange placement found (paper Algorithm 1).
+Result<OptimizeResult> OptimizeAnnotation(const temporal::PlanNodePtr& plan,
+                                          const PlanStats& stats,
+                                          const OptimizerOptions& options);
+
+}  // namespace timr::framework

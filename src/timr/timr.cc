@@ -1,0 +1,240 @@
+#include "timr/timr.h"
+
+#include <atomic>
+#include <memory>
+
+#include "temporal/convert.h"
+#include "temporal/executor.h"
+
+namespace timr::framework {
+
+using temporal::Event;
+using temporal::kMaxTime;
+using temporal::PartitionSpec;
+using temporal::Timestamp;
+
+namespace {
+
+/// Span arithmetic for temporal partitioning (paper §III-B). Span i receives
+/// events with timestamp in [base + s*i - w, base + s*(i+1)) and owns output
+/// in [base + s*i, base + s*(i+1)).
+struct SpanLayout {
+  Timestamp base = 0;
+  Timestamp span_width = 1;
+  Timestamp overlap = 0;
+  int num_spans = 1;
+
+  std::pair<Timestamp, Timestamp> OwnedInterval(int i) const {
+    const Timestamp lo = base + span_width * i;
+    const Timestamp hi =
+        i + 1 == num_spans ? kMaxTime : base + span_width * (i + 1);
+    return {lo, hi};
+  }
+
+  /// Spans that must receive an event with lifetime [le, re): every span whose
+  /// owned output could be influenced by it given windows up to `overlap`.
+  void TargetsFor(Timestamp le, Timestamp re, std::vector<int>* out) const {
+    int64_t lo = (le - base) / span_width;
+    if (le < base) lo = 0;
+    int64_t hi = (std::min(re, base + span_width * int64_t{num_spans}) - base +
+                  overlap) / span_width;
+    lo = std::max<int64_t>(lo, 0);
+    // When the span count is capped, the last span owns the open-ended tail:
+    // route tail events to it rather than dropping them.
+    lo = std::min<int64_t>(lo, num_spans - 1);
+    hi = std::min<int64_t>(hi, num_spans - 1);
+    for (int64_t i = lo; i <= hi; ++i) out->push_back(static_cast<int>(i));
+  }
+};
+
+struct RowTimes {
+  Timestamp le;
+  Timestamp re;
+};
+
+RowTimes TimesOf(const Schema& row_schema, const Row& row) {
+  const Timestamp le = row[0].AsInt64();
+  if (temporal::IsIntervalLayout(row_schema)) {
+    return {le, row[1].AsInt64()};
+  }
+  return {le, le + temporal::kTick};
+}
+
+}  // namespace
+
+Result<mr::MRStage> CompileFragment(
+    const Fragment& fragment, const std::vector<Schema>& row_schemas,
+    int default_partitions, const TimrOptions& options,
+    std::pair<Timestamp, Timestamp> time_range, FragmentStats* stats) {
+  mr::MRStage stage;
+  stage.name = fragment.name;
+  stage.inputs = fragment.inputs;
+  stage.output = fragment.name;
+  TIMR_ASSIGN_OR_RETURN(Schema payload_schema, fragment.root->OutputSchema());
+  stage.output_schema = temporal::IntervalRowSchema(payload_schema);
+
+  // --- Map phase: the exchange semantics. ---
+  std::shared_ptr<SpanLayout> spans;  // set iff temporal partitioning
+  if (fragment.key.kind == PartitionSpec::Kind::kTemporal) {
+    auto layout = std::make_shared<SpanLayout>();
+    layout->base = time_range.first;
+    layout->span_width = std::max<Timestamp>(1, fragment.key.span_width);
+    layout->overlap = fragment.key.overlap;
+    const Timestamp range = time_range.second - time_range.first + 1;
+    layout->num_spans = static_cast<int>(
+        std::min<int64_t>((range + layout->span_width - 1) / layout->span_width,
+                          options.max_temporal_partitions));
+    spans = layout;
+    stage.num_partitions = layout->num_spans;
+    stage.partition_fn = [layout, row_schemas](int input_index, const Row& row,
+                                               int, std::vector<int>* targets) {
+      const RowTimes t = TimesOf(row_schemas[input_index], row);
+      layout->TargetsFor(t.le, t.re, targets);
+    };
+  } else if (fragment.key.keys.empty()) {
+    stage.num_partitions = 1;
+    stage.partition_fn = mr::SinglePartition();
+  } else {
+    stage.num_partitions = default_partitions;
+    std::vector<std::vector<int>> key_indices;
+    for (const Schema& rs : row_schemas) {
+      TIMR_ASSIGN_OR_RETURN(std::vector<int> idx, rs.IndicesOf(fragment.key.keys));
+      key_indices.push_back(std::move(idx));
+    }
+    stage.partition_fn = mr::HashPartitioner(std::move(key_indices));
+  }
+
+  // --- Reduce phase: the paper's P (row pump) around P' (embedded engine). ---
+  temporal::PlanNodePtr plan = fragment.root;
+  std::vector<std::string> input_names = fragment.inputs;
+  auto engine_events = std::make_shared<std::atomic<uint64_t>>(0);
+  const bool want_stats = options.collect_engine_stats;
+  stage.reducer = [plan, input_names, row_schemas, spans, engine_events,
+                   want_stats](int partition,
+                               const std::vector<std::vector<Row>>& inputs,
+                               std::vector<Row>* output) -> Status {
+    // Convert partition rows to events, per input.
+    std::map<std::string, std::vector<Event>> event_inputs;
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      TIMR_ASSIGN_OR_RETURN(std::vector<Event> events,
+                            temporal::EventsFromRows(row_schemas[i], inputs[i]));
+      event_inputs[input_names[i]] = std::move(events);
+    }
+    // A fresh engine instance per reducer invocation (paper §III-A step 4);
+    // restartable because results depend only on application time.
+    TIMR_ASSIGN_OR_RETURN(std::unique_ptr<temporal::Executor> exec,
+                          temporal::Executor::Create(plan));
+    std::vector<Event> result;
+    TIMR_ASSIGN_OR_RETURN(result, exec->RunBatch(std::move(event_inputs)));
+    if (want_stats) engine_events->fetch_add(exec->TotalEventsConsumed());
+    // Temporal spans own only their output interval: clip (paper §III-B).
+    if (spans) {
+      auto [lo, hi] = spans->OwnedInterval(partition);
+      std::vector<Event> clipped;
+      clipped.reserve(result.size());
+      for (Event& e : result) {
+        const Timestamp le = std::max(e.le, lo);
+        const Timestamp re = std::min(e.re, hi);
+        if (le < re) clipped.push_back(Event(le, re, std::move(e.payload)));
+      }
+      result = std::move(clipped);
+    }
+    TIMR_ASSIGN_OR_RETURN(*output, temporal::RowsFromEvents(result, true));
+    return Status::OK();
+  };
+  if (stats != nullptr) {
+    stats->name = fragment.name;
+    stats->engine_events = engine_events;
+  }
+  return stage;
+}
+
+namespace {
+
+Result<std::pair<Timestamp, Timestamp>> ScanTimeRange(
+    const std::vector<const mr::Dataset*>& datasets) {
+  Timestamp lo = kMaxTime;
+  Timestamp hi = temporal::kMinTime;
+  for (const mr::Dataset* d : datasets) {
+    for (size_t p = 0; p < d->num_partitions(); ++p) {
+      for (const Row& r : d->partition(p)) {
+        const Timestamp t = r[0].AsInt64();
+        lo = std::min(lo, t);
+        hi = std::max(hi, t);
+      }
+    }
+  }
+  if (lo > hi) return std::make_pair<Timestamp, Timestamp>(0, 0);
+  return std::make_pair(lo, hi);
+}
+
+}  // namespace
+
+Result<TimrRunResult> RunPlan(mr::LocalCluster* cluster,
+                              const temporal::PlanNodePtr& annotated_root,
+                              std::map<std::string, mr::Dataset>* store,
+                              const TimrOptions& options) {
+  TimrRunResult result;
+  TIMR_ASSIGN_OR_RETURN(result.fragments, MakeFragments(annotated_root));
+
+  for (const Fragment& fragment : result.fragments.fragments) {
+    // Resolve input row schemas from the (evolving) store.
+    std::vector<Schema> row_schemas;
+    std::vector<const mr::Dataset*> datasets;
+    for (const std::string& name : fragment.inputs) {
+      auto it = store->find(name);
+      if (it == store->end()) {
+        return Status::KeyError("TiMR: dataset not found: " + name);
+      }
+      row_schemas.push_back(it->second.schema());
+      datasets.push_back(&it->second);
+    }
+    std::pair<Timestamp, Timestamp> range{0, 0};
+    if (fragment.key.kind == PartitionSpec::Kind::kTemporal) {
+      TIMR_ASSIGN_OR_RETURN(range, ScanTimeRange(datasets));
+    }
+    FragmentStats fstats;
+    TIMR_ASSIGN_OR_RETURN(
+        mr::MRStage stage,
+        CompileFragment(fragment, row_schemas, cluster->num_machines(), options,
+                        range, &fstats));
+    mr::StageStats sstats;
+    TIMR_RETURN_NOT_OK(cluster->RunStage(stage, store, &sstats));
+    fstats.engine_events_consumed =
+        fstats.engine_events ? fstats.engine_events->load() : 0;
+    result.job_stats.stages.push_back(std::move(sstats));
+    result.fragment_stats.push_back(std::move(fstats));
+  }
+
+  const mr::Dataset& out = store->at(result.fragments.output_dataset);
+  TIMR_ASSIGN_OR_RETURN(result.output,
+                        temporal::EventsFromRows(out.schema(), out.Gather()));
+  return result;
+}
+
+Result<TimrRunResult> RunPlanOnEvents(
+    mr::LocalCluster* cluster, const temporal::PlanNodePtr& annotated_root,
+    const std::map<std::string, std::pair<Schema, std::vector<temporal::Event>>>&
+        inputs,
+    const TimrOptions& options) {
+  std::map<std::string, mr::Dataset> store;
+  for (const auto& [name, schema_events] : inputs) {
+    const auto& [payload_schema, events] = schema_events;
+    bool all_points = true;
+    for (const Event& e : events) {
+      if (!e.IsPoint()) {
+        all_points = false;
+        break;
+      }
+    }
+    TIMR_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                          temporal::RowsFromEvents(events, !all_points));
+    Schema row_schema = all_points
+                            ? temporal::PointRowSchema(payload_schema)
+                            : temporal::IntervalRowSchema(payload_schema);
+    store[name] = mr::Dataset::FromRows(std::move(row_schema), std::move(rows));
+  }
+  return RunPlan(cluster, annotated_root, &store, options);
+}
+
+}  // namespace timr::framework

@@ -1,0 +1,79 @@
+// TiMR: run temporal CQ plans at scale on the (unmodified) map-reduce
+// substrate with the (unmodified) temporal engine embedded inside reducers.
+// This is the paper's first contribution (§III).
+//
+// Pipeline (paper Figure 5):
+//   annotated CQ plan --MakeFragments--> {fragment, key} pairs
+//                     --CompileFragment--> M-R stages
+//                     --LocalCluster::RunJob--> output dataset
+//
+// Each stage's reducer is the paper's P: it converts partition rows to point
+// (or interval) events, pumps them through a freshly instantiated embedded
+// engine executing the fragment's CQ (the paper's P'), and converts result
+// events back to rows. Repartitioning is hash(key) % partitions — the
+// bucketing trick of §III-C.3 — or overlapping temporal spans (§III-B).
+
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "mr/cluster.h"
+#include "temporal/event.h"
+#include "timr/fragments.h"
+
+namespace timr::framework {
+
+struct TimrOptions {
+  /// Upper bound on temporal-partitioning span count (guards tiny spans).
+  int max_temporal_partitions = 1024;
+
+  /// Collect per-fragment engine event counts (Figure 15 metric).
+  bool collect_engine_stats = false;
+};
+
+struct FragmentStats {
+  std::string name;
+  uint64_t engine_events_consumed = 0;  // summed over partitions
+  /// Live counter shared with the stage's reducers (internal plumbing).
+  std::shared_ptr<std::atomic<uint64_t>> engine_events;
+};
+
+struct TimrRunResult {
+  /// The plan's output as events (lifetimes preserved through the interval
+  /// row layout).
+  std::vector<temporal::Event> output;
+  mr::JobStats job_stats;
+  FragmentedPlan fragments;
+  std::vector<FragmentStats> fragment_stats;
+};
+
+/// Compile one fragment into an M-R stage. `row_schemas[i]` is the stored row
+/// layout of fragment.inputs[i]. `time_range` must cover all input timestamps
+/// when the fragment uses temporal partitioning.
+Result<mr::MRStage> CompileFragment(
+    const Fragment& fragment, const std::vector<Schema>& row_schemas,
+    int default_partitions, const TimrOptions& options,
+    std::pair<temporal::Timestamp, temporal::Timestamp> time_range,
+    FragmentStats* stats);
+
+/// Run an annotated plan over the datasets in `store` (external sources in
+/// point layout: [Time, payload...]). Intermediate datasets are added to the
+/// store under their fragment names.
+Result<TimrRunResult> RunPlan(mr::LocalCluster* cluster,
+                              const temporal::PlanNodePtr& annotated_root,
+                              std::map<std::string, mr::Dataset>* store,
+                              const TimrOptions& options = TimrOptions());
+
+/// Convenience: wrap per-source event vectors into a store and RunPlan.
+Result<TimrRunResult> RunPlanOnEvents(
+    mr::LocalCluster* cluster, const temporal::PlanNodePtr& annotated_root,
+    const std::map<std::string, std::pair<Schema, std::vector<temporal::Event>>>&
+        inputs,
+    const TimrOptions& options = TimrOptions());
+
+}  // namespace timr::framework

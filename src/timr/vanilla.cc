@@ -1,0 +1,181 @@
+#include "timr/vanilla.h"
+
+#include <functional>
+#include <unordered_map>
+
+#include "temporal/convert.h"
+#include "temporal/query.h"
+
+namespace timr::framework {
+
+using temporal::OpKind;
+using temporal::PlanNode;
+using temporal::PlanNodePtr;
+
+namespace {
+
+/// Per-input column placement in the unified payload. The fragment's
+/// partitioning key columns occupy fixed leading slots (so the vanilla map
+/// phase can still partition by name); the remaining columns fill padded
+/// generic slots.
+struct InputLayout {
+  std::vector<int> key_positions;   // input column index of each key column
+  std::vector<int> rest_positions;  // input column indices of the rest
+};
+
+}  // namespace
+
+Result<VanillaFragment> ToVanillaFragment(
+    const Fragment& fragment, const std::vector<Schema>& payload_schemas) {
+  if (fragment.inputs.size() != payload_schemas.size()) {
+    return Status::Invalid("one payload schema per fragment input required");
+  }
+  const std::vector<std::string>& keys =
+      fragment.key.kind == temporal::PartitionSpec::Kind::kKeys
+          ? fragment.key.keys
+          : std::vector<std::string>{};
+
+  std::vector<InputLayout> layouts;
+  size_t max_rest = 0;
+  for (const Schema& s : payload_schemas) {
+    InputLayout layout;
+    std::set<int> taken;
+    for (const auto& k : keys) {
+      TIMR_ASSIGN_OR_RETURN(int idx, s.IndexOf(k));
+      layout.key_positions.push_back(idx);
+      taken.insert(idx);
+    }
+    for (size_t i = 0; i < s.num_fields(); ++i) {
+      if (!taken.count(static_cast<int>(i))) {
+        layout.rest_positions.push_back(static_cast<int>(i));
+      }
+    }
+    max_rest = std::max(max_rest, layout.rest_positions.size());
+    layouts.push_back(std::move(layout));
+  }
+
+  // Unified payload: [__Src, <key columns>, __f0 ... __f{max_rest-1}].
+  std::vector<Schema::Field> fields = {{kSrcColumn, ValueType::kInt64}};
+  for (const auto& k : keys) fields.push_back({k, ValueType::kInt64});
+  for (size_t i = 0; i < max_rest; ++i) {
+    fields.push_back({"__f" + std::to_string(i), ValueType::kInt64});
+  }
+  Schema unified_payload(fields);
+
+  VanillaFragment out;
+  out.unified_row_schema = temporal::IntervalRowSchema(unified_payload);
+  out.layouts_keys = keys;
+  for (const Schema& s : payload_schemas) {
+    out.input_widths.push_back(s.num_fields());
+  }
+
+  // One shared source node (the paper's Multicast); each original leaf
+  // becomes Select(__Src == i) -> Project back to the input's schema.
+  temporal::Query source = temporal::Query::Input(kUnifiedInput, unified_payload);
+  std::vector<PlanNodePtr> demuxed;
+  for (size_t i = 0; i < fragment.inputs.size(); ++i) {
+    const InputLayout& layout = layouts[i];
+    const size_t nkeys = keys.size();
+    // unified index of each original column.
+    std::vector<int> unified_of(payload_schemas[i].num_fields(), -1);
+    for (size_t k = 0; k < layout.key_positions.size(); ++k) {
+      unified_of[layout.key_positions[k]] = 1 + static_cast<int>(k);
+    }
+    for (size_t r = 0; r < layout.rest_positions.size(); ++r) {
+      unified_of[layout.rest_positions[r]] =
+          1 + static_cast<int>(nkeys) + static_cast<int>(r);
+    }
+    temporal::Query branch =
+        source
+            .Where([i](const Row& r) {
+              return r[0].AsInt64() == static_cast<int64_t>(i);
+            })
+            .Project(
+                [unified_of](const Row& r) {
+                  Row original;
+                  original.reserve(unified_of.size());
+                  for (int u : unified_of) original.push_back(r[u]);
+                  return original;
+                },
+                payload_schemas[i]);
+    demuxed.push_back(branch.node());
+  }
+
+  // Clone the fragment plan, replacing each kInput leaf by its demux branch.
+  std::unordered_map<const PlanNode*, PlanNodePtr> memo;
+  std::function<Result<PlanNodePtr>(const PlanNodePtr&)> rewrite =
+      [&](const PlanNodePtr& node) -> Result<PlanNodePtr> {
+    auto it = memo.find(node.get());
+    if (it != memo.end()) return it->second;
+    if (node->kind == OpKind::kInput) {
+      for (size_t i = 0; i < fragment.inputs.size(); ++i) {
+        if (fragment.inputs[i] == node->name) {
+          memo[node.get()] = demuxed[i];
+          return demuxed[i];
+        }
+      }
+      return Status::KeyError("fragment leaf " + node->name +
+                              " not among fragment inputs");
+    }
+    auto copy = std::make_shared<PlanNode>(*node);
+    for (auto& c : copy->children) {
+      TIMR_ASSIGN_OR_RETURN(c, rewrite(c));
+    }
+    memo[node.get()] = copy;
+    return copy;
+  };
+
+  out.fragment = fragment;
+  TIMR_ASSIGN_OR_RETURN(out.fragment.root, rewrite(fragment.root));
+  out.fragment.inputs = {kUnifiedInput};
+  out.fragment.input_is_external = {true};
+  return out;
+}
+
+Result<mr::Dataset> UnifyDatasets(const VanillaFragment& vanilla,
+                                  const std::vector<const mr::Dataset*>& inputs,
+                                  const std::vector<Schema>& row_schemas) {
+  if (inputs.size() != vanilla.input_widths.size()) {
+    return Status::Invalid("input count does not match the vanilla fragment");
+  }
+  const size_t unified_width = vanilla.unified_row_schema.num_fields();
+  const size_t nkeys = vanilla.layouts_keys.size();
+  std::vector<Row> rows;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    const bool interval = temporal::IsIntervalLayout(row_schemas[i]);
+    const int skip = interval ? 2 : 1;
+    TIMR_ASSIGN_OR_RETURN(Schema payload,
+                          temporal::PayloadSchemaOf(row_schemas[i]));
+    std::vector<int> key_idx;
+    std::set<int> taken;
+    for (const auto& k : vanilla.layouts_keys) {
+      TIMR_ASSIGN_OR_RETURN(int idx, payload.IndexOf(k));
+      key_idx.push_back(idx);
+      taken.insert(idx);
+    }
+    std::vector<int> rest_idx;
+    for (size_t c = 0; c < payload.num_fields(); ++c) {
+      if (!taken.count(static_cast<int>(c))) {
+        rest_idx.push_back(static_cast<int>(c));
+      }
+    }
+    for (size_t p = 0; p < inputs[i]->num_partitions(); ++p) {
+      for (const Row& r : inputs[i]->partition(p)) {
+        Row out;
+        out.reserve(unified_width);
+        out.push_back(r[0]);  // Time
+        out.push_back(interval ? r[1]
+                               : Value(r[0].AsInt64() + temporal::kTick));
+        out.push_back(Value(static_cast<int64_t>(i)));  // __Src
+        for (int k : key_idx) out.push_back(r[skip + k]);
+        for (int c : rest_idx) out.push_back(r[skip + c]);
+        while (out.size() < unified_width) out.push_back(Value(int64_t{0}));
+        rows.push_back(std::move(out));
+      }
+    }
+  }
+  (void)nkeys;
+  return mr::Dataset::FromRows(vanilla.unified_row_schema, std::move(rows));
+}
+
+}  // namespace timr::framework

@@ -1,0 +1,55 @@
+// The vanilla map-reduce transformation (paper §III-C.4).
+//
+// The basic M-R model allows one logical input and one output per job. Our
+// LocalCluster supports multi-input stages natively (as SCOPE/Cosmos did),
+// but the paper describes how TiMR copes with strictly-vanilla platforms:
+// union the k input datasets into a common schema with an extra source tag
+// column, and rewrite the CQ fragment to demultiplex — a Multicast whose k
+// branches each Select on the tag and Project back to the original schema.
+// This module implements that transformation so the repo also runs against a
+// single-input execution model; tests assert output equality with the native
+// multi-input path.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "mr/dataset.h"
+#include "timr/fragments.h"
+
+namespace timr::framework {
+
+/// Tag column identifying which original input a unified row came from.
+inline constexpr const char* kSrcColumn = "__Src";
+
+/// Name of the synthesized single input dataset / plan source.
+inline constexpr const char* kUnifiedInput = "__unified";
+
+struct VanillaFragment {
+  /// Single-input fragment: same computation, one kInput named kUnifiedInput.
+  Fragment fragment;
+  /// Row schema of the unified dataset (interval layout + tag + padded
+  /// payload columns).
+  Schema unified_row_schema;
+  /// Payload widths of the original inputs, in fragment-input order.
+  std::vector<size_t> input_widths;
+  /// The fragment's partitioning key columns, which occupy the leading
+  /// unified payload slots so the vanilla map phase can partition by name.
+  std::vector<std::string> layouts_keys;
+};
+
+/// Rewrite `fragment` (with `payload_schemas[i]` describing inputs[i]) into
+/// its vanilla single-input form.
+Result<VanillaFragment> ToVanillaFragment(
+    const Fragment& fragment, const std::vector<Schema>& payload_schemas);
+
+/// Union the fragment's input datasets into one dataset in the unified
+/// schema: [Time, __REnd, __Src, f0 ... f_{w-1}] with rows padded to the
+/// widest input. `row_schemas[i]` is the stored layout of inputs[i].
+Result<mr::Dataset> UnifyDatasets(const VanillaFragment& vanilla,
+                                  const std::vector<const mr::Dataset*>& inputs,
+                                  const std::vector<Schema>& row_schemas);
+
+}  // namespace timr::framework

@@ -1,0 +1,296 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "bt/schema.h"
+#include "common/logging.h"
+
+namespace timr::workload {
+
+using bt::kStreamClick;
+using bt::kStreamImpression;
+using bt::kStreamKeyword;
+using temporal::Event;
+using temporal::Timestamp;
+
+namespace {
+
+// Paper Figures 17-19 keyword vocabulary, reused so the reproduction's output
+// tables read like the originals.
+struct ClassSpec {
+  const char* name;
+  std::vector<const char*> pos;
+  std::vector<const char*> neg;
+};
+
+const std::vector<ClassSpec>& ClassSpecs() {
+  static const std::vector<ClassSpec>* specs = new std::vector<ClassSpec>{
+      {"deodorant",
+       {"celebrity", "icarly", "tattoo", "games", "chat", "videos", "hannah",
+        "exam", "music", "teen", "dance", "prom"},
+       {"verizon", "construct", "service", "ford", "hotels", "jobless", "pilot",
+        "credit", "craigslist", "mortgage"}},
+      {"laptop",
+       {"dell", "laptops", "computers", "juris", "toshiba", "vostro", "hp",
+        "netbook", "ssd", "linux", "battery", "charger"},
+       {"pregnant", "stars", "wang", "vera", "dancing", "myspace", "facebook",
+        "recipes", "wedding", "gossip"}},
+      {"cellphone",
+       {"blackberry", "curve", "enable", "tmobile", "phones", "wireless", "att",
+        "verizonw", "sim", "roaming", "prepaid", "android"},
+       {"recipes2", "times", "national", "hotels2", "people", "baseball",
+        "porn", "myspace2", "garden", "knitting"}},
+      {"movies",
+       {"trailer", "showtimes", "imax", "tickets", "premiere", "actor",
+        "cinema", "sequel", "netflix", "dvd", "screening", "blockbuster"},
+       {"lawnmower", "plumber", "auto", "parts", "diesel", "tax", "forms",
+        "irs", "payroll", "invoice"}},
+      {"dieting",
+       {"calories", "weight", "slim", "detox", "yoga", "smoothie", "keto",
+        "fasting", "bmi", "workout", "treadmill", "nutrition"},
+       {"pizza2", "buffet", "bacon", "donut", "poker", "cigars", "whiskey",
+        "lottery", "betting", "casino"}},
+      {"games",
+       {"xbox", "playstation", "cheats", "mmorpg", "clan", "loot", "quest",
+        "console", "controller", "arcade", "esports", "speedrun"},
+       {"retirement", "annuity", "medicare", "pension", "hearing", "denture",
+        "bingo", "cruise2", "sudoku", "crossword"}},
+      {"travel",
+       {"flights", "airfare", "resort", "beach", "passport", "itinerary",
+        "hostel", "backpack", "visa", "cruise", "luggage", "tours"},
+       {"foreclosure", "eviction", "bankruptcy", "pawn", "overdraft", "payday",
+        "collections", "repossess", "welfare", "foodstamps"}},
+      {"finance",
+       {"stocks", "dividend", "portfolio", "etf", "bonds", "broker", "ira",
+        "hedge", "forex", "futures", "yield", "ticker"},
+       {"skateboard", "slime", "pokemon", "fortnite", "tiktok", "emoji",
+        "anime", "manga", "sticker", "glitter"}},
+      {"fitness",
+       {"gym", "protein", "deadlift", "squat", "cardio", "marathon", "cycling",
+        "crossfit", "pilates", "stretching", "supplements", "rowing"},
+       {"recliner", "remote", "snacks", "delivery", "couch", "naps", "soda",
+        "candy", "chips", "pizza"}},
+      {"music",
+       {"concert", "setlist", "vinyl", "playlist", "lyrics", "album", "band",
+        "festival", "spotify", "guitar", "drums", "karaoke"},
+       {"spreadsheet", "powerpoint", "fax", "printer", "toner", "stapler",
+        "laminate", "binder", "envelope", "postage"}},
+  };
+  return *specs;
+}
+
+}  // namespace
+
+size_t BtLog::CountStream(int64_t stream_id) const {
+  size_t n = 0;
+  for (const Event& e : events) {
+    if (e.payload[0].AsInt64() == stream_id) ++n;
+  }
+  return n;
+}
+
+BtLog GenerateBtLog(const GeneratorConfig& config) {
+  TIMR_CHECK(config.num_ad_classes > 0 &&
+             config.num_ad_classes <= static_cast<int>(ClassSpecs().size()))
+      << "at most " << ClassSpecs().size() << " ad classes are defined";
+  TIMR_CHECK(config.vocab_size > config.num_ad_classes *
+                                     (config.planted_pos_per_class +
+                                      config.planted_neg_per_class));
+
+  Rng rng(config.seed);
+  BtLog log;
+  GroundTruth& truth = log.truth;
+
+  // --- Plant ad classes. Planted keywords take mid-popularity ids (the very
+  // top Zipf ranks stay uncorrelated "facebook"-alikes, which is what makes
+  // KE-pop a weak baseline); background keywords fill the rest. ---
+  int64_t next_kw = config.vocab_size / 10;
+  for (int a = 0; a < config.num_ad_classes; ++a) {
+    const ClassSpec& spec = ClassSpecs()[a];
+    AdClassTruth cls;
+    cls.name = spec.name;
+    for (int i = 0; i < config.planted_pos_per_class; ++i) {
+      const int64_t id = next_kw++;
+      truth.keyword_names[id] = spec.pos[i % spec.pos.size()];
+      cls.pos_keywords[id] =
+          config.pos_lift_min +
+          rng.UniformDouble() * (config.pos_lift_max - config.pos_lift_min);
+      if (truth.keyword_names[id] == std::string("icarly")) {
+        truth.spike_keyword = id;
+      }
+    }
+    for (int i = 0; i < config.planted_neg_per_class; ++i) {
+      const int64_t id = next_kw++;
+      truth.keyword_names[id] = spec.neg[i % spec.neg.size()];
+      cls.neg_keywords[id] =
+          config.neg_lift_min +
+          rng.UniformDouble() * (config.neg_lift_max - config.neg_lift_min);
+    }
+    truth.ad_classes.push_back(std::move(cls));
+  }
+
+  // Background keyword popularity: Zipf over the whole vocabulary, so a few
+  // uncorrelated keywords ("facebook"-alikes) dominate raw frequency.
+  ZipfSampler background(config.vocab_size, config.keyword_zipf);
+
+  // --- Users. ---
+  const int num_bots =
+      std::max(1, static_cast<int>(config.num_users * config.bot_fraction));
+  for (int u = 0; u < num_bots; ++u) truth.bot_users.insert(u);
+
+  const double day = static_cast<double>(temporal::kDay);
+  const double horizon = static_cast<double>(config.duration);
+
+  struct Activity {
+    Timestamp t;
+    int64_t stream;
+    int64_t kw_or_ad;
+  };
+  std::vector<Activity> acts;
+  acts.reserve(static_cast<size_t>(
+      config.num_users *
+      (config.searches_per_user_day + config.impressions_per_user_day) *
+      (horizon / day) * 1.3));
+
+  for (int u = 0; u < config.num_users; ++u) {
+    const bool is_bot = truth.bot_users.count(u) > 0;
+    const double mult = is_bot ? config.bot_activity_multiplier : 1.0;
+
+    // Interest profile: 1-3 ad classes whose planted pools this user searches.
+    // "Negative-pool" users exist independently: they search a class's
+    // negative keywords (jobless/credit searchers) but get no click lift.
+    std::vector<int> pos_interests, neg_interests;
+    const int npos = 1 + static_cast<int>(rng.UniformU64(3));
+    for (int i = 0; i < npos; ++i) {
+      pos_interests.push_back(
+          static_cast<int>(rng.UniformU64(config.num_ad_classes)));
+    }
+    if (rng.Bernoulli(0.75)) {
+      neg_interests.push_back(
+          static_cast<int>(rng.UniformU64(config.num_ad_classes)));
+    }
+
+    // Favorite keywords: real users search the same few terms repeatedly, so
+    // concentrate each user's interest searches on a small personal subset of
+    // the pools. This is also what gives planted keywords enough support for
+    // the z-test at simulation scale.
+    auto pick_favorites = [&](const std::unordered_map<int64_t, double>& pool,
+                              int n, std::vector<int64_t>* out) {
+      if (pool.empty()) return;
+      for (int i = 0; i < n; ++i) {
+        size_t skip = rng.UniformU64(pool.size());
+        auto it = pool.begin();
+        std::advance(it, skip);
+        out->push_back(it->first);
+      }
+    };
+    std::vector<int64_t> pos_favorites, neg_favorites;
+    for (int cls_idx : pos_interests) {
+      pick_favorites(truth.ad_classes[cls_idx].pos_keywords, 2, &pos_favorites);
+    }
+    for (int cls_idx : neg_interests) {
+      pick_favorites(truth.ad_classes[cls_idx].neg_keywords, 3, &neg_favorites);
+    }
+
+    // Recent searched keywords: (t, kw), pruned to the last 6h. This is the
+    // user's true short-term profile that drives click odds.
+    std::deque<std::pair<Timestamp, int64_t>> recent;
+
+    // Merge search and impression point processes in time order. Bots surf
+    // (and therefore trigger impressions) far more than normal users too.
+    double search_rate = config.searches_per_user_day * mult / day;
+    double impression_rate = config.impressions_per_user_day *
+                             (is_bot ? config.bot_impression_multiplier : 1.0) /
+                             day;
+    double t_search = rng.Exponential(1.0 / search_rate);
+    double t_impr = rng.Exponential(1.0 / impression_rate);
+
+    while (t_search < horizon || t_impr < horizon) {
+      if (t_search <= t_impr) {
+        const auto t = static_cast<Timestamp>(t_search) + 1;
+        // Pick a keyword.
+        int64_t kw;
+        const bool spike_active = config.enable_trend_spike &&
+                                  truth.spike_keyword >= 0 &&
+                                  t >= config.spike_start && t < config.spike_end;
+        if (spike_active &&
+            rng.Bernoulli(0.02 * config.spike_multiplier) && !is_bot) {
+          kw = truth.spike_keyword;
+        } else if (is_bot) {
+          kw = static_cast<int64_t>(background.Sample(&rng));
+        } else if (rng.Bernoulli(config.interest_search_fraction)) {
+          // From the user's favorite keywords: positives of their interest
+          // classes, negatives of their distractor class.
+          const bool use_neg = !neg_favorites.empty() && rng.Bernoulli(0.55);
+          const auto& favs = use_neg ? neg_favorites : pos_favorites;
+          kw = favs[rng.UniformU64(favs.size())];
+        } else {
+          kw = static_cast<int64_t>(background.Sample(&rng));
+        }
+        acts.push_back({t, kStreamKeyword, kw});
+        recent.emplace_back(t, kw);
+        t_search += rng.Exponential(1.0 / search_rate);
+      } else {
+        const auto t = static_cast<Timestamp>(t_impr) + 1;
+        const int ad = static_cast<int>(rng.UniformU64(config.num_ad_classes));
+        acts.push_back({t, kStreamImpression, ad});
+        // Click decision from the 6h profile.
+        while (!recent.empty() && recent.front().first <= t - 6 * temporal::kHour) {
+          recent.pop_front();
+        }
+        double p;
+        if (is_bot) {
+          p = config.bot_click_probability;
+        } else {
+          double odds = config.base_ctr / (1.0 - config.base_ctr);
+          const AdClassTruth& cls = truth.ad_classes[ad];
+          // Each distinct profile keyword applies its multiplier once.
+          std::unordered_set<int64_t> seen;
+          for (const auto& [ts, kw] : recent) {
+            if (!seen.insert(kw).second) continue;
+            auto pit = cls.pos_keywords.find(kw);
+            if (pit != cls.pos_keywords.end()) odds *= pit->second;
+            auto nit = cls.neg_keywords.find(kw);
+            if (nit != cls.neg_keywords.end()) odds *= nit->second;
+          }
+          p = std::min(0.9, odds / (1.0 + odds));
+        }
+        if (rng.Bernoulli(p)) {
+          const Timestamp delay =
+              1 + rng.UniformInt(0, config.max_click_delay - 2);
+          acts.push_back({t + delay, kStreamClick, ad});
+        }
+        t_impr += rng.Exponential(1.0 / impression_rate);
+      }
+    }
+    // Emit this user's activities (tagged with the user id) into the log.
+    for (const Activity& a : acts) {
+      log.events.push_back(Event::Point(
+          a.t, {Value(a.stream), Value(int64_t{u}), Value(a.kw_or_ad)}));
+    }
+    acts.clear();
+  }
+
+  std::stable_sort(log.events.begin(), log.events.end(),
+                   [](const Event& a, const Event& b) { return a.le < b.le; });
+  return log;
+}
+
+std::pair<std::vector<Event>, std::vector<Event>> SplitByTime(
+    const std::vector<Event>& events) {
+  if (events.empty()) return {};
+  Timestamp lo = events.front().le, hi = events.front().le;
+  for (const Event& e : events) {
+    lo = std::min(lo, e.le);
+    hi = std::max(hi, e.le);
+  }
+  const Timestamp mid = lo + (hi - lo) / 2;
+  std::vector<Event> train, test;
+  for (const Event& e : events) {
+    (e.le < mid ? train : test).push_back(e);
+  }
+  return {std::move(train), std::move(test)};
+}
+
+}  // namespace timr::workload

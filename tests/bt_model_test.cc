@@ -1,0 +1,235 @@
+// Model building and scoring tests (paper §IV-B.4): logistic regression,
+// the UDO-based model query, the TemporalJoin-based scoring query, and the
+// reduction schemes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bt/model.h"
+#include "bt/queries.h"
+#include "bt/reduction.h"
+#include "common/rng.h"
+#include "temporal/executor.h"
+
+namespace timr::bt {
+namespace {
+
+using temporal::Event;
+using temporal::Executor;
+using temporal::Query;
+
+// ---------- Logistic regression ----------
+
+std::vector<SparseExample> SeparableData(int n, uint64_t seed) {
+  // Feature 1 => click, feature 2 => no click.
+  Rng rng(seed);
+  std::vector<SparseExample> data;
+  for (int i = 0; i < n; ++i) {
+    SparseExample e;
+    e.clicked = rng.Bernoulli(0.5);
+    e.features.emplace_back(e.clicked ? 1 : 2, 1.0);
+    data.push_back(std::move(e));
+  }
+  return data;
+}
+
+TEST(LogisticRegression, SeparatesPlantedSignal) {
+  auto data = SeparableData(400, 1);
+  LrOptions opts;
+  opts.epochs = 200;
+  LrModel model = TrainLogisticRegression(data, opts);
+  EXPECT_GT(model.weights[1], model.weights[2]);
+  EXPECT_GT(model.Predict({{1, 1.0}}), 0.8);
+  EXPECT_LT(model.Predict({{2, 1.0}}), 0.2);
+}
+
+TEST(LogisticRegression, DeterministicInSeed) {
+  auto data = SeparableData(200, 2);
+  LrOptions opts;
+  LrModel a = TrainLogisticRegression(data, opts);
+  LrModel b = TrainLogisticRegression(data, opts);
+  EXPECT_EQ(a.bias, b.bias);
+  EXPECT_EQ(a.weights, b.weights);
+}
+
+TEST(LogisticRegression, EmptyInputYieldsNeutralModel) {
+  LrModel model = TrainLogisticRegression({}, LrOptions());
+  EXPECT_EQ(model.bias, 0.0);
+  EXPECT_DOUBLE_EQ(model.Predict({}), 0.5);
+}
+
+TEST(LogisticRegression, BalancingCountersSkew) {
+  // 2% positive rate; with balancing the intercept must not drown positives.
+  Rng rng(3);
+  std::vector<SparseExample> data;
+  for (int i = 0; i < 3000; ++i) {
+    SparseExample e;
+    e.clicked = rng.Bernoulli(0.02);
+    e.features.emplace_back(e.clicked ? 1 : 2, 1.0);
+    data.push_back(std::move(e));
+  }
+  LrOptions opts;
+  opts.epochs = 150;
+  LrModel model = TrainLogisticRegression(data, opts);
+  EXPECT_GT(model.Predict({{1, 1.0}}), 0.5);
+}
+
+// ---------- Model query + scoring query ----------
+
+std::vector<Event> TrainRows(
+    std::vector<std::tuple<int64_t, int64_t, int64_t, int64_t, int64_t, int64_t>>
+        rows) {
+  // (t, label, user, ad, keyword, count)
+  std::vector<Event> events;
+  for (auto& [t, label, user, ad, kw, cnt] : rows) {
+    events.push_back(Event::Point(
+        t, {Value(label), Value(user), Value(ad), Value(kw), Value(cnt)}));
+  }
+  return events;
+}
+
+TEST(ModelQuery, ProducesPerAdWeightEvents) {
+  Query train = Query::Input("Train", TrainDataSchema());
+  Query model = ModelBuildQuery(train, /*window=*/1000, /*hop=*/1000);
+  // Ad 1: keyword 5 clicks, keyword 6 doesn't.
+  auto out = Executor::Execute(
+      model.node(),
+      {{"Train", TrainRows({{10, 1, 100, 1, 5, 2},
+                            {20, 0, 101, 1, 6, 1},
+                            {30, 1, 102, 1, 5, 1},
+                            {40, 0, 103, 1, 6, 3}})}});
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  double w5 = 0, w6 = 0;
+  bool has_bias = false;
+  for (const Event& e : out.ValueOrDie()) {
+    ASSERT_EQ(e.payload[0].AsInt64(), 1);  // AdId
+    const int64_t feature = e.payload[1].AsInt64();
+    if (feature == 5) w5 = e.payload[2].AsDouble();
+    if (feature == 6) w6 = e.payload[2].AsDouble();
+    if (feature == -1) has_bias = true;
+  }
+  EXPECT_TRUE(has_bias);
+  EXPECT_GT(w5, w6);
+}
+
+TEST(ScoringQuery, MatchesDirectPrediction) {
+  // Hand-built model for ad 1: bias -1, w(kw5) = 2. Valid on [0, 1000).
+  std::vector<Event> model_events = {
+      Event(0, 1000, {Value(int64_t{1}), Value(int64_t{-1}), Value(-1.0)}),
+      Event(0, 1000, {Value(int64_t{1}), Value(int64_t{5}), Value(2.0)})};
+  // One test example at t=100 for user 7, ad 1, with kw5 count 3.
+  auto examples = TrainRows({{100, 0, 7, 1, 5, 3}});
+
+  Query ex = Query::Input("Ex", TrainDataSchema());
+  Query model = Query::Input("Model", ModelSchema());
+  Query scored = ScoringQuery(ex, model);
+  auto out = Executor::Execute(scored.node(),
+                               {{"Ex", examples}, {"Model", model_events}});
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out.ValueOrDie().size(), 1u);
+  const double expected = 1.0 / (1.0 + std::exp(-(-1.0 + 2.0 * 3)));
+  EXPECT_NEAR(out.ValueOrDie()[0].payload[3].AsDouble(), expected, 1e-9);
+}
+
+TEST(ScoringQuery, SumsMultipleFeatureTerms) {
+  std::vector<Event> model_events = {
+      Event(0, 1000, {Value(int64_t{1}), Value(int64_t{-1}), Value(0.0)}),
+      Event(0, 1000, {Value(int64_t{1}), Value(int64_t{5}), Value(1.0)}),
+      Event(0, 1000, {Value(int64_t{1}), Value(int64_t{6}), Value(-1.0)})};
+  // Example with both keywords: dot = 1*2 + (-1)*2 = 0 -> sigmoid = 0.5.
+  auto examples = TrainRows({{100, 1, 7, 1, 5, 2}, {100, 1, 7, 1, 6, 2}});
+  Query scored = ScoringQuery(Query::Input("Ex", TrainDataSchema()),
+                              Query::Input("Model", ModelSchema()));
+  auto out = Executor::Execute(scored.node(),
+                               {{"Ex", examples}, {"Model", model_events}});
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out.ValueOrDie().size(), 1u);
+  EXPECT_NEAR(out.ValueOrDie()[0].payload[3].AsDouble(), 0.5, 1e-9);
+}
+
+// ---------- Reduction schemes ----------
+
+std::vector<FeatureScore> FakeScores() {
+  // ad 1: kw 10 strongly positive, kw 11 strongly negative, kw 12 popular
+  // but uncorrelated, kw 13 unsupported.
+  std::vector<FeatureScore> scores;
+  auto add = [&](int64_t kw, int64_t ck, int64_t ik, double z) {
+    FeatureScore s;
+    s.ad = 1;
+    s.keyword = kw;
+    s.clicks_with = ck;
+    s.examples_with = ik;
+    s.clicks_total = 500;
+    s.examples_total = 10000;
+    s.z = z;
+    scores.push_back(s);
+  };
+  add(10, 60, 300, 6.0);
+  add(11, 2, 400, -3.0);
+  add(12, 55, 2000, 0.4);
+  add(13, 1, 4, 2.5);  // below the example-support floor
+  return scores;
+}
+
+TEST(Reduction, KeZFiltersByThresholdAndSupport) {
+  auto sel = SelectKeZ(FakeScores(), 1.96);
+  ASSERT_TRUE(sel.count(1));
+  EXPECT_TRUE(sel[1].count(10));
+  EXPECT_TRUE(sel[1].count(11));   // negative keywords retained by |z|
+  EXPECT_FALSE(sel[1].count(12));  // below threshold
+  EXPECT_FALSE(sel[1].count(13));  // no support
+}
+
+TEST(Reduction, SignedSelectionSplitsByDirection) {
+  auto pos = SelectKeZSigned(FakeScores(), 1.96, true);
+  auto neg = SelectKeZSigned(FakeScores(), 1.96, false);
+  EXPECT_TRUE(pos[1].count(10));
+  EXPECT_FALSE(pos[1].count(11));
+  EXPECT_TRUE(neg[1].count(11));
+  EXPECT_FALSE(neg[1].count(10));
+}
+
+TEST(Reduction, KePopRanksByRawPopularity) {
+  auto sel = SelectKePop(FakeScores(), 1);
+  ASSERT_TRUE(sel.count(1));
+  EXPECT_TRUE(sel[1].count(12));  // most examples_with, despite z = 0.4
+}
+
+TEST(Reduction, FExIsDeterministicAndBounded) {
+  auto a = FExCategories(12345, 2000);
+  auto b = FExCategories(12345, 2000);
+  EXPECT_EQ(a, b);
+  EXPECT_GE(a.size(), 1u);
+  EXPECT_LE(a.size(), 3u);
+  for (int64_t c : a) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, 2000);
+  }
+}
+
+TEST(Reduction, SchemeReduceMapsFeatures) {
+  auto scores = FakeScores();
+  auto kez = ReductionScheme::KeZ("z", scores, 1.96);
+  std::vector<std::pair<int64_t, double>> features = {
+      {10, 2.0}, {12, 1.0}, {99, 5.0}};
+  auto reduced = kez.Reduce(1, features);
+  ASSERT_EQ(reduced.size(), 1u);
+  EXPECT_EQ(reduced[0].first, 10);
+
+  auto fex = ReductionScheme::FEx("f");
+  auto fex_reduced = fex.Reduce(1, features);
+  EXPECT_GE(fex_reduced.size(), features.size());  // categories inflate
+
+  auto identity = ReductionScheme::Identity("id");
+  EXPECT_EQ(identity.Reduce(1, features), features);
+}
+
+TEST(Reduction, TwoProportionZSignsAndGates) {
+  EXPECT_GT(TwoProportionZ(50, 100, 100, 2000), 2.0);   // CTR 50% vs ~2.6%
+  EXPECT_LT(TwoProportionZ(0, 200, 100, 2000), -1.0);   // zero clicks-with
+  EXPECT_EQ(TwoProportionZ(1, 2, 100, 2000), 0.0);      // too few examples
+}
+
+}  // namespace
+}  // namespace timr::bt

@@ -1,0 +1,185 @@
+// Unit tests for the common substrate: Status/Result, rows and schemas,
+// hashing, RNG, and the thread pool.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "common/hash.h"
+#include "common/rng.h"
+#include "common/row.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+
+namespace timr {
+namespace {
+
+// ---------- Status / Result ----------
+
+TEST(Status, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status st = Status::Invalid("bad news");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalid);
+  EXPECT_EQ(st.message(), "bad news");
+  EXPECT_EQ(st.ToString(), "Invalid: bad news");
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::Invalid("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  TIMR_ASSIGN_OR_RETURN(int h, Half(x));
+  return Half(h);
+}
+
+TEST(Result, AssignOrReturnPropagates) {
+  EXPECT_EQ(Quarter(8).ValueOrDie(), 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2 = 3 is odd
+  EXPECT_FALSE(Quarter(3).ok());
+}
+
+TEST(Result, MoveValueWorks) {
+  Result<std::string> r(std::string("hello"));
+  EXPECT_EQ(std::move(r).MoveValue(), "hello");
+}
+
+// ---------- Value / Row ----------
+
+TEST(Value, TypesAndEquality) {
+  EXPECT_TRUE(Value(int64_t{3}).is_int64());
+  EXPECT_TRUE(Value(3.5).is_double());
+  EXPECT_TRUE(Value("x").is_string());
+  EXPECT_EQ(Value(int64_t{3}), Value(int64_t{3}));
+  EXPECT_NE(Value(int64_t{3}), Value(3.0));  // different types differ
+  EXPECT_EQ(Value("abc").AsString(), "abc");
+  EXPECT_DOUBLE_EQ(Value(int64_t{4}).AsNumeric(), 4.0);
+}
+
+TEST(Value, HashIsStableAndDiscriminates) {
+  EXPECT_EQ(Value(int64_t{42}).Hash(), Value(int64_t{42}).Hash());
+  EXPECT_NE(Value(int64_t{42}).Hash(), Value(int64_t{43}).Hash());
+  EXPECT_EQ(Value("k").Hash(), Value("k").Hash());
+}
+
+TEST(Row, ExtractKeySelectsColumns) {
+  Row r = {Value(1), Value(2), Value(3)};
+  EXPECT_EQ(ExtractKey(r, {2, 0}), (Row{Value(3), Value(1)}));
+}
+
+// ---------- Schema ----------
+
+TEST(Schema, IndexOfFindsAndFails) {
+  Schema s = Schema::Of({{"A", ValueType::kInt64}, {"B", ValueType::kString}});
+  EXPECT_EQ(s.IndexOf("B").ValueOrDie(), 1);
+  EXPECT_FALSE(s.IndexOf("C").ok());
+  EXPECT_TRUE(s.HasField("A"));
+  EXPECT_FALSE(s.HasField("Z"));
+}
+
+TEST(Schema, ConcatRenamesCollisions) {
+  Schema a = Schema::Of({{"X", ValueType::kInt64}});
+  Schema b = Schema::Of({{"X", ValueType::kInt64}, {"Y", ValueType::kInt64}});
+  Schema c = a.Concat(b);
+  ASSERT_EQ(c.num_fields(), 3u);
+  EXPECT_EQ(c.field(0).name, "X");
+  EXPECT_EQ(c.field(1).name, "X_2");
+  EXPECT_EQ(c.field(2).name, "Y");
+}
+
+TEST(Schema, SelectPreservesOrder) {
+  Schema s = Schema::Of({{"A", ValueType::kInt64},
+                         {"B", ValueType::kInt64},
+                         {"C", ValueType::kInt64}});
+  Schema sel = s.Select({2, 0});
+  ASSERT_EQ(sel.num_fields(), 2u);
+  EXPECT_EQ(sel.field(0).name, "C");
+  EXPECT_EQ(sel.field(1).name, "A");
+}
+
+TEST(Schema, EqualityComparesNamesAndTypes) {
+  Schema a = Schema::Of({{"A", ValueType::kInt64}});
+  Schema b = Schema::Of({{"A", ValueType::kDouble}});
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, Schema::Of({{"A", ValueType::kInt64}}));
+}
+
+// ---------- Hash ----------
+
+TEST(Hash, MixAvalanchesLowBits) {
+  std::set<uint64_t> buckets;
+  for (uint64_t i = 0; i < 64; ++i) buckets.insert(HashMix(i) % 16);
+  EXPECT_GT(buckets.size(), 8u);  // consecutive keys spread across buckets
+}
+
+TEST(Hash, RowHashMatchesEqualRows) {
+  Row a = {Value(int64_t{1}), Value("k")};
+  Row b = {Value(int64_t{1}), Value("k")};
+  EXPECT_EQ(HashRow(a), HashRow(b));
+}
+
+// ---------- Rng / Zipf ----------
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(7), b(7), c(8);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(Rng(7).Next(), c.Next());
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, BernoulliRoughlyCalibrated) {
+  Rng rng(2);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Zipf, HeadIsMorePopularThanTail) {
+  ZipfSampler zipf(1000, 1.1);
+  Rng rng(3);
+  int head = 0, tail = 0;
+  for (int i = 0; i < 20000; ++i) {
+    size_t k = zipf.Sample(&rng);
+    ASSERT_LT(k, 1000u);
+    if (k < 10) ++head;
+    if (k >= 990) ++tail;
+  }
+  EXPECT_GT(head, 20 * std::max(tail, 1));
+}
+
+// ---------- ThreadPool ----------
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&] { counter.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.WaitIdle();  // must not hang
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace timr

@@ -1,0 +1,213 @@
+// Map-reduce substrate tests: partitioning, canonical shuffle order,
+// multi-input stages, failure injection, stats, and error paths.
+
+#include <gtest/gtest.h>
+
+#include "mr/cluster.h"
+
+namespace timr::mr {
+namespace {
+
+Schema RowSchema() {
+  return Schema::Of({{"Time", ValueType::kInt64},
+                     {"Key", ValueType::kInt64},
+                     {"Val", ValueType::kInt64}});
+}
+
+Dataset MakeData(std::vector<std::tuple<int64_t, int64_t, int64_t>> rows) {
+  std::vector<Row> out;
+  for (auto& [t, k, v] : rows) out.push_back({Value(t), Value(k), Value(v)});
+  return Dataset::FromRows(RowSchema(), std::move(out));
+}
+
+MRStage IdentityStage(std::string in, std::string out, int key_col) {
+  MRStage stage;
+  stage.name = "identity";
+  stage.inputs = {std::move(in)};
+  stage.output = std::move(out);
+  stage.output_schema = RowSchema();
+  stage.partition_fn = HashPartitioner({{key_col}});
+  stage.reducer = [](int, const std::vector<std::vector<Row>>& inputs,
+                     std::vector<Row>* output) {
+    *output = inputs[0];
+    return Status::OK();
+  };
+  return stage;
+}
+
+TEST(Cluster, HashPartitioningGroupsKeysTogether) {
+  LocalCluster cluster(4, 2);
+  std::map<std::string, Dataset> store;
+  store["in"] = MakeData({{1, 7, 0}, {2, 7, 1}, {3, 9, 2}, {4, 7, 3}});
+
+  MRStage stage = IdentityStage("in", "out", 1);
+  stage.reducer = [](int p, const std::vector<std::vector<Row>>& inputs,
+                     std::vector<Row>* output) {
+    // All rows of one key must land in the same partition: report
+    // (partition, key) pairs.
+    for (const Row& r : inputs[0]) {
+      output->push_back({Value(int64_t{p}), r[1], Value(int64_t{0})});
+    }
+    return Status::OK();
+  };
+  StageStats stats;
+  ASSERT_TRUE(cluster.RunStage(stage, &store, &stats).ok());
+  std::map<int64_t, std::set<int64_t>> partitions_of_key;
+  for (const Row& r : store.at("out").Gather()) {
+    partitions_of_key[r[1].AsInt64()].insert(r[0].AsInt64());
+  }
+  EXPECT_EQ(partitions_of_key[7].size(), 1u);
+  EXPECT_EQ(partitions_of_key[9].size(), 1u);
+  EXPECT_EQ(stats.rows_in, 4u);
+  EXPECT_EQ(stats.rows_out, 4u);
+}
+
+TEST(Cluster, ReducerInputSortedByTimeCanonically) {
+  LocalCluster cluster(1, 1);
+  std::map<std::string, Dataset> store;
+  // Deliberately unsorted, with a timestamp tie broken by row content.
+  store["in"] = MakeData({{5, 1, 9}, {2, 1, 3}, {5, 1, 1}, {1, 1, 0}});
+
+  MRStage stage = IdentityStage("in", "out", 1);
+  StageStats stats;
+  ASSERT_TRUE(cluster.RunStage(stage, &store, &stats).ok());
+  auto rows = store.at("out").Gather();
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0][0].AsInt64(), 1);
+  EXPECT_EQ(rows[1][0].AsInt64(), 2);
+  EXPECT_EQ(rows[2][0].AsInt64(), 5);
+  EXPECT_EQ(rows[2][2].AsInt64(), 1);  // tie: smaller payload first
+  EXPECT_EQ(rows[3][2].AsInt64(), 9);
+}
+
+TEST(Cluster, MultiInputStageDeliversPerInputRows) {
+  LocalCluster cluster(2, 2);
+  std::map<std::string, Dataset> store;
+  store["a"] = MakeData({{1, 1, 10}});
+  store["b"] = MakeData({{2, 1, 20}, {3, 1, 30}});
+
+  MRStage stage;
+  stage.name = "multi";
+  stage.inputs = {"a", "b"};
+  stage.output = "out";
+  stage.output_schema = RowSchema();
+  stage.partition_fn = HashPartitioner({{1}, {1}});
+  stage.reducer = [](int, const std::vector<std::vector<Row>>& inputs,
+                     std::vector<Row>* output) {
+    output->push_back({Value(int64_t{0}),
+                       Value(static_cast<int64_t>(inputs[0].size())),
+                       Value(static_cast<int64_t>(inputs[1].size()))});
+    return Status::OK();
+  };
+  StageStats stats;
+  ASSERT_TRUE(cluster.RunStage(stage, &store, &stats).ok());
+  int64_t a_total = 0, b_total = 0;
+  for (const Row& r : store.at("out").Gather()) {
+    a_total += r[1].AsInt64();
+    b_total += r[2].AsInt64();
+  }
+  EXPECT_EQ(a_total, 1);
+  EXPECT_EQ(b_total, 2);
+}
+
+TEST(Cluster, ReplicatingPartitionerDuplicatesRows) {
+  LocalCluster cluster(3, 2);
+  std::map<std::string, Dataset> store;
+  store["in"] = MakeData({{1, 1, 0}, {2, 2, 0}});
+
+  MRStage stage = IdentityStage("in", "out", 1);
+  stage.partition_fn = [](int, const Row&, int parts, std::vector<int>* t) {
+    for (int i = 0; i < parts; ++i) t->push_back(i);  // broadcast
+  };
+  StageStats stats;
+  ASSERT_TRUE(cluster.RunStage(stage, &store, &stats).ok());
+  EXPECT_EQ(stats.rows_shuffled, 6u);
+  EXPECT_EQ(store.at("out").TotalRows(), 6u);
+}
+
+TEST(Cluster, FailureInjectionRestartsAndMatches) {
+  std::map<std::string, Dataset> store;
+  store["in"] = MakeData({{1, 1, 0}, {2, 2, 1}, {3, 3, 2}, {4, 4, 3}});
+
+  LocalCluster cluster(4, 2);
+  MRStage stage = IdentityStage("in", "out", 1);
+  StageStats clean_stats;
+  ASSERT_TRUE(cluster.RunStage(stage, &store, &clean_stats).ok());
+  auto clean = store.at("out").Gather();
+
+  FailureInjector injector;
+  injector.FailOnce("identity", 0);
+  injector.FailOnce("identity", 3);
+  cluster.set_failure_injector(&injector);
+  stage.output = "out2";
+  StageStats retry_stats;
+  ASSERT_TRUE(cluster.RunStage(stage, &store, &retry_stats).ok());
+  EXPECT_TRUE(injector.empty());
+  EXPECT_EQ(retry_stats.restarted_tasks, 2);
+  EXPECT_EQ(store.at("out2").Gather(), clean);
+}
+
+TEST(Cluster, MissingInputDatasetIsKeyError) {
+  LocalCluster cluster(2, 1);
+  std::map<std::string, Dataset> store;
+  StageStats stats;
+  Status st = cluster.RunStage(IdentityStage("nope", "out", 1), &store, &stats);
+  EXPECT_EQ(st.code(), StatusCode::kKeyError);
+}
+
+TEST(Cluster, OutOfRangePartitionTargetIsError) {
+  LocalCluster cluster(2, 1);
+  std::map<std::string, Dataset> store;
+  store["in"] = MakeData({{1, 1, 0}});
+  MRStage stage = IdentityStage("in", "out", 1);
+  stage.partition_fn = [](int, const Row&, int, std::vector<int>* t) {
+    t->push_back(99);
+  };
+  StageStats stats;
+  EXPECT_FALSE(cluster.RunStage(stage, &store, &stats).ok());
+}
+
+TEST(Cluster, ReducerErrorPropagates) {
+  LocalCluster cluster(2, 1);
+  std::map<std::string, Dataset> store;
+  store["in"] = MakeData({{1, 1, 0}});
+  MRStage stage = IdentityStage("in", "out", 1);
+  stage.reducer = [](int, const std::vector<std::vector<Row>>&,
+                     std::vector<Row>*) {
+    return Status::ExecutionError("boom");
+  };
+  StageStats stats;
+  Status st = cluster.RunStage(stage, &store, &stats);
+  EXPECT_EQ(st.code(), StatusCode::kExecutionError);
+}
+
+TEST(Cluster, JobRunsStagesInOrder) {
+  LocalCluster cluster(2, 2);
+  std::map<std::string, Dataset> store;
+  store["in"] = MakeData({{1, 1, 1}, {2, 2, 2}});
+  MRStage s1 = IdentityStage("in", "mid", 1);
+  s1.name = "s1";
+  MRStage s2 = IdentityStage("mid", "out", 1);
+  s2.name = "s2";
+  auto stats = cluster.RunJob({s1, s2}, &store);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.ValueOrDie().stages.size(), 2u);
+  EXPECT_EQ(store.at("out").TotalRows(), 2u);
+  EXPECT_GE(stats.ValueOrDie().TotalSimulatedSeconds(), 0.0);
+}
+
+TEST(Cluster, SinglePartitionFunnelsEverything) {
+  LocalCluster cluster(8, 2);
+  std::map<std::string, Dataset> store;
+  store["in"] = MakeData({{1, 1, 0}, {2, 2, 0}, {3, 3, 0}});
+  MRStage stage = IdentityStage("in", "out", 1);
+  stage.num_partitions = 1;
+  stage.partition_fn = SinglePartition();
+  StageStats stats;
+  ASSERT_TRUE(cluster.RunStage(stage, &store, &stats).ok());
+  EXPECT_EQ(stats.partitions, 1);
+  EXPECT_EQ(store.at("out").partition(0).size(), 3u);
+}
+
+}  // namespace
+}  // namespace timr::mr

@@ -1,0 +1,162 @@
+// Tests for the §VI cost-based annotation optimizer.
+
+#include <gtest/gtest.h>
+
+#include "bt/queries.h"
+#include "common/rng.h"
+#include "mr/cluster.h"
+#include "temporal/executor.h"
+#include "temporal/query.h"
+#include "timr/optimizer.h"
+#include "timr/timr.h"
+
+namespace timr::framework {
+namespace {
+
+using temporal::OpKind;
+using temporal::PartitionSpec;
+using temporal::PlanNode;
+using temporal::Query;
+
+int CountExchanges(const temporal::PlanNodePtr& plan) {
+  int n = 0;
+  for (PlanNode* node : temporal::CollectNodes(plan)) {
+    if (node->kind == OpKind::kExchange) ++n;
+  }
+  return n;
+}
+
+std::vector<PartitionSpec> Exchanges(const temporal::PlanNodePtr& plan) {
+  std::vector<PartitionSpec> out;
+  for (PlanNode* node : temporal::CollectNodes(plan)) {
+    if (node->kind == OpKind::kExchange) out.push_back(node->exchange);
+  }
+  return out;
+}
+
+TEST(Optimizer, AnnotatesRunningClickCountWithAdId) {
+  Schema s = Schema::Of(
+      {{"UserId", ValueType::kInt64}, {"AdId", ValueType::kInt64}});
+  Query q = Query::Input("ClickLog", s).GroupApply({"AdId"}, [](Query g) {
+    return g.Window(100).Count();
+  });
+  PlanStats stats;
+  stats.input_rows["ClickLog"] = 1e6;
+  stats.distinct_values["AdId"] = 1e4;
+  OptimizerOptions opts;
+  auto res = OptimizeAnnotation(q.node(), stats, opts);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  auto exchanges = Exchanges(res.ValueOrDie().annotated_plan);
+  ASSERT_EQ(exchanges.size(), 1u);
+  EXPECT_EQ(exchanges[0].keys, std::vector<std::string>{"AdId"});
+}
+
+// The paper's Example 3: GroupApply keyed {UserId, Keyword} feeding a join
+// keyed {UserId}. The optimizer must choose one {UserId} exchange at the
+// source rather than {UserId, Keyword} followed by a repartition to {UserId}.
+TEST(Optimizer, ChoosesSingleFragmentForExample3) {
+  Schema s = Schema::Of({{"UserId", ValueType::kInt64},
+                         {"Keyword", ValueType::kInt64}});
+  Query input = Query::Input("S", s);
+  Query ubp = input.GroupApply({"UserId", "Keyword"}, [](Query g) {
+    return g.Window(100).Count("c");
+  });
+  Query joined =
+      Query::TemporalJoin(input, ubp, {"UserId"}, {"UserId"});
+
+  PlanStats stats;
+  stats.input_rows["S"] = 1e7;
+  stats.distinct_values["UserId"] = 1e6;
+  stats.distinct_values["Keyword"] = 1e5;
+  OptimizerOptions opts;
+  opts.machines = 100;
+  auto res = OptimizeAnnotation(joined.node(), stats, opts);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+
+  const auto& plan = res.ValueOrDie().annotated_plan;
+  for (const auto& e : Exchanges(plan)) {
+    EXPECT_EQ(e.keys, std::vector<std::string>{"UserId"})
+        << "unexpected exchange " << e.ToString();
+  }
+  // No repartitioning between the GroupApply and the join.
+  auto frags = MakeFragments(plan);
+  ASSERT_TRUE(frags.ok()) << frags.status().ToString();
+  EXPECT_EQ(frags.ValueOrDie().fragments.size(), 1u);
+}
+
+// A global (ungrouped) windowed aggregate has no payload key: the optimizer
+// must fall back to temporal partitioning rather than a singleton plan when
+// machines make parallelism worthwhile.
+TEST(Optimizer, PicksTemporalPartitioningForGlobalAggregate) {
+  Schema s = Schema::Of({{"V", ValueType::kInt64}});
+  Query q = Query::Input("S", s).Window(600).Count();
+  PlanStats stats;
+  stats.input_rows["S"] = 1e8;
+  OptimizerOptions opts;
+  opts.machines = 64;
+  auto res = OptimizeAnnotation(q.node(), stats, opts);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  auto exchanges = Exchanges(res.ValueOrDie().annotated_plan);
+  ASSERT_EQ(exchanges.size(), 1u);
+  EXPECT_EQ(exchanges[0].kind, PartitionSpec::Kind::kTemporal);
+  EXPECT_GE(exchanges[0].overlap, 600);
+}
+
+TEST(Optimizer, RejectsAlreadyAnnotatedPlan) {
+  Schema s = Schema::Of({{"K", ValueType::kInt64}});
+  Query q = Query::Input("S", s).Exchange(PartitionSpec::ByKeys({"K"}));
+  auto res = OptimizeAnnotation(q.node(), PlanStats(), OptimizerOptions());
+  EXPECT_FALSE(res.ok());
+}
+
+// The optimizer's annotation must execute correctly end to end.
+TEST(Optimizer, AnnotatedPlanExecutesCorrectly) {
+  Schema s = Schema::Of(
+      {{"UserId", ValueType::kInt64}, {"AdId", ValueType::kInt64}});
+  Query q = Query::Input("ClickLog", s).GroupApply({"AdId"}, [](Query g) {
+    return g.Window(3600).Count();
+  });
+  Rng rng(5);
+  std::vector<temporal::Event> clicks;
+  for (int i = 0; i < 3000; ++i) {
+    clicks.push_back(temporal::Event::Point(
+        rng.UniformInt(0, 86400),
+        {Value(rng.UniformInt(1, 50)), Value(rng.UniformInt(1, 8))}));
+  }
+
+  PlanStats stats;
+  stats.input_rows["ClickLog"] = clicks.size();
+  stats.distinct_values["AdId"] = 8;
+  auto res = OptimizeAnnotation(q.node(), stats, OptimizerOptions());
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+
+  auto single = temporal::Executor::Execute(q.node(), {{"ClickLog", clicks}});
+  ASSERT_TRUE(single.ok());
+  mr::LocalCluster cluster(8, 2);
+  auto dist = RunPlanOnEvents(&cluster, res.ValueOrDie().annotated_plan,
+                              {{"ClickLog", {s, clicks}}});
+  ASSERT_TRUE(dist.ok()) << dist.status().ToString();
+  EXPECT_TRUE(temporal::SameTemporalRelation(single.ValueOrDie(),
+                                             dist.ValueOrDie().output));
+}
+
+// The full BT feature pipeline, annotated automatically, matches the
+// hand-annotated plan's output.
+TEST(Optimizer, AnnotatesBtPipeline) {
+  auto plan = bt::BtFeaturePipeline(bt::BtQueryConfig(), bt::Annotation::kNone);
+  PlanStats stats;
+  stats.input_rows[bt::kBtInput] = 1e7;
+  stats.distinct_values[bt::kColUserId] = 1e6;
+  stats.distinct_values[bt::kColKwAdId] = 1e5;
+  OptimizerOptions opts;
+  opts.machines = 100;
+  auto res = OptimizeAnnotation(plan.node(), stats, opts);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_GE(CountExchanges(res.ValueOrDie().annotated_plan), 1);
+  // The annotation must at least be fragmentable (consistent keys).
+  auto frags = MakeFragments(res.ValueOrDie().annotated_plan);
+  ASSERT_TRUE(frags.ok()) << frags.status().ToString();
+}
+
+}  // namespace
+}  // namespace timr::framework

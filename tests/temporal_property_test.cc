@@ -1,0 +1,269 @@
+// Property tests: the engine's output must match independent brute-force
+// reference implementations of the temporal algebra across randomized inputs
+// (parameterized sweeps over seed, cardinality, window size and key space).
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "mr/cluster.h"
+#include "temporal/executor.h"
+#include "temporal/query.h"
+#include "timr/timr.h"
+
+namespace timr::temporal {
+namespace {
+
+Schema KV() {
+  return Schema::Of({{"K", ValueType::kInt64}, {"V", ValueType::kInt64}});
+}
+
+std::vector<Event> RandomPoints(int n, int64_t horizon, int64_t keys,
+                                uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Event> events;
+  events.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    events.push_back(Event::Point(
+        rng.UniformInt(0, horizon),
+        {Value(rng.UniformInt(0, keys - 1)), Value(rng.UniformInt(0, 50))}));
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) { return a.le < b.le; });
+  return events;
+}
+
+// Brute-force reference for per-key windowed aggregates: enumerate every
+// snapshot boundary and recompute the aggregate from scratch.
+std::vector<Event> ReferenceGroupedAgg(const std::vector<Event>& points,
+                                       Timestamp w, AggKind kind) {
+  std::map<int64_t, std::vector<const Event*>> by_key;
+  for (const Event& e : points) by_key[e.payload[0].AsInt64()].push_back(&e);
+  std::vector<Event> out;
+  for (auto& [key, events] : by_key) {
+    std::set<Timestamp> boundaries;
+    for (const Event* e : events) {
+      boundaries.insert(e->le);
+      boundaries.insert(e->le + w);
+    }
+    std::vector<Timestamp> b(boundaries.begin(), boundaries.end());
+    for (size_t i = 0; i + 1 <= b.size(); ++i) {
+      const Timestamp lo = b[i];
+      const Timestamp hi = i + 1 < b.size() ? b[i + 1] : lo + 1;
+      if (lo >= hi) continue;
+      // Aggregate over events active at `lo` (constant until hi).
+      int64_t count = 0;
+      double sum = 0, mn = 1e300, mx = -1e300;
+      for (const Event* e : events) {
+        if (e->le <= lo && lo < e->le + w) {
+          ++count;
+          const double v = e->payload[1].AsNumeric();
+          sum += v;
+          mn = std::min(mn, v);
+          mx = std::max(mx, v);
+        }
+      }
+      if (count == 0) continue;
+      Value result;
+      switch (kind) {
+        case AggKind::kCount: result = Value(count); break;
+        case AggKind::kSum: result = Value(sum); break;
+        case AggKind::kMin: result = Value(mn); break;
+        case AggKind::kMax: result = Value(mx); break;
+        case AggKind::kAvg: result = Value(sum / count); break;
+      }
+      out.push_back(Event(lo, hi, {Value(key), result}));
+    }
+  }
+  return out;
+}
+
+// ---------- Parameterized aggregate sweep ----------
+
+struct AggCase {
+  uint64_t seed;
+  int n;
+  int64_t keys;
+  Timestamp window;
+  AggKind kind;
+};
+
+class GroupedAggProperty : public ::testing::TestWithParam<AggCase> {};
+
+TEST_P(GroupedAggProperty, MatchesBruteForce) {
+  const AggCase& c = GetParam();
+  auto events = RandomPoints(c.n, /*horizon=*/400, c.keys, c.seed);
+
+  AggregateSpec spec;
+  spec.kind = c.kind;
+  spec.value_column = "V";
+  spec.output_name = "agg";
+  Query q = Query::Input("S", KV()).GroupApply({"K"}, [&](Query g) {
+    return g.Window(c.window).Aggregate(spec);
+  });
+  auto got = Executor::Execute(q.node(), {{"S", events}});
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+
+  auto expected = ReferenceGroupedAgg(events, c.window, c.kind);
+  EXPECT_TRUE(SameTemporalRelation(got.ValueOrDie(), expected))
+      << "seed=" << c.seed << " n=" << c.n << " w=" << c.window;
+}
+
+std::vector<AggCase> AggCases() {
+  std::vector<AggCase> cases;
+  uint64_t seed = 1;
+  for (AggKind kind : {AggKind::kCount, AggKind::kSum, AggKind::kMin,
+                       AggKind::kMax, AggKind::kAvg}) {
+    for (Timestamp w : {1, 3, 17, 100}) {
+      for (int n : {1, 13, 120}) {
+        cases.push_back({seed++, n, 4, w, kind});
+      }
+    }
+  }
+  // A few high-collision cases (many simultaneous timestamps).
+  cases.push_back({97, 200, 2, 5, AggKind::kCount});
+  cases.push_back({98, 200, 1, 50, AggKind::kMax});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GroupedAggProperty,
+                         ::testing::ValuesIn(AggCases()));
+
+// ---------- Parameterized join sweep ----------
+
+struct JoinCase {
+  uint64_t seed;
+  int n;
+  int64_t keys;
+  Timestamp lw, rw;  // window applied to each side
+};
+
+class JoinProperty : public ::testing::TestWithParam<JoinCase> {};
+
+TEST_P(JoinProperty, MatchesBruteForce) {
+  const JoinCase& c = GetParam();
+  auto left = RandomPoints(c.n, 300, c.keys, c.seed);
+  auto right = RandomPoints(c.n, 300, c.keys, c.seed + 1000);
+
+  Query q = Query::TemporalJoin(Query::Input("L", KV()).Window(c.lw),
+                                Query::Input("R", KV()).Window(c.rw), {"K"},
+                                {"K"});
+  auto got = Executor::Execute(q.node(), {{"L", left}, {"R", right}});
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+
+  std::vector<Event> expected;
+  for (const Event& l : left) {
+    for (const Event& r : right) {
+      if (l.payload[0] != r.payload[0]) continue;
+      const Timestamp le = std::max(l.le, r.le);
+      const Timestamp re = std::min(l.le + c.lw, r.le + c.rw);
+      if (le >= re) continue;
+      Row payload = l.payload;
+      payload.insert(payload.end(), r.payload.begin(), r.payload.end());
+      expected.push_back(Event(le, re, std::move(payload)));
+    }
+  }
+  EXPECT_TRUE(SameTemporalRelation(got.ValueOrDie(), expected))
+      << "seed=" << c.seed;
+}
+
+std::vector<JoinCase> JoinCases() {
+  std::vector<JoinCase> cases;
+  uint64_t seed = 11;
+  for (Timestamp lw : {2, 20}) {
+    for (Timestamp rw : {2, 20, 150}) {
+      for (int n : {5, 40, 90}) cases.push_back({seed++, n, 3, lw, rw});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, JoinProperty, ::testing::ValuesIn(JoinCases()));
+
+// ---------- Parameterized anti-semi-join sweep ----------
+
+class AsjProperty : public ::testing::TestWithParam<JoinCase> {};
+
+TEST_P(AsjProperty, MatchesBruteForce) {
+  const JoinCase& c = GetParam();
+  auto left = RandomPoints(c.n, 300, c.keys, c.seed);
+  auto right = RandomPoints(c.n / 2 + 1, 300, c.keys, c.seed + 500);
+
+  Query q = Query::AntiSemiJoin(Query::Input("L", KV()),
+                                Query::Input("R", KV()).Window(c.rw), {"K"},
+                                {"K"});
+  auto got = Executor::Execute(q.node(), {{"L", left}, {"R", right}});
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+
+  std::vector<Event> expected;
+  for (const Event& l : left) {
+    bool covered = false;
+    for (const Event& r : right) {
+      if (l.payload[0] == r.payload[0] && r.le <= l.le && l.le < r.le + c.rw) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) expected.push_back(l);
+  }
+  EXPECT_TRUE(SameTemporalRelation(got.ValueOrDie(), expected))
+      << "seed=" << c.seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AsjProperty, ::testing::ValuesIn(JoinCases()));
+
+// ---------- TiMR equivalence sweep ----------
+
+struct TimrCase {
+  uint64_t seed;
+  int machines;
+  bool temporal_partitioning;
+};
+
+class TimrEquivalence : public ::testing::TestWithParam<TimrCase> {};
+
+TEST_P(TimrEquivalence, DistributedMatchesSingleNode) {
+  const TimrCase& c = GetParam();
+  auto events = RandomPoints(800, 6 * kHour, 12, c.seed);
+
+  Query plain = Query::Input("S", KV()).GroupApply({"K"}, [](Query g) {
+    return g.Window(600).Count();
+  });
+  Query annotated =
+      c.temporal_partitioning
+          ? Query::Input("S", KV())
+                .Exchange(PartitionSpec::ByTime(30 * kMinute, 600))
+                .GroupApply({"K"},
+                            [](Query g) { return g.Window(600).Count(); })
+          : Query::Input("S", KV())
+                .Exchange(PartitionSpec::ByKeys({"K"}))
+                .GroupApply({"K"},
+                            [](Query g) { return g.Window(600).Count(); });
+
+  auto single = Executor::Execute(plain.node(), {{"S", events}});
+  ASSERT_TRUE(single.ok());
+  mr::LocalCluster cluster(c.machines, 2);
+  auto dist = framework::RunPlanOnEvents(&cluster, annotated.node(),
+                                         {{"S", {KV(), events}}});
+  ASSERT_TRUE(dist.ok()) << dist.status().ToString();
+  EXPECT_TRUE(
+      SameTemporalRelation(single.ValueOrDie(), dist.ValueOrDie().output))
+      << "seed=" << c.seed << " machines=" << c.machines
+      << " temporal=" << c.temporal_partitioning;
+}
+
+std::vector<TimrCase> TimrCases() {
+  std::vector<TimrCase> cases;
+  uint64_t seed = 21;
+  for (int machines : {1, 3, 8, 32}) {
+    for (bool temporal : {false, true}) cases.push_back({seed++, machines, temporal});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TimrEquivalence,
+                         ::testing::ValuesIn(TimrCases()));
+
+}  // namespace
+}  // namespace timr::temporal

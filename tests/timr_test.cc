@@ -1,0 +1,179 @@
+// TiMR framework tests: fragment extraction, M-R execution equivalence with
+// single-node execution, temporal partitioning, failure-restart repeatability.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "mr/cluster.h"
+#include "temporal/executor.h"
+#include "temporal/query.h"
+#include "timr/timr.h"
+
+namespace timr::framework {
+namespace {
+
+using temporal::Event;
+using temporal::Executor;
+using temporal::kHour;
+using temporal::PartitionSpec;
+using temporal::Query;
+using temporal::SameTemporalRelation;
+using temporal::Timestamp;
+
+Schema ClickSchema() {
+  return Schema::Of({{"UserId", ValueType::kInt64}, {"AdId", ValueType::kInt64}});
+}
+
+// Synthetic click log: `n` events over `horizon` seconds, `ads` ad ids.
+std::vector<Event> MakeClicks(int n, Timestamp horizon, int ads, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Event> events;
+  events.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    events.push_back(Event::Point(
+        rng.UniformInt(0, horizon),
+        {Value(rng.UniformInt(1, 1000)), Value(rng.UniformInt(1, ads))}));
+  }
+  return events;
+}
+
+// The paper's RunningClickCount (Example 1): per-ad click count over a
+// 6-hour window, here annotated with an exchange on AdId (Figure 7).
+Query RunningClickCount(bool annotated) {
+  Query input = Query::Input("ClickLog", ClickSchema());
+  if (annotated) input = input.Exchange(PartitionSpec::ByKeys({"AdId"}));
+  return input.GroupApply(
+      {"AdId"}, [](Query g) { return g.Window(6 * kHour).Count("ClickCount"); });
+}
+
+TEST(TimrFragments, SingleFragmentForRunningClickCount) {
+  auto frags = MakeFragments(RunningClickCount(true).node());
+  ASSERT_TRUE(frags.ok()) << frags.status().ToString();
+  ASSERT_EQ(frags.ValueOrDie().fragments.size(), 1u);
+  const Fragment& f = frags.ValueOrDie().fragments[0];
+  EXPECT_EQ(f.key.keys, std::vector<std::string>{"AdId"});
+  ASSERT_EQ(f.inputs.size(), 1u);
+  EXPECT_EQ(f.inputs[0], "ClickLog");
+  EXPECT_TRUE(f.input_is_external[0]);
+}
+
+TEST(TimrFragments, ConflictingKeysRejected) {
+  Query input = Query::Input("S", ClickSchema());
+  Query a = input.Exchange(PartitionSpec::ByKeys({"AdId"}));
+  Query b = input.Exchange(PartitionSpec::ByKeys({"UserId"}));
+  Query u = Query::Union(a, b);
+  auto frags = MakeFragments(u.node());
+  EXPECT_FALSE(frags.ok());
+}
+
+TEST(TimrExec, MatchesSingleNodeExecution) {
+  auto clicks = MakeClicks(2000, 2 * 24 * kHour, 20, /*seed=*/42);
+
+  auto single = Executor::Execute(RunningClickCount(false).node(),
+                                  {{"ClickLog", clicks}});
+  ASSERT_TRUE(single.ok()) << single.status().ToString();
+
+  mr::LocalCluster cluster(/*num_machines=*/8, /*num_threads=*/2);
+  auto dist = RunPlanOnEvents(&cluster, RunningClickCount(true).node(),
+                              {{"ClickLog", {ClickSchema(), clicks}}});
+  ASSERT_TRUE(dist.ok()) << dist.status().ToString();
+
+  EXPECT_GT(dist.ValueOrDie().output.size(), 0u);
+  EXPECT_TRUE(
+      SameTemporalRelation(single.ValueOrDie(), dist.ValueOrDie().output));
+}
+
+// A query with no payload partitioning key: global sliding-window count,
+// scaled out by time spans (paper §III-B).
+TEST(TimrExec, TemporalPartitioningMatchesSingleNode) {
+  auto clicks = MakeClicks(3000, 24 * kHour, 5, /*seed=*/7);
+  const Timestamp w = 30 * 60;  // 30-minute window, as in Figure 16
+
+  Query plain = Query::Input("ClickLog", ClickSchema()).Window(w).Count();
+  Query annotated =
+      Query::Input("ClickLog", ClickSchema())
+          .Exchange(PartitionSpec::ByTime(/*span_width=*/2 * kHour, w))
+          .Window(w)
+          .Count();
+
+  auto single = Executor::Execute(plain.node(), {{"ClickLog", clicks}});
+  ASSERT_TRUE(single.ok()) << single.status().ToString();
+
+  mr::LocalCluster cluster(8, 2);
+  auto dist = RunPlanOnEvents(&cluster, annotated.node(),
+                              {{"ClickLog", {ClickSchema(), clicks}}});
+  ASSERT_TRUE(dist.ok()) << dist.status().ToString();
+  EXPECT_GT(dist.ValueOrDie().job_stats.stages[0].partitions, 1);
+  EXPECT_TRUE(
+      SameTemporalRelation(single.ValueOrDie(), dist.ValueOrDie().output));
+}
+
+// Restarting a reducer must reproduce identical output (paper §III-C.1):
+// the temporal algebra plus canonical shuffle order make tasks deterministic.
+TEST(TimrExec, ReducerRestartIsRepeatable) {
+  auto clicks = MakeClicks(1000, 24 * kHour, 10, /*seed=*/3);
+
+  mr::LocalCluster cluster(4, 2);
+  auto baseline = RunPlanOnEvents(&cluster, RunningClickCount(true).node(),
+                                  {{"ClickLog", {ClickSchema(), clicks}}});
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  mr::FailureInjector injector;
+  injector.FailOnce("frag_0", 0);
+  injector.FailOnce("frag_0", 2);
+  cluster.set_failure_injector(&injector);
+  auto retried = RunPlanOnEvents(&cluster, RunningClickCount(true).node(),
+                                 {{"ClickLog", {ClickSchema(), clicks}}});
+  ASSERT_TRUE(retried.ok()) << retried.status().ToString();
+  EXPECT_TRUE(injector.empty()) << "injected failures did not fire";
+  EXPECT_GT(retried.ValueOrDie().job_stats.stages[0].restarted_tasks, 0);
+
+  // Identical, not merely equivalent: compare canonically sorted events.
+  auto a = baseline.ValueOrDie().output;
+  auto b = retried.ValueOrDie().output;
+  temporal::SortEventsCanonical(&a);
+  temporal::SortEventsCanonical(&b);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].le, b[i].le);
+    EXPECT_EQ(a[i].re, b[i].re);
+    EXPECT_EQ(a[i].payload, b[i].payload);
+  }
+}
+
+// Multi-stage plan: per-(user,ad) counts, then a per-ad aggregate over those —
+// requires a repartition between fragments.
+TEST(TimrExec, TwoFragmentPipeline) {
+  auto clicks = MakeClicks(1500, 24 * kHour, 8, /*seed=*/11);
+
+  auto build = [](bool annotated) {
+    Query input = Query::Input("ClickLog", ClickSchema());
+    if (annotated) {
+      input = input.Exchange(PartitionSpec::ByKeys({"UserId", "AdId"}));
+    }
+    Query per_user_ad = input.GroupApply({"UserId", "AdId"}, [](Query g) {
+      return g.Window(6 * kHour).Count("c");
+    });
+    if (annotated) {
+      per_user_ad = per_user_ad.Exchange(PartitionSpec::ByKeys({"AdId"}));
+    }
+    return per_user_ad.GroupApply(
+        {"AdId"}, [](Query g) { return g.Aggregate(
+            temporal::AggregateSpec::Max("c", "max_user_clicks")); });
+  };
+
+  auto single =
+      Executor::Execute(build(false).node(), {{"ClickLog", clicks}});
+  ASSERT_TRUE(single.ok()) << single.status().ToString();
+
+  mr::LocalCluster cluster(8, 2);
+  auto dist = RunPlanOnEvents(&cluster, build(true).node(),
+                              {{"ClickLog", {ClickSchema(), clicks}}});
+  ASSERT_TRUE(dist.ok()) << dist.status().ToString();
+  ASSERT_EQ(dist.ValueOrDie().fragments.fragments.size(), 2u);
+  EXPECT_TRUE(
+      SameTemporalRelation(single.ValueOrDie(), dist.ValueOrDie().output));
+}
+
+}  // namespace
+}  // namespace timr::framework

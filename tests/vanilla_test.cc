@@ -1,0 +1,167 @@
+// Tests for the §III-C.4 vanilla map-reduce transformation: a multi-input
+// fragment executed through the unified single-input rewrite must produce the
+// same temporal relation as the native multi-input stage.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "mr/cluster.h"
+#include "temporal/convert.h"
+#include "temporal/executor.h"
+#include "temporal/query.h"
+#include "timr/timr.h"
+#include "timr/vanilla.h"
+
+namespace timr::framework {
+namespace {
+
+using temporal::Event;
+using temporal::PartitionSpec;
+using temporal::Query;
+using temporal::SameTemporalRelation;
+
+Schema LeftSchema() {
+  return Schema::Of({{"K", ValueType::kInt64}, {"A", ValueType::kInt64}});
+}
+Schema RightSchema() {
+  return Schema::Of({{"B", ValueType::kInt64},
+                     {"K", ValueType::kInt64},
+                     {"C", ValueType::kInt64}});
+}
+
+std::vector<Event> RandomPoints(int n, int width, uint64_t seed, int key_col) {
+  Rng rng(seed);
+  std::vector<Event> events;
+  for (int i = 0; i < n; ++i) {
+    Row r;
+    for (int c = 0; c < width; ++c) r.push_back(Value(rng.UniformInt(0, 30)));
+    r[key_col] = Value(rng.UniformInt(0, 5));
+    events.push_back(Event::Point(rng.UniformInt(0, 500), std::move(r)));
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) { return a.le < b.le; });
+  return events;
+}
+
+// A keyed two-input fragment: join of two sources on K.
+Fragment TwoInputFragment() {
+  Query join = Query::TemporalJoin(Query::Input("L", LeftSchema()).Window(40),
+                                   Query::Input("R", RightSchema()).Window(25),
+                                   {"K"}, {"K"});
+  Fragment frag;
+  frag.name = "join_frag";
+  frag.root = join.node();
+  frag.key = PartitionSpec::ByKeys({"K"});
+  frag.inputs = {"L", "R"};
+  frag.input_is_external = {true, true};
+  return frag;
+}
+
+TEST(Vanilla, RewriteProducesSingleInputFragment) {
+  auto vanilla = ToVanillaFragment(TwoInputFragment(),
+                                   {LeftSchema(), RightSchema()});
+  ASSERT_TRUE(vanilla.ok()) << vanilla.status().ToString();
+  EXPECT_EQ(vanilla.ValueOrDie().fragment.inputs,
+            std::vector<std::string>{kUnifiedInput});
+  // Key column K must exist by name in the unified row schema.
+  EXPECT_TRUE(vanilla.ValueOrDie().unified_row_schema.HasField("K"));
+  EXPECT_TRUE(vanilla.ValueOrDie().unified_row_schema.HasField(kSrcColumn));
+}
+
+TEST(Vanilla, MatchesNativeMultiInputExecution) {
+  auto left = RandomPoints(300, 2, 1, 0);
+  auto right = RandomPoints(250, 3, 2, 1);
+
+  Fragment frag = TwoInputFragment();
+  mr::LocalCluster cluster(4, 2);
+  TimrOptions options;
+
+  // --- Native multi-input path. ---
+  std::map<std::string, mr::Dataset> store;
+  store["L"] = mr::Dataset::FromRows(
+      temporal::PointRowSchema(LeftSchema()),
+      temporal::RowsFromEvents(left, false).ValueOrDie());
+  store["R"] = mr::Dataset::FromRows(
+      temporal::PointRowSchema(RightSchema()),
+      temporal::RowsFromEvents(right, false).ValueOrDie());
+  FragmentStats stats;
+  auto native_stage = CompileFragment(
+      frag, {store.at("L").schema(), store.at("R").schema()}, 4, options,
+      {0, 0}, &stats);
+  ASSERT_TRUE(native_stage.ok()) << native_stage.status().ToString();
+  mr::StageStats sstats;
+  ASSERT_TRUE(cluster.RunStage(native_stage.ValueOrDie(), &store, &sstats).ok());
+  auto native_out = temporal::EventsFromRows(store.at("join_frag").schema(),
+                                             store.at("join_frag").Gather());
+  ASSERT_TRUE(native_out.ok());
+
+  // --- Vanilla single-input path. ---
+  auto vanilla = ToVanillaFragment(frag, {LeftSchema(), RightSchema()});
+  ASSERT_TRUE(vanilla.ok()) << vanilla.status().ToString();
+  auto unified = UnifyDatasets(
+      vanilla.ValueOrDie(), {&store.at("L"), &store.at("R")},
+      {store.at("L").schema(), store.at("R").schema()});
+  ASSERT_TRUE(unified.ok()) << unified.status().ToString();
+
+  std::map<std::string, mr::Dataset> vstore;
+  vstore[kUnifiedInput] = unified.ValueOrDie();
+  FragmentStats vstats;
+  Fragment vfrag = vanilla.ValueOrDie().fragment;
+  vfrag.name = "vanilla_frag";
+  auto vanilla_stage =
+      CompileFragment(vfrag, {vanilla.ValueOrDie().unified_row_schema}, 4,
+                      options, {0, 0}, &vstats);
+  ASSERT_TRUE(vanilla_stage.ok()) << vanilla_stage.status().ToString();
+  mr::StageStats vsstats;
+  ASSERT_TRUE(
+      cluster.RunStage(vanilla_stage.ValueOrDie(), &vstore, &vsstats).ok());
+  auto vanilla_out =
+      temporal::EventsFromRows(vstore.at("vanilla_frag").schema(),
+                               vstore.at("vanilla_frag").Gather());
+  ASSERT_TRUE(vanilla_out.ok());
+
+  EXPECT_GT(native_out.ValueOrDie().size(), 0u);
+  EXPECT_TRUE(SameTemporalRelation(native_out.ValueOrDie(),
+                                   vanilla_out.ValueOrDie()));
+}
+
+TEST(Vanilla, SingleNodeSemanticsPreserved) {
+  // The rewritten plan run on the unified *events* equals the original plan
+  // run on the separate sources (engine-level check, no cluster).
+  auto left = RandomPoints(120, 2, 7, 0);
+  auto right = RandomPoints(100, 3, 8, 1);
+  Fragment frag = TwoInputFragment();
+  auto vanilla = ToVanillaFragment(frag, {LeftSchema(), RightSchema()});
+  ASSERT_TRUE(vanilla.ok());
+
+  auto original = temporal::Executor::Execute(frag.root,
+                                              {{"L", left}, {"R", right}});
+  ASSERT_TRUE(original.ok());
+
+  // Build unified events directly: [__Src, K, rest...].
+  std::vector<Event> unified;
+  for (const Event& e : left) {
+    unified.push_back(Event::Point(
+        e.le, {Value(int64_t{0}), e.payload[0], e.payload[1]}));
+  }
+  for (const Event& e : right) {
+    unified.push_back(Event::Point(
+        e.le,
+        {Value(int64_t{1}), e.payload[1], e.payload[0], e.payload[2]}));
+  }
+  auto rewritten = temporal::Executor::Execute(
+      vanilla.ValueOrDie().fragment.root, {{kUnifiedInput, unified}});
+  ASSERT_TRUE(rewritten.ok()) << rewritten.status().ToString();
+  EXPECT_TRUE(SameTemporalRelation(original.ValueOrDie(),
+                                   rewritten.ValueOrDie()));
+}
+
+TEST(Vanilla, MissingKeyColumnRejected) {
+  Fragment frag = TwoInputFragment();
+  frag.key = PartitionSpec::ByKeys({"NotThere"});
+  auto vanilla = ToVanillaFragment(frag, {LeftSchema(), RightSchema()});
+  EXPECT_FALSE(vanilla.ok());
+}
+
+}  // namespace
+}  // namespace timr::framework

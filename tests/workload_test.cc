@@ -1,0 +1,133 @@
+// Workload generator tests: determinism, structural properties the
+// experiments rely on, and the planted ground truth.
+
+#include <gtest/gtest.h>
+
+#include "bt/schema.h"
+#include "workload/generator.h"
+
+namespace timr::workload {
+namespace {
+
+GeneratorConfig TinyConfig() {
+  GeneratorConfig cfg;
+  cfg.num_users = 200;
+  cfg.vocab_size = 2000;
+  cfg.duration = 2 * temporal::kDay;
+  cfg.num_ad_classes = 3;
+  return cfg;
+}
+
+TEST(Generator, DeterministicInSeed) {
+  auto a = GenerateBtLog(TinyConfig());
+  auto b = GenerateBtLog(TinyConfig());
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].le, b.events[i].le);
+    EXPECT_EQ(a.events[i].payload, b.events[i].payload);
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  auto a = GenerateBtLog(TinyConfig());
+  GeneratorConfig cfg = TinyConfig();
+  cfg.seed = 999;
+  auto b = GenerateBtLog(cfg);
+  EXPECT_NE(a.events.size(), b.events.size());
+}
+
+TEST(Generator, EventsSortedAndWellFormed) {
+  auto log = GenerateBtLog(TinyConfig());
+  ASSERT_GT(log.events.size(), 1000u);
+  temporal::Timestamp last = temporal::kMinTime;
+  for (const auto& e : log.events) {
+    EXPECT_TRUE(e.IsPoint());
+    EXPECT_GE(e.le, last);
+    EXPECT_GE(e.le, 1);  // t=0 would straddle the hopping-grid origin
+    last = e.le;
+    ASSERT_EQ(e.payload.size(), 3u);
+    const int64_t stream = e.payload[0].AsInt64();
+    EXPECT_TRUE(stream == bt::kStreamImpression || stream == bt::kStreamClick ||
+                stream == bt::kStreamKeyword);
+  }
+}
+
+TEST(Generator, ClicksFollowImpressionsWithinHorizon) {
+  auto log = GenerateBtLog(TinyConfig());
+  // Every (user, ad) click must have an impression within the preceding
+  // 4 minutes (the generator's max_click_delay), so the pipeline's 5-minute
+  // non-click detector can pair them.
+  std::map<std::pair<int64_t, int64_t>, std::vector<temporal::Timestamp>> imps;
+  for (const auto& e : log.events) {
+    if (e.payload[0].AsInt64() == bt::kStreamImpression) {
+      imps[{e.payload[1].AsInt64(), e.payload[2].AsInt64()}].push_back(e.le);
+    }
+  }
+  int checked = 0;
+  for (const auto& e : log.events) {
+    if (e.payload[0].AsInt64() != bt::kStreamClick) continue;
+    auto it = imps.find({e.payload[1].AsInt64(), e.payload[2].AsInt64()});
+    ASSERT_NE(it, imps.end());
+    bool found = false;
+    for (temporal::Timestamp t : it->second) {
+      if (t < e.le && e.le - t <= 4 * temporal::kMinute) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "orphan click at " << e.le;
+    ++checked;
+  }
+  EXPECT_GT(checked, 50);
+}
+
+TEST(Generator, GroundTruthIsConsistent) {
+  auto log = GenerateBtLog(TinyConfig());
+  ASSERT_EQ(log.truth.ad_classes.size(), 3u);
+  for (const auto& cls : log.truth.ad_classes) {
+    EXPECT_FALSE(cls.name.empty());
+    for (const auto& [kw, lift] : cls.pos_keywords) EXPECT_GT(lift, 1.0);
+    for (const auto& [kw, lift] : cls.neg_keywords) EXPECT_LT(lift, 1.0);
+  }
+  // Planted keywords have names; background keywords render as kw<i>.
+  const auto& any_pos = *log.truth.ad_classes[0].pos_keywords.begin();
+  EXPECT_NE(log.truth.KeywordName(any_pos.first).substr(0, 2), "kw");
+  EXPECT_EQ(log.truth.KeywordName(1999999), "kw1999999");
+  // The Example 2 trend keyword exists and is a deodorant positive.
+  ASSERT_GE(log.truth.spike_keyword, 0);
+  EXPECT_TRUE(
+      log.truth.ad_classes[0].pos_keywords.count(log.truth.spike_keyword));
+}
+
+TEST(Generator, TrendSpikeRaisesKeywordVolume) {
+  GeneratorConfig cfg = TinyConfig();
+  cfg.duration = 5 * temporal::kDay;
+  cfg.spike_start = 3 * temporal::kDay;
+  cfg.spike_end = 4 * temporal::kDay;
+  auto log = GenerateBtLog(cfg);
+  size_t in_spike = 0, outside = 0;
+  for (const auto& e : log.events) {
+    if (e.payload[0].AsInt64() != bt::kStreamKeyword) continue;
+    if (e.payload[2].AsInt64() != log.truth.spike_keyword) continue;
+    if (e.le >= cfg.spike_start && e.le < cfg.spike_end) {
+      ++in_spike;
+    } else {
+      ++outside;
+    }
+  }
+  // One day of spike vs four normal days: the spike day alone must beat the
+  // rest combined (paper Example 2's "icarly" surge).
+  EXPECT_GT(in_spike, outside);
+}
+
+TEST(SplitByTime, HalvesAtMidpoint) {
+  auto log = GenerateBtLog(TinyConfig());
+  auto [train, test] = SplitByTime(log.events);
+  EXPECT_GT(train.size(), log.events.size() / 4);
+  EXPECT_GT(test.size(), log.events.size() / 4);
+  EXPECT_EQ(train.size() + test.size(), log.events.size());
+  EXPECT_LT(train.back().le, test.front().le + 1);
+}
+
+}  // namespace
+}  // namespace timr::workload
