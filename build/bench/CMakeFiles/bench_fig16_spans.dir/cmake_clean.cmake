@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_spans.dir/bench_fig16_spans.cc.o"
+  "CMakeFiles/bench_fig16_spans.dir/bench_fig16_spans.cc.o.d"
+  "bench_fig16_spans"
+  "bench_fig16_spans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_spans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

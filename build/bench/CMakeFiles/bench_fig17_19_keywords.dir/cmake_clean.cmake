@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_19_keywords.dir/bench_fig17_19_keywords.cc.o"
+  "CMakeFiles/bench_fig17_19_keywords.dir/bench_fig17_19_keywords.cc.o.d"
+  "bench_fig17_19_keywords"
+  "bench_fig17_19_keywords.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_19_keywords.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

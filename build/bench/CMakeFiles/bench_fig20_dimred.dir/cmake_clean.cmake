@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_dimred.dir/bench_fig20_dimred.cc.o"
+  "CMakeFiles/bench_fig20_dimred.dir/bench_fig20_dimred.cc.o.d"
+  "bench_fig20_dimred"
+  "bench_fig20_dimred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_dimred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig21_ctr_lift.dir/bench_fig21_ctr_lift.cc.o"
+  "CMakeFiles/bench_fig21_ctr_lift.dir/bench_fig21_ctr_lift.cc.o.d"
+  "bench_fig21_ctr_lift"
+  "bench_fig21_ctr_lift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_ctr_lift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig22_23_curves.cc" "bench/CMakeFiles/bench_fig22_23_curves.dir/bench_fig22_23_curves.cc.o" "gcc" "bench/CMakeFiles/bench_fig22_23_curves.dir/bench_fig22_23_curves.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bt/CMakeFiles/timr_bt.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/timr_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/timr/CMakeFiles/timr_timr.dir/DependInfo.cmake"
+  "/root/repo/build/src/mr/CMakeFiles/timr_mr.dir/DependInfo.cmake"
+  "/root/repo/build/src/temporal/CMakeFiles/timr_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/timr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/behavioral_targeting.dir/behavioral_targeting.cpp.o"
+  "CMakeFiles/behavioral_targeting.dir/behavioral_targeting.cpp.o.d"
+  "behavioral_targeting"
+  "behavioral_targeting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/behavioral_targeting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

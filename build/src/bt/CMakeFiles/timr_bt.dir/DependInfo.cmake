@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bt/custom_reducers.cc" "src/bt/CMakeFiles/timr_bt.dir/custom_reducers.cc.o" "gcc" "src/bt/CMakeFiles/timr_bt.dir/custom_reducers.cc.o.d"
+  "/root/repo/src/bt/evaluation.cc" "src/bt/CMakeFiles/timr_bt.dir/evaluation.cc.o" "gcc" "src/bt/CMakeFiles/timr_bt.dir/evaluation.cc.o.d"
+  "/root/repo/src/bt/model.cc" "src/bt/CMakeFiles/timr_bt.dir/model.cc.o" "gcc" "src/bt/CMakeFiles/timr_bt.dir/model.cc.o.d"
+  "/root/repo/src/bt/queries.cc" "src/bt/CMakeFiles/timr_bt.dir/queries.cc.o" "gcc" "src/bt/CMakeFiles/timr_bt.dir/queries.cc.o.d"
+  "/root/repo/src/bt/reduction.cc" "src/bt/CMakeFiles/timr_bt.dir/reduction.cc.o" "gcc" "src/bt/CMakeFiles/timr_bt.dir/reduction.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/timr/CMakeFiles/timr_timr.dir/DependInfo.cmake"
+  "/root/repo/build/src/temporal/CMakeFiles/timr_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/mr/CMakeFiles/timr_mr.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/timr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timr_bt.dir/custom_reducers.cc.o"
+  "CMakeFiles/timr_bt.dir/custom_reducers.cc.o.d"
+  "CMakeFiles/timr_bt.dir/evaluation.cc.o"
+  "CMakeFiles/timr_bt.dir/evaluation.cc.o.d"
+  "CMakeFiles/timr_bt.dir/model.cc.o"
+  "CMakeFiles/timr_bt.dir/model.cc.o.d"
+  "CMakeFiles/timr_bt.dir/queries.cc.o"
+  "CMakeFiles/timr_bt.dir/queries.cc.o.d"
+  "CMakeFiles/timr_bt.dir/reduction.cc.o"
+  "CMakeFiles/timr_bt.dir/reduction.cc.o.d"
+  "libtimr_bt.a"
+  "libtimr_bt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timr_bt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

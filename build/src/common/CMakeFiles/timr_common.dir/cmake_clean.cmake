@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timr_common.dir/row.cc.o"
+  "CMakeFiles/timr_common.dir/row.cc.o.d"
+  "CMakeFiles/timr_common.dir/status.cc.o"
+  "CMakeFiles/timr_common.dir/status.cc.o.d"
+  "CMakeFiles/timr_common.dir/thread_pool.cc.o"
+  "CMakeFiles/timr_common.dir/thread_pool.cc.o.d"
+  "libtimr_common.a"
+  "libtimr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

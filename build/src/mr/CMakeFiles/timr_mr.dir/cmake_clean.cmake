@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timr_mr.dir/cluster.cc.o"
+  "CMakeFiles/timr_mr.dir/cluster.cc.o.d"
+  "CMakeFiles/timr_mr.dir/stage.cc.o"
+  "CMakeFiles/timr_mr.dir/stage.cc.o.d"
+  "libtimr_mr.a"
+  "libtimr_mr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timr_mr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

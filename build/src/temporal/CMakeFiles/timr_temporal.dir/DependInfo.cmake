@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/temporal/aggregate.cc" "src/temporal/CMakeFiles/timr_temporal.dir/aggregate.cc.o" "gcc" "src/temporal/CMakeFiles/timr_temporal.dir/aggregate.cc.o.d"
+  "/root/repo/src/temporal/convert.cc" "src/temporal/CMakeFiles/timr_temporal.dir/convert.cc.o" "gcc" "src/temporal/CMakeFiles/timr_temporal.dir/convert.cc.o.d"
+  "/root/repo/src/temporal/event.cc" "src/temporal/CMakeFiles/timr_temporal.dir/event.cc.o" "gcc" "src/temporal/CMakeFiles/timr_temporal.dir/event.cc.o.d"
+  "/root/repo/src/temporal/executor.cc" "src/temporal/CMakeFiles/timr_temporal.dir/executor.cc.o" "gcc" "src/temporal/CMakeFiles/timr_temporal.dir/executor.cc.o.d"
+  "/root/repo/src/temporal/plan.cc" "src/temporal/CMakeFiles/timr_temporal.dir/plan.cc.o" "gcc" "src/temporal/CMakeFiles/timr_temporal.dir/plan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/timr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timr_temporal.dir/aggregate.cc.o"
+  "CMakeFiles/timr_temporal.dir/aggregate.cc.o.d"
+  "CMakeFiles/timr_temporal.dir/convert.cc.o"
+  "CMakeFiles/timr_temporal.dir/convert.cc.o.d"
+  "CMakeFiles/timr_temporal.dir/event.cc.o"
+  "CMakeFiles/timr_temporal.dir/event.cc.o.d"
+  "CMakeFiles/timr_temporal.dir/executor.cc.o"
+  "CMakeFiles/timr_temporal.dir/executor.cc.o.d"
+  "CMakeFiles/timr_temporal.dir/plan.cc.o"
+  "CMakeFiles/timr_temporal.dir/plan.cc.o.d"
+  "libtimr_temporal.a"
+  "libtimr_temporal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timr_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

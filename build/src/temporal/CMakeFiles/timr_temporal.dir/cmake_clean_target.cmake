@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtimr_temporal.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timr/fragments.cc" "src/timr/CMakeFiles/timr_timr.dir/fragments.cc.o" "gcc" "src/timr/CMakeFiles/timr_timr.dir/fragments.cc.o.d"
+  "/root/repo/src/timr/live_pipeline.cc" "src/timr/CMakeFiles/timr_timr.dir/live_pipeline.cc.o" "gcc" "src/timr/CMakeFiles/timr_timr.dir/live_pipeline.cc.o.d"
+  "/root/repo/src/timr/optimizer.cc" "src/timr/CMakeFiles/timr_timr.dir/optimizer.cc.o" "gcc" "src/timr/CMakeFiles/timr_timr.dir/optimizer.cc.o.d"
+  "/root/repo/src/timr/timr.cc" "src/timr/CMakeFiles/timr_timr.dir/timr.cc.o" "gcc" "src/timr/CMakeFiles/timr_timr.dir/timr.cc.o.d"
+  "/root/repo/src/timr/vanilla.cc" "src/timr/CMakeFiles/timr_timr.dir/vanilla.cc.o" "gcc" "src/timr/CMakeFiles/timr_timr.dir/vanilla.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/temporal/CMakeFiles/timr_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/mr/CMakeFiles/timr_mr.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/timr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

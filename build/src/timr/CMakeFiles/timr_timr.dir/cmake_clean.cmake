@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timr_timr.dir/fragments.cc.o"
+  "CMakeFiles/timr_timr.dir/fragments.cc.o.d"
+  "CMakeFiles/timr_timr.dir/live_pipeline.cc.o"
+  "CMakeFiles/timr_timr.dir/live_pipeline.cc.o.d"
+  "CMakeFiles/timr_timr.dir/optimizer.cc.o"
+  "CMakeFiles/timr_timr.dir/optimizer.cc.o.d"
+  "CMakeFiles/timr_timr.dir/timr.cc.o"
+  "CMakeFiles/timr_timr.dir/timr.cc.o.d"
+  "CMakeFiles/timr_timr.dir/vanilla.cc.o"
+  "CMakeFiles/timr_timr.dir/vanilla.cc.o.d"
+  "libtimr_timr.a"
+  "libtimr_timr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timr_timr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

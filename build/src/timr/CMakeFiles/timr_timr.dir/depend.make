@@ -1,0 +1,2 @@
+# Empty dependencies file for timr_timr.
+# This may be replaced when dependencies are built.

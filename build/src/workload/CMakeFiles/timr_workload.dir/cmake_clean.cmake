@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timr_workload.dir/generator.cc.o"
+  "CMakeFiles/timr_workload.dir/generator.cc.o.d"
+  "libtimr_workload.a"
+  "libtimr_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timr_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

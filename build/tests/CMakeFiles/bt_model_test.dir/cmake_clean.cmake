@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bt_model_test.dir/bt_model_test.cc.o"
+  "CMakeFiles/bt_model_test.dir/bt_model_test.cc.o.d"
+  "bt_model_test"
+  "bt_model_test.pdb"
+  "bt_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bt_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

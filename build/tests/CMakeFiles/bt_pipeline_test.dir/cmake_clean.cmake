@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bt_pipeline_test.dir/bt_pipeline_test.cc.o"
+  "CMakeFiles/bt_pipeline_test.dir/bt_pipeline_test.cc.o.d"
+  "bt_pipeline_test"
+  "bt_pipeline_test.pdb"
+  "bt_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bt_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temporal_operator_test.dir/temporal_operator_test.cc.o"
+  "CMakeFiles/temporal_operator_test.dir/temporal_operator_test.cc.o.d"
+  "temporal_operator_test"
+  "temporal_operator_test.pdb"
+  "temporal_operator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temporal_operator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

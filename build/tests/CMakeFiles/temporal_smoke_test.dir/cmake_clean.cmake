@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temporal_smoke_test.dir/temporal_smoke_test.cc.o"
+  "CMakeFiles/temporal_smoke_test.dir/temporal_smoke_test.cc.o.d"
+  "temporal_smoke_test"
+  "temporal_smoke_test.pdb"
+  "temporal_smoke_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temporal_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

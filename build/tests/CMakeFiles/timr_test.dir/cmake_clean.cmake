@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timr_test.dir/timr_test.cc.o"
+  "CMakeFiles/timr_test.dir/timr_test.cc.o.d"
+  "timr_test"
+  "timr_test.pdb"
+  "timr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vanilla_test.dir/vanilla_test.cc.o"
+  "CMakeFiles/vanilla_test.dir/vanilla_test.cc.o.d"
+  "vanilla_test"
+  "vanilla_test.pdb"
+  "vanilla_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vanilla_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

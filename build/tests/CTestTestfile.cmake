@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/temporal_smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/timr_test[1]_include.cmake")
+include("/root/repo/build/tests/bt_pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/optimizer_test[1]_include.cmake")
+include("/root/repo/build/tests/temporal_operator_test[1]_include.cmake")
+include("/root/repo/build/tests/temporal_property_test[1]_include.cmake")
+include("/root/repo/build/tests/mr_cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/bt_model_test[1]_include.cmake")
+include("/root/repo/build/tests/live_pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/vanilla_test[1]_include.cmake")
