@@ -12,6 +12,7 @@
 
 #include "bench/bench_util.h"
 #include "bt/custom_reducers.h"
+#include "common/stopwatch.h"
 #include "mr/cluster.h"
 #include "temporal/convert.h"
 #include "timr/timr.h"
@@ -77,11 +78,15 @@ int main() {
   store[bt::kBtInput] =
       mr::Dataset::FromRows(T::PointRowSchema(bt::UnifiedSchema()), rows);
 
+  Stopwatch host;
   auto custom = bt::RunCustomBtJob(&cluster, &store, cfg);
+  const double custom_wall = host.ElapsedSeconds();
   TIMR_CHECK(custom.ok()) << custom.status().ToString();
   const double custom_s = custom.ValueOrDie().job_stats.TotalSimulatedSeconds();
 
+  host.Restart();
   auto timr_run = framework::RunPlan(&cluster, plan, &store);
+  const double timr_wall = host.ElapsedSeconds();
   TIMR_CHECK(timr_run.ok()) << timr_run.status().ToString();
   const double timr_s = timr_run.ValueOrDie().job_stats.TotalSimulatedSeconds();
 
@@ -90,6 +95,20 @@ int main() {
   std::printf("%-28s %8.2f s   (paper: 4.07 h)\n", "TiMR", timr_s);
   std::printf("%-28s %8.1f %%  (paper: < 10%%; generality overhead)\n",
               "TiMR overhead", (timr_s / custom_s - 1.0) * 100.0);
+  std::printf("\nhost wall-clock: custom %.2f s, TiMR %.2f s\n", custom_wall,
+              timr_wall);
+  std::printf("\nTiMR per-stage phase breakdown (host wall-clock)\n");
+  benchutil::PrintPhaseTable(timr_run.ValueOrDie().job_stats);
+  benchutil::AppendJobStatsJson("bench_fig14_effort",
+                                timr_run.ValueOrDie().job_stats);
+  benchutil::JsonLine("bench_fig14_effort")
+      .Str("stage", "summary")
+      .Int("rows_in", rows.size())
+      .Num("wall_seconds", timr_wall)
+      .Num("custom_wall_seconds", custom_wall)
+      .Num("simulated_seconds", timr_s)
+      .Num("custom_simulated_seconds", custom_s)
+      .Append();
 
   // --- Fragment optimization (Example 3 / §V-B). ---
   Header("Fragment optimization (Example 3): GenTrainData annotations");

@@ -29,8 +29,8 @@ int main() {
   std::printf("single-node execution: %.2f s (%zu output snapshots)\n\n",
               single_s, single.ValueOrDie().size());
 
-  std::printf("%-18s %8s %14s %10s %10s\n", "span width", "spans",
-              "simulated (s)", "speedup", "shuffle x");
+  std::printf("%-18s %8s %14s %10s %10s %10s\n", "span width", "spans",
+              "simulated (s)", "speedup", "shuffle x", "wall (s)");
   mr::LocalCluster cluster(machines);
   for (T::Timestamp span : {w / 8, w / 4, w / 2, w, 4 * w, 12 * w, 24 * w,
                             48 * w, 96 * w, 168 * w, 336 * w}) {
@@ -38,19 +38,32 @@ int main() {
                      .Exchange(T::PartitionSpec::ByTime(span, w))
                      .Window(w)
                      .Count();
+    sw.Restart();
     auto run = framework::RunPlanOnEvents(
         &cluster, q.node(),
         {{bt::kBtInput, {bt::UnifiedSchema(), log.events}}});
+    const double span_wall = sw.ElapsedSeconds();
     TIMR_CHECK(run.ok()) << run.status().ToString();
     const auto& st = run.ValueOrDie().job_stats.stages[0];
     const double sim = run.ValueOrDie().job_stats.TotalSimulatedSeconds();
     TIMR_CHECK(T::SameTemporalRelation(run.ValueOrDie().output,
                                        single.ValueOrDie()))
         << "span width " << span << " produced wrong output";
-    std::printf("%7lld min %8d %14.3f %9.1fx %9.2fx\n",
+    std::printf("%7lld min %8d %14.3f %9.1fx %9.2fx %10.3f\n",
                 static_cast<long long>(span / T::kMinute), st.partitions, sim,
                 single_s / sim,
-                static_cast<double>(st.rows_shuffled) / st.rows_in);
+                static_cast<double>(st.rows_shuffled) / st.rows_in, span_wall);
+    benchutil::JsonLine("bench_fig16_spans")
+        .Str("stage", "span_" + std::to_string(span / T::kMinute) + "min")
+        .Int("rows_in", st.rows_in)
+        .Int("rows_shuffled", st.rows_shuffled)
+        .Int("partitions", static_cast<long long>(st.partitions))
+        .Num("wall_seconds", span_wall)
+        .Num("map_shuffle_seconds", st.map_shuffle_seconds)
+        .Num("sort_seconds", st.sort_seconds)
+        .Num("reduce_seconds", st.reduce_seconds)
+        .Num("simulated_seconds", sim)
+        .Append();
   }
   benchutil::Note(
       "\npaper shape: an interior optimum — tiny spans pay overlap duplication\n"

@@ -8,6 +8,7 @@
 
 #include "bench/bench_util.h"
 #include "bt/reduction.h"
+#include "common/stopwatch.h"
 #include "temporal/executor.h"
 
 int main() {
@@ -18,11 +19,19 @@ int main() {
   auto log = workload::GenerateBtLog(benchutil::BenchWorkload());
   bt::BtQueryConfig cfg = benchutil::BenchBtConfig();
 
+  Stopwatch sw;
   auto out = T::Executor::Execute(
       bt::BtFeaturePipeline(cfg, bt::Annotation::kNone).node(),
       {{bt::kBtInput, log.events}});
+  const double pipeline_s = sw.ElapsedSeconds();
   TIMR_CHECK(out.ok()) << out.status().ToString();
   auto scores = bt::ScoresFromEvents(out.ValueOrDie());
+  benchutil::JsonLine("bench_fig17_19_keywords")
+      .Str("stage", "feature_pipeline")
+      .Int("rows_in", log.events.size())
+      .Int("scores", scores.size())
+      .Num("wall_seconds", pipeline_s)
+      .Append();
 
   auto truth_mark = [&](int64_t ad, int64_t kw) {
     const auto& cls = log.truth.ad_classes[ad];

@@ -4,6 +4,7 @@
 
 #include "bench/bench_util.h"
 #include "bt/reduction.h"
+#include "common/stopwatch.h"
 #include "temporal/executor.h"
 
 int main() {
@@ -14,11 +15,18 @@ int main() {
   auto log = workload::GenerateBtLog(benchutil::BenchWorkload());
   bt::BtQueryConfig cfg = benchutil::BenchBtConfig();
 
+  Stopwatch sw;
   auto out = T::Executor::Execute(
       bt::BtFeaturePipeline(cfg, bt::Annotation::kNone).node(),
       {{bt::kBtInput, log.events}});
+  const double pipeline_s = sw.ElapsedSeconds();
   TIMR_CHECK(out.ok()) << out.status().ToString();
   auto scores = bt::ScoresFromEvents(out.ValueOrDie());
+  benchutil::JsonLine("bench_fig20_dimred")
+      .Str("stage", "feature_pipeline")
+      .Int("rows_in", log.events.size())
+      .Num("wall_seconds", pipeline_s)
+      .Append();
 
   // Distinct keywords ever seen in any profile, per ad (the raw dimension).
   std::map<int64_t, size_t> raw;

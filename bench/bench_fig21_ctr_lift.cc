@@ -5,6 +5,7 @@
 
 #include "bench/bench_util.h"
 #include "bt/evaluation.h"
+#include "common/stopwatch.h"
 #include "temporal/executor.h"
 
 int main() {
@@ -16,11 +17,17 @@ int main() {
   bt::BtQueryConfig cfg = benchutil::BenchBtConfig();
   auto [train_events, test_events] = workload::SplitByTime(log.events);
 
+  Stopwatch sw;
   auto train_rows_q = bt::GenTrainData(
       bt::BotElimination(bt::BtInput(), cfg), cfg);
   auto scores_out = T::Executor::Execute(
       bt::BtFeaturePipeline(cfg, bt::Annotation::kNone).node(),
       {{bt::kBtInput, train_events}});
+  benchutil::JsonLine("bench_fig21_ctr_lift")
+      .Str("stage", "feature_pipeline")
+      .Int("rows_in", train_events.size())
+      .Num("wall_seconds", sw.ElapsedSeconds())
+      .Append();
   auto test_out =
       T::Executor::Execute(train_rows_q.node(), {{bt::kBtInput, test_events}});
   auto train_out =

@@ -4,6 +4,7 @@
 
 #include "bench/bench_util.h"
 #include "bt/evaluation.h"
+#include "common/stopwatch.h"
 #include "temporal/executor.h"
 
 int main() {
@@ -15,10 +16,16 @@ int main() {
   bt::BtQueryConfig cfg = benchutil::BenchBtConfig();
   auto [train_events, test_events] = workload::SplitByTime(log.events);
 
+  Stopwatch sw;
   auto rows_q = bt::GenTrainData(bt::BotElimination(bt::BtInput(), cfg), cfg);
   auto scores_out = T::Executor::Execute(
       bt::BtFeaturePipeline(cfg, bt::Annotation::kNone).node(),
       {{bt::kBtInput, train_events}});
+  benchutil::JsonLine("bench_fig22_23_curves")
+      .Str("stage", "feature_pipeline")
+      .Int("rows_in", train_events.size())
+      .Num("wall_seconds", sw.ElapsedSeconds())
+      .Append();
   auto train_out =
       T::Executor::Execute(rows_q.node(), {{bt::kBtInput, train_events}});
   auto test_out =

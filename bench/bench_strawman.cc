@@ -75,6 +75,12 @@ int main() {
     TIMR_CHECK(out.ok());
     std::printf("%10d %6d %16.3f %16.3f %8.1fx   (join rows: %zu)\n", n, 10,
                 rel_s, tmp_s, rel_s / tmp_s, join_rows);
+    benchutil::JsonLine("bench_strawman")
+        .Str("stage", "clicks_" + std::to_string(n))
+        .Int("rows_in", static_cast<size_t>(n))
+        .Num("wall_seconds", tmp_s)
+        .Num("relational_wall_seconds", rel_s)
+        .Append();
   }
   benchutil::Note(
       "\npaper shape: the relational plan's cost grows quadratically with\n"

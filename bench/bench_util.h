@@ -3,14 +3,21 @@
 // Each bench binary regenerates one table/figure of the paper's §V and prints
 // it in a comparable layout. Scale with TIMR_BENCH_SCALE (default 1.0): the
 // synthetic log grows linearly with it.
+//
+// Machine-readable mode: setting TIMR_BENCH_JSON=path makes every bench
+// append one JSON object per measured line to that file, so a perf
+// trajectory (BENCH_*.json) can be tracked across commits.
 
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "bt/queries.h"
+#include "mr/cluster.h"
 #include "workload/generator.h"
 
 namespace timr::benchutil {
@@ -48,5 +55,99 @@ inline void Header(const std::string& title) {
 }
 
 inline void Note(const std::string& text) { std::printf("%s\n", text.c_str()); }
+
+// ---------- Machine-readable bench output (TIMR_BENCH_JSON) ----------
+
+/// One JSON line, appended to $TIMR_BENCH_JSON (no-op when unset). Usage:
+///   JsonLine("bench_fig15").Str("stage", name).Num("wall_seconds", s).Append();
+class JsonLine {
+ public:
+  explicit JsonLine(const std::string& bench) {
+    os_ << "{\"bench\":";
+    Quote(bench);
+    Num("scale", BenchScale());
+  }
+
+  JsonLine& Str(const std::string& key, const std::string& value) {
+    Key(key);
+    Quote(value);
+    return *this;
+  }
+
+  JsonLine& Num(const std::string& key, double value) {
+    Key(key);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    os_ << buf;
+    return *this;
+  }
+
+  JsonLine& Int(const std::string& key, long long value) {
+    Key(key);
+    os_ << value;
+    return *this;
+  }
+
+  JsonLine& Int(const std::string& key, size_t value) {
+    return Int(key, static_cast<long long>(value));
+  }
+
+  void Append() {
+    const char* path = std::getenv("TIMR_BENCH_JSON");
+    if (path == nullptr || *path == '\0') return;
+    std::ofstream f(path, std::ios::app);
+    f << os_.str() << "}\n";
+  }
+
+ private:
+  void Key(const std::string& key) {
+    os_ << ',';
+    Quote(key);
+    os_ << ':';
+  }
+
+  void Quote(const std::string& s) {
+    os_ << '"';
+    for (char c : s) {
+      if (c == '"' || c == '\\') os_ << '\\';
+      os_ << c;
+    }
+    os_ << '"';
+  }
+
+  std::ostringstream os_;
+};
+
+/// One JSON line per stage of a cluster job: row counts, host wall time, and
+/// the per-phase breakdown (map/shuffle, sort, reduce) from StageStats.
+inline void AppendJobStatsJson(const std::string& bench,
+                               const mr::JobStats& stats) {
+  for (const auto& s : stats.stages) {
+    JsonLine(bench)
+        .Str("stage", s.name)
+        .Int("rows_in", s.rows_in)
+        .Int("rows_shuffled", s.rows_shuffled)
+        .Int("rows_out", s.rows_out)
+        .Int("partitions", static_cast<long long>(s.partitions))
+        .Num("wall_seconds", s.wall_seconds)
+        .Num("map_shuffle_seconds", s.map_shuffle_seconds)
+        .Num("sort_seconds", s.sort_seconds)
+        .Num("reduce_seconds", s.reduce_seconds)
+        .Num("simulated_seconds", s.simulated_parallel_seconds)
+        .Int("restarted_tasks", static_cast<long long>(s.restarted_tasks))
+        .Append();
+  }
+}
+
+/// Print the per-phase wall-time table benches use to attribute stage cost.
+inline void PrintPhaseTable(const mr::JobStats& stats) {
+  std::printf("%-22s %10s %10s %10s %10s %12s\n", "stage", "wall (s)",
+              "map (s)", "sort (s)", "reduce (s)", "rows shuffled");
+  for (const auto& s : stats.stages) {
+    std::printf("%-22s %10.4f %10.4f %10.4f %10.4f %12zu\n", s.name.c_str(),
+                s.wall_seconds, s.map_shuffle_seconds, s.sort_seconds,
+                s.reduce_seconds, s.rows_shuffled);
+  }
+}
 
 }  // namespace timr::benchutil

@@ -1,8 +1,54 @@
 #include "common/thread_pool.h"
 
+#include <atomic>
+#include <memory>
+
 #include "common/logging.h"
 
 namespace timr {
+
+namespace {
+
+/// Shared state of one ParallelFor batch. Owned by shared_ptr so helper tasks
+/// that outlive the caller's wait (by a few bookkeeping instructions) keep it
+/// alive.
+struct Batch {
+  Batch(size_t n_in, const std::function<void(size_t)>& body_in)
+      : n(n_in), body(&body_in) {}
+
+  void Run() {
+    while (true) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      if (!failed.load(std::memory_order_relaxed)) {
+        try {
+          (*body)(i);
+        } catch (...) {
+          failed.store(true, std::memory_order_relaxed);
+          std::lock_guard<std::mutex> lock(mu);
+          if (error == nullptr) error = std::current_exception();
+        }
+      }
+      if (completed.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_all();
+      }
+    }
+  }
+
+  const size_t n;
+  // The caller blocks until all n iterations complete, so pointing at its
+  // std::function is safe and avoids a copy.
+  const std::function<void(size_t)>* body;
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> completed{0};
+  std::atomic<bool> failed{false};
+  std::mutex mu;
+  std::condition_variable cv;
+  std::exception_ptr error;
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   TIMR_CHECK(num_threads > 0);
@@ -32,6 +78,30 @@ void ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::WaitIdle() {
   std::unique_lock<std::mutex> lock(mu_);
   idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  if (n == 1 || threads_.size() == 1) {
+    // Inline serial path: no scheduling overhead, exceptions propagate as-is.
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  auto batch = std::make_shared<Batch>(n, body);
+  // n - 1 helpers at most: the caller claims iterations too, so a batch
+  // smaller than the pool doesn't enqueue tasks that find nothing to do.
+  const size_t helpers = std::min(threads_.size(), n - 1);
+  for (size_t i = 0; i < helpers; ++i) {
+    Submit([batch] { batch->Run(); });
+  }
+  batch->Run();
+  {
+    std::unique_lock<std::mutex> lock(batch->mu);
+    batch->cv.wait(lock, [&] {
+      return batch->completed.load(std::memory_order_acquire) == n;
+    });
+  }
+  if (batch->error != nullptr) std::rethrow_exception(batch->error);
 }
 
 void ThreadPool::WorkerLoop() {

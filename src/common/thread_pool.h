@@ -1,5 +1,7 @@
-// Fixed-size thread pool used by the LocalCluster to run reducer tasks. Tasks
-// are fire-and-forget std::function<void()>; callers synchronize with WaitIdle.
+// Fixed-size thread pool used by the LocalCluster to run shuffle and reducer
+// tasks. Tasks are fire-and-forget std::function<void()>; callers synchronize
+// with WaitIdle. ParallelFor is the bulk-submit primitive the cluster's
+// parallel pipeline is built on.
 
 #pragma once
 
@@ -25,6 +27,18 @@ class ThreadPool {
 
   /// Block until every submitted task has finished running.
   void WaitIdle();
+
+  /// Run `body(i)` for every i in [0, n), spreading iterations over the pool
+  /// workers plus the calling thread, and return once all n iterations have
+  /// finished. Iterations are claimed dynamically (morsel stealing), so
+  /// uneven per-index cost balances automatically.
+  ///
+  /// Exception-safe: if any body throws, remaining un-started iterations are
+  /// skipped and the first exception (by completion order) is rethrown on the
+  /// calling thread once the batch has drained. With a single-threaded pool
+  /// (or n == 1) the body runs inline on the caller, so single-thread
+  /// execution is exactly the serial loop.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body);
 
   size_t num_threads() const { return threads_.size(); }
 

@@ -58,7 +58,9 @@ std::string JobStats::ToString() const {
   for (const auto& s : stages) {
     os << s.name << ": in=" << s.rows_in << " shuffled=" << s.rows_shuffled
        << " out=" << s.rows_out << " parts=" << s.partitions
-       << " cpu_total=" << s.task_cpu_seconds_total
+       << " map=" << s.map_shuffle_seconds << "s sort=" << s.sort_seconds
+       << "s reduce=" << s.reduce_seconds
+       << "s cpu_total=" << s.task_cpu_seconds_total
        << "s cpu_max=" << s.task_cpu_seconds_max
        << "s simulated=" << s.simulated_parallel_seconds << "s";
     if (s.restarted_tasks > 0) os << " restarts=" << s.restarted_tasks;
@@ -92,7 +94,7 @@ Status LocalCluster::RunStage(const MRStage& stage,
   const int parts = stage.num_partitions > 0 ? stage.num_partitions : num_machines_;
   stats->partitions = parts;
 
-  std::vector<const Dataset*> inputs;
+  std::vector<Dataset*> inputs;
   for (const auto& name : stage.inputs) {
     auto it = store->find(name);
     if (it == store->end()) {
@@ -102,67 +104,162 @@ Status LocalCluster::RunStage(const MRStage& stage,
     inputs.push_back(&it->second);
   }
 
-  // --- Map + shuffle: route rows to per-partition, per-input buckets. ---
-  // buckets[p][i] = rows of input i landing in partition p.
-  std::vector<std::vector<std::vector<Row>>> buckets(
-      parts, std::vector<std::vector<Row>>(inputs.size()));
-  std::vector<int> targets;
+  // Consumable inputs (see stage.h): rows may be moved out of them. A name
+  // that appears twice among the inputs is read through two indices, so it is
+  // never consumed.
+  std::vector<bool> consumable(inputs.size(), false);
+  for (int idx : stage.consumable_inputs) {
+    if (idx < 0 || idx >= static_cast<int>(inputs.size())) continue;
+    int name_uses = 0;
+    for (const auto& name : stage.inputs) {
+      if (name == stage.inputs[idx]) ++name_uses;
+    }
+    if (name_uses == 1) consumable[idx] = true;
+  }
+
+  // --- Phase 1: parallel map + partition. ---
+  // Each (input, source partition) is split into morsels; a morsel routes its
+  // row range into morsel-local per-destination buckets, so workers share no
+  // state. Morsel boundaries never affect the result: phase 2 concatenates
+  // buckets in morsel order, which reproduces source order exactly.
+  struct Morsel {
+    size_t input;
+    size_t src_part;
+    size_t begin;
+    size_t end;
+  };
+  size_t total_rows = 0;
+  for (const Dataset* d : inputs) total_rows += d->TotalRows();
+  const size_t workers = impl_->pool.num_threads();
+  const size_t morsel_rows =
+      std::max<size_t>(1024, total_rows / (workers * 4) + 1);
+  std::vector<Morsel> morsels;
   for (size_t i = 0; i < inputs.size(); ++i) {
     for (size_t p = 0; p < inputs[i]->num_partitions(); ++p) {
-      for (const Row& row : inputs[i]->partition(p)) {
-        ++stats->rows_in;
-        targets.clear();
-        stage.partition_fn(static_cast<int>(i), row, parts, &targets);
-        for (int t : targets) {
-          if (t < 0 || t >= parts) {
-            return Status::ExecutionError("partitioner produced target " +
-                                          std::to_string(t) + " out of range");
-          }
-          buckets[t][i].push_back(row);
-          ++stats->rows_shuffled;
-        }
+      const size_t n = inputs[i]->partition(p).size();
+      for (size_t begin = 0; begin < n; begin += morsel_rows) {
+        morsels.push_back({i, p, begin, std::min(begin + morsel_rows, n)});
       }
     }
   }
-  // Sort each bucket by Time (canonical order; see header comment).
-  for (auto& part : buckets) {
-    for (auto& rows : part) std::sort(rows.begin(), rows.end(), RowTimeLess);
-  }
 
-  // --- Reduce: one task per partition on the pool. ---
+  struct MorselOut {
+    std::vector<std::vector<Row>> buckets;  // per destination partition
+    size_t rows_in = 0;
+    size_t rows_shuffled = 0;
+    Status status;
+  };
+  std::vector<MorselOut> mouts(morsels.size());
+  std::atomic<bool> map_failed{false};
+  impl_->pool.ParallelFor(morsels.size(), [&](size_t m) {
+    const Morsel& mo = morsels[m];
+    MorselOut& out = mouts[m];
+    out.buckets.resize(parts);
+    std::vector<Row>& src = inputs[mo.input]->partition(mo.src_part);
+    const bool may_move = consumable[mo.input];
+    std::vector<int> targets;
+    for (size_t r = mo.begin; r < mo.end; ++r) {
+      if (map_failed.load(std::memory_order_relaxed)) return;
+      Row& row = src[r];
+      ++out.rows_in;
+      targets.clear();
+      stage.partition_fn(static_cast<int>(mo.input), row, parts, &targets);
+      for (int t : targets) {
+        if (t < 0 || t >= parts) {
+          out.status = Status::ExecutionError("partitioner produced target " +
+                                              std::to_string(t) +
+                                              " out of range");
+          map_failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+      out.rows_shuffled += targets.size();
+      if (targets.size() == 1 && may_move) {
+        out.buckets[targets[0]].push_back(std::move(row));
+      } else {
+        for (int t : targets) out.buckets[t].push_back(row);
+      }
+    }
+  });
+  for (const MorselOut& out : mouts) {
+    // First error in morsel order, for a deterministic message.
+    TIMR_RETURN_NOT_OK(out.status);
+  }
+  for (const MorselOut& out : mouts) {
+    stats->rows_in += out.rows_in;
+    stats->rows_shuffled += out.rows_shuffled;
+  }
+  // Release consumed inputs: their rows are either moved into the shuffle or
+  // copied there, and the stage owns the only remaining reference.
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    if (!consumable[i]) continue;
+    for (size_t p = 0; p < inputs[i]->num_partitions(); ++p) {
+      std::vector<Row>().swap(inputs[i]->partition(p));
+    }
+  }
+  stats->map_shuffle_seconds = wall.ElapsedSeconds();
+
+  // --- Phase 2: parallel merge + sort per (partition, input) bucket. ---
+  // Concatenate morsel buckets in morsel order, then sort by Time (canonical
+  // total order; see header comment). Each bucket is an independent task.
+  Stopwatch sort_watch;
+  std::vector<std::vector<std::vector<Row>>> buckets(
+      parts, std::vector<std::vector<Row>>(inputs.size()));
+  impl_->pool.ParallelFor(
+      static_cast<size_t>(parts) * inputs.size(), [&](size_t task) {
+        const size_t p = task / inputs.size();
+        const size_t i = task % inputs.size();
+        std::vector<Row>& dst = buckets[p][i];
+        size_t total = 0;
+        for (size_t m = 0; m < morsels.size(); ++m) {
+          if (morsels[m].input == i) total += mouts[m].buckets[p].size();
+        }
+        dst.reserve(total);
+        for (size_t m = 0; m < morsels.size(); ++m) {
+          if (morsels[m].input != i) continue;
+          std::vector<Row>& src = mouts[m].buckets[p];
+          dst.insert(dst.end(), std::make_move_iterator(src.begin()),
+                     std::make_move_iterator(src.end()));
+          std::vector<Row>().swap(src);
+        }
+        std::sort(dst.begin(), dst.end(), RowTimeLess);
+      });
+  mouts.clear();
+  stats->sort_seconds = sort_watch.ElapsedSeconds();
+
+  // --- Phase 3: parallel reduce, one task per partition. ---
+  Stopwatch reduce_watch;
   Dataset output(stage.output_schema, parts);
   std::vector<double> task_seconds(parts, 0.0);
   std::vector<int> restarts(parts, 0);
-  std::mutex err_mu;
-  Status first_error;
+  std::vector<Status> task_status(parts);
 
-  for (int p = 0; p < parts; ++p) {
-    impl_->pool.Submit([&, p] {
-      int attempts = 0;
-      while (true) {
-        ++attempts;
-        std::vector<Row> out_rows;
-        const double cpu0 = ThreadCpuSeconds();
-        Status st = stage.reducer(p, buckets[p], &out_rows);
-        task_seconds[p] += ThreadCpuSeconds() - cpu0;
-        if (!st.ok()) {
-          std::lock_guard<std::mutex> lock(err_mu);
-          if (first_error.ok()) first_error = st;
-          return;
-        }
-        // Simulated task failure: discard this attempt's output and restart,
-        // exactly as M-R handles a lost reducer (paper §III-C.1).
-        if (injector_ != nullptr && injector_->ShouldFail(stage.name, p)) {
-          restarts[p]++;
-          continue;
-        }
-        output.partition(p) = std::move(out_rows);
+  impl_->pool.ParallelFor(static_cast<size_t>(parts), [&](size_t p) {
+    while (true) {
+      std::vector<Row> out_rows;
+      const double cpu0 = ThreadCpuSeconds();
+      Status st = stage.reducer(static_cast<int>(p), buckets[p], &out_rows);
+      task_seconds[p] += ThreadCpuSeconds() - cpu0;
+      if (!st.ok()) {
+        task_status[p] = std::move(st);
         return;
       }
-    });
+      // Simulated task failure: discard this attempt's output and restart,
+      // exactly as M-R handles a lost reducer (paper §III-C.1).
+      if (injector_ != nullptr &&
+          injector_->ShouldFail(stage.name, static_cast<int>(p))) {
+        restarts[p]++;
+        continue;
+      }
+      output.partition(p) = std::move(out_rows);
+      return;
+    }
+  });
+  for (const Status& st : task_status) {
+    // First error in partition order, for a deterministic message.
+    TIMR_RETURN_NOT_OK(st);
   }
-  impl_->pool.WaitIdle();
-  TIMR_RETURN_NOT_OK(first_error);
+  stats->reduce_seconds = reduce_watch.ElapsedSeconds();
 
   for (int p = 0; p < parts; ++p) {
     stats->rows_out += output.partition(p).size();

@@ -9,6 +9,17 @@
 //    algebra gives the paper's repeatable-output failure handling, §III-C.1);
 //  - reduce: one task per partition, run on a thread pool.
 //
+// All three phases run in parallel on the cluster's thread pool:
+//  1. map/partition — source partitions are split into morsels, each routed
+//     into morsel-local per-destination buckets (no shared state), with rows
+//     *moved* instead of copied when the partitioner emits a single target
+//     and the stage marks the input consumable (MRStage::consumable_inputs);
+//  2. merge + sort — morsel buckets are concatenated per (partition, input)
+//     in morsel order and sorted as independent pool tasks. The sort order is
+//     a canonical total order, so reducer input — and therefore every stage
+//     output — is byte-identical for any thread count;
+//  3. reduce — one task per partition, with failure injection and restart.
+//
 // Because this host has few cores while the paper's cluster had ~150
 // machines, every task's CPU time is measured (CLOCK_THREAD_CPUTIME_ID) and a
 // deterministic list-scheduling model computes the *simulated* parallel
@@ -19,6 +30,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -36,6 +48,11 @@ struct StageStats {
   size_t rows_out = 0;
   int partitions = 0;
   double wall_seconds = 0;            // actual elapsed on this host
+  // Per-phase wall time (sums to ~wall_seconds); lets benches attribute a
+  // stage's cost to routing, sorting, or the reducers.
+  double map_shuffle_seconds = 0;     // phase 1: parallel map + routing
+  double sort_seconds = 0;            // phase 2: parallel merge + sort
+  double reduce_seconds = 0;          // phase 3: parallel reduce
   double task_cpu_seconds_total = 0;  // sum over reducer tasks
   double task_cpu_seconds_max = 0;    // slowest single reducer task
   double simulated_parallel_seconds = 0;  // modeled makespan on the cluster
@@ -60,21 +77,28 @@ struct JobStats {
 
 /// Injects one failure per marked (stage, partition): the first attempt's
 /// output is discarded and the task restarted, as M-R failure handling does.
-/// Tests use this to verify the repeatability guarantee.
+/// Tests use this to verify the repeatability guarantee. Thread-safe: reduce
+/// tasks probe it concurrently from the pool.
 class FailureInjector {
  public:
   void FailOnce(const std::string& stage, int partition) {
+    std::lock_guard<std::mutex> lock(mu_);
     pending_.insert({stage, partition});
   }
 
   /// True exactly once per marked task.
   bool ShouldFail(const std::string& stage, int partition) {
+    std::lock_guard<std::mutex> lock(mu_);
     return pending_.erase({stage, partition}) > 0;
   }
 
-  bool empty() const { return pending_.empty(); }
+  bool empty() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pending_.empty();
+  }
 
  private:
+  mutable std::mutex mu_;
   std::set<std::pair<std::string, int>> pending_;
 };
 

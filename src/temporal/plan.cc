@@ -39,8 +39,14 @@ std::string PartitionSpec::ToString() const {
 }
 
 Result<Schema> PlanNode::OutputSchema() const {
-  if (!cached_schema_.has_value()) cached_schema_ = ComputeSchema();
-  return *cached_schema_;
+  auto cached = std::atomic_load_explicit(&cached_schema_,
+                                          std::memory_order_acquire);
+  if (cached == nullptr) {
+    cached = std::make_shared<const Result<Schema>>(ComputeSchema());
+    std::atomic_store_explicit(&cached_schema_, cached,
+                               std::memory_order_release);
+  }
+  return *cached;
 }
 
 Result<Schema> PlanNode::ComputeSchema() const {

@@ -106,6 +106,9 @@ struct PlanNode {
   PartitionSpec exchange;  // kExchange
 
   /// Output schema, derived from children; computed once and cached.
+  /// Thread-safe: concurrent reducers build executors over a shared plan, so
+  /// the memo is published via an atomic shared_ptr swap (a benign duplicate
+  /// computation may occur on first use, never a torn read).
   Result<Schema> OutputSchema() const;
 
   /// Multi-line plan rendering for debugging and the docs.
@@ -117,7 +120,7 @@ struct PlanNode {
   Timestamp MaxWindow() const;
 
  private:
-  mutable std::optional<Result<Schema>> cached_schema_;
+  mutable std::shared_ptr<const Result<Schema>> cached_schema_;
   Result<Schema> ComputeSchema() const;
 };
 

@@ -177,7 +177,21 @@ Result<TimrRunResult> RunPlan(mr::LocalCluster* cluster,
   TimrRunResult result;
   TIMR_ASSIGN_OR_RETURN(result.fragments, MakeFragments(annotated_root));
 
-  for (const Fragment& fragment : result.fragments.fragments) {
+  // Last-use analysis for copy-free routing: an intermediate dataset (an
+  // upstream fragment's output) that no later fragment reads again can be
+  // *consumed* by its final reader — the shuffle then moves its rows instead
+  // of copying them and releases the dataset's partitions. External sources
+  // and the plan's output dataset are never consumed.
+  std::map<std::string, size_t> last_use;
+  for (size_t f = 0; f < result.fragments.fragments.size(); ++f) {
+    for (const std::string& name : result.fragments.fragments[f].inputs) {
+      last_use[name] = f;
+    }
+  }
+
+  for (size_t frag_index = 0; frag_index < result.fragments.fragments.size();
+       ++frag_index) {
+    const Fragment& fragment = result.fragments.fragments[frag_index];
     // Resolve input row schemas from the (evolving) store.
     std::vector<Schema> row_schemas;
     std::vector<const mr::Dataset*> datasets;
@@ -198,6 +212,13 @@ Result<TimrRunResult> RunPlan(mr::LocalCluster* cluster,
         mr::MRStage stage,
         CompileFragment(fragment, row_schemas, cluster->num_machines(), options,
                         range, &fstats));
+    for (size_t i = 0; i < fragment.inputs.size(); ++i) {
+      const std::string& name = fragment.inputs[i];
+      if (!fragment.input_is_external[i] && last_use.at(name) == frag_index &&
+          name != result.fragments.output_dataset) {
+        stage.consumable_inputs.push_back(static_cast<int>(i));
+      }
+    }
     mr::StageStats sstats;
     TIMR_RETURN_NOT_OK(cluster->RunStage(stage, store, &sstats));
     fstats.engine_events_consumed =

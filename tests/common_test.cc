@@ -5,6 +5,8 @@
 
 #include <atomic>
 #include <set>
+#include <stdexcept>
+#include <vector>
 
 #include "common/hash.h"
 #include "common/rng.h"
@@ -179,6 +181,62 @@ TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
   ThreadPool pool(2);
   pool.WaitIdle();  // must not hang
   SUCCEED();
+}
+
+TEST(ThreadPool, ParallelForRunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(hits.size(), [&](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForHandlesEdgeSizes) {
+  ThreadPool pool(3);
+  int ran = 0;
+  pool.ParallelFor(0, [&](size_t) { ++ran; });
+  EXPECT_EQ(ran, 0);
+  pool.ParallelFor(1, [&](size_t) { ++ran; });  // inline path
+  EXPECT_EQ(ran, 1);
+  std::atomic<int> wide{0};
+  pool.ParallelFor(2, [&](size_t) { wide.fetch_add(1); });
+  EXPECT_EQ(wide.load(), 2);
+}
+
+TEST(ThreadPool, ParallelForSingleThreadedPoolRunsInline) {
+  ThreadPool pool(1);
+  std::thread::id caller = std::this_thread::get_id();
+  bool all_inline = true;
+  pool.ParallelFor(64, [&](size_t) {
+    if (std::this_thread::get_id() != caller) all_inline = false;
+  });
+  EXPECT_TRUE(all_inline);
+}
+
+TEST(ThreadPool, ParallelForPropagatesFirstException) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.ParallelFor(500,
+                                [&](size_t i) {
+                                  ran.fetch_add(1);
+                                  if (i == 137) throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+  // The pool must stay usable after a failed batch.
+  std::atomic<int> again{0};
+  pool.ParallelFor(100, [&](size_t) { again.fetch_add(1); });
+  EXPECT_EQ(again.load(), 100);
+  EXPECT_LE(ran.load(), 500);
+}
+
+TEST(ThreadPool, ParallelForBatchesInterleaveWithSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> submitted{0};
+  for (int i = 0; i < 50; ++i) pool.Submit([&] { submitted.fetch_add(1); });
+  std::atomic<int> looped{0};
+  pool.ParallelFor(200, [&](size_t) { looped.fetch_add(1); });
+  pool.WaitIdle();
+  EXPECT_EQ(submitted.load(), 50);
+  EXPECT_EQ(looped.load(), 200);
 }
 
 }  // namespace

@@ -196,6 +196,150 @@ TEST(Cluster, JobRunsStagesInOrder) {
   EXPECT_GE(stats.ValueOrDie().TotalSimulatedSeconds(), 0.0);
 }
 
+// Synthetic data big enough that the map phase splits into several morsels.
+Dataset BigData(int n) {
+  std::vector<Row> rows;
+  uint64_t x = 88172645463325252ull;  // xorshift64: deterministic "random" keys
+  for (int i = 0; i < n; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    rows.push_back({Value(static_cast<int64_t>(x % 1000)),
+                    Value(static_cast<int64_t>(x % 97)),
+                    Value(static_cast<int64_t>(i))});
+  }
+  return Dataset::FromRows(RowSchema(), std::move(rows));
+}
+
+TEST(Cluster, ShuffleIsDeterministicAcrossThreadCounts) {
+  // The same stage must produce bit-identical datasets and stats for any
+  // host thread count — the repeatability guarantee the reducers rely on.
+  auto run = [](int num_threads) {
+    LocalCluster cluster(8, num_threads);
+    std::map<std::string, Dataset> store;
+    store["in"] = BigData(20000);
+    MRStage stage = IdentityStage("in", "out", 1);
+    // Replicate some rows so the multi-target path is exercised too.
+    stage.partition_fn = [](int, const Row& row, int parts,
+                            std::vector<int>* t) {
+      const int64_t k = row[1].AsInt64();
+      t->push_back(static_cast<int>(k % parts));
+      if (k % 5 == 0) t->push_back(static_cast<int>((k + 1) % parts));
+    };
+    StageStats stats;
+    Status st = cluster.RunStage(stage, &store, &stats);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    return std::make_pair(std::move(store), stats);
+  };
+
+  auto [store1, stats1] = run(1);
+  for (int threads : {2, 5, 0 /* hardware */}) {
+    auto [storeN, statsN] = run(threads);
+    EXPECT_EQ(statsN.rows_in, stats1.rows_in);
+    EXPECT_EQ(statsN.rows_shuffled, stats1.rows_shuffled);
+    EXPECT_EQ(statsN.rows_out, stats1.rows_out);
+    const Dataset& a = store1.at("out");
+    const Dataset& b = storeN.at("out");
+    ASSERT_EQ(a.num_partitions(), b.num_partitions());
+    for (size_t p = 0; p < a.num_partitions(); ++p) {
+      EXPECT_EQ(a.partition(p), b.partition(p)) << "partition " << p
+                                                << ", threads=" << threads;
+    }
+  }
+}
+
+TEST(Cluster, PerPhaseStatsArePopulated) {
+  LocalCluster cluster(4, 2);
+  std::map<std::string, Dataset> store;
+  store["in"] = BigData(5000);
+  StageStats stats;
+  ASSERT_TRUE(cluster.RunStage(IdentityStage("in", "out", 1), &store, &stats)
+                  .ok());
+  EXPECT_GT(stats.wall_seconds, 0.0);
+  EXPECT_GT(stats.map_shuffle_seconds, 0.0);
+  EXPECT_GT(stats.sort_seconds, 0.0);
+  EXPECT_GT(stats.reduce_seconds, 0.0);
+  // Phases are disjoint sub-intervals of the stage's wall time.
+  EXPECT_LE(stats.map_shuffle_seconds + stats.sort_seconds +
+                stats.reduce_seconds,
+            stats.wall_seconds + 1e-6);
+  JobStats job;
+  job.stages.push_back(stats);
+  EXPECT_NE(job.ToString().find("map="), std::string::npos);
+  EXPECT_NE(job.ToString().find("sort="), std::string::npos);
+  EXPECT_NE(job.ToString().find("reduce="), std::string::npos);
+}
+
+TEST(Cluster, ConsumableInputIsMovedAndReleased) {
+  LocalCluster cluster(4, 2);
+  std::map<std::string, Dataset> store;
+  store["in"] = BigData(4000);
+  const auto expected = [&] {
+    std::map<std::string, Dataset> copy_store;
+    copy_store["in"] = store.at("in");
+    LocalCluster c2(4, 1);
+    StageStats s;
+    MRStage stage = IdentityStage("in", "out", 1);
+    EXPECT_TRUE(c2.RunStage(stage, &copy_store, &s).ok());
+    return copy_store.at("out").Gather();
+  }();
+
+  MRStage stage = IdentityStage("in", "out", 1);
+  stage.consumable_inputs = {0};
+  StageStats stats;
+  ASSERT_TRUE(cluster.RunStage(stage, &store, &stats).ok());
+  // Output is identical to the copying path...
+  EXPECT_EQ(store.at("out").Gather(), expected);
+  // ...and the consumed input's partitions were released.
+  EXPECT_EQ(store.at("in").TotalRows(), 0u);
+  EXPECT_EQ(store.at("in").num_partitions(), 1u);  // shape & schema survive
+}
+
+TEST(Cluster, ConsumableIgnoredForDuplicateInputName) {
+  // A self-join reads the same dataset through two input indices: consuming
+  // either would corrupt the other, so the hint must be ignored.
+  LocalCluster cluster(2, 2);
+  std::map<std::string, Dataset> store;
+  store["in"] = MakeData({{1, 1, 10}, {2, 2, 20}});
+
+  MRStage stage;
+  stage.name = "selfjoin";
+  stage.inputs = {"in", "in"};
+  stage.output = "out";
+  stage.output_schema = RowSchema();
+  stage.num_partitions = 1;
+  stage.partition_fn = SinglePartition();
+  stage.consumable_inputs = {0, 1};
+  stage.reducer = [](int, const std::vector<std::vector<Row>>& inputs,
+                     std::vector<Row>* output) {
+    output->push_back({Value(int64_t{0}),
+                       Value(static_cast<int64_t>(inputs[0].size())),
+                       Value(static_cast<int64_t>(inputs[1].size()))});
+    return Status::OK();
+  };
+  StageStats stats;
+  ASSERT_TRUE(cluster.RunStage(stage, &store, &stats).ok());
+  const Row& r = store.at("out").partition(0)[0];
+  EXPECT_EQ(r[1].AsInt64(), 2);  // both sides saw both rows
+  EXPECT_EQ(r[2].AsInt64(), 2);
+  EXPECT_EQ(store.at("in").TotalRows(), 2u);  // source intact
+}
+
+TEST(Cluster, OutOfRangeTargetErrorsUnderParallelMap) {
+  LocalCluster cluster(2, 4);
+  std::map<std::string, Dataset> store;
+  store["in"] = BigData(10000);
+  MRStage stage = IdentityStage("in", "out", 1);
+  stage.partition_fn = [](int, const Row& row, int, std::vector<int>* t) {
+    t->push_back(row[2].AsInt64() == 7777 ? 99 : 0);
+  };
+  StageStats stats;
+  Status st = cluster.RunStage(stage, &store, &stats);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kExecutionError);
+  EXPECT_NE(st.ToString().find("out of range"), std::string::npos);
+}
+
 TEST(Cluster, SinglePartitionFunnelsEverything) {
   LocalCluster cluster(8, 2);
   std::map<std::string, Dataset> store;

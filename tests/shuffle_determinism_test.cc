@@ -1,0 +1,149 @@
+// The parallel shuffle pipeline's repeatability guarantee: one BT job must
+// produce bit-identical datasets and stable row stats for any host thread
+// count, and reducer restarts (FailureInjector) under the parallel shuffle
+// must reproduce exactly the same output (paper §III-C.1).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bt/queries.h"
+#include "mr/cluster.h"
+#include "temporal/convert.h"
+#include "timr/timr.h"
+#include "workload/generator.h"
+
+namespace timr {
+namespace {
+
+namespace T = timr::temporal;
+
+workload::GeneratorConfig SmallWorkload() {
+  workload::GeneratorConfig cfg;
+  cfg.num_users = 150;
+  cfg.vocab_size = 2000;
+  cfg.duration = 2 * T::kDay;
+  return cfg;
+}
+
+bt::BtQueryConfig SmallBtConfig() {
+  bt::BtQueryConfig cfg;
+  cfg.selection_period = 3 * T::kDay;
+  cfg.bot_search_threshold = 60;
+  cfg.bot_click_threshold = 30;
+  return cfg;
+}
+
+struct BtRun {
+  std::vector<T::Event> output;
+  mr::JobStats stats;
+  std::map<std::string, mr::Dataset> store;
+};
+
+BtRun RunBtJob(int num_threads, mr::FailureInjector* injector = nullptr) {
+  auto log = workload::GenerateBtLog(SmallWorkload());
+  bt::BtQueryConfig cfg = SmallBtConfig();
+
+  mr::LocalCluster cluster(/*num_machines=*/8, num_threads);
+  if (injector != nullptr) cluster.set_failure_injector(injector);
+
+  std::map<std::string, mr::Dataset> store;
+  auto rows = T::RowsFromEvents(log.events, false).ValueOrDie();
+  store[bt::kBtInput] =
+      mr::Dataset::FromRows(T::PointRowSchema(bt::UnifiedSchema()), rows);
+
+  auto run = framework::RunPlan(
+      &cluster, bt::BtFeaturePipeline(cfg, bt::Annotation::kStandard).node(),
+      &store);
+  EXPECT_TRUE(run.ok()) << run.status().ToString();
+
+  BtRun result;
+  result.output = std::move(run.ValueOrDie().output);
+  result.stats = std::move(run.ValueOrDie().job_stats);
+  result.store = std::move(store);
+  return result;
+}
+
+void ExpectEventsIdentical(const std::vector<T::Event>& a,
+                           const std::vector<T::Event>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].le, b[i].le) << "event " << i;
+    EXPECT_EQ(a[i].re, b[i].re) << "event " << i;
+    EXPECT_EQ(a[i].payload, b[i].payload) << "event " << i;
+  }
+}
+
+void ExpectStoresBitIdentical(const std::map<std::string, mr::Dataset>& a,
+                              const std::map<std::string, mr::Dataset>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& [name, da] : a) {
+    auto it = b.find(name);
+    ASSERT_NE(it, b.end()) << "dataset " << name << " missing";
+    const mr::Dataset& db = it->second;
+    EXPECT_EQ(da.schema(), db.schema()) << name;
+    ASSERT_EQ(da.num_partitions(), db.num_partitions()) << name;
+    for (size_t p = 0; p < da.num_partitions(); ++p) {
+      EXPECT_EQ(da.partition(p), db.partition(p))
+          << "dataset " << name << " partition " << p;
+    }
+  }
+}
+
+TEST(ShuffleDeterminism, BtJobBitIdenticalAcrossThreadCounts) {
+  BtRun base = RunBtJob(1);
+  ASSERT_FALSE(base.stats.stages.empty());
+
+  for (int threads : {2, 0 /* hardware */}) {
+    BtRun run = RunBtJob(threads);
+    // Final event output, every dataset in the store (including consumed
+    // intermediates, which must be deterministically empty), and row stats
+    // all match the single-threaded run exactly.
+    ExpectEventsIdentical(base.output, run.output);
+    ExpectStoresBitIdentical(base.store, run.store);
+    ASSERT_EQ(run.stats.stages.size(), base.stats.stages.size());
+    for (size_t s = 0; s < base.stats.stages.size(); ++s) {
+      const auto& bs = base.stats.stages[s];
+      const auto& rs = run.stats.stages[s];
+      EXPECT_EQ(rs.name, bs.name);
+      EXPECT_EQ(rs.rows_in, bs.rows_in) << bs.name;
+      EXPECT_EQ(rs.rows_shuffled, bs.rows_shuffled) << bs.name;
+      EXPECT_EQ(rs.rows_out, bs.rows_out) << bs.name;
+      EXPECT_EQ(rs.partitions, bs.partitions) << bs.name;
+    }
+  }
+}
+
+TEST(ShuffleDeterminism, ReducerRestartUnderParallelShuffleIsRepeatable) {
+  BtRun clean = RunBtJob(0);
+  ASSERT_FALSE(clean.stats.stages.empty());
+
+  // Fail one task in every stage (and a second one in the first stage), all
+  // racing against the parallel map/sort/reduce pipeline.
+  mr::FailureInjector injector;
+  int injected = 0;
+  for (const auto& stage : clean.stats.stages) {
+    injector.FailOnce(stage.name, 0);
+    ++injected;
+  }
+  if (clean.stats.stages[0].partitions > 1) {
+    injector.FailOnce(clean.stats.stages[0].name,
+                      clean.stats.stages[0].partitions - 1);
+    ++injected;
+  }
+
+  BtRun retried = RunBtJob(0, &injector);
+  EXPECT_TRUE(injector.empty());
+  int restarts = 0;
+  for (const auto& stage : retried.stats.stages) {
+    restarts += stage.restarted_tasks;
+  }
+  EXPECT_EQ(restarts, injected);
+  ExpectEventsIdentical(clean.output, retried.output);
+  ExpectStoresBitIdentical(clean.store, retried.store);
+}
+
+}  // namespace
+}  // namespace timr
