@@ -1,0 +1,102 @@
+// Verification-guard bench: cost of TimrOptions::validate_streams on the full
+// BT feature pipeline. With validation on, every fragment runs the static
+// analysis passes (analysis/plan_checks.h, analysis/fragment_checks.h) before
+// execution and a ConformanceCheck operator at each stage input/output during
+// execution. The guard exists so that "validation on by default" stays cheap:
+// target < 10% end-to-end overhead. Numbers land in EXPERIMENTS.md.
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "mr/cluster.h"
+#include "temporal/convert.h"
+#include "timr/timr.h"
+
+namespace {
+
+using namespace timr;
+namespace T = timr::temporal;
+
+struct Measurement {
+  double wall_seconds = 0;
+  double simulated_seconds = 0;
+  size_t output_rows = 0;
+};
+
+Measurement RunOnce(mr::LocalCluster* cluster, const T::PlanNodePtr& plan,
+                    const std::vector<Row>& rows, bool validate) {
+  std::map<std::string, mr::Dataset> store;
+  store[bt::kBtInput] =
+      mr::Dataset::FromRows(T::PointRowSchema(bt::UnifiedSchema()), rows);
+  framework::TimrOptions options;
+  options.validate_streams = validate;
+  Stopwatch host;
+  auto run = framework::RunPlan(cluster, plan, &store, options);
+  Measurement m;
+  m.wall_seconds = host.ElapsedSeconds();
+  TIMR_CHECK(run.ok()) << run.status().ToString();
+  m.simulated_seconds = run.ValueOrDie().job_stats.TotalSimulatedSeconds();
+  m.output_rows = run.ValueOrDie().output.size();
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  using benchutil::Header;
+  Header("Verification guard: validate_streams on vs off (BT pipeline)");
+
+  auto log = workload::GenerateBtLog(benchutil::BenchWorkload());
+  bt::BtQueryConfig cfg = benchutil::BenchBtConfig();
+  auto plan = bt::BtFeaturePipeline(cfg, bt::Annotation::kStandard).node();
+  auto rows = T::RowsFromEvents(log.events, false).ValueOrDie();
+  std::printf("workload: %zu events, full BT feature pipeline (kStandard)\n",
+              log.events.size());
+
+  mr::LocalCluster cluster(/*num_machines=*/16);
+
+  // Warm-up run (page in the log, settle the thread pool), then alternate
+  // off/on pairs so drift hits both sides equally.
+  RunOnce(&cluster, plan, rows, false);
+  constexpr int kRounds = 3;
+  double off_wall = 0, on_wall = 0, off_sim = 0, on_sim = 0;
+  size_t off_rows = 0, on_rows = 0;
+  for (int i = 0; i < kRounds; ++i) {
+    Measurement off = RunOnce(&cluster, plan, rows, false);
+    Measurement on = RunOnce(&cluster, plan, rows, true);
+    off_wall += off.wall_seconds;
+    on_wall += on.wall_seconds;
+    off_sim += off.simulated_seconds;
+    on_sim += on.simulated_seconds;
+    off_rows = off.output_rows;
+    on_rows = on.output_rows;
+    std::printf("round %d: off %.3f s, on %.3f s\n", i + 1, off.wall_seconds,
+                on.wall_seconds);
+  }
+  off_wall /= kRounds;
+  on_wall /= kRounds;
+  off_sim /= kRounds;
+  on_sim /= kRounds;
+  TIMR_CHECK(off_rows == on_rows)
+      << "validation changed the output: " << off_rows << " vs " << on_rows;
+
+  const double overhead_pct = (on_wall / off_wall - 1.0) * 100.0;
+  std::printf("\n%-34s %10s %10s\n", "", "wall (s)", "sim (s)");
+  std::printf("%-34s %10.3f %10.3f\n", "validate_streams = false", off_wall,
+              off_sim);
+  std::printf("%-34s %10.3f %10.3f\n", "validate_streams = true", on_wall,
+              on_sim);
+  std::printf("%-34s %9.1f %%  (target < 10%%)\n", "overhead", overhead_pct);
+  std::printf("output rows (identical both modes): %zu\n", off_rows);
+
+  benchutil::JsonLine("bench_validate_overhead")
+      .Str("stage", "summary")
+      .Int("rows_in", rows.size())
+      .Int("output_rows", off_rows)
+      .Num("wall_seconds_off", off_wall)
+      .Num("wall_seconds_on", on_wall)
+      .Num("simulated_seconds_off", off_sim)
+      .Num("simulated_seconds_on", on_sim)
+      .Num("overhead_pct", overhead_pct)
+      .Append();
+  return 0;
+}

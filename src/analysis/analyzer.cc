@@ -1,0 +1,62 @@
+#include "analysis/analyzer.h"
+
+#include <functional>
+#include <set>
+#include <unordered_map>
+
+namespace timr::analysis {
+
+using temporal::OpKind;
+using temporal::PlanNode;
+using temporal::PlanNodePtr;
+
+AnalysisReport AnalyzePlan(const PlanNodePtr& root) {
+  AnalysisReport report = CheckPlanSchemas(root);
+  if (report.HasErrors()) return report;
+  report.Absorb(CheckExchangePlacement(root));
+  report.Absorb(CheckDeterminism(root));
+  return report;
+}
+
+Status VerifyPlanForExecution(const PlanNodePtr& root) {
+  return AnalyzePlan(root).ToStatus();
+}
+
+PlanNodePtr InstrumentFragmentPlan(const std::string& fragment_name,
+                                   const PlanNodePtr& root) {
+  PlanNodePtr body = temporal::ClonePlan(root);
+
+  auto make_check = [](std::string name, PlanNodePtr child) {
+    auto check = std::make_shared<PlanNode>();
+    check->kind = OpKind::kConformanceCheck;
+    check->name = std::move(name);
+    check->children.push_back(std::move(child));
+    return check;
+  };
+
+  // Splice a checker above every kInput leaf by rewriting the parent's child
+  // edge. Leaves are memoized so a multicast input keeps a single checker
+  // (and the executor builds a single operator for it).
+  std::unordered_map<const PlanNode*, PlanNodePtr> wrapped;
+  std::set<const PlanNode*> visited;
+  std::function<void(const PlanNodePtr&)> visit = [&](const PlanNodePtr& node) {
+    if (!visited.insert(node.get()).second) return;
+    for (PlanNodePtr& child : node->children) {
+      if (child == nullptr) continue;
+      if (child->kind == OpKind::kInput) {
+        auto [it, fresh] = wrapped.try_emplace(child.get(), nullptr);
+        if (fresh) {
+          it->second = make_check(fragment_name + "/input:" + child->name,
+                                  child);
+        }
+        child = it->second;
+      } else {
+        visit(child);
+      }
+    }
+  };
+  if (body->kind != OpKind::kInput) visit(body);
+  return make_check(fragment_name + "/output", std::move(body));
+}
+
+}  // namespace timr::analysis

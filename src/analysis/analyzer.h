@@ -1,0 +1,41 @@
+// Front door of the static analysis library: runs every plan-level pass in
+// the right order, and provides the conformance-instrumentation rewrite that
+// implements TimrOptions::validate_streams.
+//
+// Used in two places:
+//  - Timr::RunPlan calls VerifyPlanForExecution / CheckFragments / CheckStage
+//    before running anything (when validate_streams is on), so a bad plan
+//    fails fast with named diagnostics instead of producing wrong output;
+//  - the timr_lint tool runs AnalyzePlan standalone and prints the report.
+
+#pragma once
+
+#include <string>
+
+#include "analysis/diagnostic.h"
+#include "analysis/fragment_checks.h"
+#include "analysis/plan_checks.h"
+#include "temporal/plan.h"
+
+namespace timr::analysis {
+
+/// Run all plan-level passes: "schema" first; "exchange-placement",
+/// "temporal-span" and "determinism" only when schemas resolve (they assume a
+/// well-typed plan).
+AnalysisReport AnalyzePlan(const temporal::PlanNodePtr& root);
+
+/// AnalyzePlan reduced to a Status: OK when no pass reports an error
+/// (warnings pass), Invalid listing every error otherwise.
+Status VerifyPlanForExecution(const temporal::PlanNodePtr& root);
+
+/// Rewrite a fragment's (exchange-free) plan for runtime conformance
+/// checking: every kInput leaf is wrapped in a ConformanceCheck named
+/// "<fragment>/input:<dataset>" and the root in one named
+/// "<fragment>/output". The original plan is not modified; shared sub-DAGs
+/// stay shared, so each multicast input gets exactly one checker. Group
+/// sub-plans are left untouched (their streams are per-group slices of an
+/// already-checked stream).
+temporal::PlanNodePtr InstrumentFragmentPlan(const std::string& fragment_name,
+                                             const temporal::PlanNodePtr& root);
+
+}  // namespace timr::analysis

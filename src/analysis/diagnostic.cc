@@ -1,0 +1,118 @@
+#include "analysis/diagnostic.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace timr::analysis {
+
+using temporal::OpKind;
+using temporal::PlanNode;
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::ToString() const {
+  std::string out = SeverityName(severity);
+  out += " [";
+  out += check;
+  out += "] ";
+  if (!subject.empty()) {
+    out += subject;
+    out += ": ";
+  }
+  out += message;
+  return out;
+}
+
+bool AnalysisReport::HasErrors() const { return error_count() > 0; }
+
+size_t AnalysisReport::error_count() const {
+  return static_cast<size_t>(
+      std::count_if(diagnostics.begin(), diagnostics.end(),
+                    [](const Diagnostic& d) {
+                      return d.severity == Severity::kError;
+                    }));
+}
+
+size_t AnalysisReport::warning_count() const {
+  return diagnostics.size() - error_count();
+}
+
+std::vector<Diagnostic> AnalysisReport::ForCheck(
+    const std::string& check) const {
+  std::vector<Diagnostic> out;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.check == check) out.push_back(d);
+  }
+  return out;
+}
+
+void AnalysisReport::Absorb(AnalysisReport other) {
+  diagnostics.insert(diagnostics.end(),
+                     std::make_move_iterator(other.diagnostics.begin()),
+                     std::make_move_iterator(other.diagnostics.end()));
+}
+
+Status AnalysisReport::ToStatus() const {
+  if (!HasErrors()) return Status::OK();
+  std::ostringstream os;
+  os << "plan verification failed (" << error_count() << " error(s)):";
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Severity::kError) os << "\n  " << d.ToString();
+  }
+  return Status::Invalid(os.str());
+}
+
+std::string AnalysisReport::ToString() const {
+  std::ostringstream os;
+  os << error_count() << " error(s), " << warning_count() << " warning(s)";
+  for (Severity severity : {Severity::kError, Severity::kWarning}) {
+    for (const Diagnostic& d : diagnostics) {
+      if (d.severity == severity) os << "\n  " << d.ToString();
+    }
+  }
+  return os.str();
+}
+
+std::string DescribeNode(const PlanNode* node) {
+  if (node == nullptr) return "<null>";
+  std::string out = temporal::OpKindName(node->kind);
+  auto key_list = [](const std::vector<std::string>& keys) {
+    std::string s = "{";
+    for (size_t i = 0; i < keys.size(); ++i) {
+      if (i > 0) s += ",";
+      s += keys[i];
+    }
+    return s + "}";
+  };
+  switch (node->kind) {
+    case OpKind::kInput:
+    case OpKind::kConformanceCheck:
+      out += "(" + node->name + ")";
+      break;
+    case OpKind::kGroupApply:
+      out += key_list(node->group_keys);
+      break;
+    case OpKind::kTemporalJoin:
+    case OpKind::kAntiSemiJoin:
+      out += key_list(node->left_keys) + "=" + key_list(node->right_keys);
+      break;
+    case OpKind::kAggregate:
+      out += "(" + node->agg.output_name + ")";
+      break;
+    case OpKind::kExchange:
+      out += " " + node->exchange.ToString();
+      break;
+    default:
+      if (!node->name.empty()) out += "(" + node->name + ")";
+      break;
+  }
+  return out;
+}
+
+}  // namespace timr::analysis

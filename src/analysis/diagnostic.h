@@ -1,0 +1,63 @@
+// Structured diagnostics produced by the static plan/fragment verifiers
+// (plan_checks.h, fragment_checks.h) and surfaced by Timr::RunPlan and the
+// timr_lint tool. A diagnostic names the offending node (or fragment), the
+// invariant that was violated, and a human-readable explanation.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "temporal/plan.h"
+
+namespace timr::analysis {
+
+enum class Severity {
+  kWarning,  // suspicious but not provably wrong; reported, never fatal
+  kError,    // violates a correctness invariant; fails RunPlan validation
+};
+
+const char* SeverityName(Severity severity);
+
+/// \brief One finding. `node` is an optional pointer into the analyzed plan
+/// (null for fragment-/stage-level findings); `subject` is its stable
+/// rendering so diagnostics stay meaningful after the plan is gone.
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  const temporal::PlanNode* node = nullptr;
+  std::string subject;  // e.g. "Exchange {AdId}" or "fragment frag_2"
+  std::string check;    // invariant id: "schema", "exchange-keys",
+                        // "temporal-span", "fragment-cut", "determinism", ...
+  std::string message;
+
+  std::string ToString() const;
+};
+
+/// \brief Accumulated findings of one analysis run.
+struct AnalysisReport {
+  std::vector<Diagnostic> diagnostics;
+
+  bool HasErrors() const;
+  size_t error_count() const;
+  size_t warning_count() const;
+
+  /// Findings for one invariant id (used by tests and targeted asserts).
+  std::vector<Diagnostic> ForCheck(const std::string& check) const;
+
+  /// Merge another report's findings into this one.
+  void Absorb(AnalysisReport other);
+
+  /// OK when there are no errors (warnings tolerated); otherwise an Invalid
+  /// status whose message lists every error.
+  Status ToStatus() const;
+
+  /// Multi-line rendering of all findings, errors first.
+  std::string ToString() const;
+};
+
+/// One-line rendering of a plan node for diagnostic subjects: kind plus the
+/// most identifying parameter (input name, keys, exchange spec, ...).
+std::string DescribeNode(const temporal::PlanNode* node);
+
+}  // namespace timr::analysis

@@ -1,0 +1,227 @@
+#include "analysis/fragment_checks.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace timr::analysis {
+
+using framework::Fragment;
+using framework::FragmentedPlan;
+using temporal::OpKind;
+using temporal::PartitionSpec;
+using temporal::PlanNode;
+using temporal::Timestamp;
+
+namespace {
+
+void Report(AnalysisReport* report, Severity severity, std::string subject,
+            std::string message) {
+  Diagnostic d;
+  d.severity = severity;
+  d.subject = std::move(subject);
+  d.check = "fragment-cut";
+  d.message = std::move(message);
+  report->diagnostics.push_back(std::move(d));
+}
+
+std::string FragmentSubject(const Fragment& frag) {
+  return "fragment " + frag.name;
+}
+
+void CheckOneFragment(const FragmentedPlan& plan, size_t index,
+                      const std::map<std::string, size_t>& producer_index,
+                      AnalysisReport* report) {
+  const Fragment& frag = plan.fragments[index];
+  const std::string subject = FragmentSubject(frag);
+  auto error = [&](std::string message) {
+    Report(report, Severity::kError, subject, std::move(message));
+  };
+
+  if (frag.root == nullptr) {
+    error("has no plan");
+    return;
+  }
+  if (frag.inputs.size() != frag.input_is_external.size()) {
+    std::ostringstream os;
+    os << "declares " << frag.inputs.size() << " input(s) but "
+       << frag.input_is_external.size() << " external-source flag(s)";
+    error(os.str());
+    return;
+  }
+
+  // The cut must be complete: a kExchange left inside a fragment body means a
+  // shuffle boundary the cutter missed — it would execute as a passthrough.
+  std::set<std::string> leaf_names;
+  for (const PlanNode* node : temporal::CollectNodes(frag.root)) {
+    if (node->kind == OpKind::kExchange) {
+      error("contains " + DescribeNode(node) +
+            "; fragment bodies must be exchange-free (cut boundaries "
+            "coincide with exchanges)");
+    } else if (node->kind == OpKind::kInput) {
+      leaf_names.insert(node->name);
+    }
+  }
+
+  // Declared inputs and plan leaves must agree exactly.
+  std::set<std::string> declared;
+  for (size_t i = 0; i < frag.inputs.size(); ++i) {
+    const std::string& name = frag.inputs[i];
+    if (!declared.insert(name).second) {
+      error("declares input dataset \"" + name + "\" more than once");
+      continue;
+    }
+    if (leaf_names.count(name) == 0) {
+      error("declares input \"" + name + "\" that its plan never reads");
+    }
+    auto produced = producer_index.find(name);
+    if (frag.input_is_external[i]) {
+      if (produced != producer_index.end()) {
+        error("marks input \"" + name +
+              "\" as an external source, but it is fragment " +
+              std::to_string(produced->second) + "'s output");
+      }
+    } else {
+      if (produced == producer_index.end()) {
+        error("reads intermediate dataset \"" + name +
+              "\" that no fragment produces");
+      } else if (produced->second >= index) {
+        error("reads \"" + name + "\" produced by fragment " +
+              std::to_string(produced->second) +
+              ", which runs at or after it; the fragment DAG is cyclic or "
+              "not in topological order");
+      }
+    }
+  }
+  for (const std::string& leaf : leaf_names) {
+    if (declared.count(leaf) == 0) {
+      error("reads dataset \"" + leaf + "\" not declared among its inputs");
+    }
+  }
+
+  // Partitioning key sanity (paper §III-B for temporal keys).
+  if (frag.key.kind == PartitionSpec::Kind::kTemporal) {
+    if (frag.key.span_width <= 0) {
+      error("temporal partitioning span width must be positive, got " +
+            std::to_string(frag.key.span_width));
+    }
+    const Timestamp window = frag.root->MaxWindow();
+    if (frag.key.overlap < window) {
+      std::ostringstream os;
+      os << "temporal partitioning overlap " << frag.key.overlap
+         << " is smaller than the fragment's max window " << window
+         << "; span boundaries would lose events (paper §III-B)";
+      error(os.str());
+    }
+  }
+}
+
+}  // namespace
+
+AnalysisReport CheckFragments(const FragmentedPlan& plan) {
+  AnalysisReport report;
+  if (plan.fragments.empty()) {
+    Report(&report, Severity::kError, "<plan>", "has no fragments");
+    return report;
+  }
+
+  // name -> index, and duplicate-name detection. Names double as dataset
+  // names, so a duplicate would make one fragment overwrite another's output.
+  std::map<std::string, size_t> producer_index;
+  for (size_t i = 0; i < plan.fragments.size(); ++i) {
+    const std::string& name = plan.fragments[i].name;
+    if (!producer_index.emplace(name, i).second) {
+      Report(&report, Severity::kError, FragmentSubject(plan.fragments[i]),
+             "duplicates the name of fragment " +
+                 std::to_string(producer_index.at(name)));
+    }
+  }
+  if (plan.output_dataset != plan.fragments.back().name) {
+    Report(&report, Severity::kError, "<plan>",
+           "output dataset \"" + plan.output_dataset +
+               "\" is not the final fragment's output (\"" +
+               plan.fragments.back().name + "\")");
+  }
+
+  for (size_t i = 0; i < plan.fragments.size(); ++i) {
+    CheckOneFragment(plan, i, producer_index, &report);
+  }
+  return report;
+}
+
+AnalysisReport CheckStage(const FragmentedPlan& plan, size_t fragment_index,
+                          const mr::MRStage& stage) {
+  AnalysisReport report;
+  const std::string subject = "stage " + stage.name;
+  auto error = [&](std::string message) {
+    Report(&report, Severity::kError, subject, std::move(message));
+  };
+
+  if (fragment_index >= plan.fragments.size()) {
+    error("compiled for fragment index " + std::to_string(fragment_index) +
+          " but the plan has only " + std::to_string(plan.fragments.size()) +
+          " fragment(s)");
+    return report;
+  }
+  const Fragment& frag = plan.fragments[fragment_index];
+
+  if (stage.name != frag.name) {
+    error("implements fragment \"" + frag.name + "\" under a different name");
+  }
+  if (stage.inputs != frag.inputs) {
+    error("input datasets do not match fragment " + frag.name + "'s inputs");
+  }
+  if (stage.output != frag.name) {
+    error("writes dataset \"" + stage.output + "\" instead of the fragment's "
+          "output dataset \"" + frag.name + "\"");
+  }
+  if (stage.num_partitions < 0) {
+    error("has negative partition count " +
+          std::to_string(stage.num_partitions));
+  }
+  if (frag.key.kind == PartitionSpec::Kind::kTemporal &&
+      stage.num_partitions < 1) {
+    error("temporal partitioning requires an explicit span count, got " +
+          std::to_string(stage.num_partitions));
+  }
+  if (!stage.partition_fn) error("has no partition function");
+  if (!stage.reducer) error("has no reducer");
+
+  // Consumable-inputs annotation = a last-use claim; verify it against the
+  // whole fragment DAG, since a wrong claim releases rows a later stage needs.
+  std::set<int> seen;
+  for (int idx : stage.consumable_inputs) {
+    if (idx < 0 || static_cast<size_t>(idx) >= stage.inputs.size()) {
+      error("marks out-of-range input index " + std::to_string(idx) +
+            " as consumable");
+      continue;
+    }
+    if (!seen.insert(idx).second) {
+      error("marks input index " + std::to_string(idx) +
+            " as consumable more than once");
+      continue;
+    }
+    const std::string& name = stage.inputs[static_cast<size_t>(idx)];
+    if (static_cast<size_t>(idx) < frag.input_is_external.size() &&
+        frag.input_is_external[static_cast<size_t>(idx)]) {
+      error("marks external source \"" + name +
+            "\" as consumable; only intermediate datasets may be released");
+    }
+    if (name == plan.output_dataset) {
+      error("marks the job output dataset \"" + name + "\" as consumable");
+    }
+    for (size_t later = fragment_index + 1; later < plan.fragments.size();
+         ++later) {
+      for (const std::string& later_input : plan.fragments[later].inputs) {
+        if (later_input == name) {
+          error("consumes \"" + name + "\" which fragment " +
+                plan.fragments[later].name +
+                " still reads; this is not its last use");
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace timr::analysis

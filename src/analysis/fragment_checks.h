@@ -1,0 +1,36 @@
+// Static checks over the output of fragment extraction (timr/fragments.h) and
+// stage compilation (mr/stage.h): invariant "fragment-cut".
+//
+// A well-formed FragmentedPlan satisfies:
+//  - fragments are topologically ordered and the dependency graph is acyclic
+//    (every internal input names an *earlier* fragment);
+//  - every fragment root is exchange-free (cut boundaries coincide with
+//    exchanges — a leftover kExchange means the cutter missed a boundary);
+//  - each fragment's kInput leaves are exactly its declared `inputs`;
+//  - a temporal partitioning key's overlap covers the fragment's max window
+//    (paper §III-B);
+//  - a compiled MRStage's identity, partition count and consumable-inputs
+//    annotation are consistent with the fragment DAG's last-use structure.
+//
+// These functions only *inspect* Fragment/FragmentedPlan structs; they never
+// run fragment extraction themselves (keeps timr_analysis below timr_timr in
+// the link order).
+
+#pragma once
+
+#include "analysis/diagnostic.h"
+#include "mr/stage.h"
+#include "timr/fragments.h"
+
+namespace timr::analysis {
+
+/// Invariant "fragment-cut" over an extracted plan.
+AnalysisReport CheckFragments(const framework::FragmentedPlan& plan);
+
+/// Invariant "fragment-cut" over one compiled stage: `stage` must implement
+/// `plan.fragments[fragment_index]`, and its consumable-inputs annotation must
+/// be a correct last-use claim with respect to the rest of `plan`.
+AnalysisReport CheckStage(const framework::FragmentedPlan& plan,
+                          size_t fragment_index, const mr::MRStage& stage);
+
+}  // namespace timr::analysis

@@ -1,0 +1,620 @@
+#include "analysis/plan_checks.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "temporal/convert.h"
+
+namespace timr::analysis {
+
+using temporal::OpKind;
+using temporal::PartitionSpec;
+using temporal::PlanNode;
+using temporal::PlanNodePtr;
+using temporal::Timestamp;
+
+namespace {
+
+Diagnostic Make(Severity severity, const PlanNode* node, std::string check,
+                std::string message) {
+  Diagnostic d;
+  d.severity = severity;
+  d.node = node;
+  d.subject = DescribeNode(node);
+  d.check = std::move(check);
+  d.message = std::move(message);
+  return d;
+}
+
+std::string ColumnList(const std::vector<std::string>& cols) {
+  std::string s = "{";
+  for (size_t i = 0; i < cols.size(); ++i) {
+    if (i > 0) s += ",";
+    s += cols[i];
+  }
+  return s + "}";
+}
+
+std::vector<std::string> Sorted(std::vector<std::string> cols) {
+  std::sort(cols.begin(), cols.end());
+  return cols;
+}
+
+/// `a` subset of `b`, both sorted.
+bool IsSubset(const std::vector<std::string>& a,
+              const std::vector<std::string>& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+bool SpecsEqual(const PartitionSpec& a, const PartitionSpec& b) {
+  if (a.kind != b.kind) return false;
+  if (a.kind == PartitionSpec::Kind::kKeys) return a.keys == b.keys;
+  return a.span_width == b.span_width && a.overlap == b.overlap;
+}
+
+const char* TypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kInt64: return "int64";
+    case ValueType::kDouble: return "double";
+    case ValueType::kString: return "string";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// "schema": arity, schema resolution, column references, types, callbacks.
+// ---------------------------------------------------------------------------
+
+class SchemaChecker {
+ public:
+  AnalysisReport Run(const PlanNodePtr& root) {
+    if (root == nullptr) {
+      Diagnostic d;
+      d.check = "schema";
+      d.subject = "<plan>";
+      d.message = "plan root is null";
+      report_.diagnostics.push_back(std::move(d));
+      return std::move(report_);
+    }
+    // Pass 1: arity / structure. If any node is malformed, schema resolution
+    // below could dereference missing children, so bail out with just these.
+    CheckArity(root);
+    if (report_.HasErrors()) return std::move(report_);
+    // Pass 2: per-node schema rules, post-order-ish via CollectNodes.
+    CheckNodes(root);
+    return std::move(report_);
+  }
+
+ private:
+  void Error(const PlanNode* node, std::string message) {
+    report_.diagnostics.push_back(
+        Make(Severity::kError, node, "schema", std::move(message)));
+  }
+  void Warn(const PlanNode* node, std::string message) {
+    report_.diagnostics.push_back(
+        Make(Severity::kWarning, node, "schema", std::move(message)));
+  }
+
+  static size_t ExpectedChildren(OpKind kind) {
+    switch (kind) {
+      case OpKind::kInput:
+      case OpKind::kSubplanInput:
+        return 0;
+      case OpKind::kUnion:
+      case OpKind::kTemporalJoin:
+      case OpKind::kAntiSemiJoin:
+        return 2;
+      default:
+        return 1;
+    }
+  }
+
+  void CheckArity(const PlanNodePtr& root) {
+    for (const PlanNode* node : temporal::CollectNodes(root)) {
+      const size_t expected = ExpectedChildren(node->kind);
+      if (node->children.size() != expected) {
+        std::ostringstream os;
+        os << "expects " << expected << " input(s) but has "
+           << node->children.size();
+        Error(node, os.str());
+        continue;
+      }
+      for (const PlanNodePtr& child : node->children) {
+        if (child == nullptr) Error(node, "has a null child");
+      }
+      if (node->kind == OpKind::kGroupApply) {
+        if (node->subplan == nullptr) {
+          Error(node, "has no sub-plan");
+        } else {
+          size_t leaves = 0;
+          for (const PlanNode* sub : temporal::CollectNodes(node->subplan)) {
+            if (sub->kind == OpKind::kSubplanInput) ++leaves;
+          }
+          if (leaves != 1) {
+            std::ostringstream os;
+            os << "sub-plan must have exactly one SubplanInput leaf, found "
+               << leaves;
+            Error(node, os.str());
+          }
+        }
+      }
+    }
+  }
+
+  void CheckNodes(const PlanNodePtr& root) {
+    for (const PlanNode* node : temporal::CollectNodes(root)) {
+      // Report schema-resolution failures only where they originate: the
+      // node's own schema fails while every child's resolves.
+      auto schema = node->OutputSchema();
+      if (!schema.ok()) {
+        bool children_ok = true;
+        for (const PlanNodePtr& child : node->children) {
+          if (!child->OutputSchema().ok()) children_ok = false;
+        }
+        if (node->kind == OpKind::kGroupApply && node->subplan != nullptr &&
+            !node->subplan->OutputSchema().ok()) {
+          children_ok = false;
+        }
+        if (children_ok) {
+          Error(node, "output schema does not resolve: " +
+                          schema.status().ToString());
+        }
+        continue;
+      }
+      CheckDeclaredSchema(node, schema.ValueOrDie());
+      CheckOperatorRules(node);
+    }
+  }
+
+  /// Duplicate and reserved column names in a node's output schema. Only
+  /// schema-*introducing* kinds are checked — pass-through kinds would just
+  /// repeat their child's finding.
+  void CheckDeclaredSchema(const PlanNode* node, const Schema& schema) {
+    switch (node->kind) {
+      case OpKind::kInput:
+      case OpKind::kSubplanInput:
+      case OpKind::kProject:
+      case OpKind::kUdo:
+      case OpKind::kTemporalJoin:
+        break;
+      default:
+        return;
+    }
+    std::set<std::string> seen;
+    for (const Schema::Field& f : schema.fields()) {
+      if (!seen.insert(f.name).second) {
+        Error(node, "output schema has duplicate column \"" + f.name + "\"");
+      }
+      if (f.name == temporal::kTimeColumn || f.name == temporal::kREndColumn) {
+        Warn(node, "output column \"" + f.name +
+                       "\" shadows the reserved row-layout column used at "
+                       "stage boundaries");
+      }
+    }
+  }
+
+  void CheckOperatorRules(const PlanNode* node) {
+    switch (node->kind) {
+      case OpKind::kSelect:
+        if (!node->pred) Error(node, "has no predicate");
+        break;
+      case OpKind::kProject:
+        if (!node->project_fn) Error(node, "has no projection function");
+        break;
+      case OpKind::kAggregate:
+        CheckAggregate(node);
+        break;
+      case OpKind::kTemporalJoin:
+      case OpKind::kAntiSemiJoin:
+        CheckJoinKeys(node);
+        break;
+      case OpKind::kUdo:
+        if (node->udo_window <= 0) {
+          Error(node, "window must be positive");
+        }
+        if (node->udo_hop <= 0) {
+          Error(node, "hop must be positive");
+        }
+        if (!node->udo_fn) Error(node, "has no UDO function");
+        break;
+      case OpKind::kExchange:
+        CheckExchangeSpec(node);
+        break;
+      default:
+        break;
+    }
+  }
+
+  /// AggregateSpec::ComputeSchema does not look up value_column (the value
+  /// index is resolved later, at executor build time) — catch dangling or
+  /// non-numeric references here.
+  void CheckAggregate(const PlanNode* node) {
+    if (node->agg.kind == temporal::AggKind::kCount) return;
+    auto child = node->children[0]->OutputSchema();
+    if (!child.ok()) return;
+    const Schema& in = child.ValueOrDie();
+    auto idx = in.IndexOf(node->agg.value_column);
+    if (!idx.ok()) {
+      Error(node, "aggregates column \"" + node->agg.value_column +
+                      "\" which does not exist in input schema " +
+                      in.ToString());
+      return;
+    }
+    const ValueType type = in.field(static_cast<size_t>(idx.ValueOrDie())).type;
+    if (type == ValueType::kString) {
+      Error(node, "aggregates string column \"" + node->agg.value_column +
+                      "\"; aggregates require a numeric column");
+    }
+  }
+
+  /// ComputeSchema only resolves key names; key-count and pairwise-type
+  /// mismatches would surface at runtime as silently-empty joins (Value
+  /// equality across types is always false).
+  void CheckJoinKeys(const PlanNode* node) {
+    if (node->left_keys.size() != node->right_keys.size()) {
+      std::ostringstream os;
+      os << "has " << node->left_keys.size() << " left key(s) but "
+         << node->right_keys.size() << " right key(s)";
+      Error(node, os.str());
+      return;
+    }
+    auto ls = node->children[0]->OutputSchema();
+    auto rs = node->children[1]->OutputSchema();
+    if (!ls.ok() || !rs.ok()) return;
+    for (size_t i = 0; i < node->left_keys.size(); ++i) {
+      auto li = ls.ValueOrDie().IndexOf(node->left_keys[i]);
+      auto ri = rs.ValueOrDie().IndexOf(node->right_keys[i]);
+      if (!li.ok() || !ri.ok()) continue;  // ComputeSchema reported this
+      const ValueType lt =
+          ls.ValueOrDie().field(static_cast<size_t>(li.ValueOrDie())).type;
+      const ValueType rt =
+          rs.ValueOrDie().field(static_cast<size_t>(ri.ValueOrDie())).type;
+      if (lt != rt) {
+        Error(node, "joins " + node->left_keys[i] + " (" + TypeName(lt) +
+                        ") with " + node->right_keys[i] + " (" + TypeName(rt) +
+                        "); mismatched key types never compare equal");
+      }
+    }
+  }
+
+  void CheckExchangeSpec(const PlanNode* node) {
+    const PartitionSpec& spec = node->exchange;
+    if (spec.kind == PartitionSpec::Kind::kKeys) {
+      auto child = node->children[0]->OutputSchema();
+      if (!child.ok()) return;
+      for (const std::string& key : spec.keys) {
+        if (!child.ValueOrDie().HasField(key)) {
+          Error(node, "partitions on column \"" + key +
+                          "\" which does not exist in input schema " +
+                          child.ValueOrDie().ToString());
+        }
+      }
+    } else {
+      if (spec.span_width <= 0) {
+        Error(node, "temporal partitioning span width must be positive");
+      }
+      if (spec.overlap < 0) {
+        Error(node, "temporal partitioning overlap must be non-negative");
+      }
+    }
+  }
+
+  AnalysisReport report_;
+};
+
+// ---------------------------------------------------------------------------
+// "exchange-placement" / "temporal-span".
+// ---------------------------------------------------------------------------
+
+/// Top-down DFS. Each exchange's child starts a new *region* (the data that
+/// will live inside one map-reduce fragment after cutting); within a region we
+/// carry the grouping-key constraints imposed by the stateful operators above,
+/// the max window applied on the path, and whether a global (ungrouped)
+/// operator sits above. At each exchange the spec is validated against that
+/// context, mirroring how FragmentCutter + CompileFragment will actually
+/// partition the data.
+class ExchangeChecker {
+ public:
+  AnalysisReport Run(const PlanNodePtr& root) {
+    if (root == nullptr || !root->OutputSchema().ok()) {
+      return std::move(report_);  // schema pass owns these findings
+    }
+    if (root->kind == OpKind::kExchange) {
+      report_.diagnostics.push_back(
+          Make(Severity::kError, root.get(), "exchange-placement",
+               "plan root is an exchange; the final fragment's output is "
+               "consumed as-is and must not be repartitioned"));
+    }
+    Ctx ctx;
+    ctx.region = 0;
+    Visit(root.get(), ctx);
+    return std::move(report_);
+  }
+
+ private:
+  /// A grouping-key requirement imposed by `source`, expressed in the column
+  /// names of the stream currently being visited (sorted).
+  struct Constraint {
+    const PlanNode* source;
+    std::vector<std::string> cols;
+  };
+
+  struct Ctx {
+    int region = 0;
+    std::vector<Constraint> constraints;
+    /// Nearest ungrouped Aggregate/UDO above (treats the whole stream as one
+    /// group, so any keyed split below it changes results).
+    const PlanNode* global_op = nullptr;
+    /// Largest window applied between here and the region top, and the node
+    /// applying it. Matches PlanNode::MaxWindow's max-not-sum convention.
+    Timestamp max_window = 0;
+    const PlanNode* window_source = nullptr;
+  };
+
+  void Error(const PlanNode* node, const std::string& check,
+             std::string message) {
+    report_.diagnostics.push_back(
+        Make(Severity::kError, node, check, std::move(message)));
+  }
+
+  void NoteWindow(Ctx* ctx, const PlanNode* source, Timestamp window) {
+    if (window > ctx->max_window) {
+      ctx->max_window = window;
+      ctx->window_source = source;
+    }
+  }
+
+  /// Keep only constraints whose columns all survive into child `idx` of
+  /// `node`, translating across join renames. Same conservative name
+  /// provenance the optimizer uses: a column that keeps its name is assumed to
+  /// keep its values.
+  std::vector<Constraint> ConstraintsForChild(
+      const PlanNode* node, size_t idx, const std::vector<Constraint>& in) {
+    std::vector<Constraint> out;
+    auto child_schema = node->children[idx]->OutputSchema();
+    if (!child_schema.ok()) return out;
+    const Schema& schema = child_schema.ValueOrDie();
+    const bool translate_join_keys =
+        (node->kind == OpKind::kTemporalJoin ||
+         node->kind == OpKind::kAntiSemiJoin) &&
+        idx == 1;
+    for (Constraint c : in) {
+      if (translate_join_keys) {
+        // Right-side columns only relate to parent names through the
+        // equi-join: left_keys[i] == right_keys[i]. Untranslatable columns
+        // are dropped (weakening the constraint is conservative: it can only
+        // make the check more permissive, never reject a valid plan).
+        std::vector<std::string> translated;
+        for (const std::string& col : c.cols) {
+          for (size_t k = 0; k < node->left_keys.size(); ++k) {
+            if (node->left_keys[k] == col) {
+              translated.push_back(node->right_keys[k]);
+              break;
+            }
+          }
+        }
+        if (translated.empty()) continue;
+        c.cols = Sorted(std::move(translated));
+      }
+      bool present = true;
+      for (const std::string& col : c.cols) {
+        if (!schema.HasField(col)) {
+          present = false;
+          break;
+        }
+      }
+      if (present) out.push_back(std::move(c));
+    }
+    return out;
+  }
+
+  void Descend(const PlanNode* node, size_t idx, Ctx ctx) {
+    ctx.constraints = ConstraintsForChild(node, idx, ctx.constraints);
+    Visit(node->children[idx].get(), ctx);
+  }
+
+  void Visit(const PlanNode* node, Ctx ctx) {
+    if (++visits_ > kMaxVisits) {
+      if (!capped_) {
+        capped_ = true;
+        report_.diagnostics.push_back(Make(
+            Severity::kWarning, node, "exchange-placement",
+            "analysis visit budget exhausted; remaining paths not checked"));
+      }
+      return;
+    }
+    switch (node->kind) {
+      case OpKind::kExchange:
+        CheckExchange(node, ctx);
+        return;
+      case OpKind::kGroupApply: {
+        if (node->subplan != nullptr) {
+          NoteWindow(&ctx, node, node->subplan->MaxWindow());
+          FlagSubplanExchanges(node);
+        }
+        Ctx child = ctx;
+        child.constraints =
+            ConstraintsForChild(node, 0, ctx.constraints);
+        child.constraints.push_back(
+            Constraint{node, Sorted(node->group_keys)});
+        Visit(node->children[0].get(), child);
+        return;
+      }
+      case OpKind::kTemporalJoin:
+      case OpKind::kAntiSemiJoin: {
+        Ctx left = ctx;
+        left.constraints = ConstraintsForChild(node, 0, ctx.constraints);
+        left.constraints.push_back(Constraint{node, Sorted(node->left_keys)});
+        Visit(node->children[0].get(), left);
+        Ctx right = ctx;
+        right.constraints = ConstraintsForChild(node, 1, ctx.constraints);
+        right.constraints.push_back(
+            Constraint{node, Sorted(node->right_keys)});
+        Visit(node->children[1].get(), right);
+        return;
+      }
+      case OpKind::kAggregate:
+        ctx.global_op = node;
+        Descend(node, 0, std::move(ctx));
+        return;
+      case OpKind::kUdo:
+        ctx.global_op = node;
+        NoteWindow(&ctx, node, node->udo_window + node->udo_hop);
+        Descend(node, 0, std::move(ctx));
+        return;
+      case OpKind::kAlterLifetime:
+        NoteWindow(&ctx, node, node->alter.MaxWindow());
+        Descend(node, 0, std::move(ctx));
+        return;
+      case OpKind::kUnion:
+        Descend(node, 0, ctx);
+        Descend(node, 1, std::move(ctx));
+        return;
+      case OpKind::kInput:
+      case OpKind::kSubplanInput:
+        return;
+      default:  // kSelect, kProject, kConformanceCheck: transparent
+        Descend(node, 0, std::move(ctx));
+        return;
+    }
+  }
+
+  void CheckExchange(const PlanNode* node, const Ctx& ctx) {
+    // Footnote 1: every exchange feeding one fragment must carry the same
+    // spec, or the cutter cannot pick a single partitioning for the stage.
+    auto [it, inserted] = region_spec_.try_emplace(ctx.region, node);
+    if (!inserted && !SpecsEqual(it->second->exchange, node->exchange)) {
+      Error(node, "exchange-placement",
+            "conflicts with " + DescribeNode(it->second) +
+                " feeding the same fragment; all exchanges into one fragment "
+                "must share a partitioning spec (paper footnote 1)");
+    }
+    const PartitionSpec& spec = node->exchange;
+    if (spec.kind == PartitionSpec::Kind::kKeys && !spec.keys.empty()) {
+      if (ctx.global_op != nullptr) {
+        Error(node, "exchange-placement",
+              "partitions by " + ColumnList(spec.keys) + " beneath global " +
+                  DescribeNode(ctx.global_op) +
+                  ", which aggregates the whole stream; use a singleton or "
+                  "temporal partitioning instead");
+      } else {
+        const std::vector<std::string> spec_cols = Sorted(spec.keys);
+        for (const Constraint& c : ctx.constraints) {
+          if (!IsSubset(spec_cols, c.cols)) {
+            Error(node, "exchange-placement",
+                  "keys " + ColumnList(spec.keys) +
+                      " are not a subset of the grouping key " +
+                      ColumnList(c.cols) + " required by downstream " +
+                      DescribeNode(c.source) +
+                      " (paper §III-A step 2: a partition must contain "
+                      "every event of each group it touches)");
+          }
+        }
+      }
+    } else if (spec.kind == PartitionSpec::Kind::kTemporal) {
+      if (ctx.max_window > spec.overlap) {
+        std::ostringstream os;
+        os << "overlap " << spec.overlap << " is smaller than the window "
+           << ctx.max_window << " applied by downstream "
+           << DescribeNode(ctx.window_source)
+           << "; partition boundaries would lose events (paper §III-B "
+              "requires overlap >= max window)";
+        Error(node, "temporal-span", os.str());
+      }
+    }
+    // The exchange's child begins a new region. Shared children (multicast
+    // into several exchanges) keep one region id so footnote-1 conflicts on
+    // the *downstream* fragment are caught via region_spec_ above.
+    const PlanNode* child = node->children[0].get();
+    auto [rit, fresh] = child_region_.try_emplace(child, next_region_);
+    if (fresh) ++next_region_;
+    Ctx below;
+    below.region = rit->second;
+    Visit(child, below);
+  }
+
+  /// FragmentCutter never descends into group sub-plans, so an exchange there
+  /// would silently execute as a passthrough instead of a shuffle.
+  void FlagSubplanExchanges(const PlanNode* group) {
+    for (const PlanNode* sub : temporal::CollectNodes(group->subplan)) {
+      if (sub->kind == OpKind::kExchange &&
+          flagged_subplan_nodes_.insert(sub).second) {
+        Error(sub, "exchange-placement",
+              "exchange inside a GroupApply sub-plan; fragment extraction "
+              "does not cut sub-plans, so this shuffle would never happen");
+      }
+    }
+  }
+
+  static constexpr size_t kMaxVisits = 200000;
+
+  AnalysisReport report_;
+  std::unordered_map<int, const PlanNode*> region_spec_;
+  std::unordered_map<const PlanNode*, int> child_region_;
+  std::set<const PlanNode*> flagged_subplan_nodes_;
+  int next_region_ = 1;
+  size_t visits_ = 0;
+  bool capped_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// "determinism".
+// ---------------------------------------------------------------------------
+
+/// True if the exchange-free subtree under `node` contains an operator that
+/// merges streams (Union, joins, GroupApply's per-group reassembly). Stops at
+/// exchanges: a shuffle re-sorts rows into the canonical order, so ordering
+/// below it cannot leak through.
+bool HasMergeBelow(const PlanNode* node, const PlanNode** merge) {
+  switch (node->kind) {
+    case OpKind::kUnion:
+    case OpKind::kTemporalJoin:
+    case OpKind::kAntiSemiJoin:
+    case OpKind::kGroupApply:
+      *merge = node;
+      return true;
+    case OpKind::kExchange:
+    case OpKind::kInput:
+    case OpKind::kSubplanInput:
+      return false;
+    default:
+      for (const PlanNodePtr& child : node->children) {
+        if (child != nullptr && HasMergeBelow(child.get(), merge)) return true;
+      }
+      return false;
+  }
+}
+
+}  // namespace
+
+AnalysisReport CheckPlanSchemas(const PlanNodePtr& root) {
+  return SchemaChecker().Run(root);
+}
+
+AnalysisReport CheckExchangePlacement(const PlanNodePtr& root) {
+  return ExchangeChecker().Run(root);
+}
+
+AnalysisReport CheckDeterminism(const PlanNodePtr& root) {
+  AnalysisReport report;
+  if (root == nullptr) return report;
+  for (const PlanNode* node : temporal::CollectNodes(root)) {
+    if (node->kind != OpKind::kUdo || node->udo_order_insensitive) continue;
+    if (node->children.size() != 1 || node->children[0] == nullptr) continue;
+    const PlanNode* merge = nullptr;
+    if (HasMergeBelow(node->children[0].get(), &merge)) {
+      report.diagnostics.push_back(Make(
+          Severity::kWarning, node, "determinism",
+          "consumes the merged output of " + DescribeNode(merge) +
+              " but is not declared order-insensitive; same-timestamp merge "
+              "order is engine-defined, so results may differ across runs "
+              "(declare the UDO order-insensitive or sort inside it)"));
+    }
+  }
+  return report;
+}
+
+}  // namespace timr::analysis

@@ -1,0 +1,48 @@
+// Static analysis passes over temporal::PlanNode DAGs.
+//
+// The TiMR correctness argument (paper §III, §VI) rests on invariants that the
+// builders and optimizer are supposed to maintain but nothing verified until
+// now:
+//
+//  - "schema"             every operator's schema resolves, referenced columns
+//                         exist with compatible types, declared schemas carry
+//                         no duplicate or reserved names, operator arity and
+//                         required callbacks are in place;
+//  - "exchange-placement" every kKeys exchange partitions on a subset of each
+//                         downstream stateful operator's grouping key up to
+//                         the next exchange (paper §III-A step 2), all
+//                         exchanges feeding one fragment agree (footnote 1),
+//                         and no keyed exchange sits beneath a global
+//                         (ungrouped) Aggregate/UDO;
+//  - "temporal-span"      every kTemporal exchange's overlap covers the
+//                         maximum window applied between it and its fragment
+//                         root (paper §III-B);
+//  - "determinism"        UDOs not declared order-insensitive that consume a
+//                         merged stream are flagged, since replayed shuffles
+//                         only guarantee the canonical RowTimeLess order
+//                         across exchange boundaries.
+//
+// Passes return structured diagnostics; they never abort. Run CheckPlanSchemas
+// first — the placement pass assumes schemas resolve.
+
+#pragma once
+
+#include "analysis/diagnostic.h"
+#include "temporal/plan.h"
+
+namespace timr::analysis {
+
+/// Invariant "schema": arity, schema resolution, column references and types,
+/// duplicate/reserved names, required callbacks. Errors here make the other
+/// passes unreliable; run this first.
+AnalysisReport CheckPlanSchemas(const temporal::PlanNodePtr& root);
+
+/// Invariants "exchange-placement" and "temporal-span". Assumes schemas
+/// resolve (run CheckPlanSchemas first; unresolvable schemas are skipped
+/// defensively here).
+AnalysisReport CheckExchangePlacement(const temporal::PlanNodePtr& root);
+
+/// Invariant "determinism" (warnings only).
+AnalysisReport CheckDeterminism(const temporal::PlanNodePtr& root);
+
+}  // namespace timr::analysis

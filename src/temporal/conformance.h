@@ -1,0 +1,85 @@
+// Runtime stream-conformance checking: a passthrough operator that asserts
+// the engine's execution discipline (see operator.h) on the stream flowing
+// through it — valid [LE, RE) lifetimes, events never preceding the last CTI,
+// and monotone CTIs.
+//
+// TiMR inserts these at fragment boundaries (TimrOptions::validate_streams):
+// one above every fragment input and one below the fragment root, so a bad
+// optimizer rewrite, a corrupted intermediate dataset, or a misbehaving
+// operator is caught at the stage where it happens, with provenance, instead
+// of silently producing wrong output. The engine's own TIMR_DCHECKs cover the
+// same invariants but are compiled out of NDEBUG builds; this operator is the
+// always-available, Status-reporting form.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "temporal/operator.h"
+
+namespace timr::temporal {
+
+/// \brief Passthrough operator that records conformance violations instead of
+/// aborting. Violating events are recorded and dropped (the run is going to be
+/// failed anyway; forwarding them would trip downstream invariants).
+class ConformanceCheckOp : public UnaryOperator {
+ public:
+  /// `label` names the checked edge in violation messages, e.g.
+  /// "frag_1/input:ClickLog" or "frag_1/output".
+  explicit ConformanceCheckOp(std::string label) : label_(std::move(label)) {}
+
+  void OnEvent(Event event) override {
+    CountConsumed();
+    if (event.le >= event.re) {
+      Record("event [" + std::to_string(event.le) + "," +
+             std::to_string(event.re) + ") has an empty or inverted lifetime");
+      return;
+    }
+    if (event.le < last_cti_) {
+      Record("event at LE=" + std::to_string(event.le) +
+             " precedes the last CTI " + std::to_string(last_cti_));
+      return;
+    }
+    if (event.le < last_le_) {
+      Record("event at LE=" + std::to_string(event.le) +
+             " arrived out of order after LE=" + std::to_string(last_le_));
+      return;
+    }
+    last_le_ = event.le;
+    Emit(std::move(event));
+  }
+
+  void OnCti(Timestamp t) override {
+    if (t < last_cti_) {
+      Record("CTI regressed from " + std::to_string(last_cti_) + " to " +
+             std::to_string(t));
+      return;  // the base class would drop a stale CTI anyway
+    }
+    last_cti_ = t;
+    EmitCti(t);
+  }
+
+  const std::string& label() const { return label_; }
+  const std::vector<std::string>& violations() const { return violations_; }
+
+ private:
+  void Record(std::string msg) {
+    ++violation_count_;
+    if (violations_.size() < kMaxRecorded) {
+      violations_.push_back(label_ + ": " + std::move(msg));
+    } else if (violations_.size() == kMaxRecorded) {
+      violations_.push_back(label_ + ": ... further violations suppressed");
+    }
+  }
+
+  static constexpr size_t kMaxRecorded = 8;
+
+  std::string label_;
+  Timestamp last_cti_ = kMinTime;
+  Timestamp last_le_ = kMinTime;
+  uint64_t violation_count_ = 0;
+  std::vector<std::string> violations_;
+};
+
+}  // namespace timr::temporal

@@ -50,8 +50,8 @@ Result<Row> RowFromEvent(const Event& event, bool interval_layout) {
   }
   Row row;
   row.reserve(event.payload.size() + (interval_layout ? 2 : 1));
-  row.push_back(Value(event.le));
-  if (interval_layout) row.push_back(Value(event.re));
+  row.emplace_back(event.le);
+  if (interval_layout) row.emplace_back(event.re);
   row.insert(row.end(), event.payload.begin(), event.payload.end());
   return row;
 }

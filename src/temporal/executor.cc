@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "temporal/conformance.h"
 #include "temporal/group_apply.h"
 
 namespace timr::temporal {
@@ -79,6 +80,8 @@ class NetworkBuilder {
       case OpKind::kExchange:
         // Single-node execution: an exchange is a no-op passthrough.
         return Register(std::make_shared<PassthroughOp>());
+      case OpKind::kConformanceCheck:
+        return Register(std::make_shared<ConformanceCheckOp>(node->name));
       case OpKind::kAggregate: {
         int value_index = -1;
         if (node->agg.kind != AggKind::kCount) {
@@ -191,6 +194,17 @@ uint64_t Executor::TotalEventsConsumed() const {
   uint64_t total = 0;
   for (const auto& op : operators_) total += op->events_consumed();
   return total;
+}
+
+std::vector<std::string> Executor::ConformanceViolations() const {
+  std::vector<std::string> out;
+  for (const auto& op : operators_) {
+    if (auto* check = dynamic_cast<const ConformanceCheckOp*>(op.get())) {
+      out.insert(out.end(), check->violations().begin(),
+                 check->violations().end());
+    }
+  }
+  return out;
 }
 
 Result<std::vector<Event>> Executor::Execute(

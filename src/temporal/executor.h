@@ -63,6 +63,11 @@ class Executor {
   /// throughput metric counts engine events, not just source rows.
   uint64_t TotalEventsConsumed() const;
 
+  /// Violations recorded by ConformanceCheck operators in the plan (empty when
+  /// the plan is not instrumented or the streams conformed). Each entry names
+  /// the checked edge; see temporal/conformance.h.
+  std::vector<std::string> ConformanceViolations() const;
+
   const std::vector<std::string>& input_names() const { return input_names_; }
 
   class InputNode;

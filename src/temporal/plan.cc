@@ -21,6 +21,7 @@ const char* OpKindName(OpKind kind) {
     case OpKind::kAntiSemiJoin: return "AntiSemiJoin";
     case OpKind::kUdo: return "Udo";
     case OpKind::kExchange: return "Exchange";
+    case OpKind::kConformanceCheck: return "ConformanceCheck";
   }
   return "?";
 }
@@ -56,6 +57,7 @@ Result<Schema> PlanNode::ComputeSchema() const {
       return input_schema;
     case OpKind::kSelect:
     case OpKind::kExchange:
+    case OpKind::kConformanceCheck:
       return children[0]->OutputSchema();
     case OpKind::kAlterLifetime:
       return children[0]->OutputSchema();
@@ -195,6 +197,9 @@ void RenderNode(const PlanNode* node, int indent, std::ostringstream* os) {
     }
     case OpKind::kExchange:
       *os << " " << node->exchange.ToString();
+      break;
+    case OpKind::kConformanceCheck:
+      *os << "(" << node->name << ")";
       break;
     case OpKind::kAggregate:
       *os << "(" << node->agg.output_name << ")";

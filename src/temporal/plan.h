@@ -31,7 +31,8 @@ enum class OpKind {
   kTemporalJoin,
   kAntiSemiJoin,
   kUdo,
-  kExchange,  // logical repartitioning marker inserted by TiMR annotation
+  kExchange,          // logical repartitioning marker inserted by TiMR annotation
+  kConformanceCheck,  // debug-mode stream validation (analysis/conformance_pass)
 };
 
 const char* OpKindName(OpKind kind);
@@ -102,6 +103,10 @@ struct PlanNode {
   Timestamp udo_hop = 0;     // kUdo
   UdoFn udo_fn;              // kUdo
   Schema udo_schema;         // kUdo
+  /// kUdo: declares the UDO a function of the window *multiset* (insensitive
+  /// to the order of `active` events). The determinism audit
+  /// (analysis/plan_checks.h) flags undeclared UDOs downstream of a merge.
+  bool udo_order_insensitive = false;
 
   PartitionSpec exchange;  // kExchange
 

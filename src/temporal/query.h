@@ -174,13 +174,18 @@ class Query {
     return Query(std::move(n));
   }
 
-  /// Hopping-window user-defined operator (paper §II-A.2).
-  Query Udo(Timestamp window, Timestamp hop, UdoFn fn, Schema out_schema) const {
+  /// Hopping-window user-defined operator (paper §II-A.2). Pass
+  /// `order_insensitive = true` when `fn` is a function of the window
+  /// *multiset* (does not depend on the order of its `active` argument); the
+  /// determinism audit flags undeclared UDOs fed by merged streams.
+  Query Udo(Timestamp window, Timestamp hop, UdoFn fn, Schema out_schema,
+            bool order_insensitive = false) const {
     auto n = Child(OpKind::kUdo);
     n->udo_window = window;
     n->udo_hop = hop;
     n->udo_fn = std::move(fn);
     n->udo_schema = std::move(out_schema);
+    n->udo_order_insensitive = order_insensitive;
     return Query(std::move(n));
   }
 

@@ -146,6 +146,7 @@ class Annotator {
       case OpKind::kAlterLifetime:
       case OpKind::kExchange:
       case OpKind::kSubplanInput:
+      case OpKind::kConformanceCheck:
         rows = Rows(node->children.empty() ? node : node->children[0].get());
         if (!node->children.empty()) rows = Rows(node->children[0].get());
         break;
@@ -240,6 +241,7 @@ class Annotator {
         return false;  // raw inputs arrive randomly partitioned
       case OpKind::kSubplanInput:
       case OpKind::kExchange:
+      case OpKind::kConformanceCheck:
         return false;
     }
     return false;

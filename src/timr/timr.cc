@@ -2,7 +2,9 @@
 
 #include <atomic>
 #include <memory>
+#include <sstream>
 
+#include "analysis/analyzer.h"
 #include "temporal/convert.h"
 #include "temporal/executor.h"
 
@@ -105,7 +107,14 @@ Result<mr::MRStage> CompileFragment(
   }
 
   // --- Reduce phase: the paper's P (row pump) around P' (embedded engine). ---
-  temporal::PlanNodePtr plan = fragment.root;
+  // With validate_streams on, the embedded plan is instrumented with
+  // ConformanceCheck operators above each input and below the root, so a
+  // corrupted intermediate dataset or misbehaving operator fails the stage
+  // with provenance instead of producing wrong output.
+  temporal::PlanNodePtr plan =
+      options.validate_streams
+          ? analysis::InstrumentFragmentPlan(fragment.name, fragment.root)
+          : fragment.root;
   std::vector<std::string> input_names = fragment.inputs;
   auto engine_events = std::make_shared<std::atomic<uint64_t>>(0);
   const bool want_stats = options.collect_engine_stats;
@@ -126,6 +135,13 @@ Result<mr::MRStage> CompileFragment(
                           temporal::Executor::Create(plan));
     std::vector<Event> result;
     TIMR_ASSIGN_OR_RETURN(result, exec->RunBatch(std::move(event_inputs)));
+    const std::vector<std::string> violations = exec->ConformanceViolations();
+    if (!violations.empty()) {
+      std::ostringstream os;
+      os << "stream conformance violated in partition " << partition << ":";
+      for (const std::string& v : violations) os << "\n  " << v;
+      return Status::ExecutionError(os.str());
+    }
     if (want_stats) engine_events->fetch_add(exec->TotalEventsConsumed());
     // Temporal spans own only their output interval: clip (paper §III-B).
     if (spans) {
@@ -175,7 +191,15 @@ Result<TimrRunResult> RunPlan(mr::LocalCluster* cluster,
                               std::map<std::string, mr::Dataset>* store,
                               const TimrOptions& options) {
   TimrRunResult result;
+  // Fail fast on malformed plans: the static passes name the offending node,
+  // while a bad run would surface as wrong output or a deep engine abort.
+  if (options.validate_streams) {
+    TIMR_RETURN_NOT_OK(analysis::VerifyPlanForExecution(annotated_root));
+  }
   TIMR_ASSIGN_OR_RETURN(result.fragments, MakeFragments(annotated_root));
+  if (options.validate_streams) {
+    TIMR_RETURN_NOT_OK(analysis::CheckFragments(result.fragments).ToStatus());
+  }
 
   // Last-use analysis for copy-free routing: an intermediate dataset (an
   // upstream fragment's output) that no later fragment reads again can be
@@ -218,6 +242,10 @@ Result<TimrRunResult> RunPlan(mr::LocalCluster* cluster,
           name != result.fragments.output_dataset) {
         stage.consumable_inputs.push_back(static_cast<int>(i));
       }
+    }
+    if (options.validate_streams) {
+      TIMR_RETURN_NOT_OK(
+          analysis::CheckStage(result.fragments, frag_index, stage).ToStatus());
     }
     mr::StageStats sstats;
     TIMR_RETURN_NOT_OK(cluster->RunStage(stage, store, &sstats));

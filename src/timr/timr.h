@@ -34,6 +34,15 @@ struct TimrOptions {
 
   /// Collect per-fragment engine event counts (Figure 15 metric).
   bool collect_engine_stats = false;
+
+  /// Verify the plan statically before running it (schema, exchange
+  /// placement, fragment cuts — see analysis/analyzer.h) and insert
+  /// ConformanceCheck operators at fragment boundaries that assert the
+  /// temporal-stream discipline at runtime (valid lifetimes, CTI-respecting
+  /// events, monotone CTIs). Violations fail the run with operator
+  /// provenance. On by default; benchmarks measuring raw engine throughput
+  /// turn it off (see bench_validate_overhead for the measured cost).
+  bool validate_streams = true;
 };
 
 struct FragmentStats {

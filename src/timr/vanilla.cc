@@ -166,10 +166,10 @@ Result<mr::Dataset> UnifyDatasets(const VanillaFragment& vanilla,
         out.push_back(r[0]);  // Time
         out.push_back(interval ? r[1]
                                : Value(r[0].AsInt64() + temporal::kTick));
-        out.push_back(Value(static_cast<int64_t>(i)));  // __Src
+        out.emplace_back(static_cast<int64_t>(i));  // __Src
         for (int k : key_idx) out.push_back(r[skip + k]);
         for (int c : rest_idx) out.push_back(r[skip + c]);
-        while (out.size() < unified_width) out.push_back(Value(int64_t{0}));
+        while (out.size() < unified_width) out.emplace_back(int64_t{0});
         rows.push_back(std::move(out));
       }
     }

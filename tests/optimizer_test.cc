@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/analyzer.h"
 #include "bt/queries.h"
 #include "common/rng.h"
 #include "mr/cluster.h"
@@ -34,6 +35,20 @@ std::vector<PartitionSpec> Exchanges(const temporal::PlanNodePtr& plan) {
   return out;
 }
 
+/// The optimizer's chosen placements must satisfy the static
+/// exchange-placement invariants (analysis/plan_checks.h): the passes and the
+/// optimizer encode the same paper rules, so a disagreement means one of them
+/// drifted.
+void ExpectPlacementValid(const temporal::PlanNodePtr& annotated) {
+  analysis::AnalysisReport report =
+      analysis::CheckExchangePlacement(annotated);
+  EXPECT_EQ(report.ForCheck("exchange-placement").size(), 0u)
+      << report.ToString();
+  EXPECT_EQ(report.ForCheck("temporal-span").size(), 0u) << report.ToString();
+  EXPECT_TRUE(analysis::AnalyzePlan(annotated).ToStatus().ok())
+      << analysis::AnalyzePlan(annotated).ToString();
+}
+
 TEST(Optimizer, AnnotatesRunningClickCountWithAdId) {
   Schema s = Schema::Of(
       {{"UserId", ValueType::kInt64}, {"AdId", ValueType::kInt64}});
@@ -49,6 +64,7 @@ TEST(Optimizer, AnnotatesRunningClickCountWithAdId) {
   auto exchanges = Exchanges(res.ValueOrDie().annotated_plan);
   ASSERT_EQ(exchanges.size(), 1u);
   EXPECT_EQ(exchanges[0].keys, std::vector<std::string>{"AdId"});
+  ExpectPlacementValid(res.ValueOrDie().annotated_plan);
 }
 
 // The paper's Example 3: GroupApply keyed {UserId, Keyword} feeding a join
@@ -82,6 +98,7 @@ TEST(Optimizer, ChoosesSingleFragmentForExample3) {
   auto frags = MakeFragments(plan);
   ASSERT_TRUE(frags.ok()) << frags.status().ToString();
   EXPECT_EQ(frags.ValueOrDie().fragments.size(), 1u);
+  ExpectPlacementValid(plan);
 }
 
 // A global (ungrouped) windowed aggregate has no payload key: the optimizer
@@ -100,6 +117,7 @@ TEST(Optimizer, PicksTemporalPartitioningForGlobalAggregate) {
   ASSERT_EQ(exchanges.size(), 1u);
   EXPECT_EQ(exchanges[0].kind, PartitionSpec::Kind::kTemporal);
   EXPECT_GE(exchanges[0].overlap, 600);
+  ExpectPlacementValid(res.ValueOrDie().annotated_plan);
 }
 
 TEST(Optimizer, RejectsAlreadyAnnotatedPlan) {
@@ -153,9 +171,13 @@ TEST(Optimizer, AnnotatesBtPipeline) {
   auto res = OptimizeAnnotation(plan.node(), stats, opts);
   ASSERT_TRUE(res.ok()) << res.status().ToString();
   EXPECT_GE(CountExchanges(res.ValueOrDie().annotated_plan), 1);
-  // The annotation must at least be fragmentable (consistent keys).
+  // The annotation must at least be fragmentable (consistent keys), and its
+  // placements must pass the static exchange-placement check.
   auto frags = MakeFragments(res.ValueOrDie().annotated_plan);
   ASSERT_TRUE(frags.ok()) << frags.status().ToString();
+  ExpectPlacementValid(res.ValueOrDie().annotated_plan);
+  EXPECT_TRUE(
+      analysis::CheckFragments(frags.ValueOrDie()).ToStatus().ok());
 }
 
 }  // namespace

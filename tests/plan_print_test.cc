@@ -1,0 +1,75 @@
+// Printing/round-trip coverage for the plan vocabulary: PartitionSpec::ToString
+// and OpKindName. Diagnostics, fragment listings and the optimizer's Describe
+// all lean on these renderings, so their shape is load-bearing.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "temporal/plan.h"
+
+namespace timr::temporal {
+namespace {
+
+TEST(PartitionSpecPrint, KeyedSpec) {
+  EXPECT_EQ(PartitionSpec::ByKeys({"UserId", "AdId"}).ToString(),
+            "{UserId,AdId}");
+  EXPECT_EQ(PartitionSpec::ByKeys({"K"}).ToString(), "{K}");
+}
+
+TEST(PartitionSpecPrint, SingletonSpec) {
+  // Empty key set = everything in one partition.
+  EXPECT_EQ(PartitionSpec::ByKeys({}).ToString(), "{}");
+}
+
+TEST(PartitionSpecPrint, TemporalSpec) {
+  EXPECT_EQ(PartitionSpec::ByTime(3600, 600).ToString(),
+            "TIME(span=3600,overlap=600)");
+}
+
+TEST(PartitionSpecPrint, DefaultIsSingleton) {
+  PartitionSpec spec;
+  EXPECT_EQ(spec.kind, PartitionSpec::Kind::kKeys);
+  EXPECT_EQ(spec.ToString(), "{}");
+}
+
+TEST(OpKindPrint, EveryKindHasDistinctNonEmptyName) {
+  const OpKind kinds[] = {
+      OpKind::kInput,        OpKind::kSubplanInput, OpKind::kSelect,
+      OpKind::kProject,      OpKind::kAlterLifetime, OpKind::kAggregate,
+      OpKind::kGroupApply,   OpKind::kUnion,         OpKind::kTemporalJoin,
+      OpKind::kAntiSemiJoin, OpKind::kUdo,           OpKind::kExchange,
+      OpKind::kConformanceCheck,
+  };
+  std::set<std::string> seen;
+  for (OpKind kind : kinds) {
+    const std::string name = OpKindName(kind);
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(name, "?") << "unnamed kind " << static_cast<int>(kind);
+    EXPECT_TRUE(seen.insert(name).second) << "duplicate name " << name;
+  }
+  EXPECT_EQ(seen.size(), std::size(kinds));
+}
+
+TEST(OpKindPrint, SpotCheckNames) {
+  EXPECT_STREQ(OpKindName(OpKind::kGroupApply), "GroupApply");
+  EXPECT_STREQ(OpKindName(OpKind::kExchange), "Exchange");
+  EXPECT_STREQ(OpKindName(OpKind::kConformanceCheck), "ConformanceCheck");
+}
+
+TEST(PlanPrint, RenderingMentionsExchangeSpec) {
+  auto input = std::make_shared<PlanNode>();
+  input->kind = OpKind::kInput;
+  input->name = "S";
+  input->input_schema = Schema::Of({{"K", ValueType::kInt64}});
+  auto ex = std::make_shared<PlanNode>();
+  ex->kind = OpKind::kExchange;
+  ex->exchange = PartitionSpec::ByKeys({"K"});
+  ex->children = {input};
+  const std::string rendered = ex->ToString();
+  EXPECT_NE(rendered.find("Exchange"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("{K}"), std::string::npos) << rendered;
+}
+
+}  // namespace
+}  // namespace timr::temporal

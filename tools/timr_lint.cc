@@ -1,0 +1,268 @@
+// timr_lint: run the static analysis passes (analysis/analyzer.h) over a
+// registry of named plans and print the diagnostics.
+//
+//   timr_lint                 lint every registered plan, print a summary
+//   timr_lint <name>...       lint the named plans, print full reports
+//   timr_lint --list          list registered plans
+//
+// Exit status is 1 if any *well-formed* plan draws an error or any seeded
+// corruption fails to draw one — so the tool doubles as a self-test of the
+// verifier: the corrupt_* entries are deliberately broken plans that must be
+// rejected with a diagnostic naming the offending node, and everything else
+// (including the full BT pipeline in all annotation modes) must pass.
+
+#include <algorithm>
+#include <cstring>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "bt/queries.h"
+#include "bt/schema.h"
+#include "temporal/conformance.h"
+#include "temporal/query.h"
+#include "timr/fragments.h"
+#include "timr/optimizer.h"
+
+namespace {
+
+using timr::Schema;
+using timr::ValueType;
+using timr::analysis::AnalysisReport;
+using timr::analysis::Severity;
+using timr::temporal::kHour;
+using timr::temporal::OpKind;
+using timr::temporal::PartitionSpec;
+using timr::temporal::PlanNode;
+using timr::temporal::PlanNodePtr;
+using timr::temporal::Query;
+
+struct LintTarget {
+  std::string name;
+  std::string description;
+  bool expect_errors;
+  std::function<AnalysisReport()> run;
+};
+
+const Schema kClickSchema = Schema::Of({{"UserId", ValueType::kInt64},
+                                        {"AdId", ValueType::kInt64}});
+
+Query ClickInput() { return Query::Input("Clicks", kClickSchema); }
+
+/// Paper Example 1: per-ad running click count over a 6h window, annotated
+/// with the {AdId} exchange of §III-A step 2.
+PlanNodePtr RunningClickCount() {
+  return ClickInput()
+      .Exchange(PartitionSpec::ByKeys({"AdId"}))
+      .GroupApply({"AdId"},
+                  [](Query g) { return g.Window(6 * kHour).Count("Cnt"); })
+      .node();
+}
+
+/// Two keyed fragments: {UserId, AdId} then coarser... deliberately the
+/// *valid* direction (finer first is the one that breaks).
+PlanNodePtr TwoFragmentPipeline() {
+  return ClickInput()
+      .Exchange(PartitionSpec::ByKeys({"UserId"}))
+      .GroupApply({"UserId", "AdId"},
+                  [](Query g) { return g.Window(kHour).Count("PerAd"); })
+      .Exchange(PartitionSpec::ByKeys({"UserId"}))
+      .GroupApply({"UserId"},
+                  [](Query g) { return g.Window(kHour).Count("Total"); })
+      .node();
+}
+
+/// Seeded corruption 1: the exchange partitions by {AdId} but the downstream
+/// GroupApply groups by {UserId} — a partition would see only a slice of each
+/// user's events (violates paper §III-A step 2).
+PlanNodePtr CorruptExchangeKey() {
+  return ClickInput()
+      .Exchange(PartitionSpec::ByKeys({"AdId"}))
+      .GroupApply({"UserId"},
+                  [](Query g) { return g.Window(kHour).Count("Cnt"); })
+      .node();
+}
+
+/// Seeded corruption 2: temporal partitioning whose overlap (30min) is
+/// narrower than the 6h window applied downstream — span-boundary events
+/// would be lost (violates paper §III-B).
+PlanNodePtr CorruptNarrowSpan() {
+  return ClickInput()
+      .Exchange(PartitionSpec::ByTime(12 * kHour, kHour / 2))
+      .Window(6 * kHour)
+      .Aggregate(timr::temporal::AggregateSpec::Count("Cnt"))
+      .node();
+}
+
+/// Seeded corruption 3: a hand-built FragmentedPlan whose fragment order is
+/// inverted — frag_1 reads frag_0's output, but frag_0 is listed *after* it
+/// (an unordered/cyclic fragment DAG the cutter could never emit).
+timr::framework::FragmentedPlan CorruptCyclicFragments() {
+  using timr::framework::Fragment;
+  auto input_leaf = [](const std::string& dataset) {
+    auto n = std::make_shared<PlanNode>();
+    n->kind = OpKind::kInput;
+    n->name = dataset;
+    n->input_schema = kClickSchema;
+    return n;
+  };
+  Fragment consumer;
+  consumer.name = "frag_1";
+  consumer.root = input_leaf("frag_0");
+  consumer.key = PartitionSpec::ByKeys({});
+  consumer.inputs = {"frag_0"};
+  consumer.input_is_external = {false};
+  Fragment producer;
+  producer.name = "frag_0";
+  producer.root = input_leaf("Clicks");
+  producer.key = PartitionSpec::ByKeys({});
+  producer.inputs = {"Clicks"};
+  producer.input_is_external = {true};
+  timr::framework::FragmentedPlan plan;
+  plan.fragments = {consumer, producer};  // wrong order on purpose
+  plan.output_dataset = "frag_0";
+  return plan;
+}
+
+/// Seeded corruption 4: a stream whose CTI regresses and whose events travel
+/// back before the last CTI, fed straight through a ConformanceCheck operator
+/// (the runtime half of validate_streams).
+AnalysisReport LintCtiRegression() {
+  timr::temporal::ConformanceCheckOp check("corrupt/input:Clicks");
+  timr::temporal::CollectorSink sink;
+  check.AddOutput(&sink);
+  check.OnEvent(timr::temporal::Event(1, 10, {}));
+  check.OnCti(8);
+  check.OnEvent(timr::temporal::Event(5, 12, {}));  // LE 5 < CTI 8
+  check.OnCti(3);                                   // CTI regression
+  AnalysisReport report;
+  for (const std::string& v : check.violations()) {
+    timr::analysis::Diagnostic d;
+    d.severity = Severity::kError;
+    d.check = "conformance";
+    d.message = v;  // already prefixed with the checked edge's label
+    report.diagnostics.push_back(std::move(d));
+  }
+  return report;
+}
+
+/// Static passes plus fragment extraction + fragment checks, i.e. everything
+/// Timr::RunPlan would verify before touching data.
+AnalysisReport LintPlanAndFragments(const PlanNodePtr& plan) {
+  AnalysisReport report = timr::analysis::AnalyzePlan(plan);
+  if (report.HasErrors()) return report;
+  auto fragmented = timr::framework::MakeFragments(plan);
+  if (!fragmented.ok()) {
+    timr::analysis::Diagnostic d;
+    d.subject = "<plan>";
+    d.check = "fragment-cut";
+    d.message = "fragment extraction failed: " + fragmented.status().ToString();
+    report.diagnostics.push_back(std::move(d));
+    return report;
+  }
+  report.Absorb(timr::analysis::CheckFragments(fragmented.ValueOrDie()));
+  return report;
+}
+
+PlanNodePtr BtPipeline(timr::bt::Annotation annotation) {
+  return timr::bt::BtFeaturePipeline(timr::bt::BtQueryConfig(), annotation)
+      .node();
+}
+
+PlanNodePtr BtOptimized() {
+  auto plan = BtPipeline(timr::bt::Annotation::kNone);
+  auto result = timr::framework::OptimizeAnnotation(
+      plan, timr::framework::PlanStats(), timr::framework::OptimizerOptions());
+  TIMR_CHECK(result.ok()) << result.status().ToString();
+  return result.ValueOrDie().annotated_plan;
+}
+
+std::vector<LintTarget> Registry() {
+  std::vector<LintTarget> targets;
+  auto add_plan = [&](std::string name, std::string description,
+                      bool expect_errors, std::function<PlanNodePtr()> make) {
+    targets.push_back(LintTarget{
+        std::move(name), std::move(description), expect_errors,
+        [make = std::move(make)] { return LintPlanAndFragments(make()); }});
+  };
+  add_plan("running_click_count", "paper Example 1 with its {AdId} exchange",
+           false, RunningClickCount);
+  add_plan("two_fragment", "two stacked keyed fragments", false,
+           TwoFragmentPipeline);
+  add_plan("bt_standard", "full BT pipeline, optimizer-style annotation",
+           false, [] { return BtPipeline(timr::bt::Annotation::kStandard); });
+  add_plan("bt_naive", "full BT pipeline, Example 3's naive annotation", false,
+           [] { return BtPipeline(timr::bt::Annotation::kNaive); });
+  add_plan("bt_unannotated", "full BT pipeline, single-node form", false,
+           [] { return BtPipeline(timr::bt::Annotation::kNone); });
+  add_plan("bt_optimized", "full BT pipeline annotated by Algorithm 1", false,
+           BtOptimized);
+  add_plan("corrupt_exchange_key",
+           "exchange keys disjoint from downstream grouping key", true,
+           CorruptExchangeKey);
+  add_plan("corrupt_narrow_span",
+           "temporal overlap narrower than the downstream window", true,
+           CorruptNarrowSpan);
+  targets.push_back(LintTarget{
+      "corrupt_cyclic_fragments", "fragment DAG not in topological order",
+      true, [] {
+        return timr::analysis::CheckFragments(CorruptCyclicFragments());
+      }});
+  targets.push_back(LintTarget{"corrupt_cti_regression",
+                               "stream with a regressing CTI", true,
+                               LintCtiRegression});
+  return targets;
+}
+
+int RunTarget(const LintTarget& target, bool verbose) {
+  const AnalysisReport report = target.run();
+  const bool ok = report.HasErrors() == target.expect_errors;
+  std::cout << (ok ? "PASS" : "FAIL") << "  " << target.name << " ("
+            << report.error_count() << " error(s), " << report.warning_count()
+            << " warning(s)"
+            << (target.expect_errors ? ", errors expected" : "") << ")\n";
+  if (verbose || !ok) {
+    for (const auto& d : report.diagnostics) {
+      std::cout << "      " << d.ToString() << "\n";
+    }
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<LintTarget> targets = Registry();
+  std::vector<std::string> names;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--list") == 0) {
+      for (const auto& t : targets) {
+        std::cout << t.name << "  -  " << t.description
+                  << (t.expect_errors ? " [seeded corruption]" : "") << "\n";
+      }
+      return 0;
+    }
+    names.emplace_back(argv[i]);
+  }
+
+  int failures = 0;
+  bool matched_any = false;
+  for (const auto& target : targets) {
+    if (!names.empty() &&
+        std::find(names.begin(), names.end(), target.name) == names.end()) {
+      continue;
+    }
+    matched_any = true;
+    failures += RunTarget(target, /*verbose=*/!names.empty());
+  }
+  if (!matched_any) {
+    std::cerr << "no such plan; use --list\n";
+    return 2;
+  }
+  if (failures > 0) {
+    std::cout << failures << " plan(s) did not lint as expected\n";
+  }
+  return failures > 0 ? 1 : 0;
+}
