@@ -1,12 +1,20 @@
 // Engine micro-benchmarks (google-benchmark): per-operator throughput of the
 // temporal engine. Not a paper figure — these guard the substrate's
 // performance so the figure benches stay meaningful.
+//
+// With TIMR_BENCH_JSON=path set, one JSON line per benchmark run is appended
+// to that file (events/sec trajectory; see bench_util.h) — CI's bench-smoke
+// job uploads it as the BENCH_engine.json artifact.
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
+#include "bt/model.h"
+#include "bt/queries.h"
 #include "common/rng.h"
 #include "temporal/executor.h"
 #include "temporal/query.h"
+#include "workload/generator.h"
 
 namespace {
 
@@ -28,10 +36,18 @@ std::vector<T::Event> MakeEvents(int64_t n, int64_t keys, uint64_t seed) {
   return events;
 }
 
+// Times the engine run only: the per-iteration input copy (one Row clone per
+// event) is real work but not *engine* work, so it happens under PauseTiming.
 void RunPlan(benchmark::State& state, const T::PlanNodePtr& plan,
              const std::vector<T::Event>& events) {
   for (auto _ : state) {
-    auto out = T::Executor::Execute(plan, {{"S", events}});
+    state.PauseTiming();
+    auto exec = T::Executor::Create(plan);
+    TIMR_CHECK(exec.ok());
+    std::map<std::string, std::vector<T::Event>> inputs;
+    inputs.emplace("S", events);
+    state.ResumeTiming();
+    auto out = exec.ValueOrDie()->RunBatch(std::move(inputs));
     TIMR_CHECK(out.ok());
     benchmark::DoNotOptimize(out.ValueOrDie().size());
   }
@@ -46,6 +62,21 @@ void BM_Select(benchmark::State& state) {
   RunPlan(state, plan, events);
 }
 BENCHMARK(BM_Select)->Arg(1 << 14)->Arg(1 << 17);
+
+// The acceptance pipeline for the batched execution path: a fused
+// Select→Project→AlterLifetime chain, the hot stateless shape of every BT
+// fragment prefix.
+void BM_StatelessPipeline(benchmark::State& state) {
+  auto events = MakeEvents(state.range(0), 100, 8);
+  auto plan = T::Query::Input("S", TwoColSchema())
+                  .Where([](const Row& r) { return r[1].AsInt64() > 10; })
+                  .Project([](const Row& r) { return Row{r[0], r[1]}; },
+                           TwoColSchema())
+                  .Window(512)
+                  .node();
+  RunPlan(state, plan, events);
+}
+BENCHMARK(BM_StatelessPipeline)->Arg(1 << 14)->Arg(1 << 17);
 
 void BM_WindowedCount(benchmark::State& state) {
   auto events = MakeEvents(state.range(0), 100, 2);
@@ -73,7 +104,14 @@ void BM_TemporalJoin(benchmark::State& state) {
                                      {"Key"})
                   .node();
   for (auto _ : state) {
-    auto out = T::Executor::Execute(plan, {{"S", left}, {"R", right}});
+    state.PauseTiming();
+    auto exec = T::Executor::Create(plan);
+    TIMR_CHECK(exec.ok());
+    std::map<std::string, std::vector<T::Event>> inputs;
+    inputs.emplace("S", left);
+    inputs.emplace("R", right);
+    state.ResumeTiming();
+    auto out = exec.ValueOrDie()->RunBatch(std::move(inputs));
     TIMR_CHECK(out.ok());
     benchmark::DoNotOptimize(out.ValueOrDie().size());
   }
@@ -90,7 +128,14 @@ void BM_AntiSemiJoin(benchmark::State& state) {
                                      {"Key"})
                   .node();
   for (auto _ : state) {
-    auto out = T::Executor::Execute(plan, {{"S", left}, {"R", right}});
+    state.PauseTiming();
+    auto exec = T::Executor::Create(plan);
+    TIMR_CHECK(exec.ok());
+    std::map<std::string, std::vector<T::Event>> inputs;
+    inputs.emplace("S", left);
+    inputs.emplace("R", right);
+    state.ResumeTiming();
+    auto out = exec.ValueOrDie()->RunBatch(std::move(inputs));
     TIMR_CHECK(out.ok());
     benchmark::DoNotOptimize(out.ValueOrDie().size());
   }
@@ -98,6 +143,64 @@ void BM_AntiSemiJoin(benchmark::State& state) {
 }
 BENCHMARK(BM_AntiSemiJoin)->Arg(1 << 13)->Arg(1 << 15);
 
+// Full BT pipeline, engine-only (the Figure 15 multiplier): the feature
+// pipeline over a scaled-down week log through one embedded engine. items =
+// engine events consumed, matching the paper's per-machine metric.
+void BM_BtPipeline(benchmark::State& state) {
+  workload::GeneratorConfig wcfg;
+  wcfg.num_users = 300;
+  wcfg.vocab_size = 20000;
+  wcfg.duration = 7 * T::kDay;
+  wcfg.num_ad_classes = 10;
+  auto log = workload::GenerateBtLog(wcfg);
+  bt::BtQueryConfig cfg = benchutil::BenchBtConfig();
+  auto plan = bt::GenTrainData(bt::BotElimination(bt::BtInput(), cfg), cfg).node();
+  uint64_t consumed = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto exec = T::Executor::Create(plan);
+    TIMR_CHECK(exec.ok());
+    std::map<std::string, std::vector<T::Event>> inputs;
+    inputs.emplace(bt::kBtInput, log.events);
+    state.ResumeTiming();
+    auto out = exec.ValueOrDie()->RunBatch(std::move(inputs));
+    TIMR_CHECK(out.ok());
+    consumed = exec.ValueOrDie()->TotalEventsConsumed();
+    benchmark::DoNotOptimize(out.ValueOrDie().size());
+  }
+  state.SetItemsProcessed(state.iterations() * consumed);
+}
+BENCHMARK(BM_BtPipeline)->Unit(benchmark::kMillisecond);
+
+/// Console output as usual, plus one TIMR_BENCH_JSON line per run.
+class JsonLineReporter : public benchmark::ConsoleReporter {
+ public:
+  bool ReportContext(const Context& context) override {
+    return ConsoleReporter::ReportContext(context);
+  }
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      auto it = run.counters.find("items_per_second");
+      const double items_per_second =
+          it != run.counters.end() ? static_cast<double>(it->second) : 0.0;
+      benchutil::JsonLine("bench_engine_micro")
+          .Str("stage", run.benchmark_name())
+          .Num("wall_seconds", run.GetAdjustedRealTime() * 1e-9)
+          .Num("events_per_second", items_per_second)
+          .Append();
+    }
+  }
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonLineReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

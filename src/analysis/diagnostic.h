@@ -5,6 +5,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -13,7 +14,7 @@
 
 namespace timr::analysis {
 
-enum class Severity {
+enum class Severity : uint8_t {
   kWarning,  // suspicious but not provably wrong; reported, never fatal
   kError,    // violates a correctness invariant; fails RunPlan validation
 };

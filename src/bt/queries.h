@@ -5,6 +5,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "bt/schema.h"
@@ -32,7 +33,7 @@ struct BtQueryConfig {
 };
 
 /// How builders annotate plans for TiMR (paper §III-A step 2 / Example 3).
-enum class Annotation {
+enum class Annotation : uint8_t {
   kNone,      // plain CQ for single-node execution
   kStandard,  // the optimizer's choice (single {UserId} fragment upstream)
   kNaive,     // Example 3's naive plan: {UserId,Keyword} then {UserId}

@@ -84,7 +84,7 @@ class ReductionScheme {
   const Selection& selection() const { return selection_; }
 
  private:
-  enum class Kind { kSelection, kFEx, kIdentity };
+  enum class Kind : uint8_t { kSelection, kFEx, kIdentity };
   std::string name_;
   Kind kind_ = Kind::kIdentity;
   Selection selection_;

@@ -1,11 +1,35 @@
 #include "common/row.h"
 
 #include <functional>
+#include <mutex>
 #include <sstream>
+#include <unordered_set>
 
 #include "common/hash.h"
 
 namespace timr {
+
+Value Value::Interned(std::string s) {
+  struct PtrHash {
+    size_t operator()(const std::shared_ptr<const std::string>& p) const {
+      return HashBytes(p->data(), p->size());
+    }
+  };
+  struct PtrEq {
+    bool operator()(const std::shared_ptr<const std::string>& a,
+                    const std::shared_ptr<const std::string>& b) const {
+      return *a == *b;
+    }
+  };
+  static std::mutex mu;
+  static std::unordered_set<std::shared_ptr<const std::string>, PtrHash, PtrEq>
+      table;
+  auto entry = std::make_shared<const std::string>(std::move(s));
+  std::lock_guard<std::mutex> lock(mu);
+  Value v;
+  v.repr_ = *table.insert(std::move(entry)).first;
+  return v;
+}
 
 std::string Value::ToString() const {
   std::ostringstream os;
@@ -54,6 +78,12 @@ std::string RowToString(const Row& row) {
 size_t HashRow(const Row& row) {
   size_t h = 0x51ed270b0a1f3c49ULL;
   for (const Value& v : row) h = HashCombine(h, v.Hash());
+  return h;
+}
+
+size_t HashKeyOf(const Row& row, const std::vector<int>& indices) {
+  size_t h = 0x51ed270b0a1f3c49ULL;
+  for (int i : indices) h = HashCombine(h, row[i].Hash());
   return h;
 }
 

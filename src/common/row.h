@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <variant>
 #include <vector>
@@ -17,6 +18,14 @@ namespace timr {
 enum class ValueType : uint8_t { kInt64 = 0, kDouble = 1, kString = 2 };
 
 /// \brief One cell of a row: 64-bit integer, double, or string.
+///
+/// Strings come in two storage forms with identical semantics: an owned
+/// std::string (SSO covers short payloads) or an *interned* shared string
+/// (`Value::Interned`), where equal strings share one allocation through a
+/// process-wide table. Interned values copy by refcount bump instead of heap
+/// allocation, and equality hits a pointer-comparison fast path — both matter
+/// on the engine's payload hot path (multicast Emit, group-key probes, join
+/// probes). Both forms report ValueType::kString and compare/hash by content.
 class Value {
  public:
   Value() : repr_(int64_t{0}) {}
@@ -26,36 +35,83 @@ class Value {
   Value(std::string v) : repr_(std::move(v)) {}  // NOLINT implicit
   Value(const char* v) : repr_(std::string(v)) {}  // NOLINT implicit
 
-  ValueType type() const { return static_cast<ValueType>(repr_.index()); }
+  /// A string value backed by the process-wide intern table: equal contents
+  /// share one immutable allocation (thread-safe).
+  static Value Interned(std::string s);
+
+  ValueType type() const {
+    const size_t i = repr_.index();
+    return i >= kInternedIndex ? ValueType::kString
+                               : static_cast<ValueType>(i);
+  }
 
   bool is_int64() const { return std::holds_alternative<int64_t>(repr_); }
   bool is_double() const { return std::holds_alternative<double>(repr_); }
-  bool is_string() const { return std::holds_alternative<std::string>(repr_); }
+  bool is_string() const { return type() == ValueType::kString; }
+  bool is_interned() const { return repr_.index() == kInternedIndex; }
 
   int64_t AsInt64() const { return std::get<int64_t>(repr_); }
   double AsDouble() const { return std::get<double>(repr_); }
-  const std::string& AsString() const { return std::get<std::string>(repr_); }
+  const std::string& AsString() const {
+    if (repr_.index() == kInternedIndex) {
+      return *std::get<kInternedIndex>(repr_);
+    }
+    return std::get<std::string>(repr_);
+  }
 
   /// Numeric view: int64 widened to double; dies on string.
   double AsNumeric() const {
     return is_int64() ? static_cast<double>(AsInt64()) : AsDouble();
   }
 
-  bool operator==(const Value& other) const { return repr_ == other.repr_; }
+  bool operator==(const Value& other) const {
+    const size_t a = repr_.index();
+    const size_t b = other.repr_.index();
+    if (a == b && a < kInternedIndex) return repr_ == other.repr_;
+    if (!is_string() || !other.is_string()) return false;
+    if (a == kInternedIndex && b == kInternedIndex &&
+        std::get<kInternedIndex>(repr_) ==
+            std::get<kInternedIndex>(other.repr_)) {
+      return true;  // interned fast path: same shared allocation
+    }
+    return AsString() == other.AsString();
+  }
   bool operator!=(const Value& other) const { return !(*this == other); }
-  bool operator<(const Value& other) const { return repr_ < other.repr_; }
+
+  /// Total order: by type (int64 < double < string), then by value. Interned
+  /// and plain strings interleave by content.
+  bool operator<(const Value& other) const {
+    const int ra = static_cast<int>(type());
+    const int rb = static_cast<int>(other.type());
+    if (ra != rb) return ra < rb;
+    switch (type()) {
+      case ValueType::kInt64: return AsInt64() < other.AsInt64();
+      case ValueType::kDouble: return AsDouble() < other.AsDouble();
+      case ValueType::kString: return AsString() < other.AsString();
+    }
+    return false;
+  }
 
   std::string ToString() const;
   size_t Hash() const;
 
  private:
-  std::variant<int64_t, double, std::string> repr_;
+  static constexpr size_t kInternedIndex = 3;
+
+  std::variant<int64_t, double, std::string,
+               std::shared_ptr<const std::string>>
+      repr_;
 };
 
 using Row = std::vector<Value>;
 
 std::string RowToString(const Row& row);
 size_t HashRow(const Row& row);
+
+/// Hash of the key row formed by `row[indices]`; by construction equal to
+/// `HashRow(ExtractKey(row, indices))` without materializing the key. Used by
+/// the heterogeneous group/join probes.
+size_t HashKeyOf(const Row& row, const std::vector<int>& indices);
 
 /// \brief Ordered list of named, typed columns.
 class Schema {

@@ -6,6 +6,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -14,7 +15,7 @@
 
 namespace timr {
 
-enum class StatusCode : int {
+enum class StatusCode : uint8_t {
   kOk = 0,
   kInvalid = 1,        // caller passed something malformed
   kKeyError = 2,       // lookup of a name/key failed

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <map>
+#include <cstdint>
 #include <memory>
 #include <set>
 #include <string>
@@ -19,7 +20,7 @@
 
 namespace timr::temporal {
 
-enum class AggKind { kCount, kSum, kMin, kMax, kAvg };
+enum class AggKind : uint8_t { kCount, kSum, kMin, kMax, kAvg };
 
 struct AggregateSpec {
   AggKind kind = AggKind::kCount;

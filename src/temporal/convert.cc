@@ -58,10 +58,25 @@ Result<Row> RowFromEvent(const Event& event, bool interval_layout) {
 
 Result<std::vector<Event>> EventsFromRows(const Schema& row_schema,
                                           const std::vector<Row>& rows) {
+  // Dictionary-encode string columns at ingest: repeated values across a
+  // partition's rows collapse to one shared allocation (Value::Interned), so
+  // downstream payload copies of those columns are refcount bumps instead of
+  // string allocations.
+  std::vector<size_t> string_cols;
+  const size_t skip = IsIntervalLayout(row_schema) ? 2 : 1;
+  for (size_t i = skip; i < row_schema.num_fields(); ++i) {
+    if (row_schema.field(i).type == ValueType::kString) {
+      string_cols.push_back(i - skip);
+    }
+  }
   std::vector<Event> events;
   events.reserve(rows.size());
   for (const Row& r : rows) {
     TIMR_ASSIGN_OR_RETURN(Event e, EventFromRow(row_schema, r));
+    for (size_t col : string_cols) {
+      Value& v = e.payload[col];
+      if (v.is_string() && !v.is_interned()) v = Value::Interned(v.AsString());
+    }
     events.push_back(std::move(e));
   }
   return events;

@@ -47,7 +47,47 @@ std::map<Row, StepFunction, RowOrder> Normalize(const std::vector<Event>& events
   return out;
 }
 
+// Per-thread freelist of batch storages. Bounded so an operator holding many
+// clones cannot make the pool grow without limit; entries keep their capacity,
+// which is the whole point.
+struct BatchStorage {
+  std::vector<Event> events;
+  std::vector<EventBatch::CtiMark> ctis;
+};
+
+std::vector<BatchStorage>& BatchPool() {
+  thread_local std::vector<BatchStorage> pool;
+  return pool;
+}
+
+constexpr size_t kBatchPoolMax = 16;
+
 }  // namespace
+
+EventBatch::EventBatch() {
+  auto& pool = BatchPool();
+  if (!pool.empty()) {
+    events_ = std::move(pool.back().events);
+    ctis_ = std::move(pool.back().ctis);
+    pool.pop_back();
+  }
+}
+
+EventBatch::~EventBatch() {
+  if (events_.capacity() == 0 && ctis_.capacity() == 0) return;
+  auto& pool = BatchPool();
+  if (pool.size() >= kBatchPoolMax) return;
+  events_.clear();
+  ctis_.clear();
+  pool.push_back(BatchStorage{std::move(events_), std::move(ctis_)});
+}
+
+EventBatch EventBatch::Clone() const {
+  EventBatch copy;
+  copy.events_.assign(events_.begin(), events_.end());
+  copy.ctis_.assign(ctis_.begin(), ctis_.end());
+  return copy;
+}
 
 void SortEventsCanonical(std::vector<Event>* events) {
   std::sort(events->begin(), events->end(), EventLess);

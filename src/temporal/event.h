@@ -46,6 +46,115 @@ struct Event {
   }
 };
 
+/// \brief A morsel of the punctuated stream: events in non-decreasing LE
+/// order with CTI punctuations interleaved as positional marks (a mark at
+/// `pos` fires before the event at that index; `pos == events().size()` is a
+/// trailing mark). Semantically an EventBatch is *exactly* the per-event call
+/// sequence it expands to — EventSink::OnBatch's default implementation
+/// replays it through OnEvent/OnCti — so batching is purely an amortization
+/// of dispatch, never a semantics change.
+///
+/// Batch storage is pooled per thread: destroying a batch returns its vectors
+/// to a small freelist the next default-constructed batch reuses, so a
+/// steady-state pipeline performs O(1) allocations per batch, not O(events).
+class EventBatch {
+ public:
+  struct CtiMark {
+    size_t pos;
+    Timestamp t;
+  };
+
+  EventBatch();   // acquires pooled storage when available
+  ~EventBatch();  // returns storage to the pool
+
+  EventBatch(EventBatch&&) noexcept = default;
+  EventBatch& operator=(EventBatch&&) noexcept = default;
+  EventBatch(const EventBatch&) = delete;
+  EventBatch& operator=(const EventBatch&) = delete;
+
+  /// Deep copy (used by multicast fan-out; the last sink gets the original).
+  EventBatch Clone() const;
+
+  void Add(Event event) { events_.push_back(std::move(event)); }
+
+  /// Record CTI(t) before the next added event. Consecutive marks at the same
+  /// position coalesce to the largest t (the earlier ones would be stale).
+  void AddCti(Timestamp t) {
+    if (!ctis_.empty() && ctis_.back().pos == events_.size()) {
+      if (t > ctis_.back().t) ctis_.back().t = t;
+      return;
+    }
+    ctis_.push_back({events_.size(), t});
+  }
+
+  bool Empty() const { return events_.empty() && ctis_.empty(); }
+  size_t NumEvents() const { return events_.size(); }
+  void Clear() {
+    events_.clear();
+    ctis_.clear();
+  }
+
+  std::vector<Event>& events() { return events_; }
+  const std::vector<Event>& events() const { return events_; }
+  std::vector<CtiMark>& mutable_ctis() { return ctis_; }
+  const std::vector<CtiMark>& ctis() const { return ctis_; }
+
+  /// Replay the batch in stream order, moving events out; leaves the batch
+  /// empty. This is the per-event fallback path.
+  template <class EventFn, class CtiFn>
+  void Drain(EventFn&& on_event, CtiFn&& on_cti) {
+    size_t m = 0;
+    for (size_t i = 0; i < events_.size(); ++i) {
+      for (; m < ctis_.size() && ctis_[m].pos <= i; ++m) on_cti(ctis_[m].t);
+      on_event(std::move(events_[i]));
+    }
+    for (; m < ctis_.size(); ++m) on_cti(ctis_[m].t);
+    Clear();
+  }
+
+  /// In-place filtered rewrite: `fn(Event&)` may mutate the event and returns
+  /// whether to keep it; CTI marks are remapped to the compacted positions.
+  /// The single pass batched stateless operators are built on.
+  template <class Fn>
+  void FilterEvents(Fn&& fn) {
+    size_t w = 0;
+    size_t m = 0;
+    for (size_t r = 0; r < events_.size(); ++r) {
+      for (; m < ctis_.size() && ctis_[m].pos <= r; ++m) ctis_[m].pos = w;
+      if (fn(events_[r])) {
+        if (w != r) events_[w] = std::move(events_[r]);
+        ++w;
+      }
+    }
+    for (; m < ctis_.size(); ++m) ctis_[m].pos = w;
+    events_.resize(w);
+  }
+
+  /// Map every CTI mark's timestamp through `fn` (must be monotone, as every
+  /// AlterLifetime CTI transform is).
+  template <class Fn>
+  void TransformCtis(Fn&& fn) {
+    for (CtiMark& mark : ctis_) mark.t = fn(mark.t);
+  }
+
+  /// Drop marks that do not advance past `*running_cti` (per-event EmitCti
+  /// drops such stale punctuations too); `*running_cti` ends at the batch's
+  /// final CTI. Returns nothing; marks end up strictly increasing.
+  void RemoveStaleCtis(Timestamp* running_cti) {
+    size_t w = 0;
+    for (const CtiMark& mark : ctis_) {
+      if (mark.t <= *running_cti) continue;
+      *running_cti = mark.t;
+      ctis_[w++] = mark;
+    }
+    ctis_.resize(w);
+  }
+
+ private:
+  std::vector<Event> events_;
+  std::vector<CtiMark> ctis_;
+};
+
 /// Sort events by (le, re) then payload, for canonical comparisons in tests.
 void SortEventsCanonical(std::vector<Event>* events);
 

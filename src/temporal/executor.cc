@@ -20,6 +20,18 @@ class Executor::InputNode : public UnaryOperator {
     Emit(std::move(event));
   }
   void OnCti(Timestamp t) override { EmitCti(t); }
+  void OnBatch(EventBatch&& batch) override {
+    // Same always-on ordering check the per-event path performs, one compare
+    // per event instead of one virtual call per event.
+    for (const Event& e : batch.events()) {
+      TIMR_CHECK(e.le >= last_le_)
+          << "source events must be pushed in non-decreasing LE order ("
+          << e.le << " after " << last_le_ << ")";
+      last_le_ = e.le;
+    }
+    CountConsumedN(batch.NumEvents());
+    EmitBatch(std::move(batch));
+  }
 
  private:
   Timestamp last_le_ = kMinTime;
@@ -36,8 +48,15 @@ class NetworkBuilder {
       : ops_(ops), inputs_(inputs) {}
 
   Result<Operator*> Build(const PlanNodePtr& node) {
+    if (!counted_) {
+      counted_ = true;
+      parents_[node.get()] = 1;  // the root's consumer (collector / parent op)
+      CountParents(node.get());
+    }
     auto it = memo_.find(node.get());
     if (it != memo_.end()) return it->second;
+    TIMR_ASSIGN_OR_RETURN(Operator * fused, TryFuse(node));
+    if (fused != nullptr) return fused;
     TIMR_ASSIGN_OR_RETURN(Operator * op, Create(node));
     memo_[node.get()] = op;
     for (size_t i = 0; i < node->children.size(); ++i) {
@@ -51,6 +70,57 @@ class NetworkBuilder {
   Operator* subplan_entry() const { return subplan_entry_; }
 
  private:
+  static bool Fusable(const PlanNode* n) {
+    return n->kind == OpKind::kSelect || n->kind == OpKind::kProject ||
+           n->kind == OpKind::kAlterLifetime;
+  }
+
+  void CountParents(const PlanNode* n) {
+    for (const auto& c : n->children) {
+      if (++parents_[c.get()] == 1) CountParents(c.get());
+    }
+  }
+
+  /// Collapses a maximal chain of adjacent stateless nodes (head `node`, then
+  /// descendants that are themselves stateless and single-consumer) into one
+  /// FusedStatelessOp. Returns nullptr when no chain of length >= 2 starts at
+  /// `node`; the regular Create path then applies.
+  Result<Operator*> TryFuse(const PlanNodePtr& node) {
+    if (!Fusable(node.get())) return nullptr;
+    std::vector<const PlanNode*> chain{node.get()};  // head-to-tail
+    const PlanNode* tail = node.get();
+    while (true) {
+      const PlanNode* child = tail->children[0].get();
+      if (!Fusable(child) || parents_[child] != 1) break;
+      chain.push_back(child);
+      tail = child;
+    }
+    if (chain.size() < 2) return nullptr;
+    std::vector<FusedStatelessOp::Step> steps;
+    steps.reserve(chain.size());
+    // Execution order is upstream-first: tail to head.
+    for (auto rit = chain.rbegin(); rit != chain.rend(); ++rit) {
+      const PlanNode* n = *rit;
+      TIMR_RETURN_NOT_OK(n->OutputSchema().status());
+      switch (n->kind) {
+        case OpKind::kSelect:
+          steps.push_back(FusedStatelessOp::Step::Select(n->pred));
+          break;
+        case OpKind::kProject:
+          steps.push_back(FusedStatelessOp::Step::Project(n->project_fn));
+          break;
+        default:
+          steps.push_back(FusedStatelessOp::Step::Alter(n->alter));
+          break;
+      }
+    }
+    Operator* op = Register(std::make_shared<FusedStatelessOp>(std::move(steps)));
+    memo_[node.get()] = op;
+    TIMR_ASSIGN_OR_RETURN(Operator * upstream, Build(tail->children[0]));
+    upstream->AddOutput(op->InputPort(0));
+    return op;
+  }
+
   Result<Operator*> Create(const PlanNodePtr& node) {
     // Validate schemas eagerly so errors surface at build time.
     TIMR_RETURN_NOT_OK(node->OutputSchema().status());
@@ -145,6 +215,8 @@ class NetworkBuilder {
   std::vector<std::shared_ptr<Operator>>* ops_;
   std::map<std::string, Executor::InputNode*>* inputs_;
   std::unordered_map<const PlanNode*, Operator*> memo_;
+  std::unordered_map<const PlanNode*, int> parents_;
+  bool counted_ = false;
   Operator* subplan_entry_ = nullptr;
 };
 
@@ -169,6 +241,13 @@ Status Executor::PushEvent(const std::string& input, Event event) {
   auto it = inputs_.find(input);
   if (it == inputs_.end()) return Status::KeyError("no input named " + input);
   it->second->OnEvent(std::move(event));
+  return Status::OK();
+}
+
+Status Executor::PushBatch(const std::string& input, EventBatch&& batch) {
+  auto it = inputs_.find(input);
+  if (it == inputs_.end()) return Status::KeyError("no input named " + input);
+  it->second->OnBatch(std::move(batch));
   return Status::OK();
 }
 
@@ -215,8 +294,18 @@ Result<std::vector<Event>> Executor::Execute(
 
 Result<std::vector<Event>> Executor::RunBatch(
     std::map<std::string, std::vector<Event>> inputs) {
-  // Global LE-order merge across sources, advancing every source's CTI to the
-  // current merge position so binary operators make progress.
+  // Global LE-order merge across sources, delivered as morsels: the merged
+  // stream is cut into same-source runs of at most batch_size_ events, with
+  // thinned CTI marks embedded at LE advances. When a run flushes, the other
+  // sources receive one coarse OnCti at the watermark; this is sound because
+  // the merge order guarantees their pending events all have LE >= the
+  // flushed run's last LE. Every operator is CTI-granularity-invariant (that
+  // is what makes output independent of batch_size_ in the first place), so
+  // the driver only punctuates every kCtiThinning-th LE advance: with mostly
+  // unique timestamps a per-advance CTI doubles graph traffic — every
+  // punctuation walks every operator — for no additional output.
+  static constexpr size_t kCtiThinning = 16;
+  size_t advances = 0;
   struct Cursor {
     InputNode* op;
     std::vector<Event>* events;
@@ -228,11 +317,51 @@ Result<std::vector<Event>> Executor::RunBatch(
     if (it == inputs_.end()) {
       return Status::KeyError("plan has no input named " + name);
     }
-    std::stable_sort(events.begin(), events.end(),
-                     [](const Event& a, const Event& b) { return a.le < b.le; });
+    auto le_less = [](const Event& a, const Event& b) { return a.le < b.le; };
+    // Reducer inputs arrive already LE-sorted from the shuffle, so the common
+    // case skips the sort (and its temp-buffer allocation) entirely.
+    if (!std::is_sorted(events.begin(), events.end(), le_less)) {
+      std::stable_sort(events.begin(), events.end(), le_less);
+    }
     cursors.push_back(Cursor{it->second, &events, 0});
   }
   Timestamp last_cti = kMinTime;
+  // Single-input fast path: no merge bookkeeping, just slice the sorted
+  // vector into batches. (Requires the plan to have one input too — with
+  // unfed plan inputs the general loop's cross-source CTI at flush matters.)
+  if (cursors.size() == 1 && inputs_.size() == 1) {
+    Cursor& c = cursors[0];
+    std::vector<Event>& events = *c.events;
+    while (c.pos < events.size()) {
+      const size_t n = std::min(batch_size_, events.size() - c.pos);
+      EventBatch morsel;
+      for (size_t i = 0; i < n; ++i) {
+        Event ev = std::move(events[c.pos++]);
+        if (ev.le > last_cti && ++advances >= kCtiThinning) {
+          advances = 0;
+          last_cti = ev.le;
+          morsel.AddCti(last_cti);
+        }
+        morsel.Add(std::move(ev));
+      }
+      c.op->OnBatch(std::move(morsel));
+    }
+    Finish();
+    return TakeOutput();
+  }
+  EventBatch batch;
+  InputNode* batch_src = nullptr;
+  auto flush = [&]() {
+    if (batch_src == nullptr) return;
+    InputNode* src = batch_src;
+    batch_src = nullptr;
+    src->OnBatch(std::move(batch));
+    batch = EventBatch();
+    for (auto& [name, op] : inputs_) {
+      (void)name;
+      if (op != src) op->OnCti(last_cti);
+    }
+  };
   while (true) {
     int pick = -1;
     for (size_t i = 0; i < cursors.size(); ++i) {
@@ -244,13 +373,17 @@ Result<std::vector<Event>> Executor::RunBatch(
     }
     if (pick == -1) break;
     Cursor& c = cursors[pick];
+    if (c.op != batch_src || batch.NumEvents() >= batch_size_) flush();
+    batch_src = c.op;
     Event ev = std::move((*c.events)[c.pos++]);
-    if (ev.le > last_cti) {
+    if (ev.le > last_cti && ++advances >= kCtiThinning) {
+      advances = 0;
       last_cti = ev.le;
-      PushCtiAll(last_cti);
+      batch.AddCti(last_cti);
     }
-    c.op->OnEvent(std::move(ev));
+    batch.Add(std::move(ev));
   }
+  flush();
   Finish();
   return TakeOutput();
 }

@@ -43,6 +43,11 @@ class Executor {
   /// non-decreasing LE order.
   Status PushEvent(const std::string& input, Event event);
 
+  /// Push a morsel (events + interleaved CTI marks) into the named source.
+  /// Equivalent to the per-item Push calls the batch expands to, but crosses
+  /// the operator network in O(1) virtual calls per operator.
+  Status PushBatch(const std::string& input, EventBatch&& batch);
+
   /// Advance the named source's CTI.
   Status PushCti(const std::string& input, Timestamp t);
 
@@ -70,6 +75,14 @@ class Executor {
 
   const std::vector<std::string>& input_names() const { return input_names_; }
 
+  /// Morsel size used by RunBatch when cutting the merged input stream into
+  /// EventBatches. Output is bit-identical for any size >= 1 (see RunBatch);
+  /// the knob exists for benchmarks and the batch-invariance tests.
+  void set_batch_size(size_t n) { batch_size_ = n == 0 ? 1 : n; }
+  size_t batch_size() const { return batch_size_; }
+
+  static constexpr size_t kDefaultBatchSize = 1024;
+
   class InputNode;
 
  private:
@@ -80,6 +93,7 @@ class Executor {
   std::vector<std::string> input_names_;
   Operator* root_op_ = nullptr;
   CollectorSink collector_;
+  size_t batch_size_ = kDefaultBatchSize;
 };
 
 }  // namespace timr::temporal

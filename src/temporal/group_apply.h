@@ -3,10 +3,12 @@
 
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <queue>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/hash.h"
@@ -59,14 +61,16 @@ class GroupApplyOp : public UnaryOperator {
 
   void OnEvent(Event event) override {
     CountConsumed();
-    Row key = ExtractKey(event.payload, key_indices_);
-    auto it = groups_.find(key);
+    // Heterogeneous probe: the existing-group hit path (the hot one) looks up
+    // by a view over the payload's key columns without materializing a key Row.
+    auto it = groups_.find(KeyView{&event.payload, &key_indices_});
     if (it == groups_.end()) {
+      Row key = ExtractKey(event.payload, key_indices_);
       auto sink = std::make_unique<InstanceSink>(this, key, /*proto=*/false);
       // New instances can only emit at or above the prototype's output CTI
       // (they will only ever see events with LE >= the pending input CTI).
       sink->out_cti = proto_out_cti_;
-      ctis_.insert(sink->out_cti);
+      cti_heap_.push({sink->out_cti, sink.get()});
       auto instance = factory_(sink.get());
       it = groups_.emplace(std::move(key),
                            Group{std::move(instance), std::move(sink)}).first;
@@ -99,12 +103,27 @@ class GroupApplyOp : public UnaryOperator {
   size_t num_groups() const { return groups_.size(); }
 
  private:
+  // Reorder-buffer entries release in canonical (le, re, payload) order rather
+  // than arrival order. Arrival order among same-LE events from different
+  // groups depends on CTI delivery granularity (the amortized broadcast above
+  // fires on a punctuation count), so a content-based tiebreak is what makes
+  // the operator's output bit-identical across batch sizes and CTI spacing.
+  // The payload comparison goes through a hash precomputed at push time:
+  // (le, re) ties — common when many groups emit at the same snapshot
+  // boundary — then cost one integer compare, and the lexicographic walk only
+  // runs on full hash collisions.
   struct Buffered {
     Event event;
-    uint64_t seq;
+    size_t payload_hash;
     bool operator>(const Buffered& other) const {
       if (event.le != other.event.le) return event.le > other.event.le;
-      return seq > other.seq;
+      if (event.re != other.event.re) return event.re > other.event.re;
+      if (payload_hash != other.payload_hash) {
+        return payload_hash > other.payload_hash;
+      }
+      return std::lexicographical_compare(
+          other.event.payload.begin(), other.event.payload.end(),
+          event.payload.begin(), event.payload.end());
     }
   };
 
@@ -118,10 +137,14 @@ class GroupApplyOp : public UnaryOperator {
 
     void OnEvent(Event event) override {
       TIMR_DCHECK(!proto) << "prototype sub-plan instance produced an event";
-      Row out = key;
-      out.insert(out.end(), event.payload.begin(), event.payload.end());
+      Row out;
+      out.reserve(key.size() + event.payload.size());
+      out.insert(out.end(), key.begin(), key.end());
+      out.insert(out.end(), std::make_move_iterator(event.payload.begin()),
+                 std::make_move_iterator(event.payload.end()));
       event.payload = std::move(out);
-      op->buffer_.push(Buffered{std::move(event), op->next_seq_++});
+      const size_t hash = HashRow(event.payload);
+      op->buffer_.push(Buffered{std::move(event), hash});
     }
 
     void OnCti(Timestamp t) override {
@@ -130,11 +153,11 @@ class GroupApplyOp : public UnaryOperator {
         return;
       }
       if (t <= out_cti) return;
-      auto it = op->ctis_.find(out_cti);
-      TIMR_DCHECK(it != op->ctis_.end());
-      op->ctis_.erase(it);
       out_cti = t;
-      op->ctis_.insert(out_cti);
+      // Lazy deletion: the superseded heap entry stays behind and is skipped
+      // when the watermark is next queried. A heap push is far cheaper than
+      // the erase+insert a multiset of live CTIs would need on every update.
+      op->cti_heap_.push({t, this});
     }
 
     GroupApplyOp* op;
@@ -146,12 +169,31 @@ class GroupApplyOp : public UnaryOperator {
 
   void Release() {
     Timestamp watermark = proto_out_cti_;
-    if (!ctis_.empty()) watermark = std::min(watermark, *ctis_.begin());
+    // Drop stale heap entries (the sink has advanced past them); a live top
+    // is the minimum over every instance's current output CTI, because CTIs
+    // only advance, so stale values sort below their sink's current one.
+    while (!cti_heap_.empty() &&
+           cti_heap_.top().first != cti_heap_.top().second->out_cti) {
+      cti_heap_.pop();
+    }
+    if (!cti_heap_.empty()) {
+      watermark = std::min(watermark, cti_heap_.top().first);
+    }
+    if (buffer_.empty() || buffer_.top().event.le >= watermark) {
+      EmitCti(watermark);
+      return;
+    }
+    // Releases are bursty (snapshot finalization frees many events at once),
+    // so drain the run into one batch and hand it downstream in a single call.
+    EventBatch out;
     while (!buffer_.empty() && buffer_.top().event.le < watermark) {
-      Emit(buffer_.top().event);
+      // Safe: the entry is popped immediately, so moving out from under the
+      // priority queue's const top() cannot be observed by its ordering.
+      out.Add(std::move(const_cast<Buffered&>(buffer_.top()).event));
       buffer_.pop();
     }
-    EmitCti(watermark);
+    out.AddCti(watermark);
+    EmitBatch(std::move(out));
   }
 
   std::vector<int> key_indices_;
@@ -161,19 +203,48 @@ class GroupApplyOp : public UnaryOperator {
     std::unique_ptr<SubPlanNetwork> instance;
     std::unique_ptr<InstanceSink> sink;
   };
-  struct RowHasher {
-    size_t operator()(const Row& r) const { return HashRow(r); }
+  // Heterogeneous (C++20 transparent) hashing so OnEvent can probe with a
+  // view over the event payload's key columns; HashKeyOf(row, idx) ==
+  // HashRow(ExtractKey(row, idx)) by construction.
+  struct KeyView {
+    const Row* payload;
+    const std::vector<int>* indices;
   };
-  std::unordered_map<Row, Group, RowHasher> groups_;
+  struct GroupHash {
+    using is_transparent = void;
+    size_t operator()(const Row& r) const { return HashRow(r); }
+    size_t operator()(const KeyView& v) const {
+      return HashKeyOf(*v.payload, *v.indices);
+    }
+  };
+  struct GroupKeyEq {
+    using is_transparent = void;
+    bool operator()(const Row& a, const Row& b) const { return a == b; }
+    bool operator()(const KeyView& v, const Row& b) const {
+      if (v.indices->size() != b.size()) return false;
+      for (size_t i = 0; i < b.size(); ++i) {
+        if (!((*v.payload)[(*v.indices)[i]] == b[i])) return false;
+      }
+      return true;
+    }
+    bool operator()(const Row& a, const KeyView& v) const {
+      return operator()(v, a);
+    }
+  };
+  std::unordered_map<Row, Group, GroupHash, GroupKeyEq> groups_;
 
   std::unique_ptr<InstanceSink> prototype_sink_;
   std::unique_ptr<SubPlanNetwork> prototype_;
 
   std::priority_queue<Buffered, std::vector<Buffered>, std::greater<>> buffer_;
-  uint64_t next_seq_ = 0;
   Timestamp pending_cti_ = kMinTime;
   Timestamp proto_out_cti_ = kMinTime;
-  std::multiset<Timestamp> ctis_;  // live instances' output CTIs
+  // Min-heap over (output CTI, instance) with lazy deletion; entries whose
+  // timestamp no longer matches their sink's out_cti are stale.
+  std::priority_queue<std::pair<Timestamp, const InstanceSink*>,
+                      std::vector<std::pair<Timestamp, const InstanceSink*>>,
+                      std::greater<>>
+      cti_heap_;
   size_t ctis_since_broadcast_ = 0;
 };
 

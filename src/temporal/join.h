@@ -16,8 +16,32 @@ using JoinProjectFn = std::function<Row(const Row& left, const Row& right)>;
 
 namespace internal {
 
+// View over a payload's key columns, for probing without materializing a key
+// Row; HashKeyOf(row, idx) == HashRow(ExtractKey(row, idx)) by construction.
+struct RowKeyView {
+  const Row* payload;
+  const std::vector<int>* indices;
+};
 struct RowHash {
+  using is_transparent = void;
   size_t operator()(const Row& r) const { return HashRow(r); }
+  size_t operator()(const RowKeyView& v) const {
+    return HashKeyOf(*v.payload, *v.indices);
+  }
+};
+struct RowEq {
+  using is_transparent = void;
+  bool operator()(const Row& a, const Row& b) const { return a == b; }
+  bool operator()(const RowKeyView& v, const Row& b) const {
+    if (v.indices->size() != b.size()) return false;
+    for (size_t i = 0; i < b.size(); ++i) {
+      if (!((*v.payload)[(*v.indices)[i]] == b[i])) return false;
+    }
+    return true;
+  }
+  bool operator()(const Row& a, const RowKeyView& v) const {
+    return operator()(v, a);
+  }
 };
 
 /// Per-side join synopsis: active events grouped by equality key.
@@ -27,17 +51,23 @@ class Synopsis {
       : key_indices_(std::move(key_indices)) {}
 
   void Insert(const Event& event) {
-    map_[ExtractKey(event.payload, key_indices_)].push_back(event);
+    auto it = map_.find(RowKeyView{&event.payload, &key_indices_});
+    if (it == map_.end()) {
+      it = map_.emplace(ExtractKey(event.payload, key_indices_),
+                        std::vector<Event>()).first;
+    }
+    it->second.push_back(event);
     ++size_;
   }
 
-  /// Events whose key matches `key` (lifetime filtering is the caller's job).
-  const std::vector<Event>* Find(const Row& key) const {
-    auto it = map_.find(key);
+  /// Events whose key equals columns `indices` of `payload` (lifetime
+  /// filtering is the caller's job). Probes heterogeneously: no key Row is
+  /// materialized on the hot path.
+  const std::vector<Event>* FindByKeyOf(const Row& payload,
+                                        const std::vector<int>& indices) const {
+    auto it = map_.find(RowKeyView{&payload, &indices});
     return it == map_.end() ? nullptr : &it->second;
   }
-
-  Row KeyOf(const Row& payload) const { return ExtractKey(payload, key_indices_); }
 
   /// Drop events that can no longer intersect any future arrival (re <=
   /// watermark, since future events have LE >= watermark).
@@ -61,10 +91,11 @@ class Synopsis {
   }
 
   size_t size() const { return size_; }
+  const std::vector<int>& key_indices() const { return key_indices_; }
 
  private:
   std::vector<int> key_indices_;
-  std::unordered_map<Row, std::vector<Event>, RowHash> map_;
+  std::unordered_map<Row, std::vector<Event>, RowHash, RowEq> map_;
   size_t size_ = 0;
 };
 
@@ -90,8 +121,8 @@ class TemporalJoinOp : public BinaryOperator {
   void ProcessMerged(int side, Event event) override {
     internal::Synopsis& own = side == 0 ? left_ : right_;
     const internal::Synopsis& other = side == 0 ? right_ : left_;
-    const Row key = own.KeyOf(event.payload);
-    if (const auto* matches = other.Find(key)) {
+    if (const auto* matches =
+            other.FindByKeyOf(event.payload, own.key_indices())) {
       // Collect first: matches may alias storage we append to below.
       std::vector<Event> out;
       for (const Event& m : *matches) {
@@ -147,8 +178,7 @@ class AntiSemiJoinOp : public BinaryOperator {
       return;
     }
     TIMR_DCHECK(event.IsPoint()) << "AntiSemiJoin left input must be point events";
-    const Row key = ExtractKey(event.payload, left_keys_);
-    if (const auto* matches = right_.Find(key)) {
+    if (const auto* matches = right_.FindByKeyOf(event.payload, left_keys_)) {
       for (const Event& m : *matches) {
         if (m.Contains(event.le)) return;  // suppressed
       }

@@ -23,11 +23,22 @@
 namespace timr::temporal {
 
 /// \brief Consumer of one punctuated event stream.
+///
+/// Streams are delivered either per item (OnEvent/OnCti) or in morsels
+/// (OnBatch). A batch is by definition equivalent to the per-item call
+/// sequence it contains, and the default OnBatch replays it exactly that way
+/// — so every sink supports batches, and batched producers compose with
+/// per-event consumers for free. Hot operators override OnBatch to amortize
+/// virtual dispatch and process events in place (see stateless_ops.h).
 class EventSink {
  public:
   virtual ~EventSink() = default;
   virtual void OnEvent(Event event) = 0;
   virtual void OnCti(Timestamp t) = 0;
+  virtual void OnBatch(EventBatch&& batch) {
+    batch.Drain([this](Event&& e) { OnEvent(std::move(e)); },
+                [this](Timestamp t) { OnCti(t); });
+  }
 };
 
 /// \brief Base for engine operators: owns downstream wiring and enforces the
@@ -54,7 +65,47 @@ class Operator {
     TIMR_DCHECK(event.le >= last_emitted_le_) << "out-of-order emission";
     last_emitted_le_ = event.le;
     ++events_emitted_;
-    for (EventSink* out : outputs_) out->OnEvent(event);
+    const size_t n = outputs_.size();
+    if (n == 0) return;
+    // Copy for all but the last sink; the last takes ownership, so the common
+    // single-output chain moves payloads end to end with zero copies.
+    for (size_t i = 0; i + 1 < n; ++i) outputs_[i]->OnEvent(event);
+    outputs_[n - 1]->OnEvent(std::move(event));
+  }
+
+  /// Batch form of Emit/EmitCti: validates the same discipline, updates the
+  /// same counters, and fans out with copy-for-all-but-last semantics.
+  void EmitBatch(EventBatch&& batch) {
+    if (batch.Empty()) return;
+    Timestamp cti = emitted_cti_;
+    batch.RemoveStaleCtis(&cti);
+#ifndef NDEBUG
+    {
+      Timestamp floor = emitted_cti_;
+      Timestamp last_le = last_emitted_le_;
+      size_t m = 0;
+      const auto& marks = batch.ctis();
+      for (size_t i = 0; i < batch.events().size(); ++i) {
+        for (; m < marks.size() && marks[m].pos <= i; ++m) floor = marks[m].t;
+        const Event& e = batch.events()[i];
+        TIMR_DCHECK(e.le >= floor)
+            << "operator emitted event at " << e.le
+            << " after promising CTI " << floor;
+        TIMR_DCHECK(e.le >= last_le) << "out-of-order emission";
+        last_le = e.le;
+      }
+    }
+#endif
+    if (!batch.events().empty()) {
+      last_emitted_le_ = batch.events().back().le;
+      events_emitted_ += batch.NumEvents();
+    }
+    emitted_cti_ = cti;
+    if (batch.Empty()) return;  // everything was stale punctuation
+    const size_t n = outputs_.size();
+    if (n == 0) return;
+    for (size_t i = 0; i + 1 < n; ++i) outputs_[i]->OnBatch(batch.Clone());
+    outputs_[n - 1]->OnBatch(std::move(batch));
   }
 
   void EmitCti(Timestamp t) {
@@ -64,6 +115,7 @@ class Operator {
   }
 
   void CountConsumed() { ++events_consumed_; }
+  void CountConsumedN(uint64_t n) { events_consumed_ += n; }
 
   Timestamp emitted_cti() const { return emitted_cti_; }
 
@@ -180,6 +232,13 @@ class CollectorSink : public EventSink {
  public:
   void OnEvent(Event event) override { events_.push_back(std::move(event)); }
   void OnCti(Timestamp t) override { last_cti_ = t; }
+  void OnBatch(EventBatch&& batch) override {
+    events_.insert(events_.end(),
+                   std::make_move_iterator(batch.events().begin()),
+                   std::make_move_iterator(batch.events().end()));
+    if (!batch.ctis().empty()) last_cti_ = batch.ctis().back().t;
+    batch.Clear();
+  }
 
   const std::vector<Event>& events() const { return events_; }
   std::vector<Event> TakeEvents() { return std::move(events_); }

@@ -5,6 +5,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -19,7 +20,7 @@
 
 namespace timr::temporal {
 
-enum class OpKind {
+enum class OpKind : uint8_t {
   kInput,         // named external source
   kSubplanInput,  // the per-group substream inside a GroupApply
   kSelect,
@@ -40,7 +41,7 @@ const char* OpKindName(OpKind kind);
 /// \brief How an exchange operator repartitions its stream (paper §III-A step
 /// 2 and §III-B).
 struct PartitionSpec {
-  enum class Kind {
+  enum class Kind : uint8_t {
     kKeys,      // hash of a column subset
     kTemporal,  // overlapping time spans (paper §III-B)
   };

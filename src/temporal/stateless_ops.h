@@ -1,10 +1,17 @@
 // Stateless operators: Select (filter), Project, AlterLifetime (windowing),
 // and Passthrough (the wiring form of Multicast). Paper §II-A.2.
+//
+// All of these override OnBatch: a morsel is processed in one virtual call
+// with events rewritten in place (see EventBatch::FilterEvents), and adjacent
+// single-consumer chains of them are fused by the executor into one
+// FusedStatelessOp so a batch crosses the whole chain in a single pass.
 
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <utility>
+#include <vector>
 
 #include "temporal/operator.h"
 
@@ -23,6 +30,11 @@ class SelectOp : public UnaryOperator {
     if (pred_(event.payload)) Emit(std::move(event));
   }
   void OnCti(Timestamp t) override { EmitCti(t); }
+  void OnBatch(EventBatch&& batch) override {
+    CountConsumedN(batch.NumEvents());
+    batch.FilterEvents([this](Event& e) { return pred_(e.payload); });
+    EmitBatch(std::move(batch));
+  }
 
  private:
   Predicate pred_;
@@ -39,6 +51,11 @@ class ProjectOp : public UnaryOperator {
     Emit(std::move(event));
   }
   void OnCti(Timestamp t) override { EmitCti(t); }
+  void OnBatch(EventBatch&& batch) override {
+    CountConsumedN(batch.NumEvents());
+    for (Event& e : batch.events()) e.payload = fn_(e.payload);
+    EmitBatch(std::move(batch));
+  }
 
  private:
   ProjectFn fn_;
@@ -46,7 +63,7 @@ class ProjectOp : public UnaryOperator {
 
 /// \brief How AlterLifetime rewrites event lifetimes.
 struct AlterLifetimeSpec {
-  enum class Mode {
+  enum class Mode : uint8_t {
     kShift,          // le += shift; re += shift
     kWindow,         // re = le + window (sliding window of width `window`)
     kHop,            // snap to hop grid: visible at every boundary b (multiple
@@ -95,10 +112,58 @@ inline Timestamp CeilToGrid(Timestamp t, Timestamp hop) {
   return q * hop;
 }
 
-/// \brief Adjusts event lifetimes (the windowing primitive). All modes apply a
-/// constant, monotone transformation to LE, so input LE order — and therefore
-/// the engine's ordering invariant — is preserved without a reorder buffer,
-/// and the CTI maps through the same transformation.
+/// Rewrite one event's lifetime per `spec`; returns false when the event is
+/// dropped (kHop events that touch no boundary). All modes apply a constant,
+/// monotone transformation to LE, so input LE order is preserved.
+inline bool ApplyLifetime(const AlterLifetimeSpec& spec, Event& event) {
+  switch (spec.mode) {
+    case AlterLifetimeSpec::Mode::kShift:
+      event.le += spec.shift;
+      event.re += spec.shift;
+      break;
+    case AlterLifetimeSpec::Mode::kWindow:
+      event.re = event.le + spec.window;
+      break;
+    case AlterLifetimeSpec::Mode::kHop: {
+      // Original timestamp t contributes to boundaries b in [t, t + window),
+      // b on the hop grid. Lifetime becomes the span of those boundaries.
+      const Timestamp t = event.le;
+      const Timestamp first = CeilToGrid(t, spec.hop);
+      const Timestamp last = CeilToGrid(t + spec.window, spec.hop);
+      if (first >= last) return false;  // contributes to no boundary
+      event.le = first;
+      event.re = last;
+      break;
+    }
+    case AlterLifetimeSpec::Mode::kPoint:
+      event.re = event.le + kTick;
+      break;
+    case AlterLifetimeSpec::Mode::kShiftAndWindow:
+      event.le += spec.shift;
+      event.re = event.le + spec.window;
+      break;
+  }
+  return true;
+}
+
+/// The (monotone) CTI image of `spec`'s LE transformation.
+inline Timestamp MapLifetimeCti(const AlterLifetimeSpec& spec, Timestamp t) {
+  switch (spec.mode) {
+    case AlterLifetimeSpec::Mode::kShift:
+    case AlterLifetimeSpec::Mode::kShiftAndWindow:
+      return t >= kMaxTime ? kMaxTime : t + spec.shift;
+    case AlterLifetimeSpec::Mode::kHop:
+      return t >= kMaxTime ? kMaxTime : CeilToGrid(t, spec.hop);
+    case AlterLifetimeSpec::Mode::kWindow:
+    case AlterLifetimeSpec::Mode::kPoint:
+      return t;
+  }
+  return t;
+}
+
+/// \brief Adjusts event lifetimes (the windowing primitive). Input LE order —
+/// and therefore the engine's ordering invariant — is preserved without a
+/// reorder buffer, and the CTI maps through the same transformation.
 class AlterLifetimeOp : public UnaryOperator {
  public:
   explicit AlterLifetimeOp(AlterLifetimeSpec spec) : spec_(spec) {
@@ -107,54 +172,16 @@ class AlterLifetimeOp : public UnaryOperator {
 
   void OnEvent(Event event) override {
     CountConsumed();
-    switch (spec_.mode) {
-      case AlterLifetimeSpec::Mode::kShift:
-        event.le += spec_.shift;
-        event.re += spec_.shift;
-        break;
-      case AlterLifetimeSpec::Mode::kWindow:
-        event.re = event.le + spec_.window;
-        break;
-      case AlterLifetimeSpec::Mode::kHop: {
-        // Original timestamp t contributes to boundaries b in [t, t + window),
-        // b on the hop grid. Lifetime becomes the span of those boundaries.
-        const Timestamp t = event.le;
-        const Timestamp first = CeilToGrid(t, spec_.hop);
-        const Timestamp last = CeilToGrid(t + spec_.window, spec_.hop);
-        if (first >= last) return;  // contributes to no boundary
-        event.le = first;
-        event.re = last;
-        break;
-      }
-      case AlterLifetimeSpec::Mode::kPoint:
-        event.re = event.le + kTick;
-        break;
-      case AlterLifetimeSpec::Mode::kShiftAndWindow:
-        event.le += spec_.shift;
-        event.re = event.le + spec_.window;
-        break;
-    }
-    Emit(std::move(event));
+    if (ApplyLifetime(spec_, event)) Emit(std::move(event));
   }
 
-  void OnCti(Timestamp t) override {
-    switch (spec_.mode) {
-      case AlterLifetimeSpec::Mode::kShift:
-      case AlterLifetimeSpec::Mode::kShiftAndWindow:
-        if (t >= kMaxTime) {
-          EmitCti(kMaxTime);
-        } else {
-          EmitCti(t + spec_.shift);
-        }
-        break;
-      case AlterLifetimeSpec::Mode::kHop:
-        EmitCti(t >= kMaxTime ? kMaxTime : CeilToGrid(t, spec_.hop));
-        break;
-      case AlterLifetimeSpec::Mode::kWindow:
-      case AlterLifetimeSpec::Mode::kPoint:
-        EmitCti(t);
-        break;
-    }
+  void OnCti(Timestamp t) override { EmitCti(MapLifetimeCti(spec_, t)); }
+
+  void OnBatch(EventBatch&& batch) override {
+    CountConsumedN(batch.NumEvents());
+    batch.FilterEvents([this](Event& e) { return ApplyLifetime(spec_, e); });
+    batch.TransformCtis([this](Timestamp t) { return MapLifetimeCti(spec_, t); });
+    EmitBatch(std::move(batch));
   }
 
  private:
@@ -170,6 +197,96 @@ class PassthroughOp : public UnaryOperator {
     Emit(std::move(event));
   }
   void OnCti(Timestamp t) override { EmitCti(t); }
+  void OnBatch(EventBatch&& batch) override {
+    CountConsumedN(batch.NumEvents());
+    EmitBatch(std::move(batch));
+  }
+};
+
+/// \brief A fused chain of adjacent stateless operators (built by the
+/// executor for Select/Project/AlterLifetime runs with single-consumer
+/// interior nodes): one operator, one virtual hop, one in-place pass per
+/// batch, applying every step in pipeline order.
+///
+/// Event accounting mirrors the unfused chain: an input event counts as
+/// consumed once per step it reaches, so the Figure 15 engine-events metric
+/// is unchanged by fusion.
+class FusedStatelessOp : public UnaryOperator {
+ public:
+  struct Step {
+    enum class Kind : uint8_t { kSelect, kProject, kAlter };
+    Kind kind;
+    Predicate pred;         // kSelect
+    ProjectFn fn;           // kProject
+    AlterLifetimeSpec alter;  // kAlter
+
+    static Step Select(Predicate p) {
+      Step s;
+      s.kind = Kind::kSelect;
+      s.pred = std::move(p);
+      return s;
+    }
+    static Step Project(ProjectFn f) {
+      Step s;
+      s.kind = Kind::kProject;
+      s.fn = std::move(f);
+      return s;
+    }
+    static Step Alter(AlterLifetimeSpec spec) {
+      Step s;
+      s.kind = Kind::kAlter;
+      s.alter = spec;
+      return s;
+    }
+  };
+
+  /// `steps` in pipeline (execution) order.
+  explicit FusedStatelessOp(std::vector<Step> steps)
+      : steps_(std::move(steps)) {
+    TIMR_CHECK(!steps_.empty());
+  }
+
+  void OnEvent(Event event) override {
+    if (Apply(event)) Emit(std::move(event));
+  }
+
+  void OnCti(Timestamp t) override { EmitCti(MapCti(t)); }
+
+  void OnBatch(EventBatch&& batch) override {
+    batch.FilterEvents([this](Event& e) { return Apply(e); });
+    batch.TransformCtis([this](Timestamp t) { return MapCti(t); });
+    EmitBatch(std::move(batch));
+  }
+
+  size_t num_steps() const { return steps_.size(); }
+
+ private:
+  bool Apply(Event& event) {
+    for (const Step& step : steps_) {
+      CountConsumed();  // the unfused operator for this step would consume it
+      switch (step.kind) {
+        case Step::Kind::kSelect:
+          if (!step.pred(event.payload)) return false;
+          break;
+        case Step::Kind::kProject:
+          event.payload = step.fn(event.payload);
+          break;
+        case Step::Kind::kAlter:
+          if (!ApplyLifetime(step.alter, event)) return false;
+          break;
+      }
+    }
+    return true;
+  }
+
+  Timestamp MapCti(Timestamp t) const {
+    for (const Step& step : steps_) {
+      if (step.kind == Step::Kind::kAlter) t = MapLifetimeCti(step.alter, t);
+    }
+    return t;
+  }
+
+  std::vector<Step> steps_;
 };
 
 }  // namespace timr::temporal

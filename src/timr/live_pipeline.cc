@@ -18,6 +18,11 @@ struct LivePipeline::Forwarder : public temporal::EventSink {
   void OnCti(Timestamp t) override {
     TIMR_CHECK_OK(consumer->PushCti(input, t));
   }
+  void OnBatch(temporal::EventBatch&& batch) override {
+    // Keep the batch intact across the executor boundary: one virtual hop
+    // into the consumer instead of one per event.
+    TIMR_CHECK_OK(consumer->PushBatch(input, std::move(batch)));
+  }
 
   temporal::Executor* consumer;
   std::string input;

@@ -22,7 +22,7 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 /// singleton partitioning (everything on one machine), the temporal
 /// partitioning, or "random" (how raw inputs arrive).
 struct PKey {
-  enum class Kind { kColumns, kSingleton, kTime, kRandom };
+  enum class Kind : uint8_t { kColumns, kSingleton, kTime, kRandom };
   Kind kind = Kind::kSingleton;
   std::vector<std::string> cols;  // kColumns, sorted
 

@@ -118,10 +118,12 @@ Result<mr::MRStage> CompileFragment(
   std::vector<std::string> input_names = fragment.inputs;
   auto engine_events = std::make_shared<std::atomic<uint64_t>>(0);
   const bool want_stats = options.collect_engine_stats;
+  const size_t batch_size = options.engine_batch_size;
   stage.reducer = [plan, input_names, row_schemas, spans, engine_events,
-                   want_stats](int partition,
-                               const std::vector<std::vector<Row>>& inputs,
-                               std::vector<Row>* output) -> Status {
+                   want_stats, batch_size](
+                      int partition,
+                      const std::vector<std::vector<Row>>& inputs,
+                      std::vector<Row>* output) -> Status {
     // Convert partition rows to events, per input.
     std::map<std::string, std::vector<Event>> event_inputs;
     for (size_t i = 0; i < inputs.size(); ++i) {
@@ -133,6 +135,7 @@ Result<mr::MRStage> CompileFragment(
     // restartable because results depend only on application time.
     TIMR_ASSIGN_OR_RETURN(std::unique_ptr<temporal::Executor> exec,
                           temporal::Executor::Create(plan));
+    if (batch_size != 0) exec->set_batch_size(batch_size);
     std::vector<Event> result;
     TIMR_ASSIGN_OR_RETURN(result, exec->RunBatch(std::move(event_inputs)));
     const std::vector<std::string> violations = exec->ConformanceViolations();

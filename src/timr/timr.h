@@ -35,6 +35,13 @@ struct TimrOptions {
   /// Collect per-fragment engine event counts (Figure 15 metric).
   bool collect_engine_stats = false;
 
+  /// Morsel size for the embedded engine's input driver: how many events the
+  /// reducer packs into one EventBatch before pushing it through the fragment
+  /// plan. Output is bit-identical for any value (see Executor::RunBatch);
+  /// the knob trades virtual-dispatch amortization against cache footprint.
+  /// 0 uses the engine default (Executor::kDefaultBatchSize).
+  size_t engine_batch_size = 0;
+
   /// Verify the plan statically before running it (schema, exchange
   /// placement, fragment cuts — see analysis/analyzer.h) and insert
   /// ConformanceCheck operators at fragment boundaries that assert the

@@ -72,9 +72,35 @@ TEST(Value, HashIsStableAndDiscriminates) {
   EXPECT_EQ(Value("k").Hash(), Value("k").Hash());
 }
 
+TEST(Value, InternedIsStringByContent) {
+  Value interned = Value::Interned("keyword");
+  EXPECT_TRUE(interned.is_string());
+  EXPECT_TRUE(interned.is_interned());
+  EXPECT_EQ(interned.AsString(), "keyword");
+  // Content equality across representations, both directions.
+  EXPECT_EQ(interned, Value("keyword"));
+  EXPECT_EQ(Value("keyword"), interned);
+  EXPECT_NE(interned, Value("other"));
+  // Two interns of the same content share one allocation.
+  Value again = Value::Interned("keyword");
+  EXPECT_EQ(&interned.AsString(), &again.AsString());
+  EXPECT_EQ(interned, again);
+  // Hash and ordering agree with the plain-string representation.
+  EXPECT_EQ(interned.Hash(), Value("keyword").Hash());
+  EXPECT_FALSE(interned < Value("keyword"));
+  EXPECT_FALSE(Value("keyword") < interned);
+  EXPECT_TRUE(Value("a") < interned);
+}
+
 TEST(Row, ExtractKeySelectsColumns) {
   Row r = {Value(1), Value(2), Value(3)};
   EXPECT_EQ(ExtractKey(r, {2, 0}), (Row{Value(3), Value(1)}));
+}
+
+TEST(Row, HashKeyOfMatchesHashOfExtractedKey) {
+  Row r = {Value(7), Value("k"), Value(3.5)};
+  EXPECT_EQ(HashKeyOf(r, {1, 0}), HashRow(ExtractKey(r, {1, 0})));
+  EXPECT_EQ(HashKeyOf(r, {}), HashRow(Row{}));
 }
 
 // ---------- Schema ----------

@@ -42,7 +42,8 @@ struct BtRun {
   std::map<std::string, mr::Dataset> store;
 };
 
-BtRun RunBtJob(int num_threads, mr::FailureInjector* injector = nullptr) {
+BtRun RunBtJob(int num_threads, mr::FailureInjector* injector = nullptr,
+               size_t engine_batch_size = 0) {
   auto log = workload::GenerateBtLog(SmallWorkload());
   bt::BtQueryConfig cfg = SmallBtConfig();
 
@@ -54,9 +55,11 @@ BtRun RunBtJob(int num_threads, mr::FailureInjector* injector = nullptr) {
   store[bt::kBtInput] =
       mr::Dataset::FromRows(T::PointRowSchema(bt::UnifiedSchema()), rows);
 
+  framework::TimrOptions options;
+  options.engine_batch_size = engine_batch_size;
   auto run = framework::RunPlan(
       &cluster, bt::BtFeaturePipeline(cfg, bt::Annotation::kStandard).node(),
-      &store);
+      &store, options);
   EXPECT_TRUE(run.ok()) << run.status().ToString();
 
   BtRun result;
@@ -113,6 +116,18 @@ TEST(ShuffleDeterminism, BtJobBitIdenticalAcrossThreadCounts) {
       EXPECT_EQ(rs.rows_out, bs.rows_out) << bs.name;
       EXPECT_EQ(rs.partitions, bs.partitions) << bs.name;
     }
+  }
+}
+
+TEST(ShuffleDeterminism, BtJobBitIdenticalAcrossEngineBatchSizes) {
+  // The embedded engine's morsel size must never leak into output: the whole
+  // BT job — every intermediate dataset included — is bit-identical whether
+  // reducers drive their engines one event at a time or 4096 per batch.
+  BtRun base = RunBtJob(0);
+  for (size_t batch_size : {size_t{1}, size_t{64}, size_t{4096}}) {
+    BtRun run = RunBtJob(0, nullptr, batch_size);
+    ExpectEventsIdentical(base.output, run.output);
+    ExpectStoresBitIdentical(base.store, run.store);
   }
 }
 

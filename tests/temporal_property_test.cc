@@ -6,8 +6,10 @@
 
 #include <map>
 
+#include "analysis/analyzer.h"
 #include "common/rng.h"
 #include "mr/cluster.h"
+#include "temporal/conformance.h"
 #include "temporal/executor.h"
 #include "temporal/query.h"
 #include "timr/timr.h"
@@ -264,6 +266,273 @@ std::vector<TimrCase> TimrCases() {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, TimrEquivalence,
                          ::testing::ValuesIn(TimrCases()));
+
+// ---------- Batched execution equivalence sweep ----------
+//
+// The engine's contract: an EventBatch is exactly the per-item call sequence
+// it expands to, and the driver's morsel size never changes output. These
+// sweeps drive every operator family (a) strictly per event, (b) through
+// RunBatch at several batch sizes, and (c) with randomized batch cut points
+// that put CTI marks mid-batch, and require *bit-identical* output events and
+// identical conformance verdicts — not just the same temporal relation.
+
+struct DriveResult {
+  std::vector<Event> output;
+  std::vector<std::string> violations;
+};
+
+// The strict per-event reference driver (the engine's pre-batching loop):
+// globally merge sources by LE, advance every source's CTI before each LE
+// advance, push events one at a time.
+DriveResult RunPerEvent(const PlanNodePtr& plan,
+                        std::map<std::string, std::vector<Event>> inputs) {
+  auto exec = Executor::Create(plan).ValueOrDie();
+  struct Cursor {
+    std::string name;
+    std::vector<Event>* events;
+    size_t pos = 0;
+  };
+  std::vector<Cursor> cursors;
+  for (auto& [name, events] : inputs) {
+    std::stable_sort(events.begin(), events.end(),
+                     [](const Event& a, const Event& b) { return a.le < b.le; });
+    cursors.push_back(Cursor{name, &events, 0});
+  }
+  Timestamp last_cti = kMinTime;
+  while (true) {
+    int pick = -1;
+    for (size_t i = 0; i < cursors.size(); ++i) {
+      if (cursors[i].pos >= cursors[i].events->size()) continue;
+      const Timestamp le = (*cursors[i].events)[cursors[i].pos].le;
+      if (pick == -1 || le < (*cursors[pick].events)[cursors[pick].pos].le) {
+        pick = static_cast<int>(i);
+      }
+    }
+    if (pick == -1) break;
+    Cursor& c = cursors[pick];
+    Event ev = std::move((*c.events)[c.pos++]);
+    if (ev.le > last_cti) {
+      last_cti = ev.le;
+      exec->PushCtiAll(last_cti);
+    }
+    TIMR_CHECK_OK(exec->PushEvent(c.name, std::move(ev)));
+  }
+  exec->Finish();
+  return {exec->TakeOutput(), exec->ConformanceViolations()};
+}
+
+// Batched driver with randomized morsel boundaries: same merge order, but
+// events are packed into per-source EventBatches cut at random points (so CTI
+// marks land mid-batch), delivered via PushBatch with a coarse catch-up CTI
+// to the other sources at each flush — the same protocol as RunBatch.
+DriveResult RunRandomBatches(const PlanNodePtr& plan,
+                             std::map<std::string, std::vector<Event>> inputs,
+                             uint64_t seed) {
+  auto exec = Executor::Create(plan).ValueOrDie();
+  Rng rng(seed);
+  struct Cursor {
+    std::string name;
+    std::vector<Event>* events;
+    size_t pos = 0;
+  };
+  std::vector<Cursor> cursors;
+  for (auto& [name, events] : inputs) {
+    std::stable_sort(events.begin(), events.end(),
+                     [](const Event& a, const Event& b) { return a.le < b.le; });
+    cursors.push_back(Cursor{name, &events, 0});
+  }
+  Timestamp last_cti = kMinTime;
+  EventBatch batch;
+  std::string batch_src;
+  auto flush = [&]() {
+    if (batch_src.empty()) return;
+    std::string src = batch_src;
+    batch_src.clear();
+    TIMR_CHECK_OK(exec->PushBatch(src, std::move(batch)));
+    batch = EventBatch();
+    for (const std::string& name : exec->input_names()) {
+      if (name != src) TIMR_CHECK_OK(exec->PushCti(name, last_cti));
+    }
+  };
+  while (true) {
+    int pick = -1;
+    for (size_t i = 0; i < cursors.size(); ++i) {
+      if (cursors[i].pos >= cursors[i].events->size()) continue;
+      const Timestamp le = (*cursors[i].events)[cursors[i].pos].le;
+      if (pick == -1 || le < (*cursors[pick].events)[cursors[pick].pos].le) {
+        pick = static_cast<int>(i);
+      }
+    }
+    if (pick == -1) break;
+    Cursor& c = cursors[pick];
+    const bool cut = rng.UniformInt(0, 4) == 0;  // random morsel boundary
+    if (c.name != batch_src || cut) flush();
+    batch_src = c.name;
+    Event ev = std::move((*c.events)[c.pos++]);
+    if (ev.le > last_cti) {
+      last_cti = ev.le;
+      batch.AddCti(last_cti);
+    }
+    batch.Add(std::move(ev));
+  }
+  flush();
+  exec->Finish();
+  return {exec->TakeOutput(), exec->ConformanceViolations()};
+}
+
+void ExpectBitIdentical(const std::vector<Event>& a,
+                        const std::vector<Event>& b, const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].le, b[i].le) << what << " event " << i;
+    ASSERT_EQ(a[i].re, b[i].re) << what << " event " << i;
+    ASSERT_EQ(a[i].payload, b[i].payload) << what << " event " << i;
+  }
+}
+
+struct BatchCase {
+  const char* name;
+  uint64_t seed;
+};
+
+class BatchEquivalence : public ::testing::TestWithParam<BatchCase> {
+ protected:
+  // Every operator family, including a fusable stateless chain. Plans are
+  // instrumented with ConformanceCheck operators so the batched checker runs
+  // on every edge and its verdicts can be compared against the per-event run.
+  static Query MakePlan(const std::string& name) {
+    if (name == "select") {
+      return Query::Input("S", KV()).Where(
+          [](const Row& r) { return r[1].AsInt64() > 25; });
+    }
+    if (name == "fused_chain") {
+      Schema out = Schema::Of({{"V", ValueType::kInt64}, {"K", ValueType::kInt64}});
+      return Query::Input("S", KV())
+          .Where([](const Row& r) { return r[1].AsInt64() > 10; })
+          .Project([](const Row& r) { return Row{r[1], r[0]}; }, out)
+          .Window(17);
+    }
+    if (name == "hop") {
+      return Query::Input("S", KV()).HoppingWindow(50, 10);
+    }
+    if (name == "group_agg") {
+      return Query::Input("S", KV()).GroupApply({"K"}, [](Query g) {
+        return g.Window(30).Count();
+      });
+    }
+    if (name == "join") {
+      return Query::TemporalJoin(Query::Input("L", KV()).Window(20),
+                                 Query::Input("R", KV()).Window(30), {"K"},
+                                 {"K"});
+    }
+    if (name == "asj") {
+      return Query::AntiSemiJoin(Query::Input("L", KV()),
+                                 Query::Input("R", KV()).Window(25), {"K"},
+                                 {"K"});
+    }
+    TIMR_CHECK(name == "union") << name;
+    return Query::Union(Query::Input("L", KV()), Query::Input("R", KV()));
+  }
+
+  static std::map<std::string, std::vector<Event>> MakeInputs(
+      const std::string& name, uint64_t seed) {
+    std::map<std::string, std::vector<Event>> inputs;
+    if (name == "join" || name == "asj" || name == "union") {
+      inputs["L"] = RandomPoints(120, 300, 3, seed);
+      inputs["R"] = RandomPoints(90, 300, 3, seed + 1000);
+    } else {
+      inputs["S"] = RandomPoints(150, 400, 4, seed);
+    }
+    return inputs;
+  }
+};
+
+TEST_P(BatchEquivalence, BatchedMatchesPerEventBitForBit) {
+  const BatchCase& c = GetParam();
+  PlanNodePtr plan =
+      analysis::InstrumentFragmentPlan("batch_eq", MakePlan(c.name).node());
+  auto inputs = MakeInputs(c.name, c.seed);
+
+  DriveResult reference = RunPerEvent(plan, inputs);
+  EXPECT_TRUE(reference.violations.empty());
+
+  for (size_t batch_size : {size_t{1}, size_t{7}, size_t{64}, size_t{4096}}) {
+    auto exec = Executor::Create(plan).ValueOrDie();
+    exec->set_batch_size(batch_size);
+    auto got = exec->RunBatch(inputs);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ExpectBitIdentical(reference.output, got.ValueOrDie(),
+                       std::string(c.name) + " batch_size=" +
+                           std::to_string(batch_size));
+    EXPECT_EQ(reference.violations, exec->ConformanceViolations());
+  }
+
+  for (uint64_t cut_seed = 0; cut_seed < 3; ++cut_seed) {
+    DriveResult random = RunRandomBatches(plan, inputs, c.seed * 31 + cut_seed);
+    ExpectBitIdentical(reference.output, random.output,
+                       std::string(c.name) + " random cuts seed=" +
+                           std::to_string(cut_seed));
+    EXPECT_EQ(reference.violations, random.violations);
+  }
+}
+
+std::vector<BatchCase> BatchCases() {
+  std::vector<BatchCase> cases;
+  uint64_t seed = 41;
+  for (const char* name : {"select", "fused_chain", "hop", "group_agg", "join",
+                           "asj", "union"}) {
+    for (int rep = 0; rep < 2; ++rep) cases.push_back({name, seed++});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BatchEquivalence,
+                         ::testing::ValuesIn(BatchCases()));
+
+// ---------- ConformanceCheckOp: batched == per-event on violating input ----------
+
+TEST(ConformanceBatch, BatchedVerdictsMatchPerEventOnBadStream) {
+  // A stream with one of each violation class: inverted lifetime, event
+  // preceding the delivered CTI (twice), and a regressed CTI.
+  const std::vector<Event> events = {
+      Event(5, 10, {Value(int64_t{1})}),  // good
+      Event(7, 7, {Value(int64_t{2})}),   // inverted lifetime
+      Event(6, 9, {Value(int64_t{3})}),   // precedes CTI 8
+      Event(9, 12, {Value(int64_t{4})}),  // good
+      Event(3, 20, {Value(int64_t{5})}),  // precedes CTI 8
+  };
+
+  ConformanceCheckOp per_event("edge");
+  CollectorSink per_event_out;
+  per_event.AddOutput(&per_event_out);
+  per_event.OnEvent(events[0]);
+  per_event.OnEvent(events[1]);
+  per_event.OnCti(8);
+  per_event.OnEvent(events[2]);
+  per_event.OnEvent(events[3]);
+  per_event.OnCti(4);  // regressed
+  per_event.OnEvent(events[4]);
+  per_event.OnCti(30);
+
+  ConformanceCheckOp batched("edge");
+  CollectorSink batched_out;
+  batched.AddOutput(&batched_out);
+  EventBatch batch;
+  for (const Event& e : events) batch.Add(e);
+  // Mark positions are appended directly (AddCti would coalesce the regressed
+  // mark away); {pos, t}: CTI fires before the event at `pos`.
+  batch.mutable_ctis().push_back({2, 8});
+  batch.mutable_ctis().push_back({4, 4});
+  batch.mutable_ctis().push_back({5, 30});
+  batched.OnBatch(std::move(batch));
+
+  EXPECT_EQ(per_event.violations(), batched.violations());
+  EXPECT_EQ(per_event.violations().size(), 4u);
+  ExpectBitIdentical(per_event_out.events(), batched_out.events(),
+                     "conformance passthrough");
+  EXPECT_EQ(per_event_out.last_cti(), batched_out.last_cti());
+  EXPECT_EQ(per_event.events_consumed(), batched.events_consumed());
+}
 
 }  // namespace
 }  // namespace timr::temporal
