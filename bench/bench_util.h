@@ -134,7 +134,10 @@ inline void AppendJobStatsJson(const std::string& bench,
         .Num("sort_seconds", s.sort_seconds)
         .Num("reduce_seconds", s.reduce_seconds)
         .Num("simulated_seconds", s.simulated_parallel_seconds)
-        .Int("restarted_tasks", static_cast<long long>(s.restarted_tasks))
+        .Int("task_attempts", static_cast<long long>(s.task_attempts))
+        .Int("retried_tasks", static_cast<long long>(s.retried_tasks))
+        .Int("speculative_tasks", static_cast<long long>(s.speculative_tasks))
+        .Int("quarantined_rows", s.quarantined_rows)
         .Append();
   }
 }

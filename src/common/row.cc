@@ -170,4 +170,34 @@ Row ExtractKey(const Row& row, const std::vector<int>& indices) {
   return key;
 }
 
+namespace {
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kInt64: return "int64";
+    case ValueType::kDouble: return "double";
+    case ValueType::kString: return "string";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+Status ValidateRowSchema(const Schema& schema, const Row& row) {
+  if (row.size() != schema.num_fields()) {
+    return Status::Invalid("row has " + std::to_string(row.size()) +
+                           " cells but schema " + schema.ToString() + " has " +
+                           std::to_string(schema.num_fields()) + " fields");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].type() != schema.field(i).type) {
+      return Status::Invalid("column '" + schema.field(i).name +
+                             "': expected " +
+                             ValueTypeName(schema.field(i).type) + ", got " +
+                             ValueTypeName(row[i].type()));
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace timr

@@ -159,4 +159,11 @@ class Schema {
 /// Extract the values of `indices` from `row` as a key vector.
 Row ExtractKey(const Row& row, const std::vector<int>& indices);
 
+/// Schema/decode check for untrusted rows: arity must match the schema and
+/// every cell's dynamic type must equal its column's declared type. Used by
+/// the map-reduce substrate's poison-row quarantine and its chaos
+/// corrupt-read detection (mr/fault.h). Returns Invalid naming the first
+/// offending column.
+Status ValidateRowSchema(const Schema& schema, const Row& row);
+
 }  // namespace timr

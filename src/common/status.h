@@ -22,6 +22,10 @@ enum class StatusCode : uint8_t {
   kNotImplemented = 3,
   kExecutionError = 4,  // runtime failure inside an operator / task
   kIOError = 5,
+  kTaskFailed = 6,  // a task exhausted its retry budget (message names
+                    // stage, partition, and attempt count)
+  kDataError = 7,   // input rows failed schema/decode checks beyond the
+                    // configured tolerance (poison-row quarantine)
 };
 
 /// \brief Outcome of a fallible operation: a code plus a human-readable message.
@@ -48,6 +52,19 @@ class Status {
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
   }
+  static Status TaskFailed(std::string msg) {
+    return Status(StatusCode::kTaskFailed, std::move(msg));
+  }
+  static Status DataError(std::string msg) {
+    return Status(StatusCode::kDataError, std::move(msg));
+  }
+  /// Rebuild a status with the same taxonomy but a new message — for adding
+  /// context (stage/partition/attempt) at a task boundary without collapsing
+  /// every error into kExecutionError.
+  static Status FromCode(StatusCode code, std::string msg) {
+    if (code == StatusCode::kOk) return Status();
+    return Status(code, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -70,6 +87,8 @@ class Status {
       case StatusCode::kNotImplemented: return "NotImplemented";
       case StatusCode::kExecutionError: return "ExecutionError";
       case StatusCode::kIOError: return "IOError";
+      case StatusCode::kTaskFailed: return "TaskFailed";
+      case StatusCode::kDataError: return "DataError";
     }
     return "Unknown";
   }

@@ -1,0 +1,343 @@
+#include "mr/checkpoint.h"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace timr::mr {
+
+namespace {
+
+constexpr char kMagic[8] = {'T', 'I', 'M', 'R', 'C', 'K', 'P', '1'};
+constexpr char kManifestName[] = "manifest";
+constexpr char kManifestHeader[] = "timr-checkpoint-manifest v1";
+
+void WriteU64(std::ostream& os, uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void WriteU8(std::ostream& os, uint8_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool ReadU64(std::istream& is, uint64_t* v) {
+  is.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return bool(is);
+}
+
+bool ReadU8(std::istream& is, uint8_t* v) {
+  is.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return bool(is);
+}
+
+void WriteString(std::ostream& os, const std::string& s) {
+  WriteU64(os, s.size());
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool ReadString(std::istream& is, std::string* s) {
+  uint64_t n = 0;
+  if (!ReadU64(is, &n)) return false;
+  // Guard against a corrupt length field allocating the address space.
+  if (n > (1ull << 32)) return false;
+  s->resize(n);
+  is.read(s->data(), static_cast<std::streamsize>(n));
+  return bool(is);
+}
+
+void WriteValue(std::ostream& os, const Value& v) {
+  WriteU8(os, static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::kInt64: {
+      const int64_t x = v.AsInt64();
+      os.write(reinterpret_cast<const char*>(&x), sizeof(x));
+      break;
+    }
+    case ValueType::kDouble: {
+      const double x = v.AsDouble();
+      os.write(reinterpret_cast<const char*>(&x), sizeof(x));
+      break;
+    }
+    case ValueType::kString:
+      WriteString(os, v.AsString());
+      break;
+  }
+}
+
+bool ReadValue(std::istream& is, Value* out) {
+  uint8_t tag = 0;
+  if (!ReadU8(is, &tag)) return false;
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kInt64: {
+      int64_t x = 0;
+      is.read(reinterpret_cast<char*>(&x), sizeof(x));
+      if (!is) return false;
+      *out = Value(x);
+      return true;
+    }
+    case ValueType::kDouble: {
+      double x = 0;
+      is.read(reinterpret_cast<char*>(&x), sizeof(x));
+      if (!is) return false;
+      *out = Value(x);
+      return true;
+    }
+    case ValueType::kString: {
+      std::string s;
+      if (!ReadString(is, &s)) return false;
+      *out = Value(std::move(s));
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Status WriteDatasetFile(const std::string& path, const Dataset& dataset) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) return Status::IOError("checkpoint: cannot open " + path);
+  os.write(kMagic, sizeof(kMagic));
+  WriteU64(os, dataset.schema().num_fields());
+  for (const auto& f : dataset.schema().fields()) {
+    WriteString(os, f.name);
+    WriteU8(os, static_cast<uint8_t>(f.type));
+  }
+  WriteU64(os, dataset.num_partitions());
+  for (size_t p = 0; p < dataset.num_partitions(); ++p) {
+    const std::vector<Row>& rows = dataset.partition(p);
+    WriteU64(os, rows.size());
+    for (const Row& row : rows) {
+      WriteU64(os, row.size());
+      for (const Value& v : row) WriteValue(os, v);
+    }
+  }
+  os.flush();
+  if (!os) return Status::IOError("checkpoint: write failed for " + path);
+  return Status::OK();
+}
+
+Result<Dataset> ReadDatasetFile(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return Status::IOError("checkpoint: cannot open " + path);
+  char magic[sizeof(kMagic)];
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::IOError("checkpoint: bad magic in " + path);
+  }
+  uint64_t nfields = 0;
+  if (!ReadU64(is, &nfields) || nfields > (1ull << 20)) {
+    return Status::IOError("checkpoint: corrupt schema in " + path);
+  }
+  std::vector<Schema::Field> fields;
+  fields.reserve(nfields);
+  for (uint64_t i = 0; i < nfields; ++i) {
+    Schema::Field f;
+    uint8_t type = 0;
+    if (!ReadString(is, &f.name) || !ReadU8(is, &type) || type > 2) {
+      return Status::IOError("checkpoint: corrupt schema in " + path);
+    }
+    f.type = static_cast<ValueType>(type);
+    fields.push_back(std::move(f));
+  }
+  uint64_t nparts = 0;
+  if (!ReadU64(is, &nparts) || nparts > (1ull << 24)) {
+    return Status::IOError("checkpoint: corrupt partition count in " + path);
+  }
+  Dataset dataset(Schema(std::move(fields)), nparts);
+  for (uint64_t p = 0; p < nparts; ++p) {
+    uint64_t nrows = 0;
+    if (!ReadU64(is, &nrows)) {
+      return Status::IOError("checkpoint: truncated file " + path);
+    }
+    std::vector<Row>& rows = dataset.partition(p);
+    rows.reserve(nrows);
+    for (uint64_t r = 0; r < nrows; ++r) {
+      uint64_t ncells = 0;
+      if (!ReadU64(is, &ncells) || ncells > (1ull << 20)) {
+        return Status::IOError("checkpoint: truncated file " + path);
+      }
+      Row row;
+      row.reserve(ncells);
+      for (uint64_t c = 0; c < ncells; ++c) {
+        Value v;
+        if (!ReadValue(is, &v)) {
+          return Status::IOError("checkpoint: truncated file " + path);
+        }
+        row.push_back(std::move(v));
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+  return dataset;
+}
+
+CheckpointStore::CheckpointStore(std::string spill_dir)
+    : dir_(std::move(spill_dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    load_status_ =
+        Status::IOError("checkpoint: cannot create " + dir_ + ": " + ec.message());
+    return;
+  }
+  if (std::filesystem::exists(std::filesystem::path(dir_) / kManifestName)) {
+    load_status_ = LoadManifest();
+  }
+}
+
+Status CheckpointStore::SaveStage(
+    size_t index, const std::string& stage_name,
+    const std::vector<std::pair<std::string, const Dataset*>>& outputs,
+    std::vector<std::string> released) {
+  TIMR_RETURN_NOT_OK(load_status_);
+  if (index != records_.size()) {
+    return Status::Invalid("checkpoint: stage " + std::to_string(index) +
+                           " saved out of order (have " +
+                           std::to_string(records_.size()) + " records)");
+  }
+  Record rec;
+  rec.stage_name = stage_name;
+  rec.primary_rows = outputs.empty() ? 0 : outputs[0].second->TotalRows();
+  rec.released = std::move(released);
+  for (size_t j = 0; j < outputs.size(); ++j) {
+    const auto& [name, dataset] = outputs[j];
+    if (dir_.empty()) {
+      rec.outputs.emplace_back(name, *dataset);  // deep snapshot
+    } else {
+      if (name.find_first_of("\t\n") != std::string::npos) {
+        return Status::Invalid("checkpoint: dataset name not spillable: " + name);
+      }
+      const std::string file =
+          "stage" + std::to_string(index) + "_out" + std::to_string(j) + ".ds";
+      TIMR_RETURN_NOT_OK(WriteDatasetFile(
+          (std::filesystem::path(dir_) / file).string(), *dataset));
+      rec.spilled.emplace_back(name, file);
+    }
+  }
+  records_.push_back(std::move(rec));
+  if (!dir_.empty()) return WriteManifest();
+  return Status::OK();
+}
+
+Result<size_t> CheckpointStore::Restore(
+    const std::vector<std::string>& stage_names,
+    std::map<std::string, Dataset>* store) const {
+  TIMR_RETURN_NOT_OK(load_status_);
+  if (records_.size() > stage_names.size()) {
+    return Status::Invalid("checkpoint: holds " +
+                           std::to_string(records_.size()) +
+                           " stages but the job has only " +
+                           std::to_string(stage_names.size()));
+  }
+  for (size_t i = 0; i < records_.size(); ++i) {
+    if (records_[i].stage_name != stage_names[i]) {
+      return Status::Invalid("checkpoint: stage " + std::to_string(i) +
+                             " is '" + records_[i].stage_name +
+                             "' but the job expects '" + stage_names[i] +
+                             "' — checkpoint belongs to a different job");
+    }
+  }
+  // Replay in order: outputs inserted, consumed inputs re-released. This
+  // reproduces the exact store state after the last checkpointed stage.
+  for (const Record& rec : records_) {
+    for (const auto& [name, dataset] : rec.outputs) {
+      (*store)[name] = dataset;  // copy; the record stays reusable
+    }
+    for (const auto& [name, file] : rec.spilled) {
+      TIMR_ASSIGN_OR_RETURN(
+          (*store)[name],
+          ReadDatasetFile((std::filesystem::path(dir_) / file).string()));
+    }
+    for (const std::string& name : rec.released) {
+      auto it = store->find(name);
+      if (it == store->end()) {
+        return Status::KeyError(
+            "checkpoint resume: released dataset '" + name +
+            "' not in store — external inputs must be re-provided");
+      }
+      for (size_t p = 0; p < it->second.num_partitions(); ++p) {
+        std::vector<Row>().swap(it->second.partition(p));
+      }
+    }
+  }
+  return records_.size();
+}
+
+Status CheckpointStore::WriteManifest() const {
+  const auto tmp = std::filesystem::path(dir_) / (std::string(kManifestName) + ".tmp");
+  {
+    std::ofstream os(tmp, std::ios::trunc);
+    if (!os) return Status::IOError("checkpoint: cannot write manifest");
+    os << kManifestHeader << "\n";
+    for (size_t i = 0; i < records_.size(); ++i) {
+      const Record& rec = records_[i];
+      os << "stage\t" << i << "\t" << rec.stage_name << "\t"
+         << rec.primary_rows << "\n";
+      for (const auto& [name, file] : rec.spilled) {
+        os << "output\t" << name << "\t" << file << "\n";
+      }
+      for (const std::string& name : rec.released) {
+        os << "released\t" << name << "\n";
+      }
+      os << "end\n";
+    }
+    os.flush();
+    if (!os) return Status::IOError("checkpoint: manifest write failed");
+  }
+  // Atomic publish: a crash mid-checkpoint leaves the previous manifest.
+  std::error_code ec;
+  std::filesystem::rename(tmp, std::filesystem::path(dir_) / kManifestName, ec);
+  if (ec) return Status::IOError("checkpoint: manifest rename: " + ec.message());
+  return Status::OK();
+}
+
+Status CheckpointStore::LoadManifest() {
+  std::ifstream is(std::filesystem::path(dir_) / kManifestName);
+  if (!is) return Status::IOError("checkpoint: cannot read manifest in " + dir_);
+  std::string line;
+  if (!std::getline(is, line) || line != kManifestHeader) {
+    return Status::IOError("checkpoint: bad manifest header in " + dir_);
+  }
+  records_.clear();
+  Record rec;
+  bool open = false;
+  auto split = [](const std::string& s) {
+    std::vector<std::string> parts;
+    size_t start = 0;
+    while (true) {
+      size_t tab = s.find('\t', start);
+      if (tab == std::string::npos) {
+        parts.push_back(s.substr(start));
+        return parts;
+      }
+      parts.push_back(s.substr(start, tab - start));
+      start = tab + 1;
+    }
+  };
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> parts = split(line);
+    if (parts[0] == "stage" && parts.size() == 4) {
+      if (open) return Status::IOError("checkpoint: malformed manifest");
+      rec = Record{};
+      rec.stage_name = parts[2];
+      rec.primary_rows = static_cast<size_t>(std::stoull(parts[3]));
+      open = true;
+    } else if (parts[0] == "output" && parts.size() == 3 && open) {
+      rec.spilled.emplace_back(parts[1], parts[2]);
+    } else if (parts[0] == "released" && parts.size() == 2 && open) {
+      rec.released.push_back(parts[1]);
+    } else if (parts[0] == "end" && open) {
+      records_.push_back(std::move(rec));
+      open = false;
+    } else {
+      return Status::IOError("checkpoint: malformed manifest line: " + line);
+    }
+  }
+  if (open) return Status::IOError("checkpoint: truncated manifest");
+  return Status::OK();
+}
+
+}  // namespace timr::mr

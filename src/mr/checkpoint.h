@@ -1,0 +1,96 @@
+// Stage checkpoint/resume for LocalCluster jobs (paper §III-C.1).
+//
+// In the paper, every stage's output lives in the distributed store, so a job
+// that dies between stages restarts from the last completed stage for free.
+// Our in-process store dies with the driver; CheckpointStore stands in for the
+// durable layer: after each completed stage, RunJob/RunPlan snapshot the
+// datasets that stage wrote plus the names of the input datasets it *released*
+// (consumed, see MRStage::consumable_inputs). Resuming replays those records
+// in order — re-inserting outputs and re-releasing consumed inputs — which
+// reproduces the exact store state the job had after its last checkpoint, so
+// the resumed job provably produces bit-identical final output
+// (mr_cluster_test.cc chaos suite).
+//
+// Two storage modes:
+//  - in-memory (default): snapshots are deep copies held by this object;
+//    resume requires handing the same CheckpointStore to the next run.
+//  - spill directory: datasets are serialized to files under `spill_dir` with
+//    a manifest, and a *fresh* CheckpointStore constructed on that directory
+//    reloads the manifest — surviving actual driver death, not just a
+//    simulated one.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "mr/dataset.h"
+
+namespace timr::mr {
+
+class CheckpointStore {
+ public:
+  /// In-memory checkpoints.
+  CheckpointStore() = default;
+
+  /// Spill checkpoints to files under `spill_dir` (created if missing). If the
+  /// directory already holds a manifest from a previous run, its records are
+  /// loaded — construction *is* crash recovery. Load errors are deferred to
+  /// Restore so construction stays infallible.
+  explicit CheckpointStore(std::string spill_dir);
+
+  /// Number of leading stages checkpointed so far.
+  size_t num_stages() const { return records_.size(); }
+
+  const std::string& stage_name(size_t i) const {
+    return records_[i].stage_name;
+  }
+
+  /// Rows in stage i's primary output (for the stats of resumed stages).
+  size_t rows_out(size_t i) const { return records_[i].primary_rows; }
+
+  /// Record stage `index` (must be num_stages(): stages checkpoint in order).
+  /// `outputs` lists the datasets the stage wrote (primary output first,
+  /// quarantine if any); `released` names the input datasets it consumed.
+  Status SaveStage(size_t index, const std::string& stage_name,
+                   const std::vector<std::pair<std::string, const Dataset*>>& outputs,
+                   std::vector<std::string> released);
+
+  /// Replay every record into `store` (which must already hold the job's
+  /// external inputs): outputs are inserted, released datasets have their
+  /// partitions cleared. `stage_names` is the resuming job's stage list; the
+  /// records must be a prefix of it or the checkpoint is rejected as
+  /// belonging to a different job. Returns the number of leading stages
+  /// restored (the index the job should resume from).
+  Result<size_t> Restore(const std::vector<std::string>& stage_names,
+                         std::map<std::string, Dataset>* store) const;
+
+ private:
+  struct Record {
+    std::string stage_name;
+    size_t primary_rows = 0;
+    /// In-memory mode: the snapshots themselves. Spill mode: empty.
+    std::vector<std::pair<std::string, Dataset>> outputs;
+    /// Spill mode: (dataset name, file path) per output. In-memory: empty.
+    std::vector<std::pair<std::string, std::string>> spilled;
+    std::vector<std::string> released;
+  };
+
+  Status WriteManifest() const;
+  Status LoadManifest();
+
+  std::string dir_;           // empty = in-memory mode
+  Status load_status_;        // deferred manifest-load error (spill mode)
+  std::vector<Record> records_;
+};
+
+/// Serialize a dataset to `path` / read it back, bit-exactly (schema,
+/// partition shape, every cell). Host-endian binary — checkpoints are
+/// consumed by the machine that wrote them. Exposed for tests.
+Status WriteDatasetFile(const std::string& path, const Dataset& dataset);
+Result<Dataset> ReadDatasetFile(const std::string& path);
+
+}  // namespace timr::mr

@@ -4,9 +4,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
 #include <mutex>
 #include <queue>
 #include <sstream>
+#include <stdexcept>
 #include <thread>
 
 #include "common/logging.h"
@@ -51,11 +55,20 @@ double Makespan(const std::vector<double>& task_seconds, int machines) {
   return makespan;
 }
 
+std::string TaskLabel(const std::string& stage, int partition) {
+  return "stage " + stage + " partition " + std::to_string(partition);
+}
+
 }  // namespace
 
 std::string JobStats::ToString() const {
   std::ostringstream os;
   for (const auto& s : stages) {
+    if (s.recovered_from_checkpoint) {
+      os << s.name << ": recovered from checkpoint (out=" << s.rows_out
+         << ")\n";
+      continue;
+    }
     os << s.name << ": in=" << s.rows_in << " shuffled=" << s.rows_shuffled
        << " out=" << s.rows_out << " parts=" << s.partitions
        << " map=" << s.map_shuffle_seconds << "s sort=" << s.sort_seconds
@@ -63,7 +76,12 @@ std::string JobStats::ToString() const {
        << "s cpu_total=" << s.task_cpu_seconds_total
        << "s cpu_max=" << s.task_cpu_seconds_max
        << "s simulated=" << s.simulated_parallel_seconds << "s";
-    if (s.restarted_tasks > 0) os << " restarts=" << s.restarted_tasks;
+    if (s.retried_tasks > 0) os << " retries=" << s.retried_tasks;
+    if (s.speculative_tasks > 0) {
+      os << " speculative=" << s.speculative_tasks
+         << " spec_won=" << s.speculative_won;
+    }
+    if (s.quarantined_rows > 0) os << " quarantined=" << s.quarantined_rows;
     os << "\n";
   }
   return os.str();
@@ -104,18 +122,8 @@ Status LocalCluster::RunStage(const MRStage& stage,
     inputs.push_back(&it->second);
   }
 
-  // Consumable inputs (see stage.h): rows may be moved out of them. A name
-  // that appears twice among the inputs is read through two indices, so it is
-  // never consumed.
-  std::vector<bool> consumable(inputs.size(), false);
-  for (int idx : stage.consumable_inputs) {
-    if (idx < 0 || idx >= static_cast<int>(inputs.size())) continue;
-    int name_uses = 0;
-    for (const auto& name : stage.inputs) {
-      if (name == stage.inputs[idx]) ++name_uses;
-    }
-    if (name_uses == 1) consumable[idx] = true;
-  }
+  // Consumable inputs (see stage.h): rows may be moved out of them.
+  const std::vector<bool> consumable = ConsumableInputFlags(stage);
 
   // --- Phase 1: parallel map + partition. ---
   // Each (input, source partition) is split into morsels; a morsel routes its
@@ -143,44 +151,69 @@ Status LocalCluster::RunStage(const MRStage& stage,
     }
   }
 
+  const bool quarantine = fault_.quarantine_inputs;
   struct MorselOut {
     std::vector<std::vector<Row>> buckets;  // per destination partition
+    std::vector<Row> quarantined;  // [input_idx, cells...] poison rows
+    Status first_bad;              // first schema violation, for diagnostics
     size_t rows_in = 0;
     size_t rows_shuffled = 0;
     Status status;
   };
   std::vector<MorselOut> mouts(morsels.size());
   std::atomic<bool> map_failed{false};
-  impl_->pool.ParallelFor(morsels.size(), [&](size_t m) {
-    const Morsel& mo = morsels[m];
-    MorselOut& out = mouts[m];
-    out.buckets.resize(parts);
-    std::vector<Row>& src = inputs[mo.input]->partition(mo.src_part);
-    const bool may_move = consumable[mo.input];
-    std::vector<int> targets;
-    for (size_t r = mo.begin; r < mo.end; ++r) {
-      if (map_failed.load(std::memory_order_relaxed)) return;
-      Row& row = src[r];
-      ++out.rows_in;
-      targets.clear();
-      stage.partition_fn(static_cast<int>(mo.input), row, parts, &targets);
-      for (int t : targets) {
-        if (t < 0 || t >= parts) {
-          out.status = Status::ExecutionError("partitioner produced target " +
-                                              std::to_string(t) +
-                                              " out of range");
-          map_failed.store(true, std::memory_order_relaxed);
-          return;
+  try {
+    impl_->pool.ParallelFor(morsels.size(), [&](size_t m) {
+      const Morsel& mo = morsels[m];
+      MorselOut& out = mouts[m];
+      out.buckets.resize(parts);
+      std::vector<Row>& src = inputs[mo.input]->partition(mo.src_part);
+      const Schema& src_schema = inputs[mo.input]->schema();
+      const bool may_move = consumable[mo.input];
+      std::vector<int> targets;
+      for (size_t r = mo.begin; r < mo.end; ++r) {
+        if (map_failed.load(std::memory_order_relaxed)) return;
+        Row& row = src[r];
+        ++out.rows_in;
+        if (quarantine) {
+          Status vs = ValidateRowSchema(src_schema, row);
+          if (!vs.ok()) {
+            if (out.first_bad.ok()) out.first_bad = std::move(vs);
+            Row q;
+            q.reserve(row.size() + 1);
+            q.push_back(Value(static_cast<int64_t>(mo.input)));
+            for (Value& v : row) {
+              q.push_back(may_move ? std::move(v) : v);
+            }
+            out.quarantined.push_back(std::move(q));
+            continue;
+          }
+        }
+        targets.clear();
+        stage.partition_fn(static_cast<int>(mo.input), row, parts, &targets);
+        for (int t : targets) {
+          if (t < 0 || t >= parts) {
+            out.status = Status::ExecutionError("partitioner produced target " +
+                                                std::to_string(t) +
+                                                " out of range");
+            map_failed.store(true, std::memory_order_relaxed);
+            return;
+          }
+        }
+        out.rows_shuffled += targets.size();
+        if (targets.size() == 1 && may_move) {
+          out.buckets[targets[0]].push_back(std::move(row));
+        } else {
+          for (int t : targets) out.buckets[t].push_back(row);
         }
       }
-      out.rows_shuffled += targets.size();
-      if (targets.size() == 1 && may_move) {
-        out.buckets[targets[0]].push_back(std::move(row));
-      } else {
-        for (int t : targets) out.buckets[t].push_back(row);
-      }
-    }
-  });
+    });
+  } catch (const std::exception& e) {
+    // Partitioners are framework-supplied today, but contain UDO-shaped code
+    // the same way reducers do: an escaped exception becomes a Status.
+    return Status::ExecutionError("stage " + stage.name +
+                                  ": map phase threw: " + e.what());
+  }
   for (const MorselOut& out : mouts) {
     // First error in morsel order, for a deterministic message.
     TIMR_RETURN_NOT_OK(out.status);
@@ -188,6 +221,40 @@ Status LocalCluster::RunStage(const MRStage& stage,
   for (const MorselOut& out : mouts) {
     stats->rows_in += out.rows_in;
     stats->rows_shuffled += out.rows_shuffled;
+    stats->quarantined_rows += out.quarantined.size();
+  }
+  // Poison-row budget: a trickle of bad rows is diverted, a flood means the
+  // input itself is wrong and the stage must not silently drop it.
+  if (stats->quarantined_rows > 0) {
+    const double rate = static_cast<double>(stats->quarantined_rows) /
+                        static_cast<double>(stats->rows_in);
+    if (rate > fault_.max_input_error_rate) {
+      Status first;
+      for (const MorselOut& out : mouts) {
+        if (!out.first_bad.ok()) {
+          first = out.first_bad;
+          break;
+        }
+      }
+      std::ostringstream os;
+      os << "stage " << stage.name << ": " << stats->quarantined_rows << " of "
+         << stats->rows_in << " input rows (" << rate * 100
+         << "%) failed schema validation, exceeding max_input_error_rate="
+         << fault_.max_input_error_rate << "; first error: " << first.message();
+      return Status::DataError(os.str());
+    }
+  }
+  Dataset quarantine_out;
+  if (quarantine) {
+    std::vector<Row> qrows;
+    qrows.reserve(stats->quarantined_rows);
+    for (MorselOut& out : mouts) {
+      // Morsel order is source order, so the quarantine dataset is
+      // deterministic for any thread count like every other output.
+      for (Row& q : out.quarantined) qrows.push_back(std::move(q));
+      out.quarantined.clear();
+    }
+    quarantine_out = Dataset::FromRows(QuarantineSchema(), std::move(qrows));
   }
   // Release consumed inputs: their rows are either moved into the shuffle or
   // copied there, and the stage owns the only remaining reference.
@@ -205,83 +272,364 @@ Status LocalCluster::RunStage(const MRStage& stage,
   Stopwatch sort_watch;
   std::vector<std::vector<std::vector<Row>>> buckets(
       parts, std::vector<std::vector<Row>>(inputs.size()));
-  impl_->pool.ParallelFor(
-      static_cast<size_t>(parts) * inputs.size(), [&](size_t task) {
-        const size_t p = task / inputs.size();
-        const size_t i = task % inputs.size();
-        std::vector<Row>& dst = buckets[p][i];
-        size_t total = 0;
-        for (size_t m = 0; m < morsels.size(); ++m) {
-          if (morsels[m].input == i) total += mouts[m].buckets[p].size();
-        }
-        dst.reserve(total);
-        for (size_t m = 0; m < morsels.size(); ++m) {
-          if (morsels[m].input != i) continue;
-          std::vector<Row>& src = mouts[m].buckets[p];
-          dst.insert(dst.end(), std::make_move_iterator(src.begin()),
-                     std::make_move_iterator(src.end()));
-          std::vector<Row>().swap(src);
-        }
-        std::sort(dst.begin(), dst.end(), RowTimeLess);
-      });
+  try {
+    impl_->pool.ParallelFor(
+        static_cast<size_t>(parts) * inputs.size(), [&](size_t task) {
+          const size_t p = task / inputs.size();
+          const size_t i = task % inputs.size();
+          std::vector<Row>& dst = buckets[p][i];
+          size_t total = 0;
+          for (size_t m = 0; m < morsels.size(); ++m) {
+            if (morsels[m].input == i) total += mouts[m].buckets[p].size();
+          }
+          dst.reserve(total);
+          for (size_t m = 0; m < morsels.size(); ++m) {
+            if (morsels[m].input != i) continue;
+            std::vector<Row>& src = mouts[m].buckets[p];
+            dst.insert(dst.end(), std::make_move_iterator(src.begin()),
+                       std::make_move_iterator(src.end()));
+            std::vector<Row>().swap(src);
+          }
+          std::sort(dst.begin(), dst.end(), RowTimeLess);
+        });
+  } catch (const std::exception& e) {
+    // Reached e.g. when a row's Time cell is not int64 (std::bad_variant_access
+    // in the sort comparator) and quarantine_inputs was off to catch it
+    // upstream.
+    return Status::ExecutionError(
+        "stage " + stage.name + ": shuffle sort threw: " + e.what() +
+        " (malformed rows? FaultToleranceOptions::quarantine_inputs diverts "
+        "them)");
+  }
   mouts.clear();
   stats->sort_seconds = sort_watch.ElapsedSeconds();
 
-  // --- Phase 3: parallel reduce, one task per partition. ---
+  // --- Phase 3: fault-handling reduce, one task per partition. ---
+  //
+  // Each partition runs as a sequence of *attempts*. An attempt that throws
+  // or returns an error discards its output and is retried, up to
+  // max_task_attempts; exhausting the budget fails the stage with a
+  // structured kTaskFailed naming stage/partition/attempts. With speculative
+  // execution on, the caller thread doubles as a straggler monitor: an
+  // attempt running much longer than the median completed attempt gets a
+  // backup, the first finisher wins, and both outputs are compared when both
+  // complete — the paper's §III-C.1 repeatability claim as a runtime check.
+  // An installed FaultInjector is probed at the start of every attempt and
+  // can make the attempt crash, error, stall, lose output, or read a
+  // corrupted row.
   Stopwatch reduce_watch;
   Dataset output(stage.output_schema, parts);
-  std::vector<double> task_seconds(parts, 0.0);
-  std::vector<int> restarts(parts, 0);
-  std::vector<Status> task_status(parts);
+  const int max_attempts = std::max(1, fault_.max_task_attempts);
+  const bool speculate = fault_.speculative_execution;
 
-  impl_->pool.ParallelFor(static_cast<size_t>(parts), [&](size_t p) {
-    while (true) {
-      std::vector<Row> out_rows;
-      const double cpu0 = ThreadCpuSeconds();
-      Status st = stage.reducer(static_cast<int>(p), buckets[p], &out_rows);
-      task_seconds[p] += ThreadCpuSeconds() - cpu0;
-      if (!st.ok()) {
-        task_status[p] = std::move(st);
-        return;
-      }
-      // Simulated task failure: discard this attempt's output and restart,
-      // exactly as M-R handles a lost reducer (paper §III-C.1).
-      if (injector_ != nullptr &&
-          injector_->ShouldFail(stage.name, static_cast<int>(p))) {
-        restarts[p]++;
-        continue;
-      }
-      output.partition(p) = std::move(out_rows);
-      return;
+  struct TaskState {
+    std::mutex mu;
+    int attempts_started = 0;  // speculative backups included
+    int failed_attempts = 0;
+    int retried = 0;           // failed attempts that were re-run
+    int speculative = 0;       // backup attempts launched
+    bool accepted = false;     // an attempt's output has been accepted
+    bool won_by_backup = false;
+    bool backup_launched = false;
+    bool done = false;         // terminal: accepted or failed for good
+    int running = 0;           // attempts submitted and not yet finished
+    int executing = 0;         // attempts currently on a worker thread
+    std::chrono::steady_clock::time_point attempt_start{};
+    std::vector<Row> out_rows;
+    Status terminal_error;     // set on exhaustion / determinism violation
+    double cpu_seconds = 0;
+  };
+  std::vector<std::unique_ptr<TaskState>> tasks;
+  tasks.reserve(parts);
+  for (int p = 0; p < parts; ++p) tasks.push_back(std::make_unique<TaskState>());
+
+  std::atomic<int> outstanding{parts};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  std::mutex walls_mu;
+  std::vector<double> completed_walls;  // wall time of successful attempts
+
+  std::function<void(int, int, bool)> run_attempt;
+
+  // Launch one more attempt for partition p. Caller holds tasks[p]->mu.
+  auto launch = [&](int p, bool is_backup) {
+    TaskState& t = *tasks[p];
+    const int attempt = t.attempts_started++;
+    t.running++;
+    if (is_backup) {
+      t.backup_launched = true;
+      t.speculative++;
     }
-  });
-  for (const Status& st : task_status) {
-    // First error in partition order, for a deterministic message.
-    TIMR_RETURN_NOT_OK(st);
-  }
-  stats->reduce_seconds = reduce_watch.ElapsedSeconds();
+    impl_->pool.Submit(
+        [&run_attempt, p, attempt, is_backup] { run_attempt(p, attempt, is_backup); });
+  };
+
+  auto signal_done = [&] {
+    outstanding.fetch_sub(1, std::memory_order_acq_rel);
+    std::lock_guard<std::mutex> g(done_mu);
+    done_cv.notify_all();
+  };
+
+  run_attempt = [&](int p, int attempt, bool is_backup) {
+    TaskState& t = *tasks[p];
+    {
+      std::lock_guard<std::mutex> lock(t.mu);
+      t.executing++;
+      t.attempt_start = std::chrono::steady_clock::now();
+    }
+    Fault fault;
+    if (injector_ != nullptr) {
+      fault = injector_->OnReduceAttempt(stage.name, p, attempt, max_attempts);
+    }
+    Stopwatch attempt_wall;
+    const double cpu0 = ThreadCpuSeconds();
+    Status st;
+    std::vector<Row> out_rows;
+    // Task boundary: nothing a reducer does — throw, error, stall, emit and
+    // lose output — escapes this block as anything but a Status.
+    try {
+      switch (fault.kind) {
+        case FaultKind::kTransientError:
+          st = Status::ExecutionError("injected transient error");
+          break;
+        case FaultKind::kCrash:
+          throw std::runtime_error("injected task crash");
+        case FaultKind::kCorruptInput: {
+          // A corrupted read of one shuffle row for this attempt only: the
+          // schema/decode check guarding reducer input (the same check the
+          // quarantine uses) rejects it and the attempt fails; the retry
+          // re-reads the intact shuffle data.
+          Status check;
+          for (size_t i = 0; i < buckets[p].size() && check.ok(); ++i) {
+            if (buckets[p][i].empty()) continue;
+            Row corrupt = buckets[p][i].front();
+            corrupt.push_back(Value(int64_t{0}));  // arity mismatch
+            check = ValidateRowSchema(inputs[i]->schema(), corrupt);
+          }
+          if (check.ok()) {
+            // Nothing to corrupt (empty partition): attempt runs clean.
+            st = stage.reducer(p, buckets[p], &out_rows);
+          } else {
+            st = Status::DataError("injected corrupt input read: " +
+                                   check.message());
+          }
+          break;
+        }
+        default: {
+          if (fault.kind == FaultKind::kStraggler) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(fault.straggler_seconds));
+          }
+          st = stage.reducer(p, buckets[p], &out_rows);
+          if (st.ok() && fault.kind == FaultKind::kPartialOutput) {
+            const size_t emitted = out_rows.size() / 2;
+            st = Status::ExecutionError(
+                "injected abort mid-output after emitting " +
+                std::to_string(emitted) + " of " +
+                std::to_string(out_rows.size()) + " rows");
+          } else if (st.ok() && fault.kind == FaultKind::kDiscardOutput) {
+            st = Status::ExecutionError("injected output loss after completion");
+          }
+          break;
+        }
+      }
+    } catch (const std::exception& e) {
+      st = Status::ExecutionError(TaskLabel(stage.name, p) + " attempt " +
+                                  std::to_string(attempt) +
+                                  ": reducer threw: " + e.what());
+    } catch (...) {
+      st = Status::ExecutionError(TaskLabel(stage.name, p) + " attempt " +
+                                  std::to_string(attempt) +
+                                  ": reducer threw a non-standard exception");
+    }
+    if (!st.ok()) out_rows.clear();  // per-attempt output discard
+    const double cpu = ThreadCpuSeconds() - cpu0;
+    const double wall_s = attempt_wall.ElapsedSeconds();
+    if (st.ok()) {
+      std::lock_guard<std::mutex> wl(walls_mu);
+      completed_walls.push_back(wall_s);
+    }
+    bool terminal = false;
+    {
+      std::lock_guard<std::mutex> lock(t.mu);
+      t.cpu_seconds += cpu;
+      t.executing--;
+      t.running--;
+      if (st.ok()) {
+        if (!t.accepted) {
+          // First finisher wins (primary or backup alike).
+          t.accepted = true;
+          t.out_rows = std::move(out_rows);
+          t.won_by_backup = is_backup;
+        } else if (fault_.verify_speculative_outputs &&
+                   t.terminal_error.ok() && out_rows != t.out_rows) {
+          t.terminal_error = Status::ExecutionError(
+              TaskLabel(stage.name, p) +
+              ": determinism violation: speculative and primary attempts "
+              "produced different outputs (" +
+              std::to_string(out_rows.size()) + " vs " +
+              std::to_string(t.out_rows.size()) +
+              " rows); §III-C.1 requires re-executed tasks to be repeatable");
+        }
+      } else {
+        t.failed_attempts++;
+        if (!t.accepted) {
+          if (t.attempts_started < max_attempts) {
+            t.retried++;
+            launch(p, /*is_backup=*/false);
+          } else if (t.running == 0) {
+            t.terminal_error = Status::TaskFailed(
+                TaskLabel(stage.name, p) + ": task failed after " +
+                std::to_string(t.attempts_started) +
+                " attempts; last error: " + st.ToString());
+          }
+          // else: a twin attempt is still in flight; it decides the outcome.
+        }
+      }
+      if (!t.done && t.running == 0 &&
+          (t.accepted || !t.terminal_error.ok())) {
+        t.done = true;
+        terminal = true;
+      }
+    }
+    if (terminal) signal_done();
+  };
 
   for (int p = 0; p < parts; ++p) {
-    stats->rows_out += output.partition(p).size();
-    stats->task_cpu_seconds_total += task_seconds[p];
+    std::lock_guard<std::mutex> lock(tasks[p]->mu);
+    launch(p, /*is_backup=*/false);
+  }
+
+  if (!speculate) {
+    std::unique_lock<std::mutex> lk(done_mu);
+    done_cv.wait(lk, [&] {
+      return outstanding.load(std::memory_order_acquire) <= 0;
+    });
+  } else {
+    // The caller thread is the straggler monitor: wake periodically, compute
+    // the median completed-attempt wall time, and give any attempt running
+    // past max(min_straggler_seconds, straggler_factor * median) a backup.
+    // The poll interval scales with the detection floor so an idle monitor
+    // costs nothing measurable: detection latency of ~threshold/8 is
+    // invisible next to the straggler itself.
+    const auto poll = std::chrono::milliseconds(std::clamp(
+        static_cast<long>(fault_.min_straggler_seconds * 1000.0 / 8.0), 2L,
+        100L));
+    std::unique_lock<std::mutex> lk(done_mu);
+    while (outstanding.load(std::memory_order_acquire) > 0) {
+      done_cv.wait_for(lk, poll);
+      if (outstanding.load(std::memory_order_acquire) <= 0) break;
+      double median = 0;
+      size_t completed = 0;
+      {
+        std::lock_guard<std::mutex> wl(walls_mu);
+        completed = completed_walls.size();
+        if (completed > 0) {
+          std::vector<double> w = completed_walls;
+          std::nth_element(w.begin(), w.begin() + w.size() / 2, w.end());
+          median = w[w.size() / 2];
+        }
+      }
+      if (completed == 0) continue;  // no baseline to call a straggler against
+      const double threshold = std::max(fault_.min_straggler_seconds,
+                                        fault_.straggler_factor * median);
+      const auto now = std::chrono::steady_clock::now();
+      for (int p = 0; p < parts; ++p) {
+        TaskState& t = *tasks[p];
+        std::lock_guard<std::mutex> lock(t.mu);
+        if (t.done || t.accepted || t.backup_launched || t.executing == 0 ||
+            t.attempts_started >= max_attempts) {
+          continue;
+        }
+        const double elapsed =
+            std::chrono::duration<double>(now - t.attempt_start).count();
+        if (elapsed > threshold) launch(p, /*is_backup=*/true);
+      }
+    }
+  }
+  // All partitions are terminal; drain the pool so every attempt closure has
+  // fully unwound before the state it references goes out of scope.
+  impl_->pool.WaitIdle();
+  stats->reduce_seconds = reduce_watch.ElapsedSeconds();
+
+  std::vector<double> task_seconds(parts, 0.0);
+  for (int p = 0; p < parts; ++p) {
+    TaskState& t = *tasks[p];
+    stats->task_attempts += t.attempts_started;
+    stats->retried_tasks += t.retried;
+    stats->speculative_tasks += t.speculative;
+    if (t.won_by_backup) stats->speculative_won++;
+    task_seconds[p] = t.cpu_seconds;
+    stats->task_cpu_seconds_total += t.cpu_seconds;
     stats->task_cpu_seconds_max =
-        std::max(stats->task_cpu_seconds_max, task_seconds[p]);
-    stats->restarted_tasks += restarts[p];
+        std::max(stats->task_cpu_seconds_max, t.cpu_seconds);
+  }
+  for (int p = 0; p < parts; ++p) {
+    // First error in partition order, for a deterministic message. Nothing is
+    // added to the store on failure — no partial output survives.
+    TIMR_RETURN_NOT_OK(tasks[p]->terminal_error);
+  }
+  for (int p = 0; p < parts; ++p) {
+    output.partition(p) = std::move(tasks[p]->out_rows);
+    stats->rows_out += output.partition(p).size();
   }
   stats->simulated_parallel_seconds = Makespan(task_seconds, num_machines_);
   stats->wall_seconds = wall.ElapsedSeconds();
 
   (*store)[stage.output] = std::move(output);
+  if (quarantine) {
+    (*store)[QuarantineDatasetName(stage.name)] = std::move(quarantine_out);
+  }
   return Status::OK();
 }
 
 Result<JobStats> LocalCluster::RunJob(const std::vector<MRStage>& stages,
                                       std::map<std::string, Dataset>* store) {
+  return RunJob(stages, store, JobOptions{});
+}
+
+Result<JobStats> LocalCluster::RunJob(const std::vector<MRStage>& stages,
+                                      std::map<std::string, Dataset>* store,
+                                      const JobOptions& options) {
   JobStats job;
-  for (const MRStage& stage : stages) {
+  size_t resume_from = 0;
+  if (options.checkpoint != nullptr) {
+    std::vector<std::string> names;
+    names.reserve(stages.size());
+    for (const MRStage& s : stages) names.push_back(s.name);
+    TIMR_ASSIGN_OR_RETURN(resume_from, options.checkpoint->Restore(names, store));
+    for (size_t i = 0; i < resume_from; ++i) {
+      StageStats stats;
+      stats.name = stages[i].name;
+      stats.partitions =
+          stages[i].num_partitions > 0 ? stages[i].num_partitions : num_machines_;
+      stats.rows_out = options.checkpoint->rows_out(i);
+      stats.recovered_from_checkpoint = true;
+      job.stages.push_back(std::move(stats));
+    }
+  }
+  for (size_t i = resume_from; i < stages.size(); ++i) {
+    const MRStage& stage = stages[i];
     StageStats stats;
     TIMR_RETURN_NOT_OK(RunStage(stage, store, &stats));
     job.stages.push_back(std::move(stats));
+    if (options.checkpoint != nullptr) {
+      std::vector<std::pair<std::string, const Dataset*>> outputs;
+      outputs.emplace_back(stage.output, &store->at(stage.output));
+      if (fault_.quarantine_inputs) {
+        const std::string qname = QuarantineDatasetName(stage.name);
+        outputs.emplace_back(qname, &store->at(qname));
+      }
+      TIMR_RETURN_NOT_OK(options.checkpoint->SaveStage(
+          i, stage.name, outputs, ConsumedInputNames(stage)));
+    }
+    if (options.chaos_kill_after_stages >= 0 &&
+        static_cast<int>(i) + 1 >= options.chaos_kill_after_stages) {
+      return Status::ExecutionError(
+          "chaos kill: simulated driver death after stage " + stage.name +
+          " (" + std::to_string(i + 1) + " of " +
+          std::to_string(stages.size()) + " stages completed)");
+    }
   }
   return job;
 }

@@ -13,12 +13,18 @@
 //  1. map/partition — source partitions are split into morsels, each routed
 //     into morsel-local per-destination buckets (no shared state), with rows
 //     *moved* instead of copied when the partitioner emits a single target
-//     and the stage marks the input consumable (MRStage::consumable_inputs);
+//     and the stage marks the input consumable (MRStage::consumable_inputs).
+//     With quarantine enabled (FaultToleranceOptions::quarantine_inputs),
+//     rows failing schema checks are diverted to `<stage>.quarantine`;
 //  2. merge + sort — morsel buckets are concatenated per (partition, input)
 //     in morsel order and sorted as independent pool tasks. The sort order is
 //     a canonical total order, so reducer input — and therefore every stage
 //     output — is byte-identical for any thread count;
-//  3. reduce — one task per partition, with failure injection and restart.
+//  3. reduce — the fault-handling task scheduler (see fault.h): exceptions
+//     are contained at the task boundary, failed attempts are retried up to
+//     max_task_attempts with per-attempt output discard, stragglers can get
+//     speculative backups whose outputs are byte-compared against the
+//     primary's, and injected faults (FaultInjector) exercise all of it.
 //
 // Because this host has few cores while the paper's cluster had ~150
 // machines, every task's CPU time is measured (CLOCK_THREAD_CPUTIME_ID) and a
@@ -30,13 +36,13 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
-#include <set>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "mr/checkpoint.h"
 #include "mr/dataset.h"
+#include "mr/fault.h"
 #include "mr/stage.h"
 
 namespace timr::mr {
@@ -46,17 +52,28 @@ struct StageStats {
   size_t rows_in = 0;
   size_t rows_shuffled = 0;  // includes replication by the partitioner
   size_t rows_out = 0;
+  size_t quarantined_rows = 0;  // diverted to <stage>.quarantine
   int partitions = 0;
   double wall_seconds = 0;            // actual elapsed on this host
   // Per-phase wall time (sums to ~wall_seconds); lets benches attribute a
   // stage's cost to routing, sorting, or the reducers.
   double map_shuffle_seconds = 0;     // phase 1: parallel map + routing
   double sort_seconds = 0;            // phase 2: parallel merge + sort
-  double reduce_seconds = 0;          // phase 3: parallel reduce
-  double task_cpu_seconds_total = 0;  // sum over reducer tasks
+  double reduce_seconds = 0;          // phase 3: fault-handling reduce
+  double task_cpu_seconds_total = 0;  // sum over reducer attempts
   double task_cpu_seconds_max = 0;    // slowest single reducer task
   double simulated_parallel_seconds = 0;  // modeled makespan on the cluster
-  int restarted_tasks = 0;
+  // Fault-handling counters (fault.h). task_attempts counts every reducer
+  // attempt; retried_tasks counts failed/discarded attempts that the retry
+  // policy re-ran; speculative_tasks counts backup attempts launched for
+  // stragglers, speculative_won those that finished before their primary.
+  int task_attempts = 0;
+  int retried_tasks = 0;
+  int speculative_tasks = 0;
+  int speculative_won = 0;
+  // True for stages not executed because their output was restored from a
+  // CheckpointStore (row/time stats then reflect the checkpoint, not a run).
+  bool recovered_from_checkpoint = false;
 };
 
 struct JobStats {
@@ -75,31 +92,17 @@ struct JobStats {
   std::string ToString() const;
 };
 
-/// Injects one failure per marked (stage, partition): the first attempt's
-/// output is discarded and the task restarted, as M-R failure handling does.
-/// Tests use this to verify the repeatability guarantee. Thread-safe: reduce
-/// tasks probe it concurrently from the pool.
-class FailureInjector {
- public:
-  void FailOnce(const std::string& stage, int partition) {
-    std::lock_guard<std::mutex> lock(mu_);
-    pending_.insert({stage, partition});
-  }
+/// Job-level execution options (stage-level knobs live in
+/// FaultToleranceOptions, installed via LocalCluster::set_fault_tolerance).
+struct JobOptions {
+  /// When set, each completed stage's outputs are checkpointed here and the
+  /// job resumes past the longest already-checkpointed prefix (the store must
+  /// hold the job's external inputs again on resume).
+  CheckpointStore* checkpoint = nullptr;
 
-  /// True exactly once per marked task.
-  bool ShouldFail(const std::string& stage, int partition) {
-    std::lock_guard<std::mutex> lock(mu_);
-    return pending_.erase({stage, partition}) > 0;
-  }
-
-  bool empty() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return pending_.empty();
-  }
-
- private:
-  mutable std::mutex mu_;
-  std::set<std::pair<std::string, int>> pending_;
+  /// Chaos hook: simulate driver death after this many completed (and
+  /// checkpointed) stages — RunJob returns kExecutionError. -1 = never.
+  int chaos_kill_after_stages = -1;
 };
 
 class LocalCluster {
@@ -111,10 +114,24 @@ class LocalCluster {
 
   int num_machines() const { return num_machines_; }
 
-  void set_failure_injector(FailureInjector* injector) { injector_ = injector; }
+  /// Install a fault source probed at every reduce attempt (fault.h);
+  /// nullptr disables injection. Not owned.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  /// Back-compat spelling for the scripted one-shot injector.
+  void set_failure_injector(FailureInjector* injector) {
+    set_fault_injector(injector);
+  }
+
+  /// Retry / speculation / quarantine policy for subsequent RunStage calls.
+  void set_fault_tolerance(const FaultToleranceOptions& options) {
+    fault_ = options;
+  }
+  const FaultToleranceOptions& fault_tolerance() const { return fault_; }
 
   /// Run one stage against the named datasets; adds the output under
-  /// stage.output and records stats.
+  /// stage.output (and `<stage>.quarantine` when quarantine is enabled) and
+  /// records stats. On failure nothing is added to the store, though inputs
+  /// consumed by the map phase may already have been released.
   Status RunStage(const MRStage& stage, std::map<std::string, Dataset>* store,
                   StageStats* stats);
 
@@ -122,12 +139,16 @@ class LocalCluster {
   /// inputs); intermediate and final outputs are added to the store.
   Result<JobStats> RunJob(const std::vector<MRStage>& stages,
                           std::map<std::string, Dataset>* store);
+  Result<JobStats> RunJob(const std::vector<MRStage>& stages,
+                          std::map<std::string, Dataset>* store,
+                          const JobOptions& options);
 
  private:
   int num_machines_;
   class Impl;
   std::unique_ptr<Impl> impl_;
-  FailureInjector* injector_ = nullptr;
+  FaultInjector* injector_ = nullptr;
+  FaultToleranceOptions fault_;
 };
 
 }  // namespace timr::mr

@@ -1,0 +1,84 @@
+#include "mr/fault.h"
+
+#include "common/hash.h"
+#include "common/rng.h"
+
+namespace timr::mr {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kTransientError: return "transient-error";
+    case FaultKind::kPartialOutput: return "partial-output";
+    case FaultKind::kDiscardOutput: return "discard-output";
+    case FaultKind::kStraggler: return "straggler";
+    case FaultKind::kCorruptInput: return "corrupt-input";
+  }
+  return "unknown";
+}
+
+FaultPlan FaultPlan::AllKinds(uint64_t seed, double p,
+                              double straggler_seconds) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.crash_probability = p;
+  plan.transient_error_probability = p;
+  plan.partial_output_probability = p;
+  plan.discard_output_probability = p;
+  plan.straggler_probability = p;
+  plan.corrupt_input_probability = p;
+  plan.straggler_seconds = straggler_seconds;
+  return plan;
+}
+
+Fault ChaosInjector::OnReduceAttempt(const std::string& stage, int partition,
+                                     int attempt, int max_attempts) {
+  if (plan_.spare_last_attempt && attempt >= max_attempts - 1) return Fault{};
+  // The draw is a pure function of (seed, stage, partition, attempt): thread
+  // interleaving, speculative scheduling, and wall clock never change which
+  // attempt gets which fault.
+  uint64_t h = HashCombine(plan_.seed, HashBytes(stage.data(), stage.size()));
+  h = HashCombine(h, static_cast<uint64_t>(partition));
+  h = HashCombine(h, static_cast<uint64_t>(attempt));
+  Rng rng(h);
+  const double u = rng.UniformDouble();
+
+  Fault fault;
+  double cum = 0;
+  const std::pair<FaultKind, double> table[] = {
+      {FaultKind::kCrash, plan_.crash_probability},
+      {FaultKind::kTransientError, plan_.transient_error_probability},
+      {FaultKind::kPartialOutput, plan_.partial_output_probability},
+      {FaultKind::kDiscardOutput, plan_.discard_output_probability},
+      {FaultKind::kStraggler, plan_.straggler_probability},
+      {FaultKind::kCorruptInput, plan_.corrupt_input_probability},
+  };
+  for (const auto& [kind, p] : table) {
+    cum += p;
+    if (u < cum) {
+      fault.kind = kind;
+      break;
+    }
+  }
+  if (fault.kind == FaultKind::kStraggler) {
+    fault.straggler_seconds = plan_.straggler_seconds;
+  }
+  if (fault.kind != FaultKind::kNone) {
+    counts_[static_cast<size_t>(fault.kind)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  return fault;
+}
+
+int ChaosInjector::total_injected() const {
+  int total = 0;
+  for (const auto& c : counts_) total += c.load(std::memory_order_relaxed);
+  return total;
+}
+
+Schema QuarantineSchema() {
+  return Schema::Of({{"Input", ValueType::kInt64}});
+}
+
+}  // namespace timr::mr

@@ -1,0 +1,220 @@
+// Fault model for the LocalCluster (paper §III-C.1).
+//
+// The paper inherits fault tolerance from Cosmos/Dryad: a failed reducer task
+// is simply re-executed, and §III-C.1 argues this is *safe* for TiMR because
+// shuffle output is persisted and canonically sorted, and the temporal algebra
+// is deterministic — a restarted task reproduces its output byte for byte.
+// This header supplies the machinery that turns that argument into enforced,
+// chaos-tested behavior:
+//
+//  - FaultKind / Fault: the kinds of task misbehavior the runtime must absorb
+//    (crash, transient error, partial output, lost output, straggler,
+//    corrupted input read);
+//  - FaultInjector: the pluggable fault source the cluster probes at every
+//    reduce attempt. FailureInjector (scripted one-shot discard, the original
+//    test hook) and ScriptedFaultInjector (scripted per-attempt faults) cover
+//    targeted tests; ChaosInjector draws faults from a seeded PRNG keyed on
+//    (stage, partition, attempt), so a chaos run is fully replayable;
+//  - FaultToleranceOptions: the retry / speculative-execution / quarantine
+//    knobs of the cluster's task-execution path (cluster.cc).
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <tuple>
+#include <utility>
+
+#include "common/row.h"
+#include "common/status.h"
+
+namespace timr::mr {
+
+enum class FaultKind : uint8_t {
+  kNone = 0,
+  kCrash,           // the task throws an exception mid-execution
+  kTransientError,  // the task fails with a transient Status error
+  kPartialOutput,   // the task aborts after emitting part of its output
+  kDiscardOutput,   // the task completes but its output is lost (machine loss
+                    // after completion — the original FailureInjector::FailOnce)
+  kStraggler,       // the task stalls; what speculative execution exists for
+  kCorruptInput,    // one input row is corrupted for this attempt only (a bad
+                    // read, caught by the same schema check as quarantine)
+};
+
+const char* FaultKindName(FaultKind kind);
+
+struct Fault {
+  FaultKind kind = FaultKind::kNone;
+  double straggler_seconds = 0;  // kStraggler: how long the task stalls
+};
+
+/// Pluggable fault source, probed at the start of every reduce attempt.
+/// Implementations must be thread-safe (attempts probe concurrently from the
+/// pool) and should be deterministic in (stage, partition, attempt) so fault
+/// runs are replayable.
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+
+  /// Fault to apply to this attempt (kNone = run clean). `attempt` counts
+  /// from 0 per (stage, partition) and includes speculative backups;
+  /// `max_attempts` is the retry bound the cluster enforces.
+  virtual Fault OnReduceAttempt(const std::string& stage, int partition,
+                                int attempt, int max_attempts) = 0;
+};
+
+/// Scripted one-shot failure per (stage, partition): the first attempt's
+/// output is discarded and the task restarted, as M-R failure handling does
+/// when a machine is lost after its task finished. Tests use this to verify
+/// the repeatability guarantee. Thread-safe: reduce tasks probe it
+/// concurrently from the pool.
+class FailureInjector : public FaultInjector {
+ public:
+  void FailOnce(const std::string& stage, int partition) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.insert({stage, partition});
+  }
+
+  /// True exactly once per marked task.
+  bool ShouldFail(const std::string& stage, int partition) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pending_.erase({stage, partition}) > 0;
+  }
+
+  bool empty() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pending_.empty();
+  }
+
+  Fault OnReduceAttempt(const std::string& stage, int partition, int /*attempt*/,
+                        int /*max_attempts*/) override {
+    return ShouldFail(stage, partition) ? Fault{FaultKind::kDiscardOutput, 0}
+                                        : Fault{};
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::set<std::pair<std::string, int>> pending_;
+};
+
+/// Scripted per-attempt faults for targeted tests: inject exactly the given
+/// fault at (stage, partition, attempt), clean everywhere else.
+class ScriptedFaultInjector : public FaultInjector {
+ public:
+  void InjectAt(std::string stage, int partition, int attempt, Fault fault) {
+    std::lock_guard<std::mutex> lock(mu_);
+    scripted_[{std::move(stage), partition, attempt}] = fault;
+  }
+
+  Fault OnReduceAttempt(const std::string& stage, int partition, int attempt,
+                        int /*max_attempts*/) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = scripted_.find({stage, partition, attempt});
+    if (it == scripted_.end()) return Fault{};
+    Fault f = it->second;
+    scripted_.erase(it);
+    return f;
+  }
+
+  bool empty() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return scripted_.empty();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::tuple<std::string, int, int>, Fault> scripted_;
+};
+
+/// Per-attempt fault probabilities for ChaosInjector. All zero = no chaos.
+struct FaultPlan {
+  uint64_t seed = 0;
+  double crash_probability = 0;
+  double transient_error_probability = 0;
+  double partial_output_probability = 0;
+  double discard_output_probability = 0;
+  double straggler_probability = 0;
+  double corrupt_input_probability = 0;
+  double straggler_seconds = 0.05;
+
+  /// Never fault the last allowed attempt, so a chaos run with any retry
+  /// bound is guaranteed to terminate (a real reducer error still exhausts
+  /// the budget and fails the job — chaos only exercises recoverable faults).
+  bool spare_last_attempt = true;
+
+  /// Every fault kind at probability `p` each.
+  static FaultPlan AllKinds(uint64_t seed, double p,
+                            double straggler_seconds = 0.05);
+};
+
+/// Deterministic chaos source: the fault drawn for an attempt is a pure
+/// function of (plan.seed, stage, partition, attempt), so the same seed
+/// replays the same fault schedule regardless of thread interleaving.
+class ChaosInjector : public FaultInjector {
+ public:
+  explicit ChaosInjector(FaultPlan plan) : plan_(plan) {}
+
+  Fault OnReduceAttempt(const std::string& stage, int partition, int attempt,
+                        int max_attempts) override;
+
+  /// Total faults injected so far (all kinds); per-kind counts.
+  int total_injected() const;
+  int injected(FaultKind kind) const {
+    return counts_[static_cast<size_t>(kind)].load(std::memory_order_relaxed);
+  }
+
+ private:
+  FaultPlan plan_;
+  mutable std::array<std::atomic<int>, 7> counts_{};
+};
+
+/// Knobs for the cluster's fault-handling task-execution path. Defaults keep
+/// the always-on machinery (exception containment, bounded retries) active and
+/// the opt-in machinery (speculation, quarantine) off; see DESIGN.md §5b.7.
+struct FaultToleranceOptions {
+  /// Attempts per (stage, partition), speculative backups included. A task
+  /// whose every attempt fails exhausts the budget and fails the job with a
+  /// structured StatusCode::kTaskFailed naming stage/partition/attempts.
+  int max_task_attempts = 3;
+
+  /// Launch a backup attempt for a reduce task whose current attempt has run
+  /// longer than max(min_straggler_seconds, straggler_factor * median
+  /// completed-task wall time); first finisher wins, and both outputs are
+  /// byte-compared when both complete (§III-C.1 repeatability as a runtime
+  /// check). Off by default: on a saturated local host a "straggler" is just
+  /// a bigger partition, and a backup doubles its cost.
+  bool speculative_execution = false;
+  double straggler_factor = 4.0;
+  double min_straggler_seconds = 0.25;
+
+  /// Byte-compare primary and speculative outputs when both complete; a
+  /// mismatch fails the stage as a determinism violation.
+  bool verify_speculative_outputs = true;
+
+  /// Validate every input row against its dataset's schema during the map
+  /// phase; rows that fail are diverted to the `<stage>.quarantine` dataset
+  /// instead of poisoning the shuffle (graceful degradation for dirty ad
+  /// logs). When more than max_input_error_rate of a stage's input rows are
+  /// quarantined, the stage fails with StatusCode::kDataError.
+  bool quarantine_inputs = false;
+  double max_input_error_rate = 0.01;
+};
+
+/// Name of the dataset that receives a stage's quarantined rows.
+inline std::string QuarantineDatasetName(const std::string& stage_name) {
+  return stage_name + ".quarantine";
+}
+
+/// Schema of quarantine datasets. Each quarantined row is stored as
+/// [input_index, original cells...]; the tail is deliberately not described by
+/// the schema — poison rows are quarantined precisely because they match no
+/// schema.
+Schema QuarantineSchema();
+
+}  // namespace timr::mr

@@ -24,4 +24,26 @@ PartitionFn SinglePartition() {
   };
 }
 
+std::vector<bool> ConsumableInputFlags(const MRStage& stage) {
+  std::vector<bool> consumable(stage.inputs.size(), false);
+  for (int idx : stage.consumable_inputs) {
+    if (idx < 0 || idx >= static_cast<int>(stage.inputs.size())) continue;
+    int name_uses = 0;
+    for (const auto& name : stage.inputs) {
+      if (name == stage.inputs[idx]) ++name_uses;
+    }
+    if (name_uses == 1) consumable[idx] = true;
+  }
+  return consumable;
+}
+
+std::vector<std::string> ConsumedInputNames(const MRStage& stage) {
+  const std::vector<bool> consumable = ConsumableInputFlags(stage);
+  std::vector<std::string> names;
+  for (size_t i = 0; i < stage.inputs.size(); ++i) {
+    if (consumable[i]) names.push_back(stage.inputs[i]);
+  }
+  return names;
+}
+
 }  // namespace timr::mr

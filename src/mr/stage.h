@@ -59,4 +59,14 @@ PartitionFn HashPartitioner(std::vector<std::vector<int>> key_indices_per_input)
 /// Everything to partition 0 (for final global merges / single reducers).
 PartitionFn SinglePartition();
 
+/// Which of `stage.inputs` the runtime will actually consume, applying the
+/// rules documented on MRStage::consumable_inputs (in-range indices whose
+/// dataset name appears exactly once). Shared between the map phase (which
+/// releases those inputs) and checkpointing (which must record the release to
+/// replay it on resume).
+std::vector<bool> ConsumableInputFlags(const MRStage& stage);
+
+/// Names of the input datasets `stage` consumes, in input order.
+std::vector<std::string> ConsumedInputNames(const MRStage& stage);
+
 }  // namespace timr::mr

@@ -204,6 +204,19 @@ Result<TimrRunResult> RunPlan(mr::LocalCluster* cluster,
     TIMR_RETURN_NOT_OK(analysis::CheckFragments(result.fragments).ToStatus());
   }
 
+  cluster->set_fault_tolerance(options.fault_tolerance);
+
+  // Resume: replay checkpointed fragment outputs (and input releases) into
+  // the store and skip the restored prefix. The store must hold the plan's
+  // external sources again, exactly as for a fresh run.
+  size_t resume_from = 0;
+  if (options.checkpoint != nullptr) {
+    std::vector<std::string> names;
+    names.reserve(result.fragments.fragments.size());
+    for (const Fragment& f : result.fragments.fragments) names.push_back(f.name);
+    TIMR_ASSIGN_OR_RETURN(resume_from, options.checkpoint->Restore(names, store));
+  }
+
   // Last-use analysis for copy-free routing: an intermediate dataset (an
   // upstream fragment's output) that no later fragment reads again can be
   // *consumed* by its final reader — the shuffle then moves its rows instead
@@ -219,6 +232,17 @@ Result<TimrRunResult> RunPlan(mr::LocalCluster* cluster,
   for (size_t frag_index = 0; frag_index < result.fragments.fragments.size();
        ++frag_index) {
     const Fragment& fragment = result.fragments.fragments[frag_index];
+    if (frag_index < resume_from) {
+      mr::StageStats sstats;
+      sstats.name = fragment.name;
+      sstats.rows_out = options.checkpoint->rows_out(frag_index);
+      sstats.recovered_from_checkpoint = true;
+      result.job_stats.stages.push_back(std::move(sstats));
+      FragmentStats fstats;
+      fstats.name = fragment.name;
+      result.fragment_stats.push_back(std::move(fstats));
+      continue;
+    }
     // Resolve input row schemas from the (evolving) store.
     std::vector<Schema> row_schemas;
     std::vector<const mr::Dataset*> datasets;
@@ -256,6 +280,24 @@ Result<TimrRunResult> RunPlan(mr::LocalCluster* cluster,
         fstats.engine_events ? fstats.engine_events->load() : 0;
     result.job_stats.stages.push_back(std::move(sstats));
     result.fragment_stats.push_back(std::move(fstats));
+    if (options.checkpoint != nullptr) {
+      std::vector<std::pair<std::string, const mr::Dataset*>> outputs;
+      outputs.emplace_back(stage.output, &store->at(stage.output));
+      if (options.fault_tolerance.quarantine_inputs) {
+        const std::string qname = mr::QuarantineDatasetName(stage.name);
+        outputs.emplace_back(qname, &store->at(qname));
+      }
+      TIMR_RETURN_NOT_OK(options.checkpoint->SaveStage(
+          frag_index, stage.name, outputs, mr::ConsumedInputNames(stage)));
+    }
+    if (options.chaos_kill_after_stages >= 0 &&
+        static_cast<int>(frag_index) + 1 >= options.chaos_kill_after_stages) {
+      return Status::ExecutionError(
+          "chaos kill: simulated driver death after fragment " + fragment.name +
+          " (" + std::to_string(frag_index + 1) + " of " +
+          std::to_string(result.fragments.fragments.size()) +
+          " fragments completed)");
+    }
   }
 
   const mr::Dataset& out = store->at(result.fragments.output_dataset);

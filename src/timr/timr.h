@@ -50,6 +50,20 @@ struct TimrOptions {
   /// provenance. On by default; benchmarks measuring raw engine throughput
   /// turn it off (see bench_validate_overhead for the measured cost).
   bool validate_streams = true;
+
+  /// Fault-tolerance policy for the run — retry budget, speculative
+  /// execution, poison-row quarantine (mr/fault.h). RunPlan installs it on
+  /// the cluster with set_fault_tolerance, replacing whatever was there.
+  mr::FaultToleranceOptions fault_tolerance;
+
+  /// When set, every completed fragment's outputs are checkpointed here and
+  /// RunPlan resumes past the longest already-checkpointed prefix, producing
+  /// bit-identical final output (mr/checkpoint.h). Not owned.
+  mr::CheckpointStore* checkpoint = nullptr;
+
+  /// Chaos hook: simulate driver death after this many completed (and
+  /// checkpointed) fragments — RunPlan returns kExecutionError. -1 = never.
+  int chaos_kill_after_stages = -1;
 };
 
 struct FragmentStats {

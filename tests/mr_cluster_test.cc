@@ -1,9 +1,24 @@
 // Map-reduce substrate tests: partitioning, canonical shuffle order,
-// multi-input stages, failure injection, stats, and error paths.
+// multi-input stages, fault injection and retry policy, speculative
+// execution, poison-row quarantine, checkpoint/resume, stats, and error
+// paths. The Chaos suite at the bottom drives the full BT pipeline through
+// randomized-but-replayable fault schedules and demands bit-identical output
+// (paper §III-C.1).
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bt_test_util.h"
+#include "mr/checkpoint.h"
 #include "mr/cluster.h"
+#include "mr/fault.h"
 
 namespace timr::mr {
 namespace {
@@ -125,7 +140,7 @@ TEST(Cluster, ReplicatingPartitionerDuplicatesRows) {
   EXPECT_EQ(store.at("out").TotalRows(), 6u);
 }
 
-TEST(Cluster, FailureInjectionRestartsAndMatches) {
+TEST(Cluster, FailureInjectionRetriesAndMatches) {
   std::map<std::string, Dataset> store;
   store["in"] = MakeData({{1, 1, 0}, {2, 2, 1}, {3, 3, 2}, {4, 4, 3}});
 
@@ -143,7 +158,9 @@ TEST(Cluster, FailureInjectionRestartsAndMatches) {
   StageStats retry_stats;
   ASSERT_TRUE(cluster.RunStage(stage, &store, &retry_stats).ok());
   EXPECT_TRUE(injector.empty());
-  EXPECT_EQ(retry_stats.restarted_tasks, 2);
+  EXPECT_EQ(retry_stats.retried_tasks, 2);
+  EXPECT_EQ(retry_stats.speculative_tasks, 0);
+  EXPECT_EQ(retry_stats.task_attempts, retry_stats.partitions + 2);
   EXPECT_EQ(store.at("out2").Gather(), clean);
 }
 
@@ -167,7 +184,7 @@ TEST(Cluster, OutOfRangePartitionTargetIsError) {
   EXPECT_FALSE(cluster.RunStage(stage, &store, &stats).ok());
 }
 
-TEST(Cluster, ReducerErrorPropagates) {
+TEST(Cluster, ReducerErrorExhaustsRetriesIntoTaskFailed) {
   LocalCluster cluster(2, 1);
   std::map<std::string, Dataset> store;
   store["in"] = MakeData({{1, 1, 0}});
@@ -178,7 +195,16 @@ TEST(Cluster, ReducerErrorPropagates) {
   };
   StageStats stats;
   Status st = cluster.RunStage(stage, &store, &stats);
-  EXPECT_EQ(st.code(), StatusCode::kExecutionError);
+  // A persistent reducer error burns the whole retry budget, then fails the
+  // job with a structured diagnostic naming stage, partition, and attempts.
+  EXPECT_EQ(st.code(), StatusCode::kTaskFailed);
+  EXPECT_NE(st.message().find("stage identity partition 0"), std::string::npos)
+      << st.ToString();
+  EXPECT_NE(st.message().find("after 3 attempts"), std::string::npos)
+      << st.ToString();
+  EXPECT_NE(st.message().find("boom"), std::string::npos) << st.ToString();
+  // No partial output reaches the store.
+  EXPECT_EQ(store.count("out"), 0u);
 }
 
 TEST(Cluster, JobRunsStagesInOrder) {
@@ -351,6 +377,493 @@ TEST(Cluster, SinglePartitionFunnelsEverything) {
   ASSERT_TRUE(cluster.RunStage(stage, &store, &stats).ok());
   EXPECT_EQ(stats.partitions, 1);
   EXPECT_EQ(store.at("out").partition(0).size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Fault handling: exception containment, retry policy, scripted fault kinds.
+// ---------------------------------------------------------------------------
+
+TEST(Fault, ThrowingReducerBecomesStatusNotAbort) {
+  LocalCluster cluster(2, 2);
+  std::map<std::string, Dataset> store;
+  store["in"] = MakeData({{1, 1, 0}, {2, 2, 0}});
+  MRStage stage = IdentityStage("in", "out", 1);
+  stage.reducer = [](int, const std::vector<std::vector<Row>>&,
+                     std::vector<Row>*) -> Status {
+    throw std::runtime_error("kaboom");
+  };
+  StageStats stats;
+  Status st = cluster.RunStage(stage, &store, &stats);
+  // The exception is converted to a Status at the task boundary; after the
+  // retry budget it surfaces as kTaskFailed with the what() preserved.
+  EXPECT_EQ(st.code(), StatusCode::kTaskFailed);
+  EXPECT_NE(st.message().find("reducer threw: kaboom"), std::string::npos)
+      << st.ToString();
+  EXPECT_EQ(store.count("out"), 0u);
+  EXPECT_GE(stats.retried_tasks, 2);  // at least two re-runs on partition 0
+}
+
+TEST(Fault, TransientErrorsWithinBudgetRecover) {
+  LocalCluster cluster(2, 2);
+  std::map<std::string, Dataset> store;
+  store["in"] = MakeData({{1, 1, 0}, {2, 2, 0}, {3, 3, 0}});
+
+  MRStage stage = IdentityStage("in", "out", 1);
+  StageStats clean_stats;
+  ASSERT_TRUE(cluster.RunStage(stage, &store, &clean_stats).ok());
+  auto clean = store.at("out").Gather();
+
+  // Two transient failures on one task: attempts 0 and 1 fail, attempt 2 (the
+  // last allowed) succeeds.
+  ScriptedFaultInjector injector;
+  injector.InjectAt("identity", 0, 0, {FaultKind::kTransientError, 0});
+  injector.InjectAt("identity", 0, 1, {FaultKind::kTransientError, 0});
+  cluster.set_fault_injector(&injector);
+  stage.output = "out2";
+  StageStats stats;
+  ASSERT_TRUE(cluster.RunStage(stage, &store, &stats).ok());
+  EXPECT_TRUE(injector.empty());
+  EXPECT_EQ(stats.retried_tasks, 2);
+  EXPECT_EQ(store.at("out2").Gather(), clean);
+}
+
+TEST(Fault, ExhaustedBudgetFailsWithStructuredDiagnostic) {
+  LocalCluster cluster(2, 2);
+  std::map<std::string, Dataset> store;
+  store["in"] = MakeData({{1, 1, 0}, {2, 2, 0}});
+
+  ScriptedFaultInjector injector;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    injector.InjectAt("identity", 0, attempt, {FaultKind::kCrash, 0});
+  }
+  cluster.set_fault_injector(&injector);
+  StageStats stats;
+  Status st = cluster.RunStage(IdentityStage("in", "out", 1), &store, &stats);
+  EXPECT_EQ(st.code(), StatusCode::kTaskFailed);
+  EXPECT_NE(st.message().find("stage identity partition 0"), std::string::npos)
+      << st.ToString();
+  EXPECT_NE(st.message().find("after 3 attempts"), std::string::npos)
+      << st.ToString();
+  EXPECT_EQ(store.count("out"), 0u);  // no partial output in the store
+}
+
+TEST(Fault, EveryFaultKindIsAbsorbedBitIdentically) {
+  std::map<std::string, Dataset> store;
+  store["in"] = MakeData({{1, 1, 0}, {2, 2, 1}, {3, 3, 2}, {4, 4, 3}});
+  LocalCluster cluster(4, 2);
+  MRStage stage = IdentityStage("in", "out", 1);
+  // Route by Val so partition 0 is guaranteed a row: kCorruptInput needs a
+  // non-empty bucket to corrupt.
+  stage.partition_fn = [](int, const Row& row, int parts,
+                          std::vector<int>* t) {
+    t->push_back(static_cast<int>(row[2].AsInt64()) % parts);
+  };
+  StageStats clean_stats;
+  ASSERT_TRUE(cluster.RunStage(stage, &store, &clean_stats).ok());
+  auto clean = store.at("out").Gather();
+
+  struct Case {
+    FaultKind kind;
+    bool costs_retry;  // straggler delays but does not fail the attempt
+  };
+  const Case cases[] = {
+      {FaultKind::kCrash, true},         {FaultKind::kTransientError, true},
+      {FaultKind::kPartialOutput, true}, {FaultKind::kDiscardOutput, true},
+      {FaultKind::kStraggler, false},    {FaultKind::kCorruptInput, true},
+  };
+  int out_index = 0;
+  for (const Case& c : cases) {
+    ScriptedFaultInjector injector;
+    injector.InjectAt("identity", 0, 0, {c.kind, 0.01});
+    cluster.set_fault_injector(&injector);
+    stage.output = "out_" + std::to_string(out_index++);
+    StageStats stats;
+    Status st = cluster.RunStage(stage, &store, &stats);
+    ASSERT_TRUE(st.ok()) << FaultKindName(c.kind) << ": " << st.ToString();
+    EXPECT_TRUE(injector.empty()) << FaultKindName(c.kind);
+    EXPECT_EQ(stats.retried_tasks, c.costs_retry ? 1 : 0)
+        << FaultKindName(c.kind);
+    EXPECT_EQ(store.at(stage.output).Gather(), clean) << FaultKindName(c.kind);
+  }
+  cluster.set_fault_injector(nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Speculative execution.
+// ---------------------------------------------------------------------------
+
+TEST(Fault, SpeculativeBackupBeatsStraggler) {
+  std::map<std::string, Dataset> store;
+  store["in"] = MakeData({{1, 0, 0}, {2, 1, 1}, {3, 2, 2}, {4, 3, 3}});
+  LocalCluster cluster(4, /*num_threads=*/3);
+  MRStage stage = IdentityStage("in", "out", 1);
+  stage.partition_fn = [](int, const Row& row, int parts,
+                          std::vector<int>* t) {
+    t->push_back(static_cast<int>(row[1].AsInt64()) % parts);
+  };
+
+  StageStats clean_stats;
+  ASSERT_TRUE(cluster.RunStage(stage, &store, &clean_stats).ok());
+  auto clean = store.at("out").Gather();
+
+  // Partition 0's first attempt stalls for ~1.5s; the other partitions finish
+  // in microseconds, so the monitor's median-based threshold trips quickly
+  // and launches a backup, which wins. The stalled primary eventually
+  // completes with identical output (verified byte-for-byte).
+  ScriptedFaultInjector injector;
+  injector.InjectAt("identity", 0, 0, {FaultKind::kStraggler, 1.5});
+  cluster.set_fault_injector(&injector);
+  FaultToleranceOptions ft;
+  ft.speculative_execution = true;
+  ft.min_straggler_seconds = 0.05;
+  ft.straggler_factor = 4.0;
+  cluster.set_fault_tolerance(ft);
+
+  stage.output = "out2";
+  StageStats stats;
+  ASSERT_TRUE(cluster.RunStage(stage, &store, &stats).ok());
+  EXPECT_GE(stats.speculative_tasks, 1);
+  EXPECT_GE(stats.speculative_won, 1);
+  EXPECT_EQ(stats.retried_tasks, 0);
+  EXPECT_EQ(store.at("out2").Gather(), clean);
+}
+
+TEST(Fault, SpeculativeOutputMismatchIsDeterminismViolation) {
+  std::map<std::string, Dataset> store;
+  store["in"] = MakeData({{1, 0, 0}, {2, 1, 1}});
+  LocalCluster cluster(2, /*num_threads=*/3);
+
+  MRStage stage;
+  stage.name = "nondet";
+  stage.inputs = {"in"};
+  stage.output = "out";
+  stage.output_schema = RowSchema();
+  stage.num_partitions = 2;
+  stage.partition_fn = [](int, const Row& row, int parts,
+                          std::vector<int>* t) {
+    t->push_back(static_cast<int>(row[1].AsInt64()) % parts);
+  };
+  // A deliberately nondeterministic reducer: each invocation emits a distinct
+  // value, so primary and backup cannot agree.
+  auto counter = std::make_shared<std::atomic<int64_t>>(0);
+  stage.reducer = [counter](int p, const std::vector<std::vector<Row>>&,
+                            std::vector<Row>* output) {
+    output->push_back(
+        {Value(int64_t{0}), Value(int64_t{p}), Value(counter->fetch_add(1))});
+    return Status::OK();
+  };
+
+  ScriptedFaultInjector injector;
+  injector.InjectAt("nondet", 0, 0, {FaultKind::kStraggler, 1.0});
+  cluster.set_fault_injector(&injector);
+  FaultToleranceOptions ft;
+  ft.speculative_execution = true;
+  ft.min_straggler_seconds = 0.05;
+  cluster.set_fault_tolerance(ft);
+
+  StageStats stats;
+  Status st = cluster.RunStage(stage, &store, &stats);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("determinism violation"), std::string::npos)
+      << st.ToString();
+  EXPECT_EQ(store.count("out"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Poison-row quarantine.
+// ---------------------------------------------------------------------------
+
+TEST(Fault, QuarantineDivertsPoisonRowsBelowThreshold) {
+  std::map<std::string, Dataset> store;
+  store["in"] = MakeData({{1, 1, 0}, {2, 2, 1}, {3, 3, 2}, {4, 4, 3}});
+  LocalCluster cluster(2, 2);
+  MRStage stage = IdentityStage("in", "out", 1);
+  StageStats clean_stats;
+  ASSERT_TRUE(cluster.RunStage(stage, &store, &clean_stats).ok());
+  auto clean = store.at("out").Gather();
+
+  // Re-run with two poison rows injected: a mistyped Time cell and a
+  // short row. Both would crash the shuffle sort / reducer if let through.
+  std::map<std::string, Dataset> dirty_store;
+  dirty_store["in"] = store.at("in");
+  dirty_store["in"].partition(0).push_back(
+      {Value("not-a-time"), Value(int64_t{9}), Value(int64_t{9})});
+  dirty_store["in"].partition(0).push_back({Value(int64_t{5})});
+
+  FaultToleranceOptions ft;
+  ft.quarantine_inputs = true;
+  ft.max_input_error_rate = 0.5;
+  cluster.set_fault_tolerance(ft);
+  stage.output = "out2";
+  StageStats stats;
+  Status st = cluster.RunStage(stage, &dirty_store, &stats);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(stats.quarantined_rows, 2u);
+  EXPECT_EQ(stats.rows_in, 6u);
+  // Clean rows flow through untouched...
+  EXPECT_EQ(dirty_store.at("out2").Gather(), clean);
+  // ...and the poison rows land in <stage>.quarantine as
+  // [input_index, original cells...].
+  const Dataset& q = dirty_store.at("identity.quarantine");
+  auto qrows = q.Gather();
+  ASSERT_EQ(qrows.size(), 2u);
+  EXPECT_EQ(qrows[0][0].AsInt64(), 0);  // input index
+  EXPECT_EQ(qrows[0][1].AsString(), "not-a-time");
+  EXPECT_EQ(qrows[1][1].AsInt64(), 5);
+}
+
+TEST(Fault, QuarantineAboveThresholdFailsWithDataError) {
+  std::map<std::string, Dataset> store;
+  store["in"] = MakeData({{1, 1, 0}, {2, 2, 1}});
+  store["in"].partition(0).push_back({Value("bad"), Value(1), Value(1)});
+  store["in"].partition(0).push_back({Value("worse"), Value(2), Value(2)});
+
+  LocalCluster cluster(2, 2);
+  FaultToleranceOptions ft;
+  ft.quarantine_inputs = true;
+  ft.max_input_error_rate = 0.25;  // 2 of 4 rows bad: 50% > 25%
+  cluster.set_fault_tolerance(ft);
+  StageStats stats;
+  Status st = cluster.RunStage(IdentityStage("in", "out", 1), &store, &stats);
+  EXPECT_EQ(st.code(), StatusCode::kDataError);
+  EXPECT_NE(st.message().find("failed schema validation"), std::string::npos)
+      << st.ToString();
+  EXPECT_NE(st.message().find("max_input_error_rate"), std::string::npos)
+      << st.ToString();
+  EXPECT_EQ(store.count("out"), 0u);
+}
+
+TEST(Fault, MalformedRowWithoutQuarantineIsStatusNotCrash) {
+  std::map<std::string, Dataset> store;
+  store["in"] = MakeData({{1, 1, 0}});
+  store["in"].partition(0).push_back({Value("bad"), Value(1), Value(1)});
+  LocalCluster cluster(2, 2);
+  StageStats stats;
+  Status st = cluster.RunStage(IdentityStage("in", "out", 1), &store, &stats);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kExecutionError);
+  EXPECT_NE(st.message().find("shuffle sort threw"), std::string::npos)
+      << st.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint / resume.
+// ---------------------------------------------------------------------------
+
+std::vector<MRStage> ThreeStageJob() {
+  MRStage s1 = IdentityStage("in", "m1", 1);
+  s1.name = "s1";
+  MRStage s2 = IdentityStage("m1", "m2", 1);
+  s2.name = "s2";
+  s2.consumable_inputs = {0};  // m1 is released after s2's map phase
+  MRStage s3 = IdentityStage("m2", "out", 1);
+  s3.name = "s3";
+  return {s1, s2, s3};
+}
+
+void ExpectStoreEquals(const std::map<std::string, Dataset>& a,
+                       const std::map<std::string, Dataset>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& [name, da] : a) {
+    auto it = b.find(name);
+    ASSERT_NE(it, b.end()) << name;
+    EXPECT_EQ(da.schema(), it->second.schema()) << name;
+    ASSERT_EQ(da.num_partitions(), it->second.num_partitions()) << name;
+    for (size_t p = 0; p < da.num_partitions(); ++p) {
+      EXPECT_EQ(da.partition(p), it->second.partition(p))
+          << name << " partition " << p;
+    }
+  }
+}
+
+TEST(Checkpoint, KillAndResumeReproducesStoreBitIdentically) {
+  const Dataset input = BigData(3000);
+  const auto stages = ThreeStageJob();
+
+  std::map<std::string, Dataset> clean_store;
+  clean_store["in"] = input;
+  LocalCluster cluster(4, 2);
+  ASSERT_TRUE(cluster.RunJob(stages, &clean_store).ok());
+
+  for (int kill_after : {1, 2}) {
+    CheckpointStore checkpoint;
+    std::map<std::string, Dataset> store;
+    store["in"] = input;
+    JobOptions opts;
+    opts.checkpoint = &checkpoint;
+    opts.chaos_kill_after_stages = kill_after;
+    auto killed = cluster.RunJob(stages, &store, opts);
+    ASSERT_FALSE(killed.ok());
+    EXPECT_NE(killed.status().message().find("chaos kill"), std::string::npos);
+    EXPECT_EQ(checkpoint.num_stages(), static_cast<size_t>(kill_after));
+
+    // The driver "dies"; a new run gets the external input again plus the
+    // same checkpoint, and must reproduce the clean store exactly —
+    // including intermediates the resumed stages consumed.
+    std::map<std::string, Dataset> resumed_store;
+    resumed_store["in"] = input;
+    JobOptions resume_opts;
+    resume_opts.checkpoint = &checkpoint;
+    auto resumed = cluster.RunJob(stages, &resumed_store, resume_opts);
+    ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+    const JobStats& stats = resumed.ValueOrDie();
+    ASSERT_EQ(stats.stages.size(), stages.size());
+    for (int i = 0; i < kill_after; ++i) {
+      EXPECT_TRUE(stats.stages[i].recovered_from_checkpoint) << i;
+    }
+    EXPECT_FALSE(stats.stages.back().recovered_from_checkpoint);
+    ExpectStoreEquals(clean_store, resumed_store);
+  }
+}
+
+TEST(Checkpoint, SpillDirectorySurvivesDriverDeath) {
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "timr_ckpt_spill")
+          .string();
+  std::filesystem::remove_all(dir);
+
+  const Dataset input = BigData(2000);
+  const auto stages = ThreeStageJob();
+  LocalCluster cluster(4, 2);
+
+  std::map<std::string, Dataset> clean_store;
+  clean_store["in"] = input;
+  ASSERT_TRUE(cluster.RunJob(stages, &clean_store).ok());
+
+  {
+    CheckpointStore checkpoint(dir);
+    std::map<std::string, Dataset> store;
+    store["in"] = input;
+    JobOptions opts;
+    opts.checkpoint = &checkpoint;
+    opts.chaos_kill_after_stages = 2;
+    ASSERT_FALSE(cluster.RunJob(stages, &store, opts).ok());
+  }  // checkpoint object destroyed: only the spill directory survives
+
+  // A fresh CheckpointStore on the same directory recovers the manifest.
+  CheckpointStore recovered(dir);
+  EXPECT_EQ(recovered.num_stages(), 2u);
+  std::map<std::string, Dataset> resumed_store;
+  resumed_store["in"] = input;
+  JobOptions opts;
+  opts.checkpoint = &recovered;
+  auto resumed = cluster.RunJob(stages, &resumed_store, opts);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  ExpectStoreEquals(clean_store, resumed_store);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Checkpoint, MismatchedStageListIsRejected) {
+  CheckpointStore checkpoint;
+  const Dataset input = MakeData({{1, 1, 0}});
+  Dataset out = MakeData({{1, 1, 0}});
+  ASSERT_TRUE(
+      checkpoint.SaveStage(0, "sX", {{"mX", &out}}, {}).ok());
+  std::map<std::string, Dataset> store;
+  store["in"] = input;
+  auto restored = checkpoint.Restore({"s1", "s2"}, &store);
+  ASSERT_FALSE(restored.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Chaos: the full BT pipeline under randomized-but-replayable fault
+// schedules. Every run must reproduce the fault-free output and store
+// bit-for-bit (paper §III-C.1: deterministic re-execution makes failure
+// handling invisible).
+// ---------------------------------------------------------------------------
+
+std::vector<uint64_t> ChaosSeeds() {
+  if (const char* env = std::getenv("TIMR_CHAOS_SEEDS")) {
+    std::vector<uint64_t> seeds;
+    uint64_t v = 0;
+    bool have = false;
+    for (const char* c = env;; ++c) {
+      if (*c >= '0' && *c <= '9') {
+        v = v * 10 + static_cast<uint64_t>(*c - '0');
+        have = true;
+      } else {
+        if (have) seeds.push_back(v);
+        v = 0;
+        have = false;
+        if (*c == '\0') break;
+      }
+    }
+    if (!seeds.empty()) return seeds;
+  }
+  return {7, 19, 42};
+}
+
+TEST(Chaos, BtJobBitIdenticalUnderAllFaultKinds) {
+  testutil::BtRun clean = testutil::RunBtJob(0);
+  ASSERT_FALSE(clean.stats.stages.empty());
+
+  for (uint64_t seed : ChaosSeeds()) {
+    ChaosInjector injector(FaultPlan::AllKinds(seed, /*p=*/0.12,
+                                               /*straggler_seconds=*/0.01));
+    testutil::BtRunConfig cfg;
+    cfg.injector = &injector;
+    testutil::BtRun chaotic = testutil::RunBtJob(cfg);
+    ASSERT_TRUE(chaotic.status.ok())
+        << "seed " << seed << ": " << chaotic.status.ToString();
+    EXPECT_GT(injector.total_injected(), 0) << "seed " << seed;
+    testutil::ExpectEventsIdentical(clean.output, chaotic.output);
+    testutil::ExpectStoresBitIdentical(clean.store, chaotic.store);
+    int retries = 0;
+    for (const auto& s : chaotic.stats.stages) retries += s.retried_tasks;
+    EXPECT_GT(retries, 0) << "seed " << seed;
+  }
+}
+
+TEST(Chaos, BtJobBitIdenticalUnderChaosWithSpeculation) {
+  testutil::BtRun clean = testutil::RunBtJob(0);
+
+  ChaosInjector injector(
+      FaultPlan::AllKinds(ChaosSeeds().front(), 0.12, 0.01));
+  testutil::BtRunConfig cfg;
+  cfg.num_threads = 3;
+  cfg.injector = &injector;
+  cfg.options.fault_tolerance.speculative_execution = true;
+  cfg.options.fault_tolerance.min_straggler_seconds = 0.25;
+  testutil::BtRun chaotic = testutil::RunBtJob(cfg);
+  ASSERT_TRUE(chaotic.status.ok()) << chaotic.status.ToString();
+  testutil::ExpectEventsIdentical(clean.output, chaotic.output);
+  testutil::ExpectStoresBitIdentical(clean.store, chaotic.store);
+}
+
+TEST(Chaos, ResumeAfterKillBetweenEveryPairOfStages) {
+  testutil::BtRun clean = testutil::RunBtJob(0);
+  const int num_stages = static_cast<int>(clean.stats.stages.size());
+  ASSERT_GT(num_stages, 1);
+  const uint64_t seed = ChaosSeeds().front();
+
+  for (int kill_after = 1; kill_after < num_stages; ++kill_after) {
+    CheckpointStore checkpoint;
+    {
+      ChaosInjector injector(FaultPlan::AllKinds(seed, 0.12, 0.01));
+      testutil::BtRunConfig cfg;
+      cfg.injector = &injector;
+      cfg.options.checkpoint = &checkpoint;
+      cfg.options.chaos_kill_after_stages = kill_after;
+      testutil::BtRun killed = testutil::RunBtJob(cfg);
+      ASSERT_FALSE(killed.status.ok()) << "kill_after=" << kill_after;
+      EXPECT_NE(killed.status.message().find("chaos kill"), std::string::npos);
+    }
+    ASSERT_EQ(checkpoint.num_stages(), static_cast<size_t>(kill_after));
+
+    // Resume (chaos still on) and demand the fault-free result exactly.
+    ChaosInjector injector(FaultPlan::AllKinds(seed, 0.12, 0.01));
+    testutil::BtRunConfig cfg;
+    cfg.injector = &injector;
+    cfg.options.checkpoint = &checkpoint;
+    testutil::BtRun resumed = testutil::RunBtJob(cfg);
+    ASSERT_TRUE(resumed.status.ok())
+        << "kill_after=" << kill_after << ": " << resumed.status.ToString();
+    for (int i = 0; i < kill_after; ++i) {
+      EXPECT_TRUE(resumed.stats.stages[i].recovered_from_checkpoint);
+    }
+    testutil::ExpectEventsIdentical(clean.output, resumed.output);
+    testutil::ExpectStoresBitIdentical(clean.store, resumed.store);
+  }
 }
 
 }  // namespace

@@ -1,6 +1,6 @@
 // The parallel shuffle pipeline's repeatability guarantee: one BT job must
 // produce bit-identical datasets and stable row stats for any host thread
-// count, and reducer restarts (FailureInjector) under the parallel shuffle
+// count, and reducer retries (FailureInjector) under the parallel shuffle
 // must reproduce exactly the same output (paper §III-C.1).
 
 #include <gtest/gtest.h>
@@ -9,91 +9,15 @@
 #include <string>
 #include <vector>
 
-#include "bt/queries.h"
-#include "mr/cluster.h"
-#include "temporal/convert.h"
-#include "timr/timr.h"
-#include "workload/generator.h"
+#include "bt_test_util.h"
 
 namespace timr {
 namespace {
 
-namespace T = timr::temporal;
-
-workload::GeneratorConfig SmallWorkload() {
-  workload::GeneratorConfig cfg;
-  cfg.num_users = 150;
-  cfg.vocab_size = 2000;
-  cfg.duration = 2 * T::kDay;
-  return cfg;
-}
-
-bt::BtQueryConfig SmallBtConfig() {
-  bt::BtQueryConfig cfg;
-  cfg.selection_period = 3 * T::kDay;
-  cfg.bot_search_threshold = 60;
-  cfg.bot_click_threshold = 30;
-  return cfg;
-}
-
-struct BtRun {
-  std::vector<T::Event> output;
-  mr::JobStats stats;
-  std::map<std::string, mr::Dataset> store;
-};
-
-BtRun RunBtJob(int num_threads, mr::FailureInjector* injector = nullptr,
-               size_t engine_batch_size = 0) {
-  auto log = workload::GenerateBtLog(SmallWorkload());
-  bt::BtQueryConfig cfg = SmallBtConfig();
-
-  mr::LocalCluster cluster(/*num_machines=*/8, num_threads);
-  if (injector != nullptr) cluster.set_failure_injector(injector);
-
-  std::map<std::string, mr::Dataset> store;
-  auto rows = T::RowsFromEvents(log.events, false).ValueOrDie();
-  store[bt::kBtInput] =
-      mr::Dataset::FromRows(T::PointRowSchema(bt::UnifiedSchema()), rows);
-
-  framework::TimrOptions options;
-  options.engine_batch_size = engine_batch_size;
-  auto run = framework::RunPlan(
-      &cluster, bt::BtFeaturePipeline(cfg, bt::Annotation::kStandard).node(),
-      &store, options);
-  EXPECT_TRUE(run.ok()) << run.status().ToString();
-
-  BtRun result;
-  result.output = std::move(run.ValueOrDie().output);
-  result.stats = std::move(run.ValueOrDie().job_stats);
-  result.store = std::move(store);
-  return result;
-}
-
-void ExpectEventsIdentical(const std::vector<T::Event>& a,
-                           const std::vector<T::Event>& b) {
-  ASSERT_EQ(a.size(), b.size());
-  for (size_t i = 0; i < a.size(); ++i) {
-    EXPECT_EQ(a[i].le, b[i].le) << "event " << i;
-    EXPECT_EQ(a[i].re, b[i].re) << "event " << i;
-    EXPECT_EQ(a[i].payload, b[i].payload) << "event " << i;
-  }
-}
-
-void ExpectStoresBitIdentical(const std::map<std::string, mr::Dataset>& a,
-                              const std::map<std::string, mr::Dataset>& b) {
-  ASSERT_EQ(a.size(), b.size());
-  for (const auto& [name, da] : a) {
-    auto it = b.find(name);
-    ASSERT_NE(it, b.end()) << "dataset " << name << " missing";
-    const mr::Dataset& db = it->second;
-    EXPECT_EQ(da.schema(), db.schema()) << name;
-    ASSERT_EQ(da.num_partitions(), db.num_partitions()) << name;
-    for (size_t p = 0; p < da.num_partitions(); ++p) {
-      EXPECT_EQ(da.partition(p), db.partition(p))
-          << "dataset " << name << " partition " << p;
-    }
-  }
-}
+using testutil::BtRun;
+using testutil::ExpectEventsIdentical;
+using testutil::ExpectStoresBitIdentical;
+using testutil::RunBtJob;
 
 TEST(ShuffleDeterminism, BtJobBitIdenticalAcrossThreadCounts) {
   BtRun base = RunBtJob(1);
@@ -131,7 +55,7 @@ TEST(ShuffleDeterminism, BtJobBitIdenticalAcrossEngineBatchSizes) {
   }
 }
 
-TEST(ShuffleDeterminism, ReducerRestartUnderParallelShuffleIsRepeatable) {
+TEST(ShuffleDeterminism, ReducerRetryUnderParallelShuffleIsRepeatable) {
   BtRun clean = RunBtJob(0);
   ASSERT_FALSE(clean.stats.stages.empty());
 
@@ -151,11 +75,14 @@ TEST(ShuffleDeterminism, ReducerRestartUnderParallelShuffleIsRepeatable) {
 
   BtRun retried = RunBtJob(0, &injector);
   EXPECT_TRUE(injector.empty());
-  int restarts = 0;
+  int retries = 0;
+  int speculative = 0;
   for (const auto& stage : retried.stats.stages) {
-    restarts += stage.restarted_tasks;
+    retries += stage.retried_tasks;
+    speculative += stage.speculative_tasks;
   }
-  EXPECT_EQ(restarts, injected);
+  EXPECT_EQ(retries, injected);
+  EXPECT_EQ(speculative, 0);  // no speculation configured: retries only
   ExpectEventsIdentical(clean.output, retried.output);
   ExpectStoresBitIdentical(clean.store, retried.store);
 }

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "common/rng.h"
 #include "mr/cluster.h"
 #include "temporal/executor.h"
@@ -126,7 +129,7 @@ TEST(TimrExec, ReducerRestartIsRepeatable) {
                                  {{"ClickLog", {ClickSchema(), clicks}}});
   ASSERT_TRUE(retried.ok()) << retried.status().ToString();
   EXPECT_TRUE(injector.empty()) << "injected failures did not fire";
-  EXPECT_GT(retried.ValueOrDie().job_stats.stages[0].restarted_tasks, 0);
+  EXPECT_GT(retried.ValueOrDie().job_stats.stages[0].retried_tasks, 0);
 
   // Identical, not merely equivalent: compare canonically sorted events.
   auto a = baseline.ValueOrDie().output;
@@ -139,6 +142,36 @@ TEST(TimrExec, ReducerRestartIsRepeatable) {
     EXPECT_EQ(a[i].re, b[i].re);
     EXPECT_EQ(a[i].payload, b[i].payload);
   }
+}
+
+// A UDO that throws must surface as a structured Status at the task boundary
+// — never a process abort. Each attempt's exception becomes kExecutionError;
+// exhausting the retry budget yields kTaskFailed naming stage, partition, and
+// attempt count with the underlying exception preserved in the message.
+TEST(TimrExec, ThrowingUdoBecomesStatusNotAbort) {
+  auto clicks = MakeClicks(500, 24 * kHour, 5, /*seed=*/13);
+
+  Query q = Query::Input("ClickLog", ClickSchema())
+                .Exchange(PartitionSpec::ByTime(/*span_width=*/12 * kHour,
+                                                /*overlap=*/7 * kHour))
+                .Udo(
+                    6 * kHour, kHour,
+                    [](Timestamp, Timestamp,
+                       const std::vector<Event>&) -> std::vector<Row> {
+                      throw std::runtime_error("udo boom");
+                    },
+                    Schema::Of({{"X", ValueType::kInt64}}));
+
+  mr::LocalCluster cluster(4, 2);
+  auto run = RunPlanOnEvents(&cluster, q.node(),
+                             {{"ClickLog", {ClickSchema(), clicks}}});
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kTaskFailed)
+      << run.status().ToString();
+  const std::string& msg = run.status().message();
+  EXPECT_NE(msg.find("frag_0"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("after 3 attempts"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("reducer threw: udo boom"), std::string::npos) << msg;
 }
 
 // Multi-stage plan: per-(user,ad) counts, then a per-ad aggregate over those —
