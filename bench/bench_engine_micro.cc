@@ -54,6 +54,180 @@ void RunPlan(benchmark::State& state, const T::PlanNodePtr& plan,
   state.SetItemsProcessed(state.iterations() * events.size());
 }
 
+// ---- Per-kernel rows/s: row batches (columnar=0, the PR 3 row-batch path)
+// vs columnar batches with vectorized kernels (columnar=1), same structured
+// plans. Batches are pre-built outside the timed region so the numbers are
+// operator throughput given the delivered representation, not ingest
+// conversion. These are the acceptance numbers for the columnar layout (see
+// EXPERIMENTS.md / BENCH_columnar.json).
+
+T::EventBatch BuildBatch(const std::vector<T::Event>& events, size_t lo,
+                         size_t hi, bool columnar, const Schema& schema) {
+  T::EventBatch batch;
+  if (columnar) batch.BeginColumnar(schema);
+  for (size_t i = lo; i < hi; ++i) {
+    if ((i - lo) % 64 == 0) batch.AddCti(events[i].le);
+    if (columnar) {
+      TIMR_CHECK(
+          batch.TryAppendColumnar(events[i].le, events[i].re, events[i].payload));
+    } else {
+      batch.Add(events[i]);
+    }
+  }
+  return batch;
+}
+
+using Feed = std::vector<std::pair<std::string, T::EventBatch>>;
+
+void PushKernel(benchmark::State& state, const T::PlanNodePtr& plan,
+                const std::function<Feed()>& make_feed, int64_t items) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto exec = T::Executor::Create(plan);
+    TIMR_CHECK(exec.ok());
+    Feed feed = make_feed();
+    state.ResumeTiming();
+    for (auto& [source, batch] : feed) {
+      TIMR_CHECK_OK(exec.ValueOrDie()->PushBatch(source, std::move(batch)));
+    }
+    exec.ValueOrDie()->Finish();
+    benchmark::DoNotOptimize(exec.ValueOrDie()->TotalEventsConsumed());
+  }
+  state.SetItemsProcessed(state.iterations() * items);
+}
+
+void BM_KernelSelect(benchmark::State& state) {
+  auto events = MakeEvents(state.range(0), 100, 11);
+  const bool columnar = state.range(1) != 0;
+  auto plan = T::Query::Input("S", TwoColSchema())
+                  .WhereCmp("Val", T::CmpOp::kGt, Value(int64_t{50}))
+                  .node();
+  PushKernel(state, plan, [&] {
+    Feed feed;
+    feed.emplace_back(
+        "S", BuildBatch(events, 0, events.size(), columnar, TwoColSchema()));
+    return feed;
+  }, events.size());
+}
+BENCHMARK(BM_KernelSelect)
+    ->ArgNames({"n", "columnar"})
+    ->Args({1 << 17, 0})
+    ->Args({1 << 17, 1});
+
+void BM_KernelProject(benchmark::State& state) {
+  auto events = MakeEvents(state.range(0), 100, 12);
+  const bool columnar = state.range(1) != 0;
+  T::ProjectSpec spec;
+  spec.exprs.push_back(
+      T::ProjectExpr::Arith("Score", 0, T::ProjectExpr::ArithOp::kAdd, 1));
+  spec.exprs.push_back(T::ProjectExpr::Column("Val", 1));
+  auto plan = T::Query::Input("S", TwoColSchema()).Project(spec).node();
+  PushKernel(state, plan, [&] {
+    Feed feed;
+    feed.emplace_back(
+        "S", BuildBatch(events, 0, events.size(), columnar, TwoColSchema()));
+    return feed;
+  }, events.size());
+}
+BENCHMARK(BM_KernelProject)
+    ->ArgNames({"n", "columnar"})
+    ->Args({1 << 17, 0})
+    ->Args({1 << 17, 1});
+
+void BM_KernelAlterLifetime(benchmark::State& state) {
+  auto events = MakeEvents(state.range(0), 100, 13);
+  const bool columnar = state.range(1) != 0;
+  auto plan = T::Query::Input("S", TwoColSchema()).Window(512).node();
+  PushKernel(state, plan, [&] {
+    Feed feed;
+    feed.emplace_back(
+        "S", BuildBatch(events, 0, events.size(), columnar, TwoColSchema()));
+    return feed;
+  }, events.size());
+}
+BENCHMARK(BM_KernelAlterLifetime)
+    ->ArgNames({"n", "columnar"})
+    ->Args({1 << 17, 0})
+    ->Args({1 << 17, 1});
+
+void BM_KernelSnapshotAgg(benchmark::State& state) {
+  auto events = MakeEvents(state.range(0), 100, 14);
+  const bool columnar = state.range(1) != 0;
+  auto plan =
+      T::Query::Input("S", TwoColSchema()).Window(512).Sum("Val").node();
+  PushKernel(state, plan, [&] {
+    Feed feed;
+    feed.emplace_back(
+        "S", BuildBatch(events, 0, events.size(), columnar, TwoColSchema()));
+    return feed;
+  }, events.size());
+}
+BENCHMARK(BM_KernelSnapshotAgg)
+    ->ArgNames({"n", "columnar"})
+    ->Args({1 << 17, 0})
+    ->Args({1 << 17, 1});
+
+void BM_KernelJoinProbe(benchmark::State& state) {
+  auto left = MakeEvents(state.range(0), 256, 15);
+  auto right = MakeEvents(state.range(0), 256, 16);
+  const bool columnar = state.range(1) != 0;
+  Schema s = TwoColSchema();
+  auto plan = T::Query::TemporalJoin(T::Query::Input("S", s).Window(64),
+                                     T::Query::Input("R", s).Window(64),
+                                     {"Key"}, {"Key"})
+                  .node();
+  // Interleave 4096-event chunks so the merge ports drain as they would in a
+  // real pipelined run instead of buffering one whole side.
+  PushKernel(state, plan, [&] {
+    Feed feed;
+    constexpr size_t kChunk = 4096;
+    for (size_t lo = 0; lo < left.size(); lo += kChunk) {
+      const size_t hi = std::min(lo + kChunk, left.size());
+      feed.emplace_back("S", BuildBatch(left, lo, hi, columnar, s));
+      feed.emplace_back("R", BuildBatch(right, lo, hi, columnar, s));
+    }
+    return feed;
+  }, 2 * left.size());
+}
+BENCHMARK(BM_KernelJoinProbe)
+    ->ArgNames({"n", "columnar"})
+    ->Args({1 << 15, 0})
+    ->Args({1 << 15, 1});
+
+// End-to-end BT pipeline, engine only, both modes — the >1.2x acceptance
+// check lives on this pair.
+void BM_BtPipelineMode(benchmark::State& state) {
+  workload::GeneratorConfig wcfg;
+  wcfg.num_users = 300;
+  wcfg.vocab_size = 20000;
+  wcfg.duration = 7 * T::kDay;
+  wcfg.num_ad_classes = 10;
+  auto log = workload::GenerateBtLog(wcfg);
+  bt::BtQueryConfig cfg = benchutil::BenchBtConfig();
+  auto plan = bt::GenTrainData(bt::BotElimination(bt::BtInput(), cfg), cfg).node();
+  const bool columnar = state.range(0) != 0;
+  uint64_t consumed = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto exec = T::Executor::Create(plan);
+    TIMR_CHECK(exec.ok());
+    exec.ValueOrDie()->set_columnar(columnar);
+    std::map<std::string, std::vector<T::Event>> inputs;
+    inputs.emplace(bt::kBtInput, log.events);
+    state.ResumeTiming();
+    auto out = exec.ValueOrDie()->RunBatch(std::move(inputs));
+    TIMR_CHECK(out.ok());
+    consumed = exec.ValueOrDie()->TotalEventsConsumed();
+    benchmark::DoNotOptimize(out.ValueOrDie().size());
+  }
+  state.SetItemsProcessed(state.iterations() * consumed);
+}
+BENCHMARK(BM_BtPipelineMode)
+    ->ArgNames({"columnar"})
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_Select(benchmark::State& state) {
   auto events = MakeEvents(state.range(0), 100, 1);
   auto plan = T::Query::Input("S", TwoColSchema())

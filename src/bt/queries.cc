@@ -20,7 +20,7 @@ Query PerUserBotDetector(Query user_stream, const BtQueryConfig& config) {
     return user_stream.WhereEq(kColStreamId, Value(stream_id))
         .HoppingWindow(config.profile_window, config.bot_hop)
         .Count("cnt")
-        .Where([threshold](const Row& r) { return r[0].AsInt64() > threshold; });
+        .WhereCmp("cnt", temporal::CmpOp::kGt, Value(threshold));
   };
   Query clicks = branch(kStreamClick, config.bot_click_threshold);
   Query searches = branch(kStreamKeyword, config.bot_search_threshold);
@@ -94,11 +94,13 @@ Query GenTrainData(const Query& clean_input, const BtQueryConfig& config,
   // The UBP side's key columns got collision-suffixed by Concat.
   const int keyword = js.IndexOf("KwAdId_2").ValueOrDie();
   const int kw_count = js.IndexOf("KwCount").ValueOrDie();
-  return joined.Project(
-      [=](const Row& r) {
-        return Row{r[label], r[user], r[ad], r[keyword], r[kw_count]};
-      },
-      TrainDataSchema());
+  temporal::ProjectSpec spec;
+  spec.exprs.push_back(temporal::ProjectExpr::Column("Label", label));
+  spec.exprs.push_back(temporal::ProjectExpr::Column("UserId", user));
+  spec.exprs.push_back(temporal::ProjectExpr::Column("AdId", ad));
+  spec.exprs.push_back(temporal::ProjectExpr::Column("Keyword", keyword));
+  spec.exprs.push_back(temporal::ProjectExpr::Column("KwCount", kw_count));
+  return joined.Project(std::move(spec));
 }
 
 Schema FeatureScoreSchema() {
@@ -150,11 +152,13 @@ Query FeatureScores(const Query& clean_input, const Query& train_data,
   // Rename the ad column to AdId up front so every downstream partitioning
   // key is {AdId} regardless of which side it came from — exchanges feeding
   // one fragment must agree on the key (paper footnote 1).
-  Query per_ad = clean_input.Where([](const Row& r) {
-                   return r[0].AsInt64() != kStreamKeyword;
-                 }).Project(
-      [](const Row& r) { return Row{r[0], r[2]}; },
-      Schema::Of({{"Label", ValueType::kInt64}, {"AdId", ValueType::kInt64}}));
+  temporal::ProjectSpec label_ad;
+  label_ad.exprs.push_back(temporal::ProjectExpr::Column("Label", 0));
+  label_ad.exprs.push_back(temporal::ProjectExpr::Column("AdId", 2));
+  Query per_ad =
+      clean_input
+          .WhereCmp(kColStreamId, temporal::CmpOp::kNe, Value(kStreamKeyword))
+          .Project(std::move(label_ad));
   Query train = train_data;
   if (annotation != Annotation::kNone) {
     per_ad = per_ad.Exchange(PartitionSpec::ByKeys({"AdId"}));

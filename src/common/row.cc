@@ -47,23 +47,6 @@ std::string Value::ToString() const {
   return os.str();
 }
 
-size_t Value::Hash() const {
-  switch (type()) {
-    case ValueType::kInt64:
-      return HashMix(static_cast<uint64_t>(AsInt64()) + 0x9e3779b97f4a7c15ULL);
-    case ValueType::kDouble: {
-      double d = AsDouble();
-      uint64_t bits;
-      static_assert(sizeof(bits) == sizeof(d));
-      __builtin_memcpy(&bits, &d, sizeof(bits));
-      return HashMix(bits ^ 0xc2b2ae3d27d4eb4fULL);
-    }
-    case ValueType::kString:
-      return HashBytes(AsString().data(), AsString().size());
-  }
-  return 0;
-}
-
 std::string RowToString(const Row& row) {
   std::ostringstream os;
   os << '[';
@@ -73,18 +56,6 @@ std::string RowToString(const Row& row) {
   }
   os << ']';
   return os.str();
-}
-
-size_t HashRow(const Row& row) {
-  size_t h = 0x51ed270b0a1f3c49ULL;
-  for (const Value& v : row) h = HashCombine(h, v.Hash());
-  return h;
-}
-
-size_t HashKeyOf(const Row& row, const std::vector<int>& indices) {
-  size_t h = 0x51ed270b0a1f3c49ULL;
-  for (int i : indices) h = HashCombine(h, row[i].Hash());
-  return h;
 }
 
 Result<int> Schema::IndexOf(std::string_view name) const {

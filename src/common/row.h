@@ -11,6 +11,7 @@
 #include <variant>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/status.h"
 
 namespace timr {
@@ -93,7 +94,25 @@ class Value {
   }
 
   std::string ToString() const;
-  size_t Hash() const;
+
+  /// Inline: called a handful of times per event on the group/join probe
+  /// paths, so the scalar cases must not pay an out-of-line call.
+  size_t Hash() const {
+    switch (repr_.index()) {
+      case 0:
+        return HashMix(static_cast<uint64_t>(std::get<int64_t>(repr_)) +
+                       0x9e3779b97f4a7c15ULL);
+      case 1: {
+        const double d = std::get<double>(repr_);
+        uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(d));
+        __builtin_memcpy(&bits, &d, sizeof(bits));
+        return HashMix(bits ^ 0xc2b2ae3d27d4eb4fULL);
+      }
+      default:
+        return HashBytes(AsString().data(), AsString().size());
+    }
+  }
 
  private:
   static constexpr size_t kInternedIndex = 3;
@@ -106,12 +125,21 @@ class Value {
 using Row = std::vector<Value>;
 
 std::string RowToString(const Row& row);
-size_t HashRow(const Row& row);
+
+inline size_t HashRow(const Row& row) {
+  size_t h = 0x51ed270b0a1f3c49ULL;
+  for (const Value& v : row) h = HashCombine(h, v.Hash());
+  return h;
+}
 
 /// Hash of the key row formed by `row[indices]`; by construction equal to
 /// `HashRow(ExtractKey(row, indices))` without materializing the key. Used by
 /// the heterogeneous group/join probes.
-size_t HashKeyOf(const Row& row, const std::vector<int>& indices);
+inline size_t HashKeyOf(const Row& row, const std::vector<int>& indices) {
+  size_t h = 0x51ed270b0a1f3c49ULL;
+  for (int i : indices) h = HashCombine(h, row[i].Hash());
+  return h;
+}
 
 /// \brief Ordered list of named, typed columns.
 class Schema {

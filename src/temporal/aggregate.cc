@@ -10,6 +10,7 @@ class CountAcc : public Accumulator {
  public:
   void Add(double) override { ++count_; }
   void Remove(double) override { --count_; }
+  void ApplyDelta(int64_t dn, double) override { count_ += dn; }
   Value Current() const override { return Value(count_); }
 };
 
@@ -22,6 +23,10 @@ class SumAcc : public Accumulator {
   void Remove(double v) override {
     --count_;
     sum_ -= v;
+  }
+  void ApplyDelta(int64_t dn, double dsum) override {
+    count_ += dn;
+    sum_ += dsum;
   }
   Value Current() const override { return Value(sum_); }
 
@@ -38,6 +43,10 @@ class AvgAcc : public Accumulator {
   void Remove(double v) override {
     --count_;
     sum_ -= v;
+  }
+  void ApplyDelta(int64_t dn, double dsum) override {
+    count_ += dn;
+    sum_ += dsum;
   }
   Value Current() const override {
     TIMR_DCHECK(count_ > 0);

@@ -8,8 +8,10 @@
 
 #pragma once
 
-#include <map>
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
@@ -57,9 +59,25 @@ class Accumulator {
   virtual Value Current() const = 0;
   int64_t count() const { return count_; }
 
+  /// Apply a pre-merged boundary delta (net count change `dn`, net value-sum
+  /// change `dsum`). Only scalar accumulators (Count/Sum/Avg) support this;
+  /// Min/Max need individual retractions.
+  virtual void ApplyDelta(int64_t dn, double dsum) {
+    (void)dn;
+    (void)dsum;
+    TIMR_CHECK(false) << "ApplyDelta on a non-scalar accumulator";
+  }
+
  protected:
   int64_t count_ = 0;
 };
+
+/// Whether `kind`'s accumulator state is a pure (count, sum) pair, letting
+/// boundary deltas merge into one entry per timestamp.
+inline bool ScalarAggregate(AggKind kind) {
+  return kind == AggKind::kCount || kind == AggKind::kSum ||
+         kind == AggKind::kAvg;
+}
 
 std::unique_ptr<Accumulator> MakeAccumulator(AggKind kind);
 
@@ -82,24 +100,43 @@ class AggregateOp : public UnaryOperator {
     const double v = spec_.kind == AggKind::kCount
                          ? 1.0
                          : event.payload[value_index_].AsNumeric();
-    boundaries_[event.le].push_back({v, +1});
-    boundaries_[event.re].push_back({v, -1});
+    AddBoundaries(event.le, event.re, v);
   }
 
   void OnCti(Timestamp t) override {
     // Finalize every snapshot [b_i, b_{i+1}) with b_{i+1} <= t.
-    while (!boundaries_.empty() && boundaries_.begin()->first <= t) {
-      const Timestamp b = boundaries_.begin()->first;
-      FlushOpenSnapshot(b);
-      for (const Delta& d : boundaries_.begin()->second) {
-        if (d.sign > 0) {
-          acc_->Add(d.value);
-        } else {
-          acc_->Remove(d.value);
-        }
+    if (internal::ScalarAggregate(spec_.kind)) {
+      size_t i = nb_head_;
+      const size_t n = num_boundaries_.size();
+      while (i < n && num_boundaries_[i].t <= t) {
+        const NumBound& nb = num_boundaries_[i];
+        FlushOpenSnapshot(nb.t);
+        acc_->ApplyDelta(nb.d.dcount, nb.d.dsum);
+        open_since_ = nb.t;
+        ++i;
       }
-      boundaries_.erase(boundaries_.begin());
-      open_since_ = b;
+      nb_head_ = i;
+      // Reclaim the flushed prefix once it dominates the buffer.
+      if (nb_head_ > 64 && nb_head_ * 2 > num_boundaries_.size()) {
+        num_boundaries_.erase(num_boundaries_.begin(),
+                              num_boundaries_.begin() +
+                                  static_cast<ptrdiff_t>(nb_head_));
+        nb_head_ = 0;
+      }
+    } else {
+      while (!boundaries_.empty() && boundaries_.begin()->first <= t) {
+        const Timestamp b = boundaries_.begin()->first;
+        FlushOpenSnapshot(b);
+        for (const Delta& d : boundaries_.begin()->second) {
+          if (d.sign > 0) {
+            acc_->Add(d.value);
+          } else {
+            acc_->Remove(d.value);
+          }
+        }
+        boundaries_.erase(boundaries_.begin());
+        open_since_ = b;
+      }
     }
     flushed_to_ = t;
     // Future output LEs are at least the start of the still-open snapshot (if
@@ -107,11 +144,87 @@ class AggregateOp : public UnaryOperator {
     EmitCti(acc_->count() > 0 ? open_since_ : t);
   }
 
+  void OnBatch(EventBatch&& batch) override {
+    // Columnar kernel: read le/re and the value column directly, one
+    // AddBoundaries call per row, CTI marks handled in stream order. A string
+    // value column (AsNumeric would reject it anyway) falls back to rows.
+    if (batch.columnar() &&
+        (spec_.kind == AggKind::kCount ||
+         batch.columnar_payload().col(value_index_).type !=
+             ValueType::kString)) {
+      const ColumnarPayload& p = batch.columnar_payload();
+      const bool count_only = spec_.kind == AggKind::kCount;
+      const Column* vc = count_only ? nullptr : &p.col(value_index_);
+      const Timestamp* le = p.le().data();
+      const Timestamp* re = p.re().data();
+      const auto& marks = batch.ctis();
+      const size_t n = p.num_rows();
+      size_t m = 0;
+      for (size_t i = 0; i < n; ++i) {
+        for (; m < marks.size() && marks[m].pos <= i; ++m) OnCti(marks[m].t);
+        CountConsumed();
+        TIMR_DCHECK(le[i] >= flushed_to_) << "event arrived below aggregate CTI";
+        const double v =
+            count_only ? 1.0
+                       : (vc->type == ValueType::kInt64
+                              ? static_cast<double>(vc->i64[i])
+                              : vc->f64[i]);
+        AddBoundaries(le[i], re[i], v);
+      }
+      for (; m < marks.size(); ++m) OnCti(marks[m].t);
+      batch.Clear();
+      return;
+    }
+    batch.EnsureRows();
+    // Row path in bulk: same per-event calls without per-item virtual hops.
+    auto& events = batch.events();
+    const auto& marks = batch.ctis();
+    size_t m = 0;
+    for (size_t i = 0; i < events.size(); ++i) {
+      for (; m < marks.size() && marks[m].pos <= i; ++m) OnCti(marks[m].t);
+      OnEvent(std::move(events[i]));
+    }
+    for (; m < marks.size(); ++m) OnCti(marks[m].t);
+    batch.Clear();
+  }
+
  private:
   struct Delta {
     double value;
     int sign;
   };
+  /// Net boundary change for scalar aggregates: one entry per timestamp,
+  /// merged in stream arrival order (deterministic for any batching).
+  struct NumDelta {
+    int64_t dcount = 0;
+    double dsum = 0;
+  };
+
+  void AddBoundaries(Timestamp le, Timestamp re, double v) {
+    if (internal::ScalarAggregate(spec_.kind)) {
+      AddNumBoundary(le, +1, v);
+      AddNumBoundary(re, -1, -v);
+    } else {
+      boundaries_[le].push_back({v, +1});
+      boundaries_[re].push_back({v, -1});
+    }
+  }
+
+  void AddNumBoundary(Timestamp t, int64_t dcount, double dsum) {
+    // LE arrives non-decreasing and RE trails a window width behind the
+    // stream head, so new boundaries land at or near the back of the pending
+    // range — binary-search there instead of paying a tree node per entry.
+    auto first = num_boundaries_.begin() + static_cast<ptrdiff_t>(nb_head_);
+    auto it = std::lower_bound(
+        first, num_boundaries_.end(), t,
+        [](const NumBound& nb, Timestamp ts) { return nb.t < ts; });
+    if (it != num_boundaries_.end() && it->t == t) {
+      it->d.dcount += dcount;
+      it->d.dsum += dsum;
+      return;
+    }
+    num_boundaries_.insert(it, NumBound{t, {dcount, dsum}});
+  }
 
   void FlushOpenSnapshot(Timestamp upto) {
     if (acc_->count() > 0 && upto > open_since_) {
@@ -122,7 +235,15 @@ class AggregateOp : public UnaryOperator {
   AggregateSpec spec_;
   int value_index_;
   std::unique_ptr<internal::Accumulator> acc_;
-  std::map<Timestamp, std::vector<Delta>> boundaries_;
+  struct NumBound {
+    Timestamp t;
+    NumDelta d;
+  };
+
+  std::map<Timestamp, std::vector<Delta>> boundaries_;  // Min/Max
+  /// Count/Sum/Avg: time-ordered flat deltas; [0, nb_head_) is flushed.
+  std::vector<NumBound> num_boundaries_;
+  size_t nb_head_ = 0;
   Timestamp open_since_ = kMinTime;
   Timestamp flushed_to_ = kMinTime;
 };

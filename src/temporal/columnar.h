@@ -1,0 +1,283 @@
+// Columnar payload layout for EventBatch (struct-of-arrays), plus the
+// vectorized operator kernels that run over it.
+//
+// A columnar batch stores le/re timestamps and each payload field as its own
+// contiguous vector (int64 / double / interned-string-id columns), with a
+// validity bitmask doubling as the selection bitmap: kernels clear bits for
+// dropped rows and one Compact() pass applies the selection while remapping
+// the batch's positional CTI marks, exactly like EventBatch::FilterEvents
+// does on the row path. String cells are dictionary-encoded per batch against
+// the process-wide intern table, so equality compares and key hashing work on
+// small integer ids with per-id content hashes precomputed once.
+//
+// The kernels (columnar.cc) are simple index loops the compiler can
+// auto-vectorize at -O2; the TIMR_SIMD CMake toggle adds `#pragma omp simd`
+// where it pays. Operators without a columnar implementation (UDOs, opaque
+// std::function predicates) fall back to the row path automatically via
+// EventBatch::EnsureRows().
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/row.h"
+#include "temporal/time.h"
+
+namespace timr::temporal {
+
+struct SelectSpec;
+struct ProjectSpec;
+struct AlterLifetimeSpec;
+
+/// Per-batch string dictionary. Entries are interned Values (shared
+/// allocations from the process-wide table), keyed by their canonical string
+/// pointer, so interning the same content twice is a hash-map hit and the
+/// content hash of every id is computed exactly once.
+class StringDict {
+ public:
+  uint32_t Intern(const Value& v) {
+    Value iv = v.is_interned() ? v : Value::Interned(v.AsString());
+    const std::string* p = &iv.AsString();
+    auto [it, inserted] =
+        ids_.try_emplace(p, static_cast<uint32_t>(values_.size()));
+    if (inserted) {
+      hashes_.push_back(iv.Hash());
+      values_.push_back(std::move(iv));
+    }
+    return it->second;
+  }
+
+  /// Id of `lit`'s content in this batch, or -1 when no cell equals it.
+  int64_t Find(const Value& lit) const {
+    Value iv = lit.is_interned() ? lit : Value::Interned(lit.AsString());
+    // The pointer targets the process-wide intern table entry, which outlives
+    // the temporary Value handle.
+    auto it = ids_.find(&iv.AsString());
+    return it == ids_.end() ? -1 : static_cast<int64_t>(it->second);
+  }
+
+  const Value& ValueAt(uint32_t id) const { return values_[id]; }
+  uint64_t HashAt(uint32_t id) const { return hashes_[id]; }
+  size_t size() const { return values_.size(); }
+
+  void Clear() {
+    values_.clear();
+    hashes_.clear();
+    ids_.clear();
+  }
+
+ private:
+  std::vector<Value> values_;
+  std::vector<uint64_t> hashes_;  // Value::Hash of each entry (content hash)
+  std::unordered_map<const std::string*, uint32_t> ids_;
+};
+
+/// One payload column: exactly one of the typed vectors is populated,
+/// matching `type`.
+struct Column {
+  ValueType type = ValueType::kInt64;
+  std::vector<int64_t> i64;
+  std::vector<double> f64;
+  std::vector<uint32_t> sid;  // ids into the batch StringDict
+
+  void ClearRows() {
+    i64.clear();
+    f64.clear();
+    sid.clear();
+  }
+};
+
+/// The struct-of-arrays half of EventBatch: le/re columns, typed payload
+/// columns, the batch dictionary, and the validity/selection mask.
+class ColumnarPayload {
+ public:
+  /// Reset to an empty batch with `payload_schema`'s column types. Keeps
+  /// vector capacities (pooled reuse).
+  void Begin(const Schema& payload_schema) {
+    ClearAll();
+    cols_.resize(payload_schema.num_fields());
+    for (size_t i = 0; i < cols_.size(); ++i) {
+      cols_[i].type = payload_schema.field(i).type;
+      cols_[i].ClearRows();
+    }
+  }
+
+  size_t num_rows() const { return le_.size(); }
+  size_t num_cols() const { return cols_.size(); }
+
+  /// Append one event if every cell's dynamic type matches its column;
+  /// returns false (batch unchanged) otherwise — the caller then falls back
+  /// to the row representation.
+  bool TryAppend(Timestamp le, Timestamp re, const Row& payload) {
+    TIMR_DCHECK(all_valid_) << "append after selection started";
+    if (payload.size() != cols_.size()) return false;
+    for (size_t c = 0; c < cols_.size(); ++c) {
+      if (payload[c].type() != cols_[c].type) return false;
+    }
+    le_.push_back(le);
+    re_.push_back(re);
+    for (size_t c = 0; c < cols_.size(); ++c) {
+      switch (cols_[c].type) {
+        case ValueType::kInt64:
+          cols_[c].i64.push_back(payload[c].AsInt64());
+          break;
+        case ValueType::kDouble:
+          cols_[c].f64.push_back(payload[c].AsDouble());
+          break;
+        case ValueType::kString:
+          cols_[c].sid.push_back(dict_.Intern(payload[c]));
+          break;
+      }
+    }
+    return true;
+  }
+
+  Value ValueAt(size_t r, size_t c) const {
+    const Column& col = cols_[c];
+    switch (col.type) {
+      case ValueType::kInt64: return Value(col.i64[r]);
+      case ValueType::kDouble: return Value(col.f64[r]);
+      case ValueType::kString: return dict_.ValueAt(col.sid[r]);
+    }
+    return Value();
+  }
+
+  Row MaterializeRow(size_t r) const {
+    Row row;
+    row.reserve(cols_.size());
+    for (size_t c = 0; c < cols_.size(); ++c) row.push_back(ValueAt(r, c));
+    return row;
+  }
+
+  std::vector<Timestamp>& le() { return le_; }
+  const std::vector<Timestamp>& le() const { return le_; }
+  std::vector<Timestamp>& re() { return re_; }
+  const std::vector<Timestamp>& re() const { return re_; }
+  Column& col(size_t c) { return cols_[c]; }
+  const Column& col(size_t c) const { return cols_[c]; }
+  StringDict& dict() { return dict_; }
+  const StringDict& dict() const { return dict_; }
+
+  /// True while no selection is pending: every row is live.
+  bool all_valid() const { return all_valid_; }
+
+  /// Materialize the all-ones mask so a kernel can clear bits; word w bit b
+  /// covers row w*64+b.
+  std::vector<uint64_t>& EnsureValidity() {
+    if (all_valid_) {
+      validity_.assign((num_rows() + 63) / 64, ~uint64_t{0});
+      all_valid_ = false;
+    }
+    return validity_;
+  }
+
+  bool RowValid(size_t r) const {
+    return all_valid_ || ((validity_[r >> 6] >> (r & 63)) & 1) != 0;
+  }
+
+  /// Apply the selection mask in one compaction pass: live rows keep their
+  /// relative order; positional `marks` (any type with a `pos` member) are
+  /// remapped exactly as EventBatch::FilterEvents remaps CTI marks.
+  template <class Mark>
+  void Compact(std::vector<Mark>* marks) {
+    if (all_valid_) return;
+    const size_t n = num_rows();
+    size_t w = 0;
+    size_t m = 0;
+    for (size_t r = 0; r < n; ++r) {
+      if (marks != nullptr) {
+        for (; m < marks->size() && (*marks)[m].pos <= r; ++m) {
+          (*marks)[m].pos = w;
+        }
+      }
+      if (((validity_[r >> 6] >> (r & 63)) & 1) == 0) continue;
+      if (w != r) MoveRow(r, w);
+      ++w;
+    }
+    if (marks != nullptr) {
+      for (; m < marks->size(); ++m) (*marks)[m].pos = w;
+    }
+    Resize(w);
+    validity_.clear();
+    all_valid_ = true;
+  }
+
+  /// Swap the payload columns wholesale (project kernel); le/re, marks, dict,
+  /// and validity are untouched.
+  void ReplaceColumns(std::vector<Column>* new_cols) { cols_.swap(*new_cols); }
+
+  /// Drop all rows and dictionary entries; keep capacities for reuse.
+  void ClearAll() {
+    le_.clear();
+    re_.clear();
+    validity_.clear();
+    all_valid_ = true;
+    dict_.Clear();
+    for (Column& c : cols_) c.ClearRows();
+  }
+
+  /// Whether this payload holds reusable buffer capacity worth pooling.
+  bool AnyCapacity() const { return le_.capacity() != 0 || !cols_.empty(); }
+
+ private:
+  void MoveRow(size_t r, size_t w) {
+    le_[w] = le_[r];
+    re_[w] = re_[r];
+    for (Column& c : cols_) {
+      switch (c.type) {
+        case ValueType::kInt64: c.i64[w] = c.i64[r]; break;
+        case ValueType::kDouble: c.f64[w] = c.f64[r]; break;
+        case ValueType::kString: c.sid[w] = c.sid[r]; break;
+      }
+    }
+  }
+
+  void Resize(size_t n) {
+    le_.resize(n);
+    re_.resize(n);
+    for (Column& c : cols_) {
+      switch (c.type) {
+        case ValueType::kInt64: c.i64.resize(n); break;
+        case ValueType::kDouble: c.f64.resize(n); break;
+        case ValueType::kString: c.sid.resize(n); break;
+      }
+    }
+  }
+
+  std::vector<Timestamp> le_;
+  std::vector<Timestamp> re_;
+  std::vector<Column> cols_;
+  StringDict dict_;
+  std::vector<uint64_t> validity_;
+  bool all_valid_ = true;
+};
+
+// ---------------------------------------------------------------------------
+// Vectorized kernels (columnar.cc). All of them require a fully-live payload
+// (all_valid) on entry; EvalSelectColumnar and a row-dropping
+// ApplyAlterColumnar leave a pending selection the caller applies with
+// EventBatch::CompactColumnar().
+
+/// Evaluate the conjunction as per-column compare loops into the selection
+/// bitmap. The spec must be type-validated against the payload schema.
+void EvalSelectColumnar(ColumnarPayload& payload, const SelectSpec& spec);
+
+/// Rebuild the payload columns per the projection (column copy / constant
+/// fill / arithmetic loops).
+void ApplyProjectColumnar(ColumnarPayload& payload, const ProjectSpec& spec);
+
+/// Rewrite le/re per the lifetime spec. Returns true when rows were dropped
+/// into the selection bitmap (kHop events touching no boundary).
+bool ApplyAlterColumnar(ColumnarPayload& payload, const AlterLifetimeSpec& spec);
+
+/// Per-row hash of the key columns, bit-identical to
+/// HashKeyOf(materialized_row, key_indices) — required so columnar probes hit
+/// the same hash-map buckets as row-path inserts.
+void ComputeKeyHashes(const ColumnarPayload& payload,
+                      const std::vector<int>& key_indices,
+                      std::vector<uint64_t>* out);
+
+}  // namespace timr::temporal

@@ -44,6 +44,17 @@ class ConformanceCheckOp : public UnaryOperator {
   /// two virtual calls per event.
   void OnBatch(EventBatch&& batch) override {
     CountConsumedN(batch.NumEvents());
+    if (batch.columnar()) {
+      // Validate straight off the le/re columns. The overwhelmingly common
+      // case is a clean batch, which is forwarded still-columnar with zero
+      // materialization; only a batch with violations drops to the row path
+      // (which rebuilds its cursor state from scratch, so rewind trackers).
+      if (CleanColumnarScan(batch)) {
+        EmitBatch(std::move(batch));
+        return;
+      }
+      batch.EnsureRows();
+    }
     auto& events = batch.events();
     auto& marks = batch.mutable_ctis();
     size_t w = 0;   // events write cursor
@@ -70,6 +81,36 @@ class ConformanceCheckOp : public UnaryOperator {
   const std::vector<std::string>& violations() const { return violations_; }
 
  private:
+  /// One read-only pass over a columnar batch's le/re columns and CTI marks.
+  /// Returns true (trackers advanced) iff every check passes; on the first
+  /// violation returns false with trackers untouched, so the row path re-runs
+  /// the full recording logic from the same starting state.
+  bool CleanColumnarScan(const EventBatch& batch) {
+    const ColumnarPayload& p = batch.columnar_payload();
+    const Timestamp* le = p.le().data();
+    const Timestamp* re = p.re().data();
+    const auto& marks = batch.ctis();
+    const size_t n = p.num_rows();
+    Timestamp cti = last_cti_;
+    Timestamp last_le = last_le_;
+    size_t m = 0;
+    for (size_t i = 0; i < n; ++i) {
+      for (; m < marks.size() && marks[m].pos <= i; ++m) {
+        if (marks[m].t < cti) return false;
+        cti = marks[m].t;
+      }
+      if (le[i] >= re[i] || le[i] < cti || le[i] < last_le) return false;
+      last_le = le[i];
+    }
+    for (; m < marks.size(); ++m) {
+      if (marks[m].t < cti) return false;
+      cti = marks[m].t;
+    }
+    last_cti_ = cti;
+    last_le_ = last_le;
+    return true;
+  }
+
   /// Returns whether the event conforms (and may be forwarded); records and
   /// signals drop otherwise. Updates the LE-order tracker.
   bool CheckEvent(const Event& event) {

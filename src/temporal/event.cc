@@ -53,6 +53,7 @@ std::map<Row, StepFunction, RowOrder> Normalize(const std::vector<Event>& events
 struct BatchStorage {
   std::vector<Event> events;
   std::vector<EventBatch::CtiMark> ctis;
+  ColumnarPayload payload;
 };
 
 std::vector<BatchStorage>& BatchPool() {
@@ -69,24 +70,54 @@ EventBatch::EventBatch() {
   if (!pool.empty()) {
     events_ = std::move(pool.back().events);
     ctis_ = std::move(pool.back().ctis);
+    payload_ = std::move(pool.back().payload);
     pool.pop_back();
   }
 }
 
 EventBatch::~EventBatch() {
-  if (events_.capacity() == 0 && ctis_.capacity() == 0) return;
+  if (events_.capacity() == 0 && ctis_.capacity() == 0 &&
+      !payload_.AnyCapacity()) {
+    return;
+  }
   auto& pool = BatchPool();
   if (pool.size() >= kBatchPoolMax) return;
   events_.clear();
   ctis_.clear();
-  pool.push_back(BatchStorage{std::move(events_), std::move(ctis_)});
+  payload_.ClearAll();
+  pool.push_back(
+      BatchStorage{std::move(events_), std::move(ctis_), std::move(payload_)});
 }
 
 EventBatch EventBatch::Clone() const {
   EventBatch copy;
   copy.events_.assign(events_.begin(), events_.end());
   copy.ctis_.assign(ctis_.begin(), ctis_.end());
+  if (columnar_) {
+    copy.payload_ = payload_;
+    copy.columnar_ = true;
+  }
   return copy;
+}
+
+void EventBatch::EnsureRows() {
+  if (!columnar_) return;
+  TIMR_DCHECK(payload_.all_valid()) << "EnsureRows with a pending selection";
+  const size_t n = payload_.num_rows();
+  events_.clear();
+  events_.reserve(n);
+  for (size_t r = 0; r < n; ++r) {
+    // Direct member assignment: the Event constructor DCHECKs re > le, but a
+    // columnar batch may carry not-yet-conformance-checked data that the row
+    // path is expected to see (and reject) as-is.
+    Event e;
+    e.le = payload_.le()[r];
+    e.re = payload_.re()[r];
+    e.payload = payload_.MaterializeRow(r);
+    events_.push_back(std::move(e));
+  }
+  payload_.ClearAll();
+  columnar_ = false;
 }
 
 void SortEventsCanonical(std::vector<Event>* events) {

@@ -7,6 +7,7 @@
 
 #include "common/logging.h"
 #include "common/row.h"
+#include "temporal/columnar.h"
 #include "temporal/time.h"
 
 namespace timr::temporal {
@@ -57,6 +58,14 @@ struct Event {
 /// Batch storage is pooled per thread: destroying a batch returns its vectors
 /// to a small freelist the next default-constructed batch reuses, so a
 /// steady-state pipeline performs O(1) allocations per batch, not O(events).
+///
+/// A batch holds its events in exactly one of two representations:
+///  - row mode (the default): a vector<Event> of materialized rows;
+///  - columnar mode: a ColumnarPayload of per-field vectors with le/re as
+///    their own columns, entered via BeginColumnar()/TryAppendColumnar().
+/// CTI marks are positional in both modes. EnsureRows() converts columnar →
+/// rows in place; it is called automatically by Drain(), so every per-event
+/// consumer (UDOs, operators without columnar kernels) works unchanged.
 class EventBatch {
  public:
   struct CtiMark {
@@ -75,23 +84,74 @@ class EventBatch {
   /// Deep copy (used by multicast fan-out; the last sink gets the original).
   EventBatch Clone() const;
 
-  void Add(Event event) { events_.push_back(std::move(event)); }
+  void Add(Event event) {
+    TIMR_DCHECK(!columnar_);
+    events_.push_back(std::move(event));
+  }
 
   /// Record CTI(t) before the next added event. Consecutive marks at the same
   /// position coalesce to the largest t (the earlier ones would be stale).
   void AddCti(Timestamp t) {
-    if (!ctis_.empty() && ctis_.back().pos == events_.size()) {
+    if (!ctis_.empty() && ctis_.back().pos == NumEvents()) {
       if (t > ctis_.back().t) ctis_.back().t = t;
       return;
     }
-    ctis_.push_back({events_.size(), t});
+    ctis_.push_back({NumEvents(), t});
   }
 
-  bool Empty() const { return events_.empty() && ctis_.empty(); }
-  size_t NumEvents() const { return events_.size(); }
+  bool Empty() const { return NumEvents() == 0 && ctis_.empty(); }
+  size_t NumEvents() const {
+    return columnar_ ? payload_.num_rows() : events_.size();
+  }
   void Clear() {
     events_.clear();
     ctis_.clear();
+    if (columnar_) {
+      payload_.ClearAll();
+      columnar_ = false;
+    }
+  }
+
+  // --- Columnar mode -------------------------------------------------------
+
+  /// Switch this (empty) batch into columnar mode with the given payload
+  /// schema. Subsequent events are appended with TryAppendColumnar.
+  void BeginColumnar(const Schema& payload_schema) {
+    TIMR_DCHECK(Empty());
+    payload_.Begin(payload_schema);
+    columnar_ = true;
+  }
+
+  /// Append one event to the columnar payload; returns false (batch
+  /// unchanged) if the row's dynamic types do not match the column types, in
+  /// which case the producer must EnsureRows() and fall back to Add().
+  bool TryAppendColumnar(Timestamp le, Timestamp re, const Row& payload) {
+    TIMR_DCHECK(columnar_);
+    return payload_.TryAppend(le, re, payload);
+  }
+
+  bool columnar() const { return columnar_; }
+  ColumnarPayload& columnar_payload() { return payload_; }
+  const ColumnarPayload& columnar_payload() const { return payload_; }
+
+  /// Apply a pending selection in the columnar payload, remapping CTI marks.
+  void CompactColumnar() {
+    TIMR_DCHECK(columnar_);
+    payload_.Compact(&ctis_);
+  }
+
+  /// Convert columnar → row representation in place (no-op in row mode).
+  /// This is the universal fallback for consumers without columnar kernels.
+  void EnsureRows();
+
+  /// LE of event `i` in either representation.
+  Timestamp LeAt(size_t i) const {
+    return columnar_ ? payload_.le()[i] : events_[i].le;
+  }
+
+  /// LE of the last event (batch must be non-empty).
+  Timestamp LastLe() const {
+    return columnar_ ? payload_.le().back() : events_.back().le;
   }
 
   std::vector<Event>& events() { return events_; }
@@ -100,9 +160,11 @@ class EventBatch {
   const std::vector<CtiMark>& ctis() const { return ctis_; }
 
   /// Replay the batch in stream order, moving events out; leaves the batch
-  /// empty. This is the per-event fallback path.
+  /// empty. This is the per-event fallback path (columnar batches are
+  /// materialized first).
   template <class EventFn, class CtiFn>
   void Drain(EventFn&& on_event, CtiFn&& on_cti) {
+    EnsureRows();
     size_t m = 0;
     for (size_t i = 0; i < events_.size(); ++i) {
       for (; m < ctis_.size() && ctis_[m].pos <= i; ++m) on_cti(ctis_[m].t);
@@ -117,6 +179,7 @@ class EventBatch {
   /// The single pass batched stateless operators are built on.
   template <class Fn>
   void FilterEvents(Fn&& fn) {
+    TIMR_DCHECK(!columnar_) << "FilterEvents on a columnar batch";
     size_t w = 0;
     size_t m = 0;
     for (size_t r = 0; r < events_.size(); ++r) {
@@ -153,6 +216,8 @@ class EventBatch {
  private:
   std::vector<Event> events_;
   std::vector<CtiMark> ctis_;
+  ColumnarPayload payload_;
+  bool columnar_ = false;
 };
 
 /// Sort events by (le, re) then payload, for canonical comparisons in tests.

@@ -23,18 +23,39 @@ class Executor::InputNode : public UnaryOperator {
   void OnBatch(EventBatch&& batch) override {
     // Same always-on ordering check the per-event path performs, one compare
     // per event instead of one virtual call per event.
-    for (const Event& e : batch.events()) {
-      TIMR_CHECK(e.le >= last_le_)
-          << "source events must be pushed in non-decreasing LE order ("
-          << e.le << " after " << last_le_ << ")";
-      last_le_ = e.le;
+    if (batch.columnar()) {
+      for (Timestamp le : batch.columnar_payload().le()) {
+        TIMR_CHECK(le >= last_le_)
+            << "source events must be pushed in non-decreasing LE order ("
+            << le << " after " << last_le_ << ")";
+        last_le_ = le;
+      }
+    } else {
+      for (const Event& e : batch.events()) {
+        TIMR_CHECK(e.le >= last_le_)
+            << "source events must be pushed in non-decreasing LE order ("
+            << e.le << " after " << last_le_ << ")";
+        last_le_ = e.le;
+      }
     }
     CountConsumedN(batch.NumEvents());
     EmitBatch(std::move(batch));
   }
 
+  /// Build-time ingest decision: `prefer` is true when at least one direct
+  /// consumer of this source executes columnar batches natively, so RunBatch
+  /// knows whether building columnar morsels for it can pay off.
+  void ConfigureColumnarIngest(Schema payload_schema, bool prefer) {
+    payload_schema_ = std::move(payload_schema);
+    prefer_columnar_ = prefer;
+  }
+  bool prefer_columnar() const { return prefer_columnar_; }
+  const Schema& payload_schema() const { return payload_schema_; }
+
  private:
   Timestamp last_le_ = kMinTime;
+  Schema payload_schema_;
+  bool prefer_columnar_ = false;
 };
 
 namespace {
@@ -55,19 +76,28 @@ class NetworkBuilder {
     }
     auto it = memo_.find(node.get());
     if (it != memo_.end()) return it->second;
+    if (node->kind == OpKind::kExchange) {
+      // Single-node execution: an exchange is pure routing, so its consumers
+      // bind straight to the producer instead of paying a per-event
+      // passthrough hop (the annotated BT plan crosses several exchanges).
+      TIMR_RETURN_NOT_OK(node->OutputSchema().status());
+      TIMR_ASSIGN_OR_RETURN(Operator * child, Build(node->children[0]));
+      memo_[node.get()] = child;
+      return child;
+    }
     TIMR_ASSIGN_OR_RETURN(Operator * fused, TryFuse(node));
     if (fused != nullptr) return fused;
     TIMR_ASSIGN_OR_RETURN(Operator * op, Create(node));
     memo_[node.get()] = op;
     for (size_t i = 0; i < node->children.size(); ++i) {
-      TIMR_ASSIGN_OR_RETURN(Operator * child, Build(node->children[i]));
-      child->AddOutput(op->InputPort(static_cast<int>(i)));
+      TIMR_RETURN_NOT_OK(
+          WireChild(node->children[i], op->InputPort(static_cast<int>(i))));
     }
     return op;
   }
 
-  /// The operator built for the (unique) kSubplanInput leaf, if any.
-  Operator* subplan_entry() const { return subplan_entry_; }
+  /// The sink feeding the (unique) kSubplanInput leaf, if any.
+  EventSink* subplan_sink() const { return subplan_sink_; }
 
  private:
   static bool Fusable(const PlanNode* n) {
@@ -77,8 +107,92 @@ class NetworkBuilder {
 
   void CountParents(const PlanNode* n) {
     for (const auto& c : n->children) {
+      rparents_[c.get()].push_back(n);
       if (++parents_[c.get()] == 1) CountParents(c.get());
     }
+  }
+
+  /// Whether the physical operator for `n` consumes columnar batches natively
+  /// (i.e. does useful vectorized work before — or without — materializing
+  /// rows). Pure pass-throughs recurse to *their* consumers: converting at
+  /// ingest is only worthwhile if something downstream of the pass-through
+  /// runs a kernel.
+  bool ConsumerLikesColumnar(const PlanNode* n) {
+    switch (n->kind) {
+      case OpKind::kSelect:
+        return n->select_spec.has_value();
+      case OpKind::kProject:
+        return n->project_spec.has_value();
+      case OpKind::kAlterLifetime:
+        return true;
+      case OpKind::kAggregate: {
+        if (n->agg.kind == AggKind::kCount) return true;
+        auto in = n->children[0]->OutputSchema();
+        if (!in.ok()) return false;
+        auto idx = in.ValueOrDie().IndexOf(n->agg.value_column);
+        if (!idx.ok()) return false;
+        return in.ValueOrDie().field(idx.ValueOrDie()).type !=
+               ValueType::kString;
+      }
+      case OpKind::kGroupApply:
+      case OpKind::kTemporalJoin:
+      case OpKind::kAntiSemiJoin:
+        // Their ports bulk-hash keys off raw columns, but each event still
+        // materializes a Row for the synopsis, so building columnar morsels
+        // for them costs more at ingest than the hashing saves (measured ~1x
+        // on the join-probe kernel). Columnar batches produced by upstream
+        // kernels are still consumed natively.
+        return false;
+      case OpKind::kExchange:
+      case OpKind::kConformanceCheck: {
+        // Pure pass-throughs inherit their consumers' preference — all of
+        // them, for the same fan-out reason as PrefersColumnar.
+        const auto& ps = rparents_[n];
+        if (ps.empty()) return false;
+        for (const PlanNode* p : ps) {
+          if (!ConsumerLikesColumnar(p)) return false;
+        }
+        return true;
+      }
+      case OpKind::kInput:
+      case OpKind::kSubplanInput:
+      case OpKind::kUnion:
+      case OpKind::kUdo:
+        return false;
+    }
+    return false;
+  }
+
+  /// Whether every direct consumer of plan node `n` benefits from columnar
+  /// input. All, not any: a multicast clones the morsel per consumer, and a
+  /// row-bound consumer re-materializes its whole clone, which costs more
+  /// than the columnar consumers save (measured on the BT pipeline, where
+  /// mixed fan-out made any-consumer ingest a net loss).
+  bool PrefersColumnar(const PlanNode* n) {
+    const auto& ps = rparents_[n];
+    if (ps.empty()) return false;
+    for (const PlanNode* p : ps) {
+      if (!ConsumerLikesColumnar(p)) return false;
+    }
+    return true;
+  }
+
+  /// Builds `child` and connects its output to `port`. A single-consumer
+  /// kSubplanInput leaf gets no operator of its own: the group instance's
+  /// input feeds `port` directly, sparing every routed event (and every
+  /// broadcast CTI) a passthrough hop in every group instance. Multi-consumer
+  /// leaves still build a PassthroughOp in Create as the fan-out node.
+  Status WireChild(const PlanNodePtr& child, EventSink* port) {
+    if (child->kind == OpKind::kSubplanInput && parents_[child.get()] == 1) {
+      if (subplan_sink_ != nullptr) {
+        return Status::Invalid("group sub-plan has multiple input leaves");
+      }
+      subplan_sink_ = port;
+      return Status::OK();
+    }
+    TIMR_ASSIGN_OR_RETURN(Operator * op, Build(child));
+    op->AddOutput(port);
+    return Status::OK();
   }
 
   /// Collapses a maximal chain of adjacent stateless nodes (head `node`, then
@@ -104,10 +218,12 @@ class NetworkBuilder {
       TIMR_RETURN_NOT_OK(n->OutputSchema().status());
       switch (n->kind) {
         case OpKind::kSelect:
-          steps.push_back(FusedStatelessOp::Step::Select(n->pred));
+          steps.push_back(
+              FusedStatelessOp::Step::Select(n->pred, n->select_spec));
           break;
         case OpKind::kProject:
-          steps.push_back(FusedStatelessOp::Step::Project(n->project_fn));
+          steps.push_back(
+              FusedStatelessOp::Step::Project(n->project_fn, n->project_spec));
           break;
         default:
           steps.push_back(FusedStatelessOp::Step::Alter(n->alter));
@@ -116,8 +232,7 @@ class NetworkBuilder {
     }
     Operator* op = Register(std::make_shared<FusedStatelessOp>(std::move(steps)));
     memo_[node.get()] = op;
-    TIMR_ASSIGN_OR_RETURN(Operator * upstream, Build(tail->children[0]));
-    upstream->AddOutput(op->InputPort(0));
+    TIMR_RETURN_NOT_OK(WireChild(tail->children[0], op->InputPort(0)));
     return op;
   }
 
@@ -130,25 +245,38 @@ class NetworkBuilder {
         if (inputs_->count(node->name)) {
           return Status::Invalid("duplicate input name: " + node->name);
         }
+        op->ConfigureColumnarIngest(node->input_schema,
+                                    PrefersColumnar(node.get()));
         (*inputs_)[node->name] = op.get();
         return Register(std::move(op));
       }
       case OpKind::kSubplanInput: {
-        if (subplan_entry_ != nullptr) {
+        // Reached only when the leaf has several consumers (or is itself the
+        // sub-plan root); the passthrough is the shared fan-out node.
+        if (subplan_sink_ != nullptr) {
           return Status::Invalid("group sub-plan has multiple input leaves");
         }
         Operator* op = Register(std::make_shared<PassthroughOp>());
-        subplan_entry_ = op;
+        subplan_sink_ = op->InputPort(0);
         return op;
       }
       case OpKind::kSelect:
+        if (node->select_spec.has_value()) {
+          return Register(std::make_shared<SelectOp>(*node->select_spec));
+        }
         return Register(std::make_shared<SelectOp>(node->pred));
       case OpKind::kProject:
+        if (node->project_spec.has_value()) {
+          TIMR_ASSIGN_OR_RETURN(Schema in, node->children[0]->OutputSchema());
+          return Register(
+              std::make_shared<ProjectOp>(*node->project_spec, in));
+        }
         return Register(std::make_shared<ProjectOp>(node->project_fn));
       case OpKind::kAlterLifetime:
         return Register(std::make_shared<AlterLifetimeOp>(node->alter));
       case OpKind::kExchange:
-        // Single-node execution: an exchange is a no-op passthrough.
+        // Normally elided in Build(); a passthrough preserves behavior if an
+        // exchange ever reaches physical creation.
         return Register(std::make_shared<PassthroughOp>());
       case OpKind::kConformanceCheck:
         return Register(std::make_shared<ConformanceCheckOp>(node->name));
@@ -172,9 +300,9 @@ class NetworkBuilder {
           auto root = b.Build(sub);
           TIMR_CHECK(root.ok()) << root.status().ToString();
           root.ValueOrDie()->AddOutput(output);
-          TIMR_CHECK(b.subplan_entry() != nullptr)
+          TIMR_CHECK(b.subplan_sink() != nullptr)
               << "group sub-plan has no input leaf";
-          return std::make_unique<SubPlanNetwork>(b.subplan_entry()->InputPort(0),
+          return std::make_unique<SubPlanNetwork>(b.subplan_sink(),
                                                   std::move(ops));
         };
         return Register(std::make_shared<GroupApplyOp>(std::move(key_idx),
@@ -216,8 +344,9 @@ class NetworkBuilder {
   std::map<std::string, Executor::InputNode*>* inputs_;
   std::unordered_map<const PlanNode*, Operator*> memo_;
   std::unordered_map<const PlanNode*, int> parents_;
+  std::unordered_map<const PlanNode*, std::vector<const PlanNode*>> rparents_;
   bool counted_ = false;
-  Operator* subplan_entry_ = nullptr;
+  EventSink* subplan_sink_ = nullptr;
 };
 
 }  // namespace
@@ -301,15 +430,20 @@ Result<std::vector<Event>> Executor::RunBatch(
   // the merge order guarantees their pending events all have LE >= the
   // flushed run's last LE. Every operator is CTI-granularity-invariant (that
   // is what makes output independent of batch_size_ in the first place), so
-  // the driver only punctuates every kCtiThinning-th LE advance: with mostly
+  // the driver only punctuates every cti_thinning_-th LE advance: with mostly
   // unique timestamps a per-advance CTI doubles graph traffic — every
   // punctuation walks every operator — for no additional output.
-  static constexpr size_t kCtiThinning = 16;
+  //
+  // Morsels are built columnar (SoA) for sources whose direct consumers run
+  // columnar kernels; a row whose dynamic types don't match the declared
+  // schema demotes that morsel to the row representation on the spot.
+  const size_t cti_thinning = cti_thinning_;
   size_t advances = 0;
   struct Cursor {
     InputNode* op;
     std::vector<Event>* events;
     size_t pos = 0;
+    bool columnar = false;
   };
   std::vector<Cursor> cursors;
   for (auto& [name, events] : inputs) {
@@ -323,9 +457,17 @@ Result<std::vector<Event>> Executor::RunBatch(
     if (!std::is_sorted(events.begin(), events.end(), le_less)) {
       std::stable_sort(events.begin(), events.end(), le_less);
     }
-    cursors.push_back(Cursor{it->second, &events, 0});
+    cursors.push_back(Cursor{it->second, &events, 0,
+                             columnar_enabled_ && it->second->prefer_columnar()});
   }
   Timestamp last_cti = kMinTime;
+  auto append = [](EventBatch& morsel, Event&& ev) {
+    if (morsel.columnar()) {
+      if (morsel.TryAppendColumnar(ev.le, ev.re, ev.payload)) return;
+      morsel.EnsureRows();  // type mismatch: demote this morsel to rows
+    }
+    morsel.Add(std::move(ev));
+  };
   // Single-input fast path: no merge bookkeeping, just slice the sorted
   // vector into batches. (Requires the plan to have one input too — with
   // unfed plan inputs the general loop's cross-source CTI at flush matters.)
@@ -335,14 +477,15 @@ Result<std::vector<Event>> Executor::RunBatch(
     while (c.pos < events.size()) {
       const size_t n = std::min(batch_size_, events.size() - c.pos);
       EventBatch morsel;
+      if (c.columnar) morsel.BeginColumnar(c.op->payload_schema());
       for (size_t i = 0; i < n; ++i) {
         Event ev = std::move(events[c.pos++]);
-        if (ev.le > last_cti && ++advances >= kCtiThinning) {
+        if (ev.le > last_cti && ++advances >= cti_thinning) {
           advances = 0;
           last_cti = ev.le;
           morsel.AddCti(last_cti);
         }
-        morsel.Add(std::move(ev));
+        append(morsel, std::move(ev));
       }
       c.op->OnBatch(std::move(morsel));
     }
@@ -374,14 +517,17 @@ Result<std::vector<Event>> Executor::RunBatch(
     if (pick == -1) break;
     Cursor& c = cursors[pick];
     if (c.op != batch_src || batch.NumEvents() >= batch_size_) flush();
+    if (batch_src == nullptr && c.columnar) {
+      batch.BeginColumnar(c.op->payload_schema());
+    }
     batch_src = c.op;
     Event ev = std::move((*c.events)[c.pos++]);
-    if (ev.le > last_cti && ++advances >= kCtiThinning) {
+    if (ev.le > last_cti && ++advances >= cti_thinning) {
       advances = 0;
       last_cti = ev.le;
       batch.AddCti(last_cti);
     }
-    batch.Add(std::move(ev));
+    append(batch, std::move(ev));
   }
   flush();
   Finish();

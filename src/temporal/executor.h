@@ -81,7 +81,22 @@ class Executor {
   void set_batch_size(size_t n) { batch_size_ = n == 0 ? 1 : n; }
   size_t batch_size() const { return batch_size_; }
 
+  /// Whether RunBatch builds columnar morsels for inputs whose consumers have
+  /// columnar kernels (determined by static plan analysis at build time).
+  /// Output is bit-identical either way; the knob exists for benchmarks and
+  /// the columnar-invariance tests.
+  void set_columnar(bool on) { columnar_enabled_ = on; }
+  bool columnar_enabled() const { return columnar_enabled_; }
+
+  /// Punctuation thinning: RunBatch emits one CTI per `n` LE advances of the
+  /// merged input stream. Output is identical at any setting >= 1 (operators
+  /// are CTI-granularity-invariant); higher values trade punctuation traffic
+  /// against operator state held longer.
+  void set_cti_thinning(size_t n) { cti_thinning_ = n == 0 ? 1 : n; }
+  size_t cti_thinning() const { return cti_thinning_; }
+
   static constexpr size_t kDefaultBatchSize = 1024;
+  static constexpr size_t kDefaultCtiThinning = 16;
 
   class InputNode;
 
@@ -94,6 +109,8 @@ class Executor {
   Operator* root_op_ = nullptr;
   CollectorSink collector_;
   size_t batch_size_ = kDefaultBatchSize;
+  size_t cti_thinning_ = kDefaultCtiThinning;
+  bool columnar_enabled_ = true;
 };
 
 }  // namespace timr::temporal

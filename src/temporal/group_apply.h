@@ -48,7 +48,7 @@ using SubPlanFactory =
 ///
 /// Punctuation delivery to instances is lazy and amortized: an instance gets
 /// the pending CTI when it next receives an event, and a full broadcast runs
-/// every ~max(64, groups/4) punctuations (and always at end-of-stream), so a
+/// every ~max(64, groups) punctuations (and always at end-of-stream), so a
 /// quiet group cannot stall the watermark forever while per-punctuation cost
 /// stays near O(1) amortized.
 class GroupApplyOp : public UnaryOperator {
@@ -59,18 +59,54 @@ class GroupApplyOp : public UnaryOperator {
     prototype_ = factory_(prototype_sink_.get());
   }
 
-  void OnEvent(Event event) override {
+  void OnEvent(Event event) override { RouteEvent(std::move(event), 0); }
+
+  void OnBatch(EventBatch&& batch) override {
+    // Columnar batches get their group-key hashes computed in one vectorized
+    // pass before any row is materialized; rows are then built only for the
+    // events themselves (the sub-plan inputs are per-event sinks).
+    if (batch.columnar()) {
+      const ColumnarPayload& p = batch.columnar_payload();
+      ComputeKeyHashes(p, key_indices_, &hash_scratch_);
+      const auto& marks = batch.ctis();
+      const size_t n = p.num_rows();
+      size_t m = 0;
+      for (size_t i = 0; i < n; ++i) {
+        for (; m < marks.size() && marks[m].pos <= i; ++m) OnCti(marks[m].t);
+        Event e;
+        e.le = p.le()[i];
+        e.re = p.re()[i];
+        e.payload = p.MaterializeRow(i);
+        RouteEvent(std::move(e), hash_scratch_[i]);
+      }
+      for (; m < marks.size(); ++m) OnCti(marks[m].t);
+      batch.Clear();
+      return;
+    }
+    auto& events = batch.events();
+    const auto& marks = batch.ctis();
+    size_t m = 0;
+    for (size_t i = 0; i < events.size(); ++i) {
+      for (; m < marks.size() && marks[m].pos <= i; ++m) OnCti(marks[m].t);
+      RouteEvent(std::move(events[i]), 0);
+    }
+    for (; m < marks.size(); ++m) OnCti(marks[m].t);
+    batch.Clear();
+  }
+
+  void RouteEvent(Event event, uint64_t key_hash) {
     CountConsumed();
     // Heterogeneous probe: the existing-group hit path (the hot one) looks up
     // by a view over the payload's key columns without materializing a key Row.
-    auto it = groups_.find(KeyView{&event.payload, &key_indices_});
+    auto it = groups_.find(KeyView{&event.payload, &key_indices_, key_hash});
     if (it == groups_.end()) {
       Row key = ExtractKey(event.payload, key_indices_);
       auto sink = std::make_unique<InstanceSink>(this, key, /*proto=*/false);
       // New instances can only emit at or above the prototype's output CTI
       // (they will only ever see events with LE >= the pending input CTI).
       sink->out_cti = proto_out_cti_;
-      cti_heap_.push({sink->out_cti, sink.get()});
+      cti_heap_.push_back({sink->out_cti, sink.get()});
+      std::push_heap(cti_heap_.begin(), cti_heap_.end(), std::greater<>());
       auto instance = factory_(sink.get());
       it = groups_.emplace(std::move(key),
                            Group{std::move(instance), std::move(sink)}).first;
@@ -87,15 +123,27 @@ class GroupApplyOp : public UnaryOperator {
     if (t <= pending_cti_) return;
     pending_cti_ = t;
     prototype_->input()->OnCti(t);
-    const size_t period = std::max<size_t>(64, groups_.size() / 4);
+    const size_t period = std::max<size_t>(64, groups_.size());
     if (t >= kMaxTime || ++ctis_since_broadcast_ >= period) {
       ctis_since_broadcast_ = 0;
+      // A broadcast advances every instance at once, which would cost one
+      // O(log n) heap push per instance; instead pushes are suppressed for
+      // the sweep and the heap is rebuilt from the now-current CTIs in one
+      // O(n) make_heap — this also sheds every stale entry in the same pass.
+      in_broadcast_ = true;
       for (auto& [key, group] : groups_) {
         if (group.sink->delivered_cti < t) {
           group.sink->delivered_cti = t;
           group.instance->input()->OnCti(t);
         }
       }
+      in_broadcast_ = false;
+      cti_heap_.clear();
+      cti_heap_.reserve(groups_.size());
+      for (auto& [key, group] : groups_) {
+        cti_heap_.push_back({group.sink->out_cti, group.sink.get()});
+      }
+      std::make_heap(cti_heap_.begin(), cti_heap_.end(), std::greater<>());
     }
     Release();
   }
@@ -128,8 +176,8 @@ class GroupApplyOp : public UnaryOperator {
   };
 
   // Captures one instance's sub-plan output. For real groups: prepends the
-  // key, buffers events, and tracks the instance's output CTI in the parent's
-  // watermark multiset. For the prototype: tracks the lower bound for
+  // key, buffers events, and records the instance's output CTI for the
+  // parent's watermark floor. For the prototype: tracks the lower bound for
   // yet-to-be-created groups.
   struct InstanceSink : public EventSink {
     InstanceSink(GroupApplyOp* op_in, Row key_in, bool proto_in)
@@ -155,9 +203,13 @@ class GroupApplyOp : public UnaryOperator {
       if (t <= out_cti) return;
       out_cti = t;
       // Lazy deletion: the superseded heap entry stays behind and is skipped
-      // when the watermark is next queried. A heap push is far cheaper than
-      // the erase+insert a multiset of live CTIs would need on every update.
-      op->cti_heap_.push({t, this});
+      // when the watermark is next queried. During a broadcast no entry is
+      // pushed at all — the sweep ends in a wholesale heap rebuild.
+      if (!op->in_broadcast_) {
+        op->cti_heap_.push_back({t, this});
+        std::push_heap(op->cti_heap_.begin(), op->cti_heap_.end(),
+                       std::greater<>());
+      }
     }
 
     GroupApplyOp* op;
@@ -173,11 +225,12 @@ class GroupApplyOp : public UnaryOperator {
     // is the minimum over every instance's current output CTI, because CTIs
     // only advance, so stale values sort below their sink's current one.
     while (!cti_heap_.empty() &&
-           cti_heap_.top().first != cti_heap_.top().second->out_cti) {
-      cti_heap_.pop();
+           cti_heap_.front().first != cti_heap_.front().second->out_cti) {
+      std::pop_heap(cti_heap_.begin(), cti_heap_.end(), std::greater<>());
+      cti_heap_.pop_back();
     }
     if (!cti_heap_.empty()) {
-      watermark = std::min(watermark, cti_heap_.top().first);
+      watermark = std::min(watermark, cti_heap_.front().first);
     }
     if (buffer_.empty() || buffer_.top().event.le >= watermark) {
       EmitCti(watermark);
@@ -209,12 +262,14 @@ class GroupApplyOp : public UnaryOperator {
   struct KeyView {
     const Row* payload;
     const std::vector<int>* indices;
+    uint64_t hash = 0;  // precomputed key hash from the columnar bulk hasher
   };
   struct GroupHash {
     using is_transparent = void;
     size_t operator()(const Row& r) const { return HashRow(r); }
     size_t operator()(const KeyView& v) const {
-      return HashKeyOf(*v.payload, *v.indices);
+      return v.hash != 0 ? static_cast<size_t>(v.hash)
+                         : HashKeyOf(*v.payload, *v.indices);
     }
   };
   struct GroupKeyEq {
@@ -240,12 +295,12 @@ class GroupApplyOp : public UnaryOperator {
   Timestamp pending_cti_ = kMinTime;
   Timestamp proto_out_cti_ = kMinTime;
   // Min-heap over (output CTI, instance) with lazy deletion; entries whose
-  // timestamp no longer matches their sink's out_cti are stale.
-  std::priority_queue<std::pair<Timestamp, const InstanceSink*>,
-                      std::vector<std::pair<Timestamp, const InstanceSink*>>,
-                      std::greater<>>
-      cti_heap_;
+  // timestamp no longer matches their sink's out_cti are stale. Rebuilt
+  // wholesale at every broadcast (see OnCti).
+  std::vector<std::pair<Timestamp, const InstanceSink*>> cti_heap_;
+  bool in_broadcast_ = false;
   size_t ctis_since_broadcast_ = 0;
+  std::vector<uint64_t> hash_scratch_;  // per-batch key hashes (columnar)
 };
 
 }  // namespace timr::temporal

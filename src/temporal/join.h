@@ -18,15 +18,21 @@ namespace internal {
 
 // View over a payload's key columns, for probing without materializing a key
 // Row; HashKeyOf(row, idx) == HashRow(ExtractKey(row, idx)) by construction.
+// `hash` carries a precomputed key hash when the batch path vectorized it
+// (ComputeKeyHashes); 0 means "not precomputed" and falls back to hashing the
+// row. (Should a real key hash ever equal 0, the fallback just recomputes the
+// same value — correctness is unaffected.)
 struct RowKeyView {
   const Row* payload;
   const std::vector<int>* indices;
+  uint64_t hash = 0;
 };
 struct RowHash {
   using is_transparent = void;
   size_t operator()(const Row& r) const { return HashRow(r); }
   size_t operator()(const RowKeyView& v) const {
-    return HashKeyOf(*v.payload, *v.indices);
+    return v.hash != 0 ? static_cast<size_t>(v.hash)
+                       : HashKeyOf(*v.payload, *v.indices);
   }
 };
 struct RowEq {
@@ -50,8 +56,8 @@ class Synopsis {
   explicit Synopsis(std::vector<int> key_indices)
       : key_indices_(std::move(key_indices)) {}
 
-  void Insert(const Event& event) {
-    auto it = map_.find(RowKeyView{&event.payload, &key_indices_});
+  void Insert(const Event& event, uint64_t key_hash = 0) {
+    auto it = map_.find(RowKeyView{&event.payload, &key_indices_, key_hash});
     if (it == map_.end()) {
       it = map_.emplace(ExtractKey(event.payload, key_indices_),
                         std::vector<Event>()).first;
@@ -62,10 +68,12 @@ class Synopsis {
 
   /// Events whose key equals columns `indices` of `payload` (lifetime
   /// filtering is the caller's job). Probes heterogeneously: no key Row is
-  /// materialized on the hot path.
+  /// materialized on the hot path, and a precomputed `key_hash` (from the
+  /// columnar bulk hasher) skips per-probe hashing entirely.
   const std::vector<Event>* FindByKeyOf(const Row& payload,
-                                        const std::vector<int>& indices) const {
-    auto it = map_.find(RowKeyView{&payload, &indices});
+                                        const std::vector<int>& indices,
+                                        uint64_t key_hash = 0) const {
+    auto it = map_.find(RowKeyView{&payload, &indices, key_hash});
     return it == map_.end() ? nullptr : &it->second;
   }
 
@@ -118,11 +126,11 @@ class TemporalJoinOp : public BinaryOperator {
         project_(std::move(project)) {}
 
  protected:
-  void ProcessMerged(int side, Event event) override {
+  void ProcessMerged(int side, Event event, uint64_t key_hash) override {
     internal::Synopsis& own = side == 0 ? left_ : right_;
     const internal::Synopsis& other = side == 0 ? right_ : left_;
     if (const auto* matches =
-            other.FindByKeyOf(event.payload, own.key_indices())) {
+            other.FindByKeyOf(event.payload, own.key_indices(), key_hash)) {
       // Collect first: matches may alias storage we append to below.
       std::vector<Event> out;
       for (const Event& m : *matches) {
@@ -136,13 +144,17 @@ class TemporalJoinOp : public BinaryOperator {
       }
       for (auto& e : out) Emit(std::move(e));
     }
-    own.Insert(event);
+    own.Insert(event, key_hash);
   }
 
   void ProcessWatermark(Timestamp t) override {
     left_.Purge(t);
     right_.Purge(t);
     EmitCti(t);
+  }
+
+  const std::vector<int>* PortKeyIndices(int side) const override {
+    return side == 0 ? &left_.key_indices() : &right_.key_indices();
   }
 
  private:
@@ -172,13 +184,14 @@ class AntiSemiJoinOp : public BinaryOperator {
       : left_keys_(std::move(left_keys)), right_(std::move(right_keys)) {}
 
  protected:
-  void ProcessMerged(int side, Event event) override {
+  void ProcessMerged(int side, Event event, uint64_t key_hash) override {
     if (side == 1) {
-      right_.Insert(event);
+      right_.Insert(event, key_hash);
       return;
     }
     TIMR_DCHECK(event.IsPoint()) << "AntiSemiJoin left input must be point events";
-    if (const auto* matches = right_.FindByKeyOf(event.payload, left_keys_)) {
+    if (const auto* matches =
+            right_.FindByKeyOf(event.payload, left_keys_, key_hash)) {
       for (const Event& m : *matches) {
         if (m.Contains(event.le)) return;  // suppressed
       }
@@ -191,6 +204,10 @@ class AntiSemiJoinOp : public BinaryOperator {
     EmitCti(t);
   }
 
+  const std::vector<int>* PortKeyIndices(int side) const override {
+    return side == 0 ? &left_keys_ : &right_.key_indices();
+  }
+
  private:
   std::vector<int> left_keys_;
   internal::Synopsis right_;
@@ -199,7 +216,9 @@ class AntiSemiJoinOp : public BinaryOperator {
 /// \brief Merges two streams with identical schemas into one (paper §II-A.2).
 class UnionOp : public BinaryOperator {
  protected:
-  void ProcessMerged(int /*side*/, Event event) override { Emit(std::move(event)); }
+  void ProcessMerged(int /*side*/, Event event, uint64_t /*key_hash*/) override {
+    Emit(std::move(event));
+  }
   void ProcessWatermark(Timestamp t) override { EmitCti(t); }
 };
 

@@ -85,19 +85,18 @@ class Operator {
       Timestamp last_le = last_emitted_le_;
       size_t m = 0;
       const auto& marks = batch.ctis();
-      for (size_t i = 0; i < batch.events().size(); ++i) {
+      for (size_t i = 0; i < batch.NumEvents(); ++i) {
         for (; m < marks.size() && marks[m].pos <= i; ++m) floor = marks[m].t;
-        const Event& e = batch.events()[i];
-        TIMR_DCHECK(e.le >= floor)
-            << "operator emitted event at " << e.le
-            << " after promising CTI " << floor;
-        TIMR_DCHECK(e.le >= last_le) << "out-of-order emission";
-        last_le = e.le;
+        const Timestamp le = batch.LeAt(i);
+        TIMR_DCHECK(le >= floor) << "operator emitted event at " << le
+                                 << " after promising CTI " << floor;
+        TIMR_DCHECK(le >= last_le) << "out-of-order emission";
+        last_le = le;
       }
     }
 #endif
-    if (!batch.events().empty()) {
-      last_emitted_le_ = batch.events().back().le;
+    if (batch.NumEvents() != 0) {
+      last_emitted_le_ = batch.LastLe();
       events_emitted_ += batch.NumEvents();
     }
     emitted_cti_ = cti;
@@ -155,22 +154,34 @@ class BinaryOperator : public Operator {
   int num_inputs() const override { return 2; }
 
  protected:
-  /// Called with events in merged LE order (ties: side 1 first).
-  virtual void ProcessMerged(int side, Event event) = 0;
+  /// Called with events in merged LE order (ties: side 1 first). `key_hash`
+  /// is the precomputed hash of the event's key columns for this side
+  /// (HashKeyOf-compatible), or 0 when unknown — implementations must treat 0
+  /// as "compute it yourself".
+  virtual void ProcessMerged(int side, Event event, uint64_t key_hash) = 0;
 
   /// Called when the merged watermark advances: no future ProcessMerged call
   /// will carry an event with LE < t.
   virtual void ProcessWatermark(Timestamp t) = 0;
 
+  /// Key columns this operator hashes on side `side`, or nullptr when it does
+  /// not key its inputs. When non-null, columnar input batches get their key
+  /// hashes computed in bulk before materialization.
+  virtual const std::vector<int>* PortKeyIndices(int side) const {
+    (void)side;
+    return nullptr;
+  }
+
  private:
+  struct Buffered {
+    Event event;
+    uint64_t hash;  // precomputed key hash, 0 when unknown
+  };
+
   struct Port : public EventSink {
     Port(BinaryOperator* op_in, int side_in) : op(op_in), side(side_in) {}
     void OnEvent(Event event) override {
-      TIMR_DCHECK(event.le >= last_le) << "input not LE-ordered";
-      TIMR_DCHECK(event.le >= cti) << "input event violates its CTI";
-      last_le = event.le;
-      op->CountConsumed();
-      buffer.push_back(std::move(event));
+      Push(std::move(event), 0);
       op->Drain();
     }
     void OnCti(Timestamp t) override {
@@ -178,9 +189,45 @@ class BinaryOperator : public Operator {
       cti = t;
       op->Drain();
     }
+    void OnBatch(EventBatch&& batch) override {
+      // Bulk-buffer the whole morsel with one Drain at the end. The merged
+      // event order is unchanged (it is determined by LE / side preference /
+      // FIFO alone); intermediate CTIs coarsen to the batch boundary, which
+      // every operator tolerates by CTI-granularity invariance.
+      const std::vector<int>* keys = op->PortKeyIndices(side);
+      if (batch.columnar() && keys != nullptr) {
+        ComputeKeyHashes(batch.columnar_payload(), *keys, &hash_scratch);
+      } else {
+        hash_scratch.clear();
+      }
+      batch.EnsureRows();
+      auto& events = batch.events();
+      const auto& marks = batch.ctis();
+      size_t m = 0;
+      for (size_t i = 0; i < events.size(); ++i) {
+        for (; m < marks.size() && marks[m].pos <= i; ++m) {
+          if (marks[m].t > cti) cti = marks[m].t;
+        }
+        Push(std::move(events[i]),
+             i < hash_scratch.size() ? hash_scratch[i] : 0);
+      }
+      for (; m < marks.size(); ++m) {
+        if (marks[m].t > cti) cti = marks[m].t;
+      }
+      batch.Clear();
+      op->Drain();
+    }
+    void Push(Event event, uint64_t hash) {
+      TIMR_DCHECK(event.le >= last_le) << "input not LE-ordered";
+      TIMR_DCHECK(event.le >= cti) << "input event violates its CTI";
+      last_le = event.le;
+      op->CountConsumed();
+      buffer.push_back(Buffered{std::move(event), hash});
+    }
     BinaryOperator* op;
     int side;
-    std::deque<Event> buffer;
+    std::deque<Buffered> buffer;
+    std::vector<uint64_t> hash_scratch;
     Timestamp cti = kMinTime;
     Timestamp last_le = kMinTime;
   };
@@ -188,7 +235,7 @@ class BinaryOperator : public Operator {
   // Lower bound on the LE of any event side `i` may still deliver.
   Timestamp Frontier(int i) const {
     const Port& p = ports_[i];
-    return p.buffer.empty() ? p.cti : p.buffer.front().le;
+    return p.buffer.empty() ? p.cti : p.buffer.front().event.le;
   }
 
   void Drain() {
@@ -200,18 +247,19 @@ class BinaryOperator : public Operator {
       for (int side : {1, 0}) {
         Port& p = ports_[side];
         if (p.buffer.empty()) continue;
-        if (pick == -1 || p.buffer.front().le < ports_[pick].buffer.front().le) {
+        if (pick == -1 ||
+            p.buffer.front().event.le < ports_[pick].buffer.front().event.le) {
           pick = side;
         }
       }
       if (pick == -1) break;
-      const Timestamp le = ports_[pick].buffer.front().le;
+      const Timestamp le = ports_[pick].buffer.front().event.le;
       const int other = 1 - pick;
       // The other side may still produce an event with LE <= le: wait.
       if (ports_[other].buffer.empty() && ports_[other].cti <= le) break;
-      Event ev = std::move(ports_[pick].buffer.front());
+      Buffered b = std::move(ports_[pick].buffer.front());
       ports_[pick].buffer.pop_front();
-      ProcessMerged(pick, std::move(ev));
+      ProcessMerged(pick, std::move(b.event), b.hash);
     }
     const Timestamp watermark = std::min(Frontier(0), Frontier(1));
     if (watermark > watermark_) {
@@ -230,22 +278,51 @@ class BinaryOperator : public Operator {
 /// tests to collect plan output).
 class CollectorSink : public EventSink {
  public:
-  void OnEvent(Event event) override { events_.push_back(std::move(event)); }
+  void OnEvent(Event event) override {
+    Materialize();
+    events_.push_back(std::move(event));
+  }
   void OnCti(Timestamp t) override { last_cti_ = t; }
   void OnBatch(EventBatch&& batch) override {
+    if (!batch.ctis().empty()) last_cti_ = batch.ctis().back().t;
+    if (batch.columnar()) {
+      // Defer materialization: rows are built lazily in events()/TakeEvents,
+      // outside the engine's hot loop, so a columnar pipeline stays
+      // allocation-free end to end.
+      batches_.push_back(std::move(batch));
+      return;
+    }
+    Materialize();
     events_.insert(events_.end(),
                    std::make_move_iterator(batch.events().begin()),
                    std::make_move_iterator(batch.events().end()));
-    if (!batch.ctis().empty()) last_cti_ = batch.ctis().back().t;
     batch.Clear();
   }
 
-  const std::vector<Event>& events() const { return events_; }
-  std::vector<Event> TakeEvents() { return std::move(events_); }
+  const std::vector<Event>& events() const {
+    Materialize();
+    return events_;
+  }
+  std::vector<Event> TakeEvents() {
+    Materialize();
+    return std::move(events_);
+  }
   Timestamp last_cti() const { return last_cti_; }
 
  private:
-  std::vector<Event> events_;
+  void Materialize() const {
+    for (EventBatch& b : batches_) {
+      b.EnsureRows();
+      events_.insert(events_.end(),
+                     std::make_move_iterator(b.events().begin()),
+                     std::make_move_iterator(b.events().end()));
+      b.Clear();
+    }
+    batches_.clear();
+  }
+
+  mutable std::vector<Event> events_;
+  mutable std::vector<EventBatch> batches_;
   Timestamp last_cti_ = kMinTime;
 };
 

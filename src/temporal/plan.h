@@ -83,9 +83,15 @@ struct PlanNode {
   Schema input_schema;  // kInput / kSubplanInput
 
   Predicate pred;  // kSelect
+  /// kSelect: structured form of `pred`, when the filter was expressed as a
+  /// SelectSpec. Enables the columnar kernel; `pred` stays the row-path
+  /// equivalent (MakeRowPredicate).
+  std::optional<SelectSpec> select_spec;
 
   ProjectFn project_fn;   // kProject
   Schema project_schema;  // kProject
+  /// kProject: structured form of `project_fn` (same contract as select_spec).
+  std::optional<ProjectSpec> project_spec;
 
   AlterLifetimeSpec alter;  // kAlterLifetime
 

@@ -46,17 +46,43 @@ class Query {
     return s.ValueOrDie();
   }
 
-  /// Filter on a payload predicate.
+  /// Filter on a payload predicate. Opaque predicates run on the row path
+  /// only; prefer Where(SelectSpec) / WhereCmp for filters the columnar
+  /// kernels can evaluate.
   Query Where(Predicate pred) const {
     auto n = Child(OpKind::kSelect);
     n->pred = std::move(pred);
     return Query(std::move(n));
   }
 
+  /// Structured filter: a conjunction of column-vs-literal compares. The plan
+  /// node keeps both the spec (columnar kernel) and its synthesized row-path
+  /// predicate, so execution mode never changes semantics.
+  Query Where(SelectSpec spec) const {
+    auto st = ValidateSelectSpec(spec, schema());
+    TIMR_CHECK(st.ok()) << st.ToString();
+    auto n = Child(OpKind::kSelect);
+    n->pred = MakeRowPredicate(spec);
+    n->select_spec = std::move(spec);
+    return Query(std::move(n));
+  }
+
+  /// Filter `column <op> value` as a structured (columnar-capable) select.
+  Query WhereCmp(const std::string& column, CmpOp op, Value value) const {
+    SelectSpec spec;
+    spec.conjuncts.push_back({Index(column), op, std::move(value)});
+    return Where(std::move(spec));
+  }
+
   /// Filter column == value (the common case; keeps the intent introspectable
-  /// in examples).
+  /// in examples). Uses the structured form when the literal's type matches
+  /// the column (so the filter vectorizes); a mismatched literal keeps the
+  /// legacy always-false row predicate.
   Query WhereEq(const std::string& column, Value value) const {
     const int idx = Index(column);
+    if (value.type() == schema().field(idx).type) {
+      return WhereCmp(column, CmpOp::kEq, std::move(value));
+    }
     return Where([idx, value = std::move(value)](const Row& r) {
       return r[idx] == value;
     });
@@ -70,14 +96,33 @@ class Query {
     return Query(std::move(n));
   }
 
-  /// Keep only the named columns, in order.
+  /// Structured projection (column copies / constants / binary arithmetic);
+  /// the output schema is inferred and the row-path function synthesized.
+  Query Project(ProjectSpec spec) const {
+    Schema in = schema();
+    auto out = InferProjectSchema(spec, in);
+    TIMR_CHECK(out.ok()) << out.status().ToString();
+    auto n = Child(OpKind::kProject);
+    n->project_fn = MakeRowProjector(spec, in);
+    n->project_schema = out.ValueOrDie();
+    n->project_spec = std::move(spec);
+    return Query(std::move(n));
+  }
+
+  /// Keep only the named columns, in order (a structured projection, so it
+  /// stays columnar).
   Query SelectColumns(const std::vector<std::string>& columns) const {
     Schema in = schema();
     auto idx_res = in.IndicesOf(columns);
     TIMR_CHECK(idx_res.ok()) << idx_res.status().ToString();
     std::vector<int> idx = idx_res.ValueOrDie();
-    return Project(
-        [idx](const Row& r) { return ExtractKey(r, idx); }, in.Select(idx));
+    ProjectSpec spec;
+    spec.exprs.reserve(idx.size());
+    for (size_t i = 0; i < idx.size(); ++i) {
+      spec.exprs.push_back(
+          ProjectExpr::Column(in.field(idx[i]).name, idx[i]));
+    }
+    return Project(std::move(spec));
   }
 
   Query AlterLifetime(AlterLifetimeSpec spec) const {

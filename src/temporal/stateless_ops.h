@@ -10,40 +10,62 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <utility>
 #include <vector>
 
+#include "temporal/expr.h"
 #include "temporal/operator.h"
 
 namespace timr::temporal {
 
-using Predicate = std::function<bool(const Row&)>;
-using ProjectFn = std::function<Row(const Row&)>;
-
-/// \brief Filters events by a predicate over the payload.
+/// \brief Filters events by a predicate over the payload. When constructed
+/// from a structured SelectSpec, columnar batches are filtered by the
+/// vectorized kernel; opaque predicates force row materialization.
 class SelectOp : public UnaryOperator {
  public:
   explicit SelectOp(Predicate pred) : pred_(std::move(pred)) {}
+  explicit SelectOp(SelectSpec spec)
+      : pred_(MakeRowPredicate(spec)), spec_(std::move(spec)) {}
 
   void OnEvent(Event event) override {
     CountConsumed();
-    if (pred_(event.payload)) Emit(std::move(event));
+    const bool keep = spec_.has_value() ? EvalSelectRow(*spec_, event.payload)
+                                        : pred_(event.payload);
+    if (keep) Emit(std::move(event));
   }
   void OnCti(Timestamp t) override { EmitCti(t); }
   void OnBatch(EventBatch&& batch) override {
     CountConsumedN(batch.NumEvents());
-    batch.FilterEvents([this](Event& e) { return pred_(e.payload); });
+    if (batch.columnar() && spec_.has_value()) {
+      EvalSelectColumnar(batch.columnar_payload(), *spec_);
+      batch.CompactColumnar();
+      EmitBatch(std::move(batch));
+      return;
+    }
+    batch.EnsureRows();
+    if (spec_.has_value()) {
+      const SelectSpec& spec = *spec_;
+      batch.FilterEvents(
+          [&spec](Event& e) { return EvalSelectRow(spec, e.payload); });
+    } else {
+      batch.FilterEvents([this](Event& e) { return pred_(e.payload); });
+    }
     EmitBatch(std::move(batch));
   }
 
  private:
   Predicate pred_;
+  std::optional<SelectSpec> spec_;
 };
 
-/// \brief Stateless payload transformation (schema change).
+/// \brief Stateless payload transformation (schema change). A structured
+/// ProjectSpec enables the columnar column-copy/arithmetic kernel.
 class ProjectOp : public UnaryOperator {
  public:
   explicit ProjectOp(ProjectFn fn) : fn_(std::move(fn)) {}
+  ProjectOp(ProjectSpec spec, const Schema& in_schema)
+      : fn_(MakeRowProjector(spec, in_schema)), spec_(std::move(spec)) {}
 
   void OnEvent(Event event) override {
     CountConsumed();
@@ -53,12 +75,19 @@ class ProjectOp : public UnaryOperator {
   void OnCti(Timestamp t) override { EmitCti(t); }
   void OnBatch(EventBatch&& batch) override {
     CountConsumedN(batch.NumEvents());
+    if (batch.columnar() && spec_.has_value()) {
+      ApplyProjectColumnar(batch.columnar_payload(), *spec_);
+      EmitBatch(std::move(batch));
+      return;
+    }
+    batch.EnsureRows();
     for (Event& e : batch.events()) e.payload = fn_(e.payload);
     EmitBatch(std::move(batch));
   }
 
  private:
   ProjectFn fn_;
+  std::optional<ProjectSpec> spec_;
 };
 
 /// \brief How AlterLifetime rewrites event lifetimes.
@@ -179,6 +208,15 @@ class AlterLifetimeOp : public UnaryOperator {
 
   void OnBatch(EventBatch&& batch) override {
     CountConsumedN(batch.NumEvents());
+    if (batch.columnar()) {
+      if (ApplyAlterColumnar(batch.columnar_payload(), spec_)) {
+        batch.CompactColumnar();
+      }
+      batch.TransformCtis(
+          [this](Timestamp t) { return MapLifetimeCti(spec_, t); });
+      EmitBatch(std::move(batch));
+      return;
+    }
     batch.FilterEvents([this](Event& e) { return ApplyLifetime(spec_, e); });
     batch.TransformCtis([this](Timestamp t) { return MapLifetimeCti(spec_, t); });
     EmitBatch(std::move(batch));
@@ -216,20 +254,26 @@ class FusedStatelessOp : public UnaryOperator {
   struct Step {
     enum class Kind : uint8_t { kSelect, kProject, kAlter };
     Kind kind;
-    Predicate pred;         // kSelect
-    ProjectFn fn;           // kProject
+    Predicate pred;           // kSelect
+    ProjectFn fn;             // kProject
     AlterLifetimeSpec alter;  // kAlter
+    std::optional<SelectSpec> select_spec;    // kSelect columnar kernel
+    std::optional<ProjectSpec> project_spec;  // kProject columnar kernel
 
-    static Step Select(Predicate p) {
+    static Step Select(Predicate p,
+                       std::optional<SelectSpec> spec = std::nullopt) {
       Step s;
       s.kind = Kind::kSelect;
       s.pred = std::move(p);
+      s.select_spec = std::move(spec);
       return s;
     }
-    static Step Project(ProjectFn f) {
+    static Step Project(ProjectFn f,
+                        std::optional<ProjectSpec> spec = std::nullopt) {
       Step s;
       s.kind = Kind::kProject;
       s.fn = std::move(f);
+      s.project_spec = std::move(spec);
       return s;
     }
     static Step Alter(AlterLifetimeSpec spec) {
@@ -237,6 +281,16 @@ class FusedStatelessOp : public UnaryOperator {
       s.kind = Kind::kAlter;
       s.alter = spec;
       return s;
+    }
+
+    /// Whether this step has a columnar kernel.
+    bool Columnar() const {
+      switch (kind) {
+        case Kind::kSelect: return select_spec.has_value();
+        case Kind::kProject: return project_spec.has_value();
+        case Kind::kAlter: return true;
+      }
+      return false;
     }
   };
 
@@ -247,26 +301,63 @@ class FusedStatelessOp : public UnaryOperator {
   }
 
   void OnEvent(Event event) override {
-    if (Apply(event)) Emit(std::move(event));
+    if (ApplyFrom(event, 0)) Emit(std::move(event));
   }
 
-  void OnCti(Timestamp t) override { EmitCti(MapCti(t)); }
+  void OnCti(Timestamp t) override { EmitCti(MapCtiFrom(t, 0)); }
 
   void OnBatch(EventBatch&& batch) override {
-    batch.FilterEvents([this](Event& e) { return Apply(e); });
-    batch.TransformCtis([this](Timestamp t) { return MapCti(t); });
+    size_t start = 0;
+    if (batch.columnar()) {
+      // Run the columnar-capable prefix of the chain via kernels; on the
+      // first step without one, materialize and finish on the row path.
+      for (; start < steps_.size() && steps_[start].Columnar(); ++start) {
+        const Step& step = steps_[start];
+        CountConsumedN(batch.NumEvents());
+        switch (step.kind) {
+          case Step::Kind::kSelect:
+            EvalSelectColumnar(batch.columnar_payload(), *step.select_spec);
+            batch.CompactColumnar();
+            break;
+          case Step::Kind::kProject:
+            ApplyProjectColumnar(batch.columnar_payload(), *step.project_spec);
+            break;
+          case Step::Kind::kAlter:
+            if (ApplyAlterColumnar(batch.columnar_payload(), step.alter)) {
+              batch.CompactColumnar();
+            }
+            batch.TransformCtis([&step](Timestamp t) {
+              return MapLifetimeCti(step.alter, t);
+            });
+            break;
+        }
+      }
+      if (start == steps_.size()) {
+        EmitBatch(std::move(batch));
+        return;
+      }
+      batch.EnsureRows();
+    }
+    batch.FilterEvents([this, start](Event& e) { return ApplyFrom(e, start); });
+    batch.TransformCtis(
+        [this, start](Timestamp t) { return MapCtiFrom(t, start); });
     EmitBatch(std::move(batch));
   }
 
   size_t num_steps() const { return steps_.size(); }
 
  private:
-  bool Apply(Event& event) {
-    for (const Step& step : steps_) {
+  bool ApplyFrom(Event& event, size_t start) {
+    for (size_t i = start; i < steps_.size(); ++i) {
+      const Step& step = steps_[i];
       CountConsumed();  // the unfused operator for this step would consume it
       switch (step.kind) {
         case Step::Kind::kSelect:
-          if (!step.pred(event.payload)) return false;
+          if (step.select_spec.has_value()
+                  ? !EvalSelectRow(*step.select_spec, event.payload)
+                  : !step.pred(event.payload)) {
+            return false;
+          }
           break;
         case Step::Kind::kProject:
           event.payload = step.fn(event.payload);
@@ -279,9 +370,11 @@ class FusedStatelessOp : public UnaryOperator {
     return true;
   }
 
-  Timestamp MapCti(Timestamp t) const {
-    for (const Step& step : steps_) {
-      if (step.kind == Step::Kind::kAlter) t = MapLifetimeCti(step.alter, t);
+  Timestamp MapCtiFrom(Timestamp t, size_t start) const {
+    for (size_t i = start; i < steps_.size(); ++i) {
+      if (steps_[i].kind == Step::Kind::kAlter) {
+        t = MapLifetimeCti(steps_[i].alter, t);
+      }
     }
     return t;
   }

@@ -81,6 +81,22 @@ Status LivePipeline::PushEvent(const std::string& source, Event event) {
   return Status::OK();
 }
 
+Status LivePipeline::PushBatch(const std::string& source,
+                               temporal::EventBatch&& batch) {
+  auto it = source_feeds_.find(source);
+  if (it == source_feeds_.end()) {
+    return Status::KeyError("no external source named " + source);
+  }
+  auto& consumers = it->second;
+  for (size_t i = 0; i + 1 < consumers.size(); ++i) {
+    TIMR_RETURN_NOT_OK(consumers[i]->PushBatch(source, batch.Clone()));
+  }
+  if (!consumers.empty()) {
+    TIMR_RETURN_NOT_OK(consumers.back()->PushBatch(source, std::move(batch)));
+  }
+  return Status::OK();
+}
+
 void LivePipeline::PushCti(Timestamp t) {
   for (auto& [name, consumers] : source_feeds_) {
     for (temporal::Executor* exec : consumers) {

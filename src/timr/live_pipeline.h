@@ -39,6 +39,11 @@ class LivePipeline {
   /// Feed one event into an external source (non-decreasing LE per source).
   Status PushEvent(const std::string& source, temporal::Event event);
 
+  /// Feed a morsel (events + CTI marks, row or columnar) into an external
+  /// source — the batched ingest path for high-rate feeds. The batch is
+  /// cloned for all consumers but the last, which takes it intact.
+  Status PushBatch(const std::string& source, temporal::EventBatch&& batch);
+
   /// Advance every external source's progress marker.
   void PushCti(temporal::Timestamp t);
 

@@ -119,8 +119,10 @@ Result<mr::MRStage> CompileFragment(
   auto engine_events = std::make_shared<std::atomic<uint64_t>>(0);
   const bool want_stats = options.collect_engine_stats;
   const size_t batch_size = options.engine_batch_size;
+  const bool columnar = options.engine_columnar;
+  const size_t cti_thinning = options.cti_thinning;
   stage.reducer = [plan, input_names, row_schemas, spans, engine_events,
-                   want_stats, batch_size](
+                   want_stats, batch_size, columnar, cti_thinning](
                       int partition,
                       const std::vector<std::vector<Row>>& inputs,
                       std::vector<Row>* output) -> Status {
@@ -136,6 +138,8 @@ Result<mr::MRStage> CompileFragment(
     TIMR_ASSIGN_OR_RETURN(std::unique_ptr<temporal::Executor> exec,
                           temporal::Executor::Create(plan));
     if (batch_size != 0) exec->set_batch_size(batch_size);
+    exec->set_columnar(columnar);
+    exec->set_cti_thinning(cti_thinning);
     std::vector<Event> result;
     TIMR_ASSIGN_OR_RETURN(result, exec->RunBatch(std::move(event_inputs)));
     const std::vector<std::string> violations = exec->ConformanceViolations();

@@ -42,6 +42,19 @@ struct TimrOptions {
   /// 0 uses the engine default (Executor::kDefaultBatchSize).
   size_t engine_batch_size = 0;
 
+  /// Whether reducers build columnar (SoA) morsels for fragment inputs whose
+  /// consumers have vectorized kernels (see temporal/columnar.h). Output is
+  /// bit-identical either way; the knob exists for benchmarks and the
+  /// columnar-invariance tests.
+  bool engine_columnar = true;
+
+  /// Punctuation thinning for the embedded engine's input driver: one CTI per
+  /// this many LE advances of the merged input stream. Output is identical at
+  /// any value >= 1 (operators are CTI-granularity-invariant); higher values
+  /// trade punctuation traffic against operator state held longer. The
+  /// default matches Executor::kDefaultCtiThinning.
+  size_t cti_thinning = 16;
+
   /// Verify the plan statically before running it (schema, exchange
   /// placement, fragment cuts — see analysis/analyzer.h) and insert
   /// ConformanceCheck operators at fragment boundaries that assert the

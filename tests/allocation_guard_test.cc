@@ -130,6 +130,63 @@ TEST(AllocationGuard, StatelessBatchPathIsO1AllocationsPerBatch) {
       << kMeasuredBatches << " batches of " << kBatchEvents << " events";
 }
 
+EventBatch MakeColumnarBatch(const Schema& schema, size_t n, Timestamp start) {
+  EventBatch batch;
+  batch.BeginColumnar(schema);
+  Timestamp t = start;
+  for (size_t i = 0; i < n; ++i) {
+    if (i % 4 == 0) {
+      ++t;
+      batch.AddCti(t);
+    }
+    const Row row = {Value(static_cast<int64_t>(i % 7)),
+                     Value(static_cast<int64_t>(i % 5))};
+    TIMR_CHECK(batch.TryAppendColumnar(t, t + kTick, row));
+  }
+  return batch;
+}
+
+TEST(AllocationGuard, ColumnarBatchPathIsO1AllocationsPerBatch) {
+  Schema kv = Schema::Of({{"K", ValueType::kInt64}, {"V", ValueType::kInt64}});
+  // Structured filter + window: the fused chain evaluates the SelectSpec as a
+  // selection bitmap, compacts columns in place, and rewrites timestamps —
+  // all without materializing a single Row. Column buffers come from (and
+  // return to) the pooled batch storage, so a warm pipeline stays O(1)
+  // allocations per columnar batch too.
+  Query q = Query::Input("S", kv)
+                .WhereCmp("V", CmpOp::kNe, Value(int64_t{0}))
+                .Window(100);
+  auto exec = Executor::Create(q.node()).ValueOrDie();
+
+  constexpr size_t kBatchEvents = 1024;
+  constexpr int kWarmupBatches = 4;
+  constexpr int kMeasuredBatches = 8;
+
+  Timestamp t = 0;
+  for (int i = 0; i < kWarmupBatches; ++i) {
+    EventBatch batch = MakeColumnarBatch(kv, kBatchEvents, t);
+    t += kBatchEvents;
+    TIMR_CHECK_OK(exec->PushBatch("S", std::move(batch)));
+  }
+  const size_t warm_output = exec->TakeOutput().size();
+  ASSERT_GT(warm_output, 0u);
+
+  uint64_t total = 0;
+  for (int i = 0; i < kMeasuredBatches; ++i) {
+    EventBatch batch = MakeColumnarBatch(kv, kBatchEvents, t);
+    t += kBatchEvents;
+    AllocationScope scope;
+    TIMR_CHECK_OK(exec->PushBatch("S", std::move(batch)));
+    total += scope.count();
+  }
+
+  // Same budget as the row path: the validity bitmap (one vector per batch)
+  // and amortized collector growth are the only allowed customers.
+  EXPECT_LE(total, static_cast<uint64_t>(kMeasuredBatches) * 8)
+      << "columnar batch path allocated " << total << " times over "
+      << kMeasuredBatches << " batches of " << kBatchEvents << " events";
+}
+
 TEST(AllocationGuard, PerEventPathStillBoundedAfterWarmup) {
   // Companion guard for the unbatched path: Emit's move-into-last-sink means
   // a warm Select chain pushes a point event end to end with no allocations.

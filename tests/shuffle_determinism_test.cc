@@ -55,6 +55,30 @@ TEST(ShuffleDeterminism, BtJobBitIdenticalAcrossEngineBatchSizes) {
   }
 }
 
+TEST(ShuffleDeterminism, BtJobBitIdenticalWithColumnarKernelsOnAndOff) {
+  // Columnar execution is an engine-internal representation choice, never a
+  // semantics choice: the whole BT job with vectorized kernels enabled (the
+  // default) is bit-identical to the same job forced onto the row path, and
+  // punctuation thinning is likewise invisible at every granularity.
+  BtRun base = RunBtJob(0);
+
+  testutil::BtRunConfig row_cfg;
+  row_cfg.options.engine_columnar = false;
+  BtRun row = RunBtJob(row_cfg);
+  ASSERT_TRUE(row.status.ok()) << row.status.ToString();
+  ExpectEventsIdentical(base.output, row.output);
+  ExpectStoresBitIdentical(base.store, row.store);
+
+  for (size_t thinning : {size_t{1}, size_t{256}}) {
+    testutil::BtRunConfig cfg;
+    cfg.options.cti_thinning = thinning;
+    BtRun run = RunBtJob(cfg);
+    ASSERT_TRUE(run.status.ok()) << run.status.ToString();
+    ExpectEventsIdentical(base.output, run.output);
+    ExpectStoresBitIdentical(base.store, run.store);
+  }
+}
+
 TEST(ShuffleDeterminism, ReducerRetryUnderParallelShuffleIsRepeatable) {
   BtRun clean = RunBtJob(0);
   ASSERT_FALSE(clean.stats.stages.empty());

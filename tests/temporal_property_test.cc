@@ -405,6 +405,24 @@ class BatchEquivalence : public ::testing::TestWithParam<BatchCase> {
       return Query::Input("S", KV()).Where(
           [](const Row& r) { return r[1].AsInt64() > 25; });
     }
+    if (name == "select_spec") {
+      // Structured twin of "select": same filter as a SelectSpec, so the
+      // columnar kernel (not the row closure) evaluates it when enabled.
+      return Query::Input("S", KV()).WhereCmp("V", CmpOp::kGt,
+                                              Value(int64_t{25}));
+    }
+    if (name == "fused_chain_spec") {
+      // Structured twin of "fused_chain": spec-carrying select + project so
+      // the fused chain runs its columnar prefix end to end.
+      ProjectSpec spec;
+      spec.exprs.push_back(
+          ProjectExpr::Arith("VK", 1, ProjectExpr::ArithOp::kAdd, 0));
+      spec.exprs.push_back(ProjectExpr::Column("K", 0));
+      return Query::Input("S", KV())
+          .WhereCmp("V", CmpOp::kGt, Value(int64_t{10}))
+          .Project(std::move(spec))
+          .Window(17);
+    }
     if (name == "fused_chain") {
       Schema out = Schema::Of({{"V", ValueType::kInt64}, {"K", ValueType::kInt64}});
       return Query::Input("S", KV())
@@ -456,15 +474,22 @@ TEST_P(BatchEquivalence, BatchedMatchesPerEventBitForBit) {
   DriveResult reference = RunPerEvent(plan, inputs);
   EXPECT_TRUE(reference.violations.empty());
 
-  for (size_t batch_size : {size_t{1}, size_t{7}, size_t{64}, size_t{4096}}) {
-    auto exec = Executor::Create(plan).ValueOrDie();
-    exec->set_batch_size(batch_size);
-    auto got = exec->RunBatch(inputs);
-    ASSERT_TRUE(got.ok()) << got.status().ToString();
-    ExpectBitIdentical(reference.output, got.ValueOrDie(),
-                       std::string(c.name) + " batch_size=" +
-                           std::to_string(batch_size));
-    EXPECT_EQ(reference.violations, exec->ConformanceViolations());
+  // Both execution modes (columnar morsels with vectorized kernels, and the
+  // row path) at every batch size must reproduce the per-event run bit for
+  // bit, including the conformance checkers' verdicts.
+  for (bool columnar : {true, false}) {
+    for (size_t batch_size : {size_t{1}, size_t{7}, size_t{64}, size_t{4096}}) {
+      auto exec = Executor::Create(plan).ValueOrDie();
+      exec->set_batch_size(batch_size);
+      exec->set_columnar(columnar);
+      auto got = exec->RunBatch(inputs);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      ExpectBitIdentical(reference.output, got.ValueOrDie(),
+                         std::string(c.name) + " batch_size=" +
+                             std::to_string(batch_size) +
+                             (columnar ? " columnar" : " row"));
+      EXPECT_EQ(reference.violations, exec->ConformanceViolations());
+    }
   }
 
   for (uint64_t cut_seed = 0; cut_seed < 3; ++cut_seed) {
@@ -476,10 +501,33 @@ TEST_P(BatchEquivalence, BatchedMatchesPerEventBitForBit) {
   }
 }
 
+// Punctuation thinning (one driver CTI per N merged LE advances) must never
+// change output: operators are CTI-granularity-invariant, so both the legacy
+// constant (16) and the extremes (every event, whole-morsel) are equivalent.
+TEST_P(BatchEquivalence, CtiThinningInvariance) {
+  const BatchCase& c = GetParam();
+  PlanNodePtr plan =
+      analysis::InstrumentFragmentPlan("cti_thin", MakePlan(c.name).node());
+  auto inputs = MakeInputs(c.name, c.seed);
+
+  DriveResult reference = RunPerEvent(plan, inputs);
+  for (size_t thinning : {size_t{1}, size_t{16}, size_t{4096}}) {
+    auto exec = Executor::Create(plan).ValueOrDie();
+    exec->set_cti_thinning(thinning);
+    auto got = exec->RunBatch(inputs);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ExpectBitIdentical(reference.output, got.ValueOrDie(),
+                       std::string(c.name) + " cti_thinning=" +
+                           std::to_string(thinning));
+    EXPECT_TRUE(exec->ConformanceViolations().empty());
+  }
+}
+
 std::vector<BatchCase> BatchCases() {
   std::vector<BatchCase> cases;
   uint64_t seed = 41;
-  for (const char* name : {"select", "fused_chain", "hop", "group_agg", "join",
+  for (const char* name : {"select", "select_spec", "fused_chain",
+                           "fused_chain_spec", "hop", "group_agg", "join",
                            "asj", "union"}) {
     for (int rep = 0; rep < 2; ++rep) cases.push_back({name, seed++});
   }
