@@ -1,0 +1,324 @@
+#include "analysis/fingerprint.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace timr::analysis {
+
+using temporal::OpKind;
+using temporal::PlanNode;
+using temporal::PlanNodePtr;
+
+namespace {
+
+uint64_t HashString(const std::string& s) {
+  return HashBytes(s.data(), s.size());
+}
+
+uint64_t HashSchema(const Schema& schema) {
+  uint64_t h = 0x5c6d2e3a917bd4f1ULL;
+  for (const auto& f : schema.fields()) {
+    h = HashCombine(h, HashString(f.name));
+    h = HashCombine(h, static_cast<uint64_t>(f.type));
+  }
+  return h;
+}
+
+uint64_t HashKeys(const std::vector<std::string>& keys) {
+  uint64_t h = 0x7ae2d1c94b83f650ULL;
+  for (const auto& k : keys) h = HashCombine(h, HashString(k));
+  return h;
+}
+
+/// Canonical order for select conjuncts: conjunction commutes, so
+/// `a == 1 && b == 2` and `b == 2 && a == 1` must fingerprint equal.
+std::vector<const temporal::ColumnCompare*> CanonicalConjuncts(
+    const temporal::SelectSpec& spec) {
+  std::vector<const temporal::ColumnCompare*> out;
+  out.reserve(spec.conjuncts.size());
+  for (const auto& c : spec.conjuncts) out.push_back(&c);
+  std::sort(out.begin(), out.end(),
+            [](const temporal::ColumnCompare* a,
+               const temporal::ColumnCompare* b) {
+              if (a->column != b->column) return a->column < b->column;
+              if (a->op != b->op) return a->op < b->op;
+              return a->literal < b->literal;
+            });
+  return out;
+}
+
+uint64_t HashSelectSpec(const temporal::SelectSpec& spec) {
+  uint64_t h = 0x93b1a6c7250df84eULL;
+  for (const auto* c : CanonicalConjuncts(spec)) {
+    h = HashCombine(h, static_cast<uint64_t>(c->column));
+    h = HashCombine(h, static_cast<uint64_t>(c->op));
+    h = HashCombine(h, c->literal.Hash());
+  }
+  return h;
+}
+
+uint64_t HashProjectSpec(const temporal::ProjectSpec& spec) {
+  // Output-column order defines the schema: order-significant, in order.
+  uint64_t h = 0x1f4c8ad06be29375ULL;
+  for (const auto& e : spec.exprs) {
+    h = HashCombine(h, static_cast<uint64_t>(e.kind));
+    h = HashCombine(h, HashString(e.name));
+    h = HashCombine(h, static_cast<uint64_t>(e.column));
+    h = HashCombine(h, e.literal.Hash());
+    h = HashCombine(h, static_cast<uint64_t>(e.op));
+    h = HashCombine(h, static_cast<uint64_t>(e.rhs_column));
+  }
+  return h;
+}
+
+bool SameConjuncts(const temporal::SelectSpec& a,
+                   const temporal::SelectSpec& b) {
+  if (a.conjuncts.size() != b.conjuncts.size()) return false;
+  const auto ca = CanonicalConjuncts(a);
+  const auto cb = CanonicalConjuncts(b);
+  for (size_t i = 0; i < ca.size(); ++i) {
+    if (ca[i]->column != cb[i]->column || ca[i]->op != cb[i]->op ||
+        !(ca[i]->literal == cb[i]->literal)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SameProjectSpec(const temporal::ProjectSpec& a,
+                     const temporal::ProjectSpec& b) {
+  if (a.exprs.size() != b.exprs.size()) return false;
+  for (size_t i = 0; i < a.exprs.size(); ++i) {
+    const auto& x = a.exprs[i];
+    const auto& y = b.exprs[i];
+    if (x.kind != y.kind || x.name != y.name || x.column != y.column ||
+        !(x.literal == y.literal) || x.op != y.op ||
+        x.rhs_column != y.rhs_column) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Whether this node's own parameters include an opaque closure the
+/// canonicalizer cannot look into.
+bool HasOpaqueParams(const PlanNode* n) {
+  switch (n->kind) {
+    case OpKind::kSelect:
+      return !n->select_spec.has_value();
+    case OpKind::kProject:
+      return !n->project_spec.has_value();
+    case OpKind::kTemporalJoin:
+      return static_cast<bool>(n->join_pred) ||
+             static_cast<bool>(n->join_project);
+    case OpKind::kUdo:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Hash of the node's normalized own parameters (children excluded).
+uint64_t HashParams(const PlanNode* n) {
+  uint64_t h = HashMix(static_cast<uint64_t>(n->kind) + 0x243f6a8885a308d3ULL);
+  switch (n->kind) {
+    case OpKind::kInput:
+      h = HashCombine(h, HashString(n->name));
+      h = HashCombine(h, HashSchema(n->input_schema));
+      break;
+    case OpKind::kSubplanInput:
+      h = HashCombine(h, HashSchema(n->input_schema));
+      break;
+    case OpKind::kSelect:
+      if (n->select_spec.has_value()) {
+        h = HashCombine(h, HashSelectSpec(*n->select_spec));
+      }
+      break;
+    case OpKind::kProject:
+      if (n->project_spec.has_value()) {
+        h = HashCombine(h, HashProjectSpec(*n->project_spec));
+      }
+      h = HashCombine(h, HashSchema(n->project_schema));
+      break;
+    case OpKind::kAlterLifetime:
+      h = HashCombine(h, static_cast<uint64_t>(n->alter.mode));
+      h = HashCombine(h, static_cast<uint64_t>(n->alter.shift));
+      h = HashCombine(h, static_cast<uint64_t>(n->alter.window));
+      h = HashCombine(h, static_cast<uint64_t>(n->alter.hop));
+      break;
+    case OpKind::kAggregate:
+      h = HashCombine(h, static_cast<uint64_t>(n->agg.kind));
+      h = HashCombine(h, HashString(n->agg.value_column));
+      h = HashCombine(h, HashString(n->agg.output_name));
+      break;
+    case OpKind::kGroupApply:
+      h = HashCombine(h, HashKeys(n->group_keys));
+      break;
+    case OpKind::kTemporalJoin:
+    case OpKind::kAntiSemiJoin:
+      h = HashCombine(h, HashKeys(n->left_keys));
+      h = HashCombine(h, HashKeys(n->right_keys));
+      break;
+    case OpKind::kUdo:
+      h = HashCombine(h, static_cast<uint64_t>(n->udo_window));
+      h = HashCombine(h, static_cast<uint64_t>(n->udo_hop));
+      h = HashCombine(h, HashSchema(n->udo_schema));
+      h = HashCombine(h, n->udo_order_insensitive ? 1u : 0u);
+      break;
+    case OpKind::kExchange:
+      h = HashCombine(h, static_cast<uint64_t>(n->exchange.kind));
+      h = HashCombine(h, HashKeys(n->exchange.keys));
+      h = HashCombine(h, static_cast<uint64_t>(n->exchange.span_width));
+      h = HashCombine(h, static_cast<uint64_t>(n->exchange.overlap));
+      break;
+    case OpKind::kConformanceCheck:
+      h = HashCombine(h, HashString(n->name));
+      break;
+    case OpKind::kUnion:
+      break;
+  }
+  return h;
+}
+
+/// Normalized comparison of own parameters, mirroring HashParams exactly.
+/// Only called when neither node is opaque.
+bool SameParams(const PlanNode* a, const PlanNode* b) {
+  if (a->kind != b->kind) return false;
+  switch (a->kind) {
+    case OpKind::kInput:
+      return a->name == b->name && a->input_schema == b->input_schema;
+    case OpKind::kSubplanInput:
+      return a->input_schema == b->input_schema;
+    case OpKind::kSelect:
+      return SameConjuncts(*a->select_spec, *b->select_spec);
+    case OpKind::kProject:
+      return SameProjectSpec(*a->project_spec, *b->project_spec) &&
+             a->project_schema == b->project_schema;
+    case OpKind::kAlterLifetime:
+      return a->alter.mode == b->alter.mode && a->alter.shift == b->alter.shift &&
+             a->alter.window == b->alter.window && a->alter.hop == b->alter.hop;
+    case OpKind::kAggregate:
+      return a->agg.kind == b->agg.kind &&
+             a->agg.value_column == b->agg.value_column &&
+             a->agg.output_name == b->agg.output_name;
+    case OpKind::kGroupApply:
+      return a->group_keys == b->group_keys;
+    case OpKind::kTemporalJoin:
+    case OpKind::kAntiSemiJoin:
+      return a->left_keys == b->left_keys && a->right_keys == b->right_keys;
+    case OpKind::kUdo:
+      return false;  // opaque; unreachable via the purity gate
+    case OpKind::kExchange:
+      return a->exchange.kind == b->exchange.kind &&
+             a->exchange.keys == b->exchange.keys &&
+             a->exchange.span_width == b->exchange.span_width &&
+             a->exchange.overlap == b->exchange.overlap;
+    case OpKind::kConformanceCheck:
+      return a->name == b->name;
+    case OpKind::kUnion:
+      return true;
+  }
+  return false;
+}
+
+class Fingerprinter {
+ public:
+  FingerprintMap Run(const PlanNode* root) {
+    Compute(root);
+    return std::move(map_);
+  }
+
+ private:
+  const Fingerprint& Compute(const PlanNode* n) {
+    auto it = map_.find(n);
+    if (it != map_.end()) return it->second;
+    Fingerprint fp;
+    fp.hash = HashParams(n);
+    fp.num_ops = 1;
+    fp.pure = !HasOpaqueParams(n);
+    for (const auto& c : n->children) {
+      const Fingerprint& cf = Compute(c.get());
+      fp.hash = HashCombine(fp.hash, cf.hash);
+      fp.num_ops += cf.num_ops;
+      fp.pure = fp.pure && cf.pure;
+    }
+    if (n->subplan) {
+      const Fingerprint& sf = Compute(n->subplan.get());
+      fp.hash = HashCombine(fp.hash, HashMix(sf.hash ^ 0x452821e638d01377ULL));
+      fp.num_ops += sf.num_ops;
+      fp.pure = fp.pure && sf.pure;
+    }
+    if (!fp.pure) {
+      // Identity salt: an opaque sub-DAG equals only itself, so a shared
+      // node still matches across its parents while two independently built
+      // closures never spuriously merge.
+      fp.hash = HashCombine(fp.hash, reinterpret_cast<uintptr_t>(n));
+    }
+    return map_.emplace(n, fp).first->second;
+  }
+
+  FingerprintMap map_;
+};
+
+}  // namespace
+
+FingerprintMap ComputeFingerprints(const PlanNodePtr& root) {
+  return Fingerprinter().Run(root.get());
+}
+
+bool StructurallyEquivalent(const PlanNode* a, const PlanNode* b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->kind != b->kind) return false;
+  // Opaque closures are equivalent only by identity (handled above).
+  if (HasOpaqueParams(a) || HasOpaqueParams(b)) return false;
+  if (!SameParams(a, b)) return false;
+  if (a->children.size() != b->children.size()) return false;
+  for (size_t i = 0; i < a->children.size(); ++i) {
+    if (!StructurallyEquivalent(a->children[i].get(), b->children[i].get())) {
+      return false;
+    }
+  }
+  return StructurallyEquivalent(a->subplan.get(), b->subplan.get());
+}
+
+AnalysisReport CheckUdoConsistency(const PlanNodePtr& root) {
+  AnalysisReport report;
+  const FingerprintMap fps = ComputeFingerprints(root);
+  std::vector<const PlanNode*> udos;
+  for (PlanNode* n : temporal::CollectNodes(root)) {
+    if (n->kind == OpKind::kUdo) udos.push_back(n);
+  }
+  for (size_t i = 0; i < udos.size(); ++i) {
+    for (size_t j = i + 1; j < udos.size(); ++j) {
+      const PlanNode* a = udos[i];
+      const PlanNode* b = udos[j];
+      if (a->udo_window != b->udo_window || a->udo_hop != b->udo_hop ||
+          a->udo_schema != b->udo_schema ||
+          a->udo_order_insensitive == b->udo_order_insensitive) {
+        continue;
+      }
+      const Fingerprint& fa = fps.at(a->children[0].get());
+      const Fingerprint& fb = fps.at(b->children[0].get());
+      if (fa.hash != fb.hash ||
+          !StructurallyEquivalent(a->children[0].get(), b->children[0].get())) {
+        continue;
+      }
+      report.diagnostics.push_back(Diagnostic{
+          Severity::kWarning, b, DescribeNode(b), "udo-consistency",
+          "UDO over an input structurally equivalent to " + DescribeNode(a) +
+              "'s disagrees on order-insensitivity (" +
+              (a->udo_order_insensitive ? "insensitive" : "sensitive") +
+              " there): one declaration is wrong, and the determinism audit "
+              "is being selectively bypassed"});
+    }
+  }
+  return report;
+}
+
+}  // namespace timr::analysis

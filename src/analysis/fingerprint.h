@@ -1,0 +1,65 @@
+// Canonical subplan fingerprinting: a Merkle-style bottom-up hash of
+// normalized operator specs, so structurally-equivalent sub-DAGs — within one
+// plan or across independently built queries — get equal fingerprints.
+//
+// Normalization rules (the canonical form):
+//  - SelectSpec conjuncts are order-canonicalized (conjunction is
+//    commutative) by (column, op, literal);
+//  - everything order-significant is hashed in order: Project output columns
+//    (they define the schema), group keys (they define the key row layout),
+//    join key lists (positional pairing), Union children (merge identity);
+//  - schemas hash as (name, type) sequences; literals via Value::Hash (stable
+//    across platforms and runs: splitmix64 / FNV-1a, common/hash.h).
+//
+// Opaque closures (Select predicates, Project/Join/UDO functions) cannot be
+// compared, so a node holding one gets an *impure* fingerprint salted with
+// the node's identity: it never equals another node's fingerprint (no false
+// sharing), while a genuinely shared node — one sub-DAG reached from several
+// parents — still matches itself. The impurity propagates to ancestors.
+//
+// Consumers: the cross-query CSE report (analysis/sharing.h, ROADMAP item
+// 5(a)) and the UDO order-insensitivity consistency check below.
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "analysis/diagnostic.h"
+#include "temporal/plan.h"
+
+namespace timr::analysis {
+
+struct Fingerprint {
+  /// Merkle hash of the normalized sub-DAG rooted at the node.
+  uint64_t hash = 0;
+  /// Operator count of the sub-DAG's expansion, including group sub-plan
+  /// bodies (a sub-DAG shared via multicast counts once per reference) — the
+  /// "size" a sharing decision weighs.
+  size_t num_ops = 0;
+  /// False when the sub-DAG contains an opaque closure anywhere; impure
+  /// fingerprints are identity-salted and never collide across nodes.
+  bool pure = true;
+};
+
+using FingerprintMap =
+    std::unordered_map<const temporal::PlanNode*, Fingerprint>;
+
+/// Fingerprint every node reachable from `root` (entering group sub-plans).
+FingerprintMap ComputeFingerprints(const temporal::PlanNodePtr& root);
+
+/// Deep structural equivalence of two sub-DAGs under the same normalization
+/// the fingerprint hashes: the collision guard behind every fingerprint-based
+/// equality decision. Nodes with opaque closures are equivalent only to
+/// themselves.
+bool StructurallyEquivalent(const temporal::PlanNode* a,
+                            const temporal::PlanNode* b);
+
+/// Invariant "udo-consistency" (warnings only): two UDO nodes computing over
+/// structurally-equivalent inputs with the same window/hop/schema must agree
+/// on the order-insensitivity declaration — a disagreement means one of the
+/// declarations is wrong, and the determinism audit (plan_checks.h) is being
+/// selectively bypassed.
+AnalysisReport CheckUdoConsistency(const temporal::PlanNodePtr& root);
+
+}  // namespace timr::analysis

@@ -224,4 +224,59 @@ AnalysisReport CheckStage(const FragmentedPlan& plan, size_t fragment_index,
   return report;
 }
 
+AnalysisReport CheckCheckpointCut(const framework::FragmentedPlan& plan,
+                                  const mr::CheckpointStore& store,
+                                  size_t resume_from) {
+  AnalysisReport report;
+  auto error = [&report](const std::string& subject, std::string msg) {
+    report.diagnostics.push_back(Diagnostic{Severity::kError, nullptr, subject,
+                                            "checkpoint-cut", std::move(msg)});
+  };
+  if (resume_from > store.num_stages()) {
+    error("checkpoint",
+          "resume index " + std::to_string(resume_from) + " exceeds the " +
+              std::to_string(store.num_stages()) + " checkpointed stages");
+    return report;
+  }
+  if (resume_from > plan.fragments.size()) {
+    error("checkpoint",
+          "resume index " + std::to_string(resume_from) +
+              " exceeds the plan's " + std::to_string(plan.fragments.size()) +
+              " fragments");
+    return report;
+  }
+  for (size_t i = 0; i < resume_from; ++i) {
+    // Stage boundaries must coincide with the plan's fragment cuts: a
+    // checkpoint taken at a different cut would splice half-computed state
+    // into this plan's dataflow.
+    if (store.stage_name(i) != plan.fragments[i].name) {
+      error("checkpoint stage " + std::to_string(i),
+            "checkpointed stage \"" + store.stage_name(i) +
+                "\" does not align with fragment \"" + plan.fragments[i].name +
+                "\" at the same cut");
+      continue;
+    }
+    for (const std::string& released : store.released(i)) {
+      if (released == plan.output_dataset) {
+        error("checkpoint stage " + std::to_string(i),
+              "releases the job output dataset \"" + released + "\"");
+      }
+      for (size_t later = resume_from; later < plan.fragments.size();
+           ++later) {
+        const framework::Fragment& frag = plan.fragments[later];
+        for (const std::string& input : frag.inputs) {
+          if (input == released) {
+            error("checkpoint stage " + std::to_string(i),
+                  "releases dataset \"" + released + "\" which fragment \"" +
+                      frag.name +
+                      "\" past the resume point still reads; resuming here "
+                      "would replay into a missing dataset");
+          }
+        }
+      }
+    }
+  }
+  return report;
+}
+
 }  // namespace timr::analysis

@@ -19,6 +19,7 @@
 #pragma once
 
 #include "analysis/diagnostic.h"
+#include "mr/checkpoint.h"
 #include "mr/stage.h"
 #include "timr/fragments.h"
 
@@ -32,5 +33,16 @@ AnalysisReport CheckFragments(const framework::FragmentedPlan& plan);
 /// be a correct last-use claim with respect to the rest of `plan`.
 AnalysisReport CheckStage(const framework::FragmentedPlan& plan,
                           size_t fragment_index, const mr::MRStage& stage);
+
+/// Invariant "checkpoint-cut": the checkpointed stage prefix `store` claims
+/// (resume index `resume_from`, as returned by CheckpointStore::Restore) must
+/// align with `plan`'s fragment cuts — same stage names in the same order —
+/// and no dataset released by a restored stage may still be needed by a
+/// fragment at or past the resume point (a released input cannot be re-read,
+/// so such a cut would replay into a missing dataset). Runs before RunPlan
+/// executes anything on a resumed job.
+AnalysisReport CheckCheckpointCut(const framework::FragmentedPlan& plan,
+                                  const mr::CheckpointStore& store,
+                                  size_t resume_from);
 
 }  // namespace timr::analysis

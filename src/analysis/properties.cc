@@ -1,0 +1,515 @@
+#include "analysis/properties.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "common/logging.h"
+#include "temporal/executor.h"
+
+namespace timr::analysis {
+
+using temporal::OpKind;
+using temporal::PlanNode;
+using temporal::PlanNodePtr;
+using temporal::Timestamp;
+
+std::string Partitioning::ToString() const {
+  switch (kind) {
+    case Kind::kArbitrary:
+      return "arbitrary";
+    case Kind::kSingleton:
+      return "singleton";
+    case Kind::kTemporal:
+      return "temporal(span=" + std::to_string(span_width) +
+             ",overlap=" + std::to_string(overlap) + ")";
+    case Kind::kKeys: {
+      std::string out = "keys{";
+      for (size_t i = 0; i < keys.size(); ++i) {
+        if (i > 0) out += ",";
+        out += keys[i];
+      }
+      return out + "}";
+    }
+  }
+  return "?";
+}
+
+const char* OrderingName(Ordering o) {
+  switch (o) {
+    case Ordering::kLeOrdered:
+      return "le-ordered";
+    case Ordering::kCanonical:
+      return "canonical";
+  }
+  return "?";
+}
+
+const char* DeterminismClassName(DeterminismClass d) {
+  switch (d) {
+    case DeterminismClass::kPure:
+      return "pure";
+    case DeterminismClass::kOpaqueDeterministic:
+      return "opaque-deterministic";
+    case DeterminismClass::kOrderSensitive:
+      return "order-sensitive";
+  }
+  return "?";
+}
+
+std::string LifetimeBounds::ToString() const {
+  return "[" + std::to_string(min) + "," +
+         (max >= temporal::kMaxTime ? std::string("inf") : std::to_string(max)) +
+         "]";
+}
+
+std::string NodeProperties::ToString() const {
+  std::string out = "partitioning=" + partitioning.ToString();
+  out += " ordering=";
+  out += OrderingName(ordering);
+  out += " lifetime=" + lifetime.ToString();
+  out += " max_window=" + std::to_string(max_window_below);
+  out += stateful ? " stateful" : " stateless";
+  if (stateful_below && !stateful) out += " stateful-below";
+  out += " determinism=";
+  out += DeterminismClassName(determinism);
+  out += consumes_columnar ? " columnar" : " row";
+  return out;
+}
+
+const NodeProperties& PropertyMap::at(const PlanNode* node) const {
+  auto it = nodes.find(node);
+  TIMR_CHECK(it != nodes.end())
+      << "no inferred properties for node " << DescribeNode(node)
+      << " (was the map computed over a different plan?)";
+  return it->second;
+}
+
+namespace {
+
+DeterminismClass MaxDeterminism(DeterminismClass a, DeterminismClass b) {
+  return static_cast<uint8_t>(a) >= static_cast<uint8_t>(b) ? a : b;
+}
+
+/// True when every name in `subset` appears in `superset`.
+bool KeysSubset(const std::vector<std::string>& subset,
+                const std::vector<std::string>& superset) {
+  for (const auto& k : subset) {
+    if (std::find(superset.begin(), superset.end(), k) == superset.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+class PropertyInference {
+ public:
+  explicit PropertyInference(const PropertyOptions& opts) : opts_(opts) {}
+
+  PropertyMap Run(const PlanNodePtr& root) {
+    const temporal::ColumnarIngestDecisions ingest =
+        temporal::PlanColumnarIngest(root);
+    Infer(root.get());
+    PropertyMap out;
+    for (auto& [node, props] : props_) {
+      auto likes = ingest.consumes_columnar.find(node);
+      props.consumes_columnar =
+          likes != ingest.consumes_columnar.end() && likes->second;
+      out.nodes.emplace(node, props);
+    }
+    out.columnar_ingest = ingest.ingest_columnar;
+    return out;
+  }
+
+ private:
+  /// Seeded entry for a kSubplanInput leaf: the per-group slice of the
+  /// GroupApply's input stream. Slicing preserves order and lifetimes; the
+  /// partitioning fact does not transfer into the per-instance view.
+  void SeedSubplanInput(const PlanNode* leaf, const NodeProperties& input) {
+    NodeProperties p;
+    p.ordering = input.ordering;
+    p.lifetime = input.lifetime;
+    p.determinism = input.determinism;
+    props_[leaf] = p;
+  }
+
+  const NodeProperties& Infer(const PlanNode* n) {
+    auto it = props_.find(n);
+    if (it != props_.end()) return it->second;
+    NodeProperties p = Compute(n);
+    return props_.emplace(n, std::move(p)).first->second;
+  }
+
+  NodeProperties Compute(const PlanNode* n) {
+    NodeProperties p;
+    switch (n->kind) {
+      case OpKind::kInput:
+      case OpKind::kSubplanInput: {
+        // (kSubplanInput normally goes through SeedSubplanInput; reaching
+        // here means the leaf is analyzed outside its GroupApply.)
+        p.ordering = opts_.canonical_inputs ? Ordering::kCanonical
+                                            : Ordering::kLeOrdered;
+        return p;
+      }
+      case OpKind::kExchange: {
+        const NodeProperties& c = Infer(n->children[0].get());
+        p = c;
+        p.stateful = false;
+        // The shuffle both repartitions and sorts each partition into the
+        // canonical (le, re, payload) order (mr/stage.h contract).
+        p.ordering = Ordering::kCanonical;
+        using PK = temporal::PartitionSpec::Kind;
+        if (n->exchange.kind == PK::kTemporal) {
+          p.partitioning = Partitioning::TemporalSpans(n->exchange.span_width,
+                                                       n->exchange.overlap);
+        } else if (n->exchange.keys.empty()) {
+          p.partitioning = Partitioning::Singleton();
+        } else {
+          p.partitioning = Partitioning::Keys(n->exchange.keys);
+        }
+        return p;
+      }
+      case OpKind::kConformanceCheck: {
+        p = Infer(n->children[0].get());
+        p.stateful = false;
+        return p;
+      }
+      case OpKind::kSelect: {
+        const NodeProperties& c = Infer(n->children[0].get());
+        p = c;
+        p.stateful = false;
+        if (!n->select_spec.has_value()) {
+          p.determinism =
+              MaxDeterminism(p.determinism, DeterminismClass::kOpaqueDeterministic);
+        }
+        return p;
+      }
+      case OpKind::kProject: {
+        const NodeProperties& c = Infer(n->children[0].get());
+        p = c;
+        p.stateful = false;
+        // Payload rewritten: the canonical (payload-inclusive) order no
+        // longer holds; lifetimes and physical placement do.
+        if (p.ordering == Ordering::kCanonical) p.ordering = Ordering::kLeOrdered;
+        p.partitioning = ProjectPartitioning(n, c.partitioning);
+        if (!n->project_spec.has_value()) {
+          p.determinism =
+              MaxDeterminism(p.determinism, DeterminismClass::kOpaqueDeterministic);
+        }
+        return p;
+      }
+      case OpKind::kAlterLifetime: {
+        const NodeProperties& c = Infer(n->children[0].get());
+        p = c;
+        p.stateful = false;
+        // Lifetimes change: the temporal-span containment fact and (except
+        // for a pure shift) the canonical order are lost.
+        if (p.partitioning.kind == Partitioning::Kind::kTemporal) {
+          p.partitioning = Partitioning::Arbitrary();
+        }
+        if (n->alter.mode != temporal::AlterLifetimeSpec::Mode::kShift &&
+            p.ordering == Ordering::kCanonical) {
+          p.ordering = Ordering::kLeOrdered;
+        }
+        p.lifetime = AlterLifetimeBounds(n->alter, c.lifetime);
+        p.max_window_below =
+            std::max(c.max_window_below, n->alter.MaxWindow());
+        return p;
+      }
+      case OpKind::kAggregate: {
+        const NodeProperties& c = Infer(n->children[0].get());
+        p = c;
+        p.stateful = true;
+        p.stateful_below = true;
+        p.ordering = Ordering::kLeOrdered;
+        // The input columns (and with them any key fact) are gone; physical
+        // placement is untouched, so singleton survives.
+        if (p.partitioning.kind != Partitioning::Kind::kSingleton) {
+          p.partitioning = Partitioning::Arbitrary();
+        }
+        // A snapshot interval contains no event boundary, so it lies inside
+        // some active event's lifetime: max duration is the input's.
+        p.lifetime = LifetimeBounds{temporal::kTick, c.lifetime.max};
+        return p;
+      }
+      case OpKind::kGroupApply: {
+        const NodeProperties& c = Infer(n->children[0].get());
+        SeedSubplanInput(FindSubplanLeaf(n->subplan.get()), c);
+        const NodeProperties& sub = Infer(n->subplan.get());
+        p.stateful = true;
+        p.stateful_below = true;
+        p.ordering = Ordering::kLeOrdered;
+        p.lifetime = sub.lifetime;
+        p.max_window_below = std::max(c.max_window_below, sub.max_window_below);
+        p.determinism = MaxDeterminism(c.determinism, sub.determinism);
+        // Output schema leads with the group-key columns under their
+        // original names, and groups never move between partitions.
+        if (c.partitioning.kind == Partitioning::Kind::kSingleton) {
+          p.partitioning = Partitioning::Singleton();
+        } else if (c.partitioning.kind == Partitioning::Kind::kKeys &&
+                   KeysSubset(c.partitioning.keys, n->group_keys)) {
+          p.partitioning = c.partitioning;
+        }
+        return p;
+      }
+      case OpKind::kUnion: {
+        const NodeProperties& a = Infer(n->children[0].get());
+        const NodeProperties& b = Infer(n->children[1].get());
+        p.stateful = true;  // merge buffering until punctuation
+        p.stateful_below = true;
+        p.ordering = Ordering::kLeOrdered;
+        p.lifetime = LifetimeBounds{std::min(a.lifetime.min, b.lifetime.min),
+                                    std::max(a.lifetime.max, b.lifetime.max)};
+        p.max_window_below = std::max(a.max_window_below, b.max_window_below);
+        p.determinism = MaxDeterminism(a.determinism, b.determinism);
+        if (a.partitioning == b.partitioning) p.partitioning = a.partitioning;
+        return p;
+      }
+      case OpKind::kTemporalJoin:
+      case OpKind::kAntiSemiJoin: {
+        const NodeProperties& l = Infer(n->children[0].get());
+        const NodeProperties& r = Infer(n->children[1].get());
+        p.stateful = true;
+        p.stateful_below = true;
+        p.ordering = Ordering::kLeOrdered;
+        p.max_window_below = std::max(l.max_window_below, r.max_window_below);
+        p.determinism = MaxDeterminism(l.determinism, r.determinism);
+        if (n->kind == OpKind::kTemporalJoin) {
+          // Output lifetime is the intersection of the matched pair's.
+          p.lifetime = LifetimeBounds{
+              temporal::kTick, std::min(l.lifetime.max, r.lifetime.max)};
+          if (n->join_pred || n->join_project) {
+            p.determinism = MaxDeterminism(
+                p.determinism, DeterminismClass::kOpaqueDeterministic);
+          }
+        } else {
+          // ASJ passes left events (possibly clipped).
+          p.lifetime = LifetimeBounds{temporal::kTick, l.lifetime.max};
+        }
+        p.partitioning = JoinPartitioning(n, l.partitioning, r.partitioning);
+        return p;
+      }
+      case OpKind::kUdo: {
+        const NodeProperties& c = Infer(n->children[0].get());
+        p.stateful = true;
+        p.stateful_below = true;
+        p.ordering = Ordering::kLeOrdered;
+        p.max_window_below =
+            std::max(c.max_window_below, n->udo_window + n->udo_hop);
+        p.determinism = MaxDeterminism(
+            c.determinism, n->udo_order_insensitive
+                               ? DeterminismClass::kOpaqueDeterministic
+                               : DeterminismClass::kOrderSensitive);
+        if (c.partitioning.kind == Partitioning::Kind::kSingleton) {
+          p.partitioning = Partitioning::Singleton();
+        }
+        return p;
+      }
+    }
+    return p;
+  }
+
+  /// The kSubplanInput leaf of a group sub-plan (its unique external feed).
+  static const PlanNode* FindSubplanLeaf(const PlanNode* sub) {
+    const PlanNode* n = sub;
+    std::vector<const PlanNode*> stack{sub};
+    std::unordered_set<const PlanNode*> seen;
+    while (!stack.empty()) {
+      n = stack.back();
+      stack.pop_back();
+      if (!seen.insert(n).second) continue;
+      if (n->kind == OpKind::kSubplanInput) return n;
+      for (const auto& c : n->children) stack.push_back(c.get());
+    }
+    return sub;
+  }
+
+  /// Key survival through a structured projection: a partitioning key
+  /// survives when some kColumn expression copies it; the fact carries over
+  /// under the expression's output name. Opaque projections destroy the fact
+  /// (the key columns may be gone or rewritten).
+  Partitioning ProjectPartitioning(const PlanNode* n, const Partitioning& c) {
+    if (c.kind == Partitioning::Kind::kSingleton ||
+        c.kind == Partitioning::Kind::kTemporal) {
+      return c;  // placement / lifetime facts are payload-independent
+    }
+    if (c.kind != Partitioning::Kind::kKeys) return Partitioning::Arbitrary();
+    if (!n->project_spec.has_value()) return Partitioning::Arbitrary();
+    auto in = n->children[0]->OutputSchema();
+    if (!in.ok()) return Partitioning::Arbitrary();
+    std::vector<std::string> surviving;
+    surviving.reserve(c.keys.size());
+    for (const std::string& key : c.keys) {
+      auto idx = in.ValueOrDie().IndexOf(key);
+      if (!idx.ok()) return Partitioning::Arbitrary();
+      const temporal::ProjectExpr* copy = nullptr;
+      for (const auto& e : n->project_spec->exprs) {
+        if (e.kind == temporal::ProjectExpr::Kind::kColumn &&
+            e.column == idx.ValueOrDie()) {
+          copy = &e;
+          break;
+        }
+      }
+      if (copy == nullptr) return Partitioning::Arbitrary();
+      surviving.push_back(copy->name);
+    }
+    return Partitioning::Keys(std::move(surviving));
+  }
+
+  /// A join's output inherits the left input's key fact when (a) the left
+  /// stream is partitioned by a subset of the join's left keys, (b) the right
+  /// stream is partitioned by the positionally-corresponding right keys (so
+  /// matching pairs co-locate), and (c) the key columns survive into the
+  /// output schema (always for ASJ; for TemporalJoin only the concat form —
+  /// an opaque join_project may drop them). Two singletons join to one.
+  Partitioning JoinPartitioning(const PlanNode* n, const Partitioning& l,
+                                const Partitioning& r) {
+    if (l.kind == Partitioning::Kind::kSingleton &&
+        r.kind == Partitioning::Kind::kSingleton) {
+      return Partitioning::Singleton();
+    }
+    if (l.kind != Partitioning::Kind::kKeys ||
+        r.kind != Partitioning::Kind::kKeys) {
+      return Partitioning::Arbitrary();
+    }
+    if (n->kind == OpKind::kTemporalJoin && n->join_project) {
+      return Partitioning::Arbitrary();
+    }
+    if (l.keys.size() != r.keys.size()) return Partitioning::Arbitrary();
+    for (size_t i = 0; i < l.keys.size(); ++i) {
+      auto li = std::find(n->left_keys.begin(), n->left_keys.end(), l.keys[i]);
+      if (li == n->left_keys.end()) return Partitioning::Arbitrary();
+      const size_t pos = static_cast<size_t>(li - n->left_keys.begin());
+      if (pos >= n->right_keys.size() ||
+          std::find(r.keys.begin(), r.keys.end(), n->right_keys[pos]) ==
+              r.keys.end()) {
+        return Partitioning::Arbitrary();
+      }
+    }
+    return l;
+  }
+
+  static LifetimeBounds AlterLifetimeBounds(
+      const temporal::AlterLifetimeSpec& spec, const LifetimeBounds& in) {
+    using Mode = temporal::AlterLifetimeSpec::Mode;
+    switch (spec.mode) {
+      case Mode::kShift:
+        return in;  // duration unchanged
+      case Mode::kWindow:
+      case Mode::kShiftAndWindow:
+        return LifetimeBounds{spec.window, spec.window};
+      case Mode::kPoint:
+        return LifetimeBounds{temporal::kTick, temporal::kTick};
+      case Mode::kHop:
+        // Surviving events snap to [first, last) hop boundaries: duration is
+        // a positive multiple of hop, at most window rounded up one grid.
+        return LifetimeBounds{spec.hop, spec.window + spec.hop};
+    }
+    return LifetimeBounds{};
+  }
+
+  PropertyOptions opts_;
+  std::unordered_map<const PlanNode*, NodeProperties> props_;
+};
+
+}  // namespace
+
+PropertyMap InferProperties(const PlanNodePtr& root,
+                            const PropertyOptions& opts) {
+  return PropertyInference(opts).Run(root);
+}
+
+AnalysisReport ValidatePropertySnapshot(const PlanNodePtr& root,
+                                        const PropertyMap& cached,
+                                        const PropertyOptions& opts) {
+  AnalysisReport report;
+  const PropertyMap fresh = InferProperties(root, opts);
+  for (const auto& [node, props] : fresh.nodes) {
+    auto it = cached.nodes.find(node);
+    if (it == cached.nodes.end()) {
+      report.diagnostics.push_back(
+          Diagnostic{Severity::kError, node, DescribeNode(node),
+                     "stale-properties",
+                     "node has no entry in the cached property snapshot "
+                     "(plan mutated after inference?)"});
+      continue;
+    }
+    if (it->second != props) {
+      report.diagnostics.push_back(Diagnostic{
+          Severity::kError, node, DescribeNode(node), "stale-properties",
+          "cached properties are stale: cached {" + it->second.ToString() +
+              "} vs recomputed {" + props.ToString() + "}"});
+    }
+  }
+  if (cached.nodes.size() != fresh.nodes.size()) {
+    // Cached keys absent from the fresh map may dangle; report by count only.
+    report.diagnostics.push_back(Diagnostic{
+        Severity::kError, nullptr, "property-snapshot", "stale-properties",
+        "cached snapshot covers " + std::to_string(cached.nodes.size()) +
+            " nodes but the plan has " + std::to_string(fresh.nodes.size())});
+  }
+  return report;
+}
+
+AnalysisReport CheckColumnarDegradation(const PlanNodePtr& root) {
+  AnalysisReport report;
+  const temporal::ColumnarIngestDecisions ingest =
+      temporal::PlanColumnarIngest(root);
+  // Direct consumers per node, over the same child-edge view the ingest
+  // planner uses (group sub-plans excluded — they are row-domain by design).
+  std::unordered_map<const PlanNode*, std::vector<const PlanNode*>> parents;
+  std::vector<const PlanNode*> order;
+  {
+    std::unordered_set<const PlanNode*> seen{root.get()};
+    std::vector<const PlanNode*> stack{root.get()};
+    while (!stack.empty()) {
+      const PlanNode* n = stack.back();
+      stack.pop_back();
+      order.push_back(n);
+      for (const auto& c : n->children) {
+        parents[c.get()].push_back(n);
+        if (seen.insert(c.get()).second) stack.push_back(c.get());
+      }
+    }
+  }
+  for (const PlanNode* n : order) {
+    if (n->kind == OpKind::kSelect && !n->select_spec.has_value()) {
+      report.diagnostics.push_back(Diagnostic{
+          Severity::kWarning, n, DescribeNode(n), "columnar-degradation",
+          "opaque Select predicate forces the row path (EnsureRows) and "
+          "blocks columnar ingest for its source; express the filter as a "
+          "SelectSpec to vectorize"});
+    }
+    if (n->kind == OpKind::kProject && !n->project_spec.has_value()) {
+      report.diagnostics.push_back(Diagnostic{
+          Severity::kWarning, n, DescribeNode(n), "columnar-degradation",
+          "opaque Project closure forces the row path (EnsureRows) and "
+          "blocks columnar ingest for its source; express the projection as "
+          "a ProjectSpec to vectorize"});
+    }
+    if (n->kind == OpKind::kInput) {
+      auto it = ingest.ingest_columnar.find(n);
+      const bool columnar = it != ingest.ingest_columnar.end() && it->second;
+      if (columnar) continue;
+      bool any_columnar_consumer = false;
+      for (const PlanNode* p : parents[n]) {
+        auto likes = ingest.consumes_columnar.find(p);
+        if (likes != ingest.consumes_columnar.end() && likes->second) {
+          any_columnar_consumer = true;
+          break;
+        }
+      }
+      if (any_columnar_consumer) {
+        report.diagnostics.push_back(Diagnostic{
+            Severity::kWarning, n, DescribeNode(n), "columnar-degradation",
+            "source is demoted to row ingest by mixed consumer fan-out: at "
+            "least one consumer runs columnar kernels but another is "
+            "row-bound, and a multicast clone to a row consumer costs more "
+            "than the columnar consumers save"});
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace timr::analysis

@@ -1,0 +1,195 @@
+// Property inference over temporal::PlanNode DAGs: the dataflow pass that
+// turns the checkers of plan_checks.h into an *optimization-grade* analysis.
+//
+// For every node the pass derives:
+//  - partitioning: how the stream's events are distributed across physical
+//    partitions at this point of the plan (the lattice below);
+//  - ordering: the strongest delivery-order guarantee (LE order is the engine
+//    invariant everywhere; the shuffle additionally delivers canonical
+//    (le, re, payload) order across exchange boundaries);
+//  - lifetime bounds: min/max event duration after each windowing operator,
+//    the fact behind temporal-partitioning overlap (paper §III-B);
+//  - max_window_below / statefulness: which sub-DAGs hold operator state;
+//  - determinism class: pure spec-driven ops < opaque-but-deterministic
+//    closures < order-sensitive UDOs (paper §III-C.1);
+//  - columnar eligibility: whether the node consumes columnar batches
+//    natively or hits the EnsureRows row fallback — copied verbatim from the
+//    executor's own build-time gating (temporal::PlanColumnarIngest), so the
+//    prediction cannot drift from the runtime decision.
+//
+// The partitioning facts license exchange elision (timr/optimizer.h
+// ElideRedundantExchanges): an exchange whose input is already partitioned by
+// a subset of its keys is provably redundant, because the placement invariant
+// (exchange keys ⊆ downstream grouping keys, §III-A step 2) then holds
+// transitively for the coarser upstream partitioning.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "temporal/plan.h"
+#include "temporal/time.h"
+
+namespace timr::analysis {
+
+/// \brief Where a stream's events physically live, as a lattice:
+///
+///   kArbitrary (no fact)  <  kKeys / kTemporal / kSingleton
+///
+/// kKeys(K): all events agreeing on columns K are in the same partition.
+/// Weakening is sound along subsets: a stream partitioned by K is also
+/// "partitioned by" any K' ⊇ K for placement purposes (equal-K' rows agree on
+/// K, hence co-locate), which is exactly the elision rule.
+struct Partitioning {
+  enum class Kind : uint8_t {
+    kArbitrary,  // nothing known: events may be spread arbitrarily
+    kKeys,       // co-located by equality on `keys`
+    kSingleton,  // the whole stream is in one partition
+    kTemporal,   // span-partitioned by time with `overlap` (paper §III-B)
+  };
+
+  Kind kind = Kind::kArbitrary;
+  std::vector<std::string> keys;        // kKeys
+  temporal::Timestamp span_width = 0;   // kTemporal
+  temporal::Timestamp overlap = 0;      // kTemporal
+
+  static Partitioning Arbitrary() { return {}; }
+  static Partitioning Keys(std::vector<std::string> k) {
+    Partitioning p;
+    p.kind = Kind::kKeys;
+    p.keys = std::move(k);
+    return p;
+  }
+  static Partitioning Singleton() {
+    Partitioning p;
+    p.kind = Kind::kSingleton;
+    return p;
+  }
+  static Partitioning TemporalSpans(temporal::Timestamp span_width,
+                                    temporal::Timestamp overlap) {
+    Partitioning p;
+    p.kind = Kind::kTemporal;
+    p.span_width = span_width;
+    p.overlap = overlap;
+    return p;
+  }
+
+  bool operator==(const Partitioning& o) const {
+    return kind == o.kind && keys == o.keys && span_width == o.span_width &&
+           overlap == o.overlap;
+  }
+  bool operator!=(const Partitioning& o) const { return !(*this == o); }
+
+  std::string ToString() const;
+};
+
+/// Delivery-order guarantee of a stream edge. Every stream in the engine is
+/// LE-ordered (the operator contract); the shuffle's per-partition sort
+/// additionally guarantees the canonical (le, re, payload) order across
+/// exchange boundaries — the fact that lets TiMR reducers skip the
+/// executor's defensive re-sort (Executor::set_assume_sorted_inputs).
+enum class Ordering : uint8_t { kLeOrdered, kCanonical };
+
+const char* OrderingName(Ordering o);
+
+/// Determinism class of the computation at-or-below a node, ordered by how
+/// much the replay/determinism argument (paper §III-C.1) must assume:
+/// structured specs are replayable by construction; opaque closures are
+/// assumed deterministic functions of their input; order-sensitive UDOs
+/// additionally depend on the arrival order of same-timestamp events.
+enum class DeterminismClass : uint8_t {
+  kPure,
+  kOpaqueDeterministic,
+  kOrderSensitive,
+};
+
+const char* DeterminismClassName(DeterminismClass d);
+
+/// Inclusive bounds on event duration (re - le) of a stream. `max` of
+/// temporal::kMaxTime means unbounded.
+struct LifetimeBounds {
+  temporal::Timestamp min = temporal::kTick;
+  temporal::Timestamp max = temporal::kMaxTime;
+
+  bool operator==(const LifetimeBounds& o) const {
+    return min == o.min && max == o.max;
+  }
+  std::string ToString() const;
+};
+
+/// \brief Everything the pass knows about one plan node's output stream (and
+/// the sub-DAG producing it).
+struct NodeProperties {
+  Partitioning partitioning;
+  Ordering ordering = Ordering::kLeOrdered;
+  LifetimeBounds lifetime;
+  /// Largest window any AlterLifetime/UDO at-or-below applies (mirrors
+  /// PlanNode::MaxWindow, but available per node).
+  temporal::Timestamp max_window_below = temporal::kTick;
+  /// Whether this operator itself holds cross-event state (synopses, merge
+  /// buffers, window contents).
+  bool stateful = false;
+  /// Whether any operator at-or-below holds state.
+  bool stateful_below = false;
+  DeterminismClass determinism = DeterminismClass::kPure;
+  /// Whether the physical operator consumes columnar batches natively
+  /// (otherwise it EnsureRows-materializes). Executor-exact: copied from
+  /// temporal::PlanColumnarIngest.
+  bool consumes_columnar = false;
+
+  bool operator==(const NodeProperties& o) const {
+    return partitioning == o.partitioning && ordering == o.ordering &&
+           lifetime == o.lifetime && max_window_below == o.max_window_below &&
+           stateful == o.stateful && stateful_below == o.stateful_below &&
+           determinism == o.determinism &&
+           consumes_columnar == o.consumes_columnar;
+  }
+  bool operator!=(const NodeProperties& o) const { return !(*this == o); }
+
+  std::string ToString() const;
+};
+
+struct PropertyOptions {
+  /// Sources are fed in canonical (le, re, payload) order — true for TiMR
+  /// reducer inputs (the shuffle contract, mr/stage.h), false for arbitrary
+  /// live sources that only promise LE order.
+  bool canonical_inputs = false;
+};
+
+/// \brief The result of one inference run over a plan DAG.
+struct PropertyMap {
+  /// Properties for every node reachable from the root, including group
+  /// sub-plan bodies.
+  std::unordered_map<const temporal::PlanNode*, NodeProperties> nodes;
+  /// For kInput nodes: whether the executor will build columnar morsels for
+  /// the source (temporal::PlanColumnarIngest's ingest decision).
+  std::unordered_map<const temporal::PlanNode*, bool> columnar_ingest;
+
+  /// Properties of `node`; dies if the node was not part of the analyzed
+  /// plan (callers hold the same DAG the map was computed over).
+  const NodeProperties& at(const temporal::PlanNode* node) const;
+};
+
+/// Run the dataflow pass over `root` (entering group sub-plans).
+PropertyMap InferProperties(const temporal::PlanNodePtr& root,
+                            const PropertyOptions& opts = {});
+
+/// Invariant "stale-properties": recompute properties for `root` and report
+/// an error for every node whose cached entry disagrees (or is missing /
+/// left over). Guards consumers that cache a PropertyMap across plan
+/// mutations.
+AnalysisReport ValidatePropertySnapshot(const temporal::PlanNodePtr& root,
+                                        const PropertyMap& cached,
+                                        const PropertyOptions& opts = {});
+
+/// Invariant "columnar-degradation" (warnings only): places where the plan
+/// silently falls back to row-at-a-time execution — opaque Select/Project
+/// closures forcing EnsureRows where a structured spec would vectorize, and
+/// sources demoted to row ingest by mixed consumer fan-out.
+AnalysisReport CheckColumnarDegradation(const temporal::PlanNodePtr& root);
+
+}  // namespace timr::analysis

@@ -1,0 +1,219 @@
+#include "analysis/sharing.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "analysis/fingerprint.h"
+
+namespace timr::analysis {
+
+using temporal::PlanNode;
+using temporal::PlanNodePtr;
+
+namespace {
+
+struct Occurrence {
+  const PlanNode* node;
+  size_t query;  // index into the input query list
+};
+
+/// One verified equivalence class: occurrences proven pairwise structurally
+/// equivalent (via the representative), spanning >= 2 distinct queries.
+struct Candidate {
+  uint64_t hash = 0;
+  const PlanNode* rep = nullptr;
+  size_t num_ops = 0;
+  std::vector<Occurrence> occurrences;
+  std::set<size_t> queries;
+};
+
+/// All strict descendants of `root` (children + group sub-plans, excluding
+/// `root` itself).
+void CollectStrictDescendants(const PlanNode* root,
+                              std::unordered_set<const PlanNode*>* out) {
+  std::vector<const PlanNode*> stack;
+  auto push_children = [&stack](const PlanNode* n) {
+    for (const auto& c : n->children) stack.push_back(c.get());
+    if (n->subplan) stack.push_back(n->subplan.get());
+  };
+  push_children(root);
+  while (!stack.empty()) {
+    const PlanNode* n = stack.back();
+    stack.pop_back();
+    if (!out->insert(n).second) continue;
+    push_children(n);
+  }
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string HexHash(uint64_t h) {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+}  // namespace
+
+ShareReport BuildShareReport(
+    const std::vector<std::pair<std::string, PlanNodePtr>>& queries) {
+  // 1. Fingerprint every query; bucket pure sub-DAGs by hash. Within one
+  //    query a multicast-shared node is one plan node, hence one occurrence.
+  std::unordered_map<uint64_t, std::vector<Occurrence>> buckets;
+  std::unordered_map<const PlanNode*, size_t> num_ops;
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const FingerprintMap fps = ComputeFingerprints(queries[qi].second);
+    for (const auto& [node, fp] : fps) {
+      if (!fp.pure) continue;
+      buckets[fp.hash].push_back(Occurrence{node, qi});
+      num_ops[node] = fp.num_ops;
+    }
+  }
+
+  // 2. Split each bucket into verified equivalence classes: equal hashes are
+  //    a hypothesis, StructurallyEquivalent is the proof (collisions must
+  //    not fabricate sharing).
+  std::vector<Candidate> candidates;
+  for (auto& [hash, occs] : buckets) {
+    std::vector<Candidate> classes;
+    for (const Occurrence& occ : occs) {
+      Candidate* home = nullptr;
+      for (Candidate& c : classes) {
+        if (StructurallyEquivalent(c.rep, occ.node)) {
+          home = &c;
+          break;
+        }
+      }
+      if (home == nullptr) {
+        classes.push_back(Candidate{hash, occ.node, num_ops[occ.node], {}, {}});
+        home = &classes.back();
+      }
+      home->occurrences.push_back(occ);
+      home->queries.insert(occ.query);
+    }
+    for (Candidate& c : classes) {
+      // Single-op fragments (a bare Input or SubplanInput leaf) are trivially
+      // shared and not worth materializing; keep the report signal-dense.
+      if (c.queries.size() >= 2 && c.num_ops >= 2) {
+        candidates.push_back(std::move(c));
+      }
+    }
+  }
+
+  // 3. Maximality: drop a candidate wholly contained — with the same query
+  //    set — in a larger one; sub-fragments of a shared prefix add no new
+  //    sharing opportunity. Candidates whose query sets differ both stay
+  //    (the smaller one is shareable more widely).
+  std::vector<std::unordered_set<const PlanNode*>> descendants(
+      candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    for (const Occurrence& occ : candidates[i].occurrences) {
+      CollectStrictDescendants(occ.node, &descendants[i]);
+    }
+  }
+  std::vector<bool> suppressed(candidates.size(), false);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    for (size_t j = 0; j < candidates.size(); ++j) {
+      if (i == j || candidates[i].queries != candidates[j].queries) continue;
+      bool contained = true;
+      for (const Occurrence& occ : candidates[i].occurrences) {
+        if (descendants[j].count(occ.node) == 0) {
+          contained = false;
+          break;
+        }
+      }
+      if (contained) {
+        suppressed[i] = true;
+        break;
+      }
+    }
+  }
+
+  ShareReport report;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (suppressed[i]) continue;
+    const Candidate& c = candidates[i];
+    SharedFragment frag;
+    frag.hash = c.hash;
+    frag.num_ops = c.num_ops;
+    frag.rendering = c.rep->ToString();
+    frag.occurrences = c.occurrences.size();
+    for (size_t q : c.queries) frag.queries.push_back(queries[q].first);
+    std::sort(frag.queries.begin(), frag.queries.end());
+    report.fragments.push_back(std::move(frag));
+  }
+  std::sort(report.fragments.begin(), report.fragments.end(),
+            [](const SharedFragment& a, const SharedFragment& b) {
+              if (a.num_ops != b.num_ops) return a.num_ops > b.num_ops;
+              if (a.queries.size() != b.queries.size()) {
+                return a.queries.size() > b.queries.size();
+              }
+              return a.hash < b.hash;
+            });
+  return report;
+}
+
+std::string ShareReport::ToString() const {
+  std::ostringstream os;
+  if (fragments.empty()) {
+    os << "no multi-query shared fragments\n";
+    return os.str();
+  }
+  for (const SharedFragment& f : fragments) {
+    os << "shared fragment " << HexHash(f.hash) << " (" << f.num_ops
+       << " ops) in " << f.queries.size() << " queries, " << f.occurrences
+       << " occurrences:\n  queries:";
+    for (const auto& q : f.queries) os << " " << q;
+    os << "\n";
+    std::istringstream plan(f.rendering);
+    std::string line;
+    while (std::getline(plan, line)) os << "  | " << line << "\n";
+  }
+  return os.str();
+}
+
+std::string ShareReport::ToJson() const {
+  std::ostringstream os;
+  os << "{\"shared_fragments\":[";
+  for (size_t i = 0; i < fragments.size(); ++i) {
+    const SharedFragment& f = fragments[i];
+    if (i > 0) os << ",";
+    os << "{\"hash\":\"" << HexHash(f.hash) << "\",\"num_ops\":" << f.num_ops
+       << ",\"occurrences\":" << f.occurrences << ",\"queries\":[";
+    for (size_t q = 0; q < f.queries.size(); ++q) {
+      if (q > 0) os << ",";
+      os << "\"" << JsonEscape(f.queries[q]) << "\"";
+    }
+    os << "],\"plan\":\"" << JsonEscape(f.rendering) << "\"}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace timr::analysis

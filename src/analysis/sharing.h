@@ -1,0 +1,59 @@
+// Cross-query common-subexpression detection over fingerprinted plans: the
+// input ROADMAP item 5(a)'s multi-plan optimizer needs. Given a set of
+// independently built queries (the BT pipeline's ~20 CQs), the report names
+// every maximal sub-DAG that appears — structurally equivalent, per
+// analysis/fingerprint.h — in more than one query, i.e. the fragments a
+// shared-execution runtime (per Sharon's shared online aggregation) would
+// compute once and fan out.
+//
+// Only *pure* fingerprints participate: a sub-DAG containing an opaque
+// closure can never be proven equivalent to another, so it can never be
+// shared. Every fingerprint group is re-verified with the deep structural
+// comparator before it is reported (hash collisions must not fabricate
+// sharing opportunities).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "temporal/plan.h"
+
+namespace timr::analysis {
+
+/// \brief One shareable sub-DAG found in several queries.
+struct SharedFragment {
+  uint64_t hash = 0;       // canonical fingerprint (analysis/fingerprint.h)
+  size_t num_ops = 0;      // operator count of the fragment's expansion
+  std::string rendering;   // plan rendering of one representative occurrence
+  /// Distinct queries containing the fragment, sorted; always >= 2.
+  std::vector<std::string> queries;
+  /// Total occurrence sites across all queries (>= queries.size(); a query
+  /// may instantiate the same sub-DAG several times, e.g. the standard BT
+  /// plan re-embedding bot elimination per downstream fragment).
+  size_t occurrences = 0;
+};
+
+/// \brief The cross-query CSE report: multi-query maximal shared fragments,
+/// largest first.
+struct ShareReport {
+  std::vector<SharedFragment> fragments;
+
+  /// Human-readable rendering (one block per fragment).
+  std::string ToString() const;
+  /// Machine-readable JSON: {"queries": N, "shared_fragments": [...]} — the
+  /// artifact timr_lint --share-report emits for CI.
+  std::string ToJson() const;
+};
+
+/// Build the report over named queries. A fragment is *maximal* when it is
+/// not wholly contained in a larger reported fragment with the same query
+/// set (sub-fragments of a shared prefix add no new sharing opportunity).
+/// Single-operator fragments (bare source leaves) are omitted: trivially
+/// shared, never worth materializing.
+ShareReport BuildShareReport(
+    const std::vector<std::pair<std::string, temporal::PlanNodePtr>>& queries);
+
+}  // namespace timr::analysis

@@ -222,6 +222,110 @@ Query FeatureScores(const Query& clean_input, const Query& train_data,
       FeatureScoreSchema());
 }
 
+std::vector<std::pair<std::string, temporal::PlanNodePtr>> BtCqSuite(
+    const BtQueryConfig& config) {
+  std::vector<std::pair<std::string, temporal::PlanNodePtr>> suite;
+  auto add = [&suite](const char* name, const Query& q) {
+    suite.emplace_back(name, q.node());
+  };
+  // Every entry rebuilds its chain from a fresh BtInput(), so any sub-plan
+  // the sharing analysis reports as common is a genuine structural
+  // repetition, not an artifact of shared nodes.
+  auto clean = [&config] { return BotElimination(BtInput(), config); };
+  auto filtered = [&clean](int64_t stream_id) {
+    return clean().WhereEq(kColStreamId, Value(stream_id));
+  };
+
+  // The pipeline stages themselves.
+  add("bot_stream", BotStream(BtInput(), config));
+  add("bot_elimination", clean());
+  add("train_data", GenTrainData(clean(), config));
+  {
+    Query c = clean();
+    add("feature_scores", FeatureScores(c, GenTrainData(c, config), config));
+  }
+  add("bt_standard", BtFeaturePipeline(config, Annotation::kStandard));
+  add("bt_naive", BtFeaturePipeline(config, Annotation::kNaive));
+
+  // Cleaned per-stream views feeding downstream consumers.
+  add("clean_clicks", filtered(kStreamClick));
+  add("clean_impressions", filtered(kStreamImpression));
+  add("clean_keywords", filtered(kStreamKeyword));
+
+  // Ad-level monitoring: click/impression rates and their ratio.
+  auto per_ad_rate = [&](int64_t stream_id, const char* out) {
+    return filtered(stream_id).GroupApply(
+        {kColKwAdId}, [&config, out](Query g) {
+          return g.Window(config.profile_window).Count(out);
+        });
+  };
+  Query ad_clicks = per_ad_rate(kStreamClick, "Clicks");
+  Query ad_impressions = per_ad_rate(kStreamImpression, "Impressions");
+  add("ad_clicks", ad_clicks);
+  add("ad_impressions", ad_impressions);
+  {
+    Query joined = Query::TemporalJoin(ad_clicks, ad_impressions, {kColKwAdId},
+                                       {kColKwAdId});
+    Schema js = joined.schema();
+    temporal::ProjectSpec ctr;
+    ctr.exprs.push_back(temporal::ProjectExpr::Column(
+        "AdId", js.IndexOf(kColKwAdId).ValueOrDie()));
+    ctr.exprs.push_back(temporal::ProjectExpr::Arith(
+        "Ctr", js.IndexOf("Clicks").ValueOrDie(),
+        temporal::ProjectExpr::ArithOp::kDiv,
+        js.IndexOf("Impressions").ValueOrDie()));
+    add("ad_ctr", joined.Project(std::move(ctr)));
+  }
+
+  // User-level monitoring.
+  add("user_activity", clean().GroupApply({kColUserId}, [&config](Query g) {
+    return g.Window(config.profile_window).Count("Events");
+  }));
+  add("ubp", filtered(kStreamKeyword)
+                 .GroupApply({kColUserId, kColKwAdId}, [&config](Query g) {
+                   return g.Window(config.profile_window).Count("KwCount");
+                 }));
+
+  // The S1 example stream of Figure 12, standalone (GenTrainData's prefix).
+  {
+    Query input = clean();
+    Query impressions = input.WhereEq(kColStreamId, Value(kStreamImpression));
+    Query clicks = input.WhereEq(kColStreamId, Value(kStreamClick));
+    Query clicks_back = clicks.AlterLifetime(AlterLifetimeSpec::ShiftAndWindow(
+        -config.click_horizon, config.click_horizon + temporal::kTick));
+    Query non_clicks = Query::AntiSemiJoin(impressions, clicks_back,
+                                           {kColUserId, kColKwAdId},
+                                           {kColUserId, kColKwAdId});
+    add("examples", Query::Union(non_clicks, clicks));
+  }
+
+  // Bot-list observability: the two detector branches and the live bot count.
+  auto bot_branch = [&config](int64_t stream_id, int64_t threshold) {
+    return BtInput().GroupApply({kColUserId}, [&](Query g) {
+      return g.WhereEq(kColStreamId, Value(stream_id))
+          .HoppingWindow(config.profile_window, config.bot_hop)
+          .Count("cnt")
+          .WhereCmp("cnt", temporal::CmpOp::kGt, Value(threshold));
+    });
+  };
+  add("bot_clickers", bot_branch(kStreamClick, config.bot_click_threshold));
+  add("bot_searchers",
+      bot_branch(kStreamKeyword, config.bot_search_threshold));
+  add("active_bots", BotStream(BtInput(), config)
+                         .HoppingWindow(config.bot_hop, config.bot_hop)
+                         .Count("ActiveBots"));
+
+  // Volume dashboards.
+  add("hourly_volume",
+      clean().HoppingWindow(temporal::kHour, temporal::kHour).Count("Events"));
+  add("keyword_volume",
+      filtered(kStreamKeyword).GroupApply({kColKwAdId}, [&config](Query g) {
+        return g.HoppingWindow(config.selection_period, config.selection_period)
+            .Count("Searches");
+      }));
+  return suite;
+}
+
 Query BtFeaturePipeline(const BtQueryConfig& config, Annotation annotation) {
   Query input = BtInput();
   if (annotation != Annotation::kNone) {

@@ -7,6 +7,8 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "bt/schema.h"
 #include "temporal/query.h"
@@ -80,6 +82,17 @@ temporal::Query FeatureScores(const temporal::Query& clean_input,
 /// FeatureScores with the given annotation.
 temporal::Query BtFeaturePipeline(const BtQueryConfig& config,
                                   Annotation annotation);
+
+/// The catalog of shipped BT continuous queries: the pipeline stages plus the
+/// monitoring/reporting CQs that run alongside them, each built independently
+/// from a fresh BtInput() (no plan nodes shared between entries). This is the
+/// input to the cross-query sharing analysis (`timr_lint --share-report`):
+/// the bot-elimination and UBP prefixes repeat structurally across most of
+/// these plans, and the analysis layer's fingerprint pass must find them —
+/// they are exactly the sub-plans a shared-computation runtime (ROADMAP item
+/// 5a) would materialize once and fan out.
+std::vector<std::pair<std::string, temporal::PlanNodePtr>> BtCqSuite(
+    const BtQueryConfig& config = BtQueryConfig());
 
 /// The unpooled two-proportion z-score (paper §IV-B.3). `clicks_with` /
 /// `examples_with` are C_K / I_K; `clicks_total` / `examples_total` are C / I.

@@ -52,6 +52,13 @@ class CheckpointStore {
   /// Rows in stage i's primary output (for the stats of resumed stages).
   size_t rows_out(size_t i) const { return records_[i].primary_rows; }
 
+  /// Input datasets stage i released (consumed for the last time). The
+  /// checkpoint-cut validity check (analysis/fragment_checks.h) audits these
+  /// against the resuming plan's fragment dependencies.
+  const std::vector<std::string>& released(size_t i) const {
+    return records_[i].released;
+  }
+
   /// Record stage `index` (must be num_stages(): stages checkpoint in order).
   /// `outputs` lists the datasets the stage wrote (primary output first,
   /// quarantine if any); `released` names the input datasets it consumed.

@@ -2,11 +2,127 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "temporal/conformance.h"
 #include "temporal/group_apply.h"
 
 namespace timr::temporal {
+
+namespace {
+
+/// One-pass worker behind PlanColumnarIngest: builds reverse-parent edges over
+/// the visible DAG (child edges only; group sub-plans plan separately), then
+/// memoizes the per-node "consumes columnar natively" decision.
+class ColumnarIngestPlanner {
+ public:
+  explicit ColumnarIngestPlanner(const PlanNode* root) {
+    seen_.insert(root);
+    order_.push_back(root);
+    Walk(root);
+  }
+
+  ColumnarIngestDecisions Run() {
+    ColumnarIngestDecisions out;
+    for (const PlanNode* n : order_) {
+      out.consumes_columnar[n] = Likes(n);
+    }
+    for (const PlanNode* n : order_) {
+      if (n->kind == OpKind::kInput) out.ingest_columnar[n] = Prefers(n);
+    }
+    return out;
+  }
+
+  /// Whether every direct consumer of `n` benefits from columnar input. All,
+  /// not any: a multicast clones the morsel per consumer, and a row-bound
+  /// consumer re-materializes its whole clone, which costs more than the
+  /// columnar consumers save (measured on the BT pipeline, where mixed
+  /// fan-out made any-consumer ingest a net loss). The plan root has no
+  /// in-DAG consumer (the collector is row-bound), so it reports false.
+  bool Prefers(const PlanNode* n) {
+    const auto& ps = rparents_[n];
+    if (ps.empty()) return false;
+    for (const PlanNode* p : ps) {
+      if (!Likes(p)) return false;
+    }
+    return true;
+  }
+
+  /// Whether the physical operator for `n` consumes columnar batches natively
+  /// (i.e. does useful vectorized work before — or without — materializing
+  /// rows). Pure pass-throughs recurse to *their* consumers: converting at
+  /// ingest is only worthwhile if something downstream of the pass-through
+  /// runs a kernel.
+  bool Likes(const PlanNode* n) {
+    auto memo = likes_memo_.find(n);
+    if (memo != likes_memo_.end()) return memo->second;
+    const bool v = LikesUncached(n);
+    likes_memo_[n] = v;
+    return v;
+  }
+
+ private:
+  void Walk(const PlanNode* n) {
+    for (const auto& c : n->children) {
+      rparents_[c.get()].push_back(n);
+      if (seen_.insert(c.get()).second) {
+        order_.push_back(c.get());
+        Walk(c.get());
+      }
+    }
+  }
+
+  bool LikesUncached(const PlanNode* n) {
+    switch (n->kind) {
+      case OpKind::kSelect:
+        return n->select_spec.has_value();
+      case OpKind::kProject:
+        return n->project_spec.has_value();
+      case OpKind::kAlterLifetime:
+        return true;
+      case OpKind::kAggregate: {
+        if (n->agg.kind == AggKind::kCount) return true;
+        auto in = n->children[0]->OutputSchema();
+        if (!in.ok()) return false;
+        auto idx = in.ValueOrDie().IndexOf(n->agg.value_column);
+        if (!idx.ok()) return false;
+        return in.ValueOrDie().field(idx.ValueOrDie()).type !=
+               ValueType::kString;
+      }
+      case OpKind::kGroupApply:
+      case OpKind::kTemporalJoin:
+      case OpKind::kAntiSemiJoin:
+        // Their ports bulk-hash keys off raw columns, but each event still
+        // materializes a Row for the synopsis, so building columnar morsels
+        // for them costs more at ingest than the hashing saves (measured ~1x
+        // on the join-probe kernel). Columnar batches produced by upstream
+        // kernels are still consumed natively.
+        return false;
+      case OpKind::kExchange:
+      case OpKind::kConformanceCheck:
+        // Pure pass-throughs inherit their consumers' preference — all of
+        // them, for the same fan-out reason as Prefers.
+        return Prefers(n);
+      case OpKind::kInput:
+      case OpKind::kSubplanInput:
+      case OpKind::kUnion:
+      case OpKind::kUdo:
+        return false;
+    }
+    return false;
+  }
+
+  std::unordered_set<const PlanNode*> seen_;
+  std::vector<const PlanNode*> order_;
+  std::unordered_map<const PlanNode*, std::vector<const PlanNode*>> rparents_;
+  std::unordered_map<const PlanNode*, bool> likes_memo_;
+};
+
+}  // namespace
+
+ColumnarIngestDecisions PlanColumnarIngest(const PlanNodePtr& root) {
+  return ColumnarIngestPlanner(root.get()).Run();
+}
 
 /// Source operator: accepts pushed events, enforces per-source ordering.
 class Executor::InputNode : public UnaryOperator {
@@ -73,6 +189,7 @@ class NetworkBuilder {
       counted_ = true;
       parents_[node.get()] = 1;  // the root's consumer (collector / parent op)
       CountParents(node.get());
+      ingest_ = PlanColumnarIngest(node);
     }
     auto it = memo_.find(node.get());
     if (it != memo_.end()) return it->second;
@@ -107,74 +224,8 @@ class NetworkBuilder {
 
   void CountParents(const PlanNode* n) {
     for (const auto& c : n->children) {
-      rparents_[c.get()].push_back(n);
       if (++parents_[c.get()] == 1) CountParents(c.get());
     }
-  }
-
-  /// Whether the physical operator for `n` consumes columnar batches natively
-  /// (i.e. does useful vectorized work before — or without — materializing
-  /// rows). Pure pass-throughs recurse to *their* consumers: converting at
-  /// ingest is only worthwhile if something downstream of the pass-through
-  /// runs a kernel.
-  bool ConsumerLikesColumnar(const PlanNode* n) {
-    switch (n->kind) {
-      case OpKind::kSelect:
-        return n->select_spec.has_value();
-      case OpKind::kProject:
-        return n->project_spec.has_value();
-      case OpKind::kAlterLifetime:
-        return true;
-      case OpKind::kAggregate: {
-        if (n->agg.kind == AggKind::kCount) return true;
-        auto in = n->children[0]->OutputSchema();
-        if (!in.ok()) return false;
-        auto idx = in.ValueOrDie().IndexOf(n->agg.value_column);
-        if (!idx.ok()) return false;
-        return in.ValueOrDie().field(idx.ValueOrDie()).type !=
-               ValueType::kString;
-      }
-      case OpKind::kGroupApply:
-      case OpKind::kTemporalJoin:
-      case OpKind::kAntiSemiJoin:
-        // Their ports bulk-hash keys off raw columns, but each event still
-        // materializes a Row for the synopsis, so building columnar morsels
-        // for them costs more at ingest than the hashing saves (measured ~1x
-        // on the join-probe kernel). Columnar batches produced by upstream
-        // kernels are still consumed natively.
-        return false;
-      case OpKind::kExchange:
-      case OpKind::kConformanceCheck: {
-        // Pure pass-throughs inherit their consumers' preference — all of
-        // them, for the same fan-out reason as PrefersColumnar.
-        const auto& ps = rparents_[n];
-        if (ps.empty()) return false;
-        for (const PlanNode* p : ps) {
-          if (!ConsumerLikesColumnar(p)) return false;
-        }
-        return true;
-      }
-      case OpKind::kInput:
-      case OpKind::kSubplanInput:
-      case OpKind::kUnion:
-      case OpKind::kUdo:
-        return false;
-    }
-    return false;
-  }
-
-  /// Whether every direct consumer of plan node `n` benefits from columnar
-  /// input. All, not any: a multicast clones the morsel per consumer, and a
-  /// row-bound consumer re-materializes its whole clone, which costs more
-  /// than the columnar consumers save (measured on the BT pipeline, where
-  /// mixed fan-out made any-consumer ingest a net loss).
-  bool PrefersColumnar(const PlanNode* n) {
-    const auto& ps = rparents_[n];
-    if (ps.empty()) return false;
-    for (const PlanNode* p : ps) {
-      if (!ConsumerLikesColumnar(p)) return false;
-    }
-    return true;
   }
 
   /// Builds `child` and connects its output to `port`. A single-consumer
@@ -245,8 +296,10 @@ class NetworkBuilder {
         if (inputs_->count(node->name)) {
           return Status::Invalid("duplicate input name: " + node->name);
         }
-        op->ConfigureColumnarIngest(node->input_schema,
-                                    PrefersColumnar(node.get()));
+        const auto pref = ingest_.ingest_columnar.find(node.get());
+        op->ConfigureColumnarIngest(
+            node->input_schema,
+            pref != ingest_.ingest_columnar.end() && pref->second);
         (*inputs_)[node->name] = op.get();
         return Register(std::move(op));
       }
@@ -344,7 +397,7 @@ class NetworkBuilder {
   std::map<std::string, Executor::InputNode*>* inputs_;
   std::unordered_map<const PlanNode*, Operator*> memo_;
   std::unordered_map<const PlanNode*, int> parents_;
-  std::unordered_map<const PlanNode*, std::vector<const PlanNode*>> rparents_;
+  ColumnarIngestDecisions ingest_;
   bool counted_ = false;
   EventSink* subplan_sink_ = nullptr;
 };
@@ -397,6 +450,12 @@ void Executor::PushCtiAll(Timestamp t) {
 void Executor::Finish() { PushCtiAll(kMaxTime); }
 
 void Executor::AddOutputSink(EventSink* sink) { root_op_->AddOutput(sink); }
+
+Result<bool> Executor::InputPrefersColumnar(const std::string& input) const {
+  auto it = inputs_.find(input);
+  if (it == inputs_.end()) return Status::KeyError("no input named " + input);
+  return it->second->prefer_columnar();
+}
 
 uint64_t Executor::TotalEventsConsumed() const {
   uint64_t total = 0;
@@ -452,9 +511,15 @@ Result<std::vector<Event>> Executor::RunBatch(
       return Status::KeyError("plan has no input named " + name);
     }
     auto le_less = [](const Event& a, const Event& b) { return a.le < b.le; };
-    // Reducer inputs arrive already LE-sorted from the shuffle, so the common
-    // case skips the sort (and its temp-buffer allocation) entirely.
-    if (!std::is_sorted(events.begin(), events.end(), le_less)) {
+    // Reducer inputs arrive already LE-sorted from the shuffle; with the
+    // caller's assume_sorted_inputs guarantee the driver skips even the
+    // is_sorted scan (debug builds still verify), otherwise the scan lets the
+    // common case skip the sort (and its temp-buffer allocation).
+    if (assume_sorted_inputs_) {
+      TIMR_DCHECK(std::is_sorted(events.begin(), events.end(), le_less))
+          << "assume_sorted_inputs set but input '" << name
+          << "' is not LE-sorted";
+    } else if (!std::is_sorted(events.begin(), events.end(), le_less)) {
       std::stable_sort(events.begin(), events.end(), le_less);
     }
     cursors.push_back(Cursor{it->second, &events, 0,

@@ -8,6 +8,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -15,6 +16,32 @@
 #include "temporal/plan.h"
 
 namespace timr::temporal {
+
+/// \brief Build-time columnar ingest decisions for one plan DAG.
+///
+/// Computed by PlanColumnarIngest and consumed by two clients that must never
+/// disagree: the executor's network builder (which configures each source's
+/// ingest mode from it) and the static analysis layer (which predicts which
+/// fragments run vectorized vs. hit the EnsureRows row fallback). Keeping the
+/// rules in one function is what makes the analysis's prediction exact rather
+/// than a parallel reimplementation that can drift.
+struct ColumnarIngestDecisions {
+  /// Whether the physical operator for each node consumes columnar batches
+  /// natively (does useful vectorized work before — or without —
+  /// materializing rows). Pass-throughs (Exchange, ConformanceCheck) inherit
+  /// the AND of their consumers' entries.
+  std::unordered_map<const PlanNode*, bool> consumes_columnar;
+  /// For kInput nodes only: whether RunBatch will build columnar morsels for
+  /// the source. True iff every direct consumer consumes columnar (all, not
+  /// any: a multicast clones the morsel per consumer, and one row-bound
+  /// consumer re-materializing its clone costs more than the rest save).
+  std::unordered_map<const PlanNode*, bool> ingest_columnar;
+};
+
+/// Decide columnar ingest for every node reachable from `root` via child
+/// edges. Group sub-plans are not entered: their networks are built per group
+/// instance and have no kInput sources of their own.
+ColumnarIngestDecisions PlanColumnarIngest(const PlanNodePtr& root);
 
 /// \brief A running instance of a CQ plan.
 ///
@@ -75,6 +102,11 @@ class Executor {
 
   const std::vector<std::string>& input_names() const { return input_names_; }
 
+  /// The build-time columnar ingest decision for the named source — the
+  /// runtime half of the columnar-eligibility analysis (tests assert the
+  /// analysis's prediction equals this observed mode for every plan).
+  Result<bool> InputPrefersColumnar(const std::string& input) const;
+
   /// Morsel size used by RunBatch when cutting the merged input stream into
   /// EventBatches. Output is bit-identical for any size >= 1 (see RunBatch);
   /// the knob exists for benchmarks and the batch-invariance tests.
@@ -95,6 +127,13 @@ class Executor {
   void set_cti_thinning(size_t n) { cti_thinning_ = n == 0 ? 1 : n; }
   size_t cti_thinning() const { return cti_thinning_; }
 
+  /// Caller guarantee that every RunBatch input vector is already LE-sorted,
+  /// letting the driver skip its per-input is_sorted scan. TiMR reducers set
+  /// this: the shuffle contract (mr/stage.h) delivers each partition's input
+  /// in canonical LE order. Debug builds still verify the guarantee.
+  void set_assume_sorted_inputs(bool on) { assume_sorted_inputs_ = on; }
+  bool assume_sorted_inputs() const { return assume_sorted_inputs_; }
+
   static constexpr size_t kDefaultBatchSize = 1024;
   static constexpr size_t kDefaultCtiThinning = 16;
 
@@ -111,6 +150,7 @@ class Executor {
   size_t batch_size_ = kDefaultBatchSize;
   size_t cti_thinning_ = kDefaultCtiThinning;
   bool columnar_enabled_ = true;
+  bool assume_sorted_inputs_ = false;
 };
 
 }  // namespace timr::temporal

@@ -7,6 +7,9 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "analysis/plan_checks.h"
+#include "analysis/properties.h"
+
 namespace timr::framework {
 
 using temporal::OpKind;
@@ -404,6 +407,83 @@ Result<OptimizeResult> OptimizeAnnotation(const temporal::PlanNodePtr& plan,
   }
   Annotator annotator(stats, options);
   return annotator.Run(plan);
+}
+
+namespace {
+
+/// Redundancy rule: the child's inferred partitioning already implies what
+/// exchange `n` would establish. Keys: K_P ⊆ K_E with K_P nonempty (an
+/// arbitrary stream proves nothing). Singleton: only a singleton exchange
+/// (empty keys) is redundant over a singleton stream — a *keyed* exchange
+/// over one partition still buys parallelism, so it stays.
+bool ExchangeIsRedundant(const PlanNode* n,
+                         const analysis::PropertyMap& props) {
+  if (n->kind != OpKind::kExchange) return false;
+  if (n->exchange.kind != PartitionSpec::Kind::kKeys) return false;
+  const analysis::Partitioning& p =
+      props.at(n->children[0].get()).partitioning;
+  if (p.kind == analysis::Partitioning::Kind::kSingleton) {
+    return n->exchange.keys.empty();
+  }
+  if (p.kind != analysis::Partitioning::Kind::kKeys || p.keys.empty()) {
+    return false;
+  }
+  for (const std::string& k : p.keys) {
+    if (std::find(n->exchange.keys.begin(), n->exchange.keys.end(), k) ==
+        n->exchange.keys.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<ElisionResult> ElideRedundantExchanges(const PlanNodePtr& root) {
+  ElisionResult result;
+  result.plan = temporal::ClonePlan(root);
+  // Fixpoint: each removal coarsens downstream partitioning facts, which can
+  // expose (never revoke) further redundancy — properties are recomputed per
+  // round. Plans are small; rounds are bounded by the exchange count.
+  while (true) {
+    const analysis::PropertyMap props = analysis::InferProperties(result.plan);
+    PlanNode* victim = nullptr;
+    for (PlanNode* n : temporal::CollectNodes(result.plan)) {
+      // The root exchange (if any) declares the output dataset's
+      // partitioning; leave it even when redundant.
+      if (n == result.plan.get()) continue;
+      if (ExchangeIsRedundant(n, props)) {
+        victim = n;
+        break;
+      }
+    }
+    if (victim == nullptr) break;
+    const analysis::Partitioning& child_part =
+        props.at(victim->children[0].get()).partitioning;
+    result.elided.push_back("elided Exchange " + victim->exchange.ToString() +
+                            ": input already partitioned " +
+                            child_part.ToString());
+    const PlanNodePtr replacement = victim->children[0];
+    for (PlanNode* n : temporal::CollectNodes(result.plan)) {
+      for (auto& c : n->children) {
+        if (c.get() == victim) c = replacement;
+      }
+    }
+  }
+  if (!result.elided.empty()) {
+    // Cross-check: the surviving exchanges must still satisfy §III-A step 2
+    // and §III-B over their (now longer) scopes. A violation here means the
+    // property rules proved something false; refuse the plan.
+    analysis::AnalysisReport placement =
+        analysis::CheckExchangePlacement(result.plan);
+    if (placement.HasErrors()) {
+      return Status::Invalid(
+          "exchange elision produced an invalid placement (property "
+          "inference bug):\n" +
+          placement.ToString());
+    }
+  }
+  return result;
 }
 
 }  // namespace timr::framework

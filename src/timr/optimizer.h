@@ -54,4 +54,23 @@ Result<OptimizeResult> OptimizeAnnotation(const temporal::PlanNodePtr& plan,
                                           const PlanStats& stats,
                                           const OptimizerOptions& options);
 
+struct ElisionResult {
+  /// Clone of the input with every provably-redundant exchange removed (the
+  /// input plan is not modified). Equal to a plain clone when nothing elided.
+  temporal::PlanNodePtr plan;
+  /// One human-readable line per removed exchange.
+  std::vector<std::string> elided;
+};
+
+/// Property-driven exchange elision: remove every keyed exchange whose input
+/// is already suitably partitioned, per the inferred-partitioning facts of
+/// analysis/properties.h. An exchange E with keys K_E is redundant when its
+/// child stream is partitioned by keys K_P ⊆ K_E (equal-K_E rows then agree
+/// on K_P and already co-locate, and the placement invariant K_E ⊆ downstream
+/// grouping keys holds transitively for K_P), or when both are the singleton
+/// partitioning. Runs to a fixpoint, then cross-checks the result against
+/// CheckExchangePlacement — a placement error after elision is a bug in the
+/// property rules and fails the call rather than producing a wrong plan.
+Result<ElisionResult> ElideRedundantExchanges(const temporal::PlanNodePtr& root);
+
 }  // namespace timr::framework

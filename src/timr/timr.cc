@@ -5,8 +5,10 @@
 #include <sstream>
 
 #include "analysis/analyzer.h"
+#include "analysis/fragment_checks.h"
 #include "temporal/convert.h"
 #include "temporal/executor.h"
+#include "timr/optimizer.h"
 
 namespace timr::framework {
 
@@ -121,8 +123,10 @@ Result<mr::MRStage> CompileFragment(
   const size_t batch_size = options.engine_batch_size;
   const bool columnar = options.engine_columnar;
   const size_t cti_thinning = options.cti_thinning;
+  const bool sorted_shuffle = options.assume_sorted_shuffle;
   stage.reducer = [plan, input_names, row_schemas, spans, engine_events,
-                   want_stats, batch_size, columnar, cti_thinning](
+                   want_stats, batch_size, columnar, cti_thinning,
+                   sorted_shuffle](
                       int partition,
                       const std::vector<std::vector<Row>>& inputs,
                       std::vector<Row>* output) -> Status {
@@ -140,6 +144,9 @@ Result<mr::MRStage> CompileFragment(
     if (batch_size != 0) exec->set_batch_size(batch_size);
     exec->set_columnar(columnar);
     exec->set_cti_thinning(cti_thinning);
+    // Shuffle output arrives Time-sorted per partition; skip the defensive
+    // re-sort (debug builds still assert sortedness).
+    exec->set_assume_sorted_inputs(sorted_shuffle);
     std::vector<Event> result;
     TIMR_ASSIGN_OR_RETURN(result, exec->RunBatch(std::move(event_inputs)));
     const std::vector<std::string> violations = exec->ConformanceViolations();
@@ -203,7 +210,14 @@ Result<TimrRunResult> RunPlan(mr::LocalCluster* cluster,
   if (options.validate_streams) {
     TIMR_RETURN_NOT_OK(analysis::VerifyPlanForExecution(annotated_root));
   }
-  TIMR_ASSIGN_OR_RETURN(result.fragments, MakeFragments(annotated_root));
+  temporal::PlanNodePtr root = annotated_root;
+  if (options.elide_redundant_exchanges) {
+    TIMR_ASSIGN_OR_RETURN(ElisionResult elision,
+                          ElideRedundantExchanges(annotated_root));
+    root = std::move(elision.plan);
+    result.elided_exchanges = std::move(elision.elided);
+  }
+  TIMR_ASSIGN_OR_RETURN(result.fragments, MakeFragments(root));
   if (options.validate_streams) {
     TIMR_RETURN_NOT_OK(analysis::CheckFragments(result.fragments).ToStatus());
   }
@@ -219,6 +233,15 @@ Result<TimrRunResult> RunPlan(mr::LocalCluster* cluster,
     names.reserve(result.fragments.fragments.size());
     for (const Fragment& f : result.fragments.fragments) names.push_back(f.name);
     TIMR_ASSIGN_OR_RETURN(resume_from, options.checkpoint->Restore(names, store));
+    if (options.validate_streams) {
+      // The restored prefix must be a valid cut of *this* plan: same stage
+      // names at the same cuts, and no released dataset still needed past
+      // the resume point (invariant "checkpoint-cut").
+      TIMR_RETURN_NOT_OK(analysis::CheckCheckpointCut(result.fragments,
+                                                      *options.checkpoint,
+                                                      resume_from)
+                             .ToStatus());
+    }
   }
 
   // Last-use analysis for copy-free routing: an intermediate dataset (an

@@ -64,6 +64,21 @@ struct TimrOptions {
   /// turn it off (see bench_validate_overhead for the measured cost).
   bool validate_streams = true;
 
+  /// Property-driven exchange elision (optimizer.h): before cutting the plan
+  /// into fragments, remove every keyed exchange whose input is provably
+  /// already partitioned compatibly (analysis/properties.h). Output is
+  /// bit-identical; elided exchanges save a whole shuffle stage each. Off by
+  /// default — callers opt in, and elisions are reported in
+  /// TimrRunResult::elided_exchanges.
+  bool elide_redundant_exchanges = false;
+
+  /// Reducers receive partition rows already sorted by the Time column (the
+  /// shuffle contract of mr/stage.h), so the embedded engine's input driver
+  /// can skip its defensive re-sort. Debug builds still verify sortedness.
+  /// Exists as a knob only so the shuffle-determinism tests can compare both
+  /// paths.
+  bool assume_sorted_shuffle = true;
+
   /// Fault-tolerance policy for the run — retry budget, speculative
   /// execution, poison-row quarantine (mr/fault.h). RunPlan installs it on
   /// the cluster with set_fault_tolerance, replacing whatever was there.
@@ -93,6 +108,9 @@ struct TimrRunResult {
   mr::JobStats job_stats;
   FragmentedPlan fragments;
   std::vector<FragmentStats> fragment_stats;
+  /// Exchanges removed by property-driven elision (one description each);
+  /// empty unless TimrOptions::elide_redundant_exchanges.
+  std::vector<std::string> elided_exchanges;
 };
 
 /// Compile one fragment into an M-R stage. `row_schemas[i]` is the stored row

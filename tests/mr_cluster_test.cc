@@ -830,6 +830,32 @@ TEST(Chaos, BtJobBitIdenticalUnderChaosWithSpeculation) {
   testutil::ExpectStoresBitIdentical(clean.store, chaotic.store);
 }
 
+TEST(Chaos, BtJobWithExchangeElisionBitIdenticalUnderChaos) {
+  // The elision-optimized plan (timr/optimizer.h) must survive the same
+  // randomized fault schedules with the same answer: identical output to the
+  // un-elided base job, and chaos runs bit-identical to the elided clean run.
+  testutil::BtRun base = testutil::RunBtJob(0);
+
+  testutil::BtRunConfig clean_cfg;
+  clean_cfg.options.elide_redundant_exchanges = true;
+  testutil::BtRun clean = testutil::RunBtJob(clean_cfg);
+  ASSERT_TRUE(clean.status.ok()) << clean.status.ToString();
+  EXPECT_LT(clean.stats.stages.size(), base.stats.stages.size());
+  testutil::ExpectEventsIdentical(base.output, clean.output);
+
+  for (uint64_t seed : ChaosSeeds()) {
+    ChaosInjector injector(FaultPlan::AllKinds(seed, /*p=*/0.12,
+                                               /*straggler_seconds=*/0.01));
+    testutil::BtRunConfig cfg = clean_cfg;
+    cfg.injector = &injector;
+    testutil::BtRun chaotic = testutil::RunBtJob(cfg);
+    ASSERT_TRUE(chaotic.status.ok())
+        << "seed " << seed << ": " << chaotic.status.ToString();
+    testutil::ExpectEventsIdentical(clean.output, chaotic.output);
+    testutil::ExpectStoresBitIdentical(clean.store, chaotic.store);
+  }
+}
+
 TEST(Chaos, ResumeAfterKillBetweenEveryPairOfStages) {
   testutil::BtRun clean = testutil::RunBtJob(0);
   const int num_stages = static_cast<int>(clean.stats.stages.size());

@@ -1,0 +1,86 @@
+// The canonical operator-family plans shared by the batch-equivalence sweeps
+// (temporal_property_test.cc) and the columnar-agreement test
+// (analysis_properties_test.cc): one small plan per operator family over a
+// [K, V] int64 schema, including structured (spec-carrying) twins of the
+// opaque select/project chains so both execution paths are exercised.
+//
+// Kept in one place so "the property-test plans" means the same set to every
+// consumer — in particular, the analysis layer's columnar-eligibility
+// prediction is asserted against the executor's observed ingest mode for
+// exactly these plans.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "temporal/query.h"
+
+namespace timr::testutil {
+
+inline Schema PropertyPlanSchema() {
+  return Schema::Of({{"K", ValueType::kInt64}, {"V", ValueType::kInt64}});
+}
+
+inline const std::vector<std::string>& PropertyPlanNames() {
+  static const std::vector<std::string> kNames = {
+      "select", "select_spec", "fused_chain", "fused_chain_spec", "hop",
+      "group_agg", "join", "asj", "union"};
+  return kNames;
+}
+
+/// Build the named plan. Dies on unknown names (programmer error).
+inline temporal::Query MakePropertyPlan(const std::string& name) {
+  using temporal::CmpOp;
+  using temporal::ProjectExpr;
+  using temporal::ProjectSpec;
+  using temporal::Query;
+  const Schema kv = PropertyPlanSchema();
+  if (name == "select") {
+    return Query::Input("S", kv).Where(
+        [](const Row& r) { return r[1].AsInt64() > 25; });
+  }
+  if (name == "select_spec") {
+    // Structured twin of "select": same filter as a SelectSpec, so the
+    // columnar kernel (not the row closure) evaluates it when enabled.
+    return Query::Input("S", kv).WhereCmp("V", CmpOp::kGt, Value(int64_t{25}));
+  }
+  if (name == "fused_chain_spec") {
+    // Structured twin of "fused_chain": spec-carrying select + project so
+    // the fused chain runs its columnar prefix end to end.
+    ProjectSpec spec;
+    spec.exprs.push_back(
+        ProjectExpr::Arith("VK", 1, ProjectExpr::ArithOp::kAdd, 0));
+    spec.exprs.push_back(ProjectExpr::Column("K", 0));
+    return Query::Input("S", kv)
+        .WhereCmp("V", CmpOp::kGt, Value(int64_t{10}))
+        .Project(std::move(spec))
+        .Window(17);
+  }
+  if (name == "fused_chain") {
+    Schema out = Schema::Of({{"V", ValueType::kInt64}, {"K", ValueType::kInt64}});
+    return Query::Input("S", kv)
+        .Where([](const Row& r) { return r[1].AsInt64() > 10; })
+        .Project([](const Row& r) { return Row{r[1], r[0]}; }, out)
+        .Window(17);
+  }
+  if (name == "hop") {
+    return Query::Input("S", kv).HoppingWindow(50, 10);
+  }
+  if (name == "group_agg") {
+    return Query::Input("S", kv).GroupApply(
+        {"K"}, [](Query g) { return g.Window(30).Count(); });
+  }
+  if (name == "join") {
+    return Query::TemporalJoin(Query::Input("L", kv).Window(20),
+                               Query::Input("R", kv).Window(30), {"K"}, {"K"});
+  }
+  if (name == "asj") {
+    return Query::AntiSemiJoin(Query::Input("L", kv),
+                               Query::Input("R", kv).Window(25), {"K"}, {"K"});
+  }
+  TIMR_CHECK(name == "union") << "unknown property plan: " << name;
+  return Query::Union(Query::Input("L", kv), Query::Input("R", kv));
+}
+
+}  // namespace timr::testutil

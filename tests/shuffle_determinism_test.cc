@@ -79,6 +79,47 @@ TEST(ShuffleDeterminism, BtJobBitIdenticalWithColumnarKernelsOnAndOff) {
   }
 }
 
+TEST(ShuffleDeterminism, BtJobBitIdenticalWithExchangeElision) {
+  // Property-driven exchange elision (timr/optimizer.h) drops provably
+  // redundant shuffles, merging fragments. Fewer stages run — so the store's
+  // intermediate datasets legitimately differ — but the job *output* must be
+  // bit-identical, and the elided job must itself be thread-count invariant.
+  BtRun base = RunBtJob(0);
+
+  testutil::BtRunConfig cfg;
+  cfg.options.elide_redundant_exchanges = true;
+  BtRun elided = RunBtJob(cfg);
+  ASSERT_TRUE(elided.status.ok()) << elided.status.ToString();
+  EXPECT_LT(elided.stats.stages.size(), base.stats.stages.size());
+  ExpectEventsIdentical(base.output, elided.output);
+
+  cfg.num_threads = 1;
+  BtRun single = RunBtJob(cfg);
+  ASSERT_TRUE(single.status.ok()) << single.status.ToString();
+  ExpectEventsIdentical(elided.output, single.output);
+  ExpectStoresBitIdentical(elided.store, single.store);
+}
+
+TEST(ShuffleDeterminism, ReducerRetryWithExchangeElisionIsRepeatable) {
+  testutil::BtRunConfig cfg;
+  cfg.options.elide_redundant_exchanges = true;
+  BtRun clean = RunBtJob(cfg);
+  ASSERT_TRUE(clean.status.ok()) << clean.status.ToString();
+  ASSERT_FALSE(clean.stats.stages.empty());
+
+  mr::FailureInjector injector;
+  for (const auto& stage : clean.stats.stages) {
+    injector.FailOnce(stage.name, 0);
+  }
+  testutil::BtRunConfig retry_cfg = cfg;
+  retry_cfg.injector = &injector;
+  BtRun retried = RunBtJob(retry_cfg);
+  ASSERT_TRUE(retried.status.ok()) << retried.status.ToString();
+  EXPECT_TRUE(injector.empty());
+  ExpectEventsIdentical(clean.output, retried.output);
+  ExpectStoresBitIdentical(clean.store, retried.store);
+}
+
 TEST(ShuffleDeterminism, ReducerRetryUnderParallelShuffleIsRepeatable) {
   BtRun clean = RunBtJob(0);
   ASSERT_FALSE(clean.stats.stages.empty());

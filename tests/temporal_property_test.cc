@@ -9,6 +9,7 @@
 #include "analysis/analyzer.h"
 #include "common/rng.h"
 #include "mr/cluster.h"
+#include "property_plans.h"
 #include "temporal/conformance.h"
 #include "temporal/executor.h"
 #include "temporal/query.h"
@@ -397,59 +398,12 @@ struct BatchCase {
 
 class BatchEquivalence : public ::testing::TestWithParam<BatchCase> {
  protected:
-  // Every operator family, including a fusable stateless chain. Plans are
-  // instrumented with ConformanceCheck operators so the batched checker runs
-  // on every edge and its verdicts can be compared against the per-event run.
+  // Every operator family, including a fusable stateless chain (the shared
+  // catalog of tests/property_plans.h). Plans are instrumented with
+  // ConformanceCheck operators so the batched checker runs on every edge and
+  // its verdicts can be compared against the per-event run.
   static Query MakePlan(const std::string& name) {
-    if (name == "select") {
-      return Query::Input("S", KV()).Where(
-          [](const Row& r) { return r[1].AsInt64() > 25; });
-    }
-    if (name == "select_spec") {
-      // Structured twin of "select": same filter as a SelectSpec, so the
-      // columnar kernel (not the row closure) evaluates it when enabled.
-      return Query::Input("S", KV()).WhereCmp("V", CmpOp::kGt,
-                                              Value(int64_t{25}));
-    }
-    if (name == "fused_chain_spec") {
-      // Structured twin of "fused_chain": spec-carrying select + project so
-      // the fused chain runs its columnar prefix end to end.
-      ProjectSpec spec;
-      spec.exprs.push_back(
-          ProjectExpr::Arith("VK", 1, ProjectExpr::ArithOp::kAdd, 0));
-      spec.exprs.push_back(ProjectExpr::Column("K", 0));
-      return Query::Input("S", KV())
-          .WhereCmp("V", CmpOp::kGt, Value(int64_t{10}))
-          .Project(std::move(spec))
-          .Window(17);
-    }
-    if (name == "fused_chain") {
-      Schema out = Schema::Of({{"V", ValueType::kInt64}, {"K", ValueType::kInt64}});
-      return Query::Input("S", KV())
-          .Where([](const Row& r) { return r[1].AsInt64() > 10; })
-          .Project([](const Row& r) { return Row{r[1], r[0]}; }, out)
-          .Window(17);
-    }
-    if (name == "hop") {
-      return Query::Input("S", KV()).HoppingWindow(50, 10);
-    }
-    if (name == "group_agg") {
-      return Query::Input("S", KV()).GroupApply({"K"}, [](Query g) {
-        return g.Window(30).Count();
-      });
-    }
-    if (name == "join") {
-      return Query::TemporalJoin(Query::Input("L", KV()).Window(20),
-                                 Query::Input("R", KV()).Window(30), {"K"},
-                                 {"K"});
-    }
-    if (name == "asj") {
-      return Query::AntiSemiJoin(Query::Input("L", KV()),
-                                 Query::Input("R", KV()).Window(25), {"K"},
-                                 {"K"});
-    }
-    TIMR_CHECK(name == "union") << name;
-    return Query::Union(Query::Input("L", KV()), Query::Input("R", KV()));
+    return testutil::MakePropertyPlan(name);
   }
 
   static std::map<std::string, std::vector<Event>> MakeInputs(
@@ -526,10 +480,8 @@ TEST_P(BatchEquivalence, CtiThinningInvariance) {
 std::vector<BatchCase> BatchCases() {
   std::vector<BatchCase> cases;
   uint64_t seed = 41;
-  for (const char* name : {"select", "select_spec", "fused_chain",
-                           "fused_chain_spec", "hop", "group_agg", "join",
-                           "asj", "union"}) {
-    for (int rep = 0; rep < 2; ++rep) cases.push_back({name, seed++});
+  for (const std::string& name : testutil::PropertyPlanNames()) {
+    for (int rep = 0; rep < 2; ++rep) cases.push_back({name.c_str(), seed++});
   }
   return cases;
 }
