@@ -1,0 +1,178 @@
+// Shared-fragment suite bench (ROADMAP 5a): the 20-CQ BT catalog run as one
+// merged job with common sub-plans executed once (timr/suite.h) versus every
+// CQ run independently through RunPlan. Reports total wall per mode, the
+// speedup, and what was shared; asserts the per-query outputs are identical
+// before printing anything. Target: >= 1.3x total-wall speedup. Numbers land
+// in EXPERIMENTS.md / BENCH_sharing.json.
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bt/suite_runner.h"
+#include "common/stopwatch.h"
+#include "mr/cluster.h"
+#include "temporal/convert.h"
+#include "timr/suite.h"
+#include "timr/timr.h"
+
+namespace {
+
+using namespace timr;
+namespace T = timr::temporal;
+
+struct ModeResult {
+  double wall_seconds = 0;
+  double simulated_seconds = 0;
+  size_t stages = 0;
+  std::vector<std::vector<T::Event>> outputs;  // canonically sorted per query
+};
+
+std::map<std::string, mr::Dataset> FreshStore(const std::vector<Row>& rows) {
+  std::map<std::string, mr::Dataset> store;
+  store[bt::kBtInput] =
+      mr::Dataset::FromRows(T::PointRowSchema(bt::UnifiedSchema()), rows);
+  return store;
+}
+
+/// Every CQ as its own TiMR job: fresh store each (the per-plan "frag_N"
+/// dataset names collide across jobs), total wall = sum over queries. Store
+/// construction stays outside the timer — both modes pay it identically.
+ModeResult RunIndependent(
+    mr::LocalCluster* cluster,
+    const std::vector<std::pair<std::string, T::PlanNodePtr>>& queries,
+    const std::vector<Row>& rows) {
+  ModeResult m;
+  for (const auto& [name, plan] : queries) {
+    auto store = FreshStore(rows);
+    Stopwatch host;
+    auto run = framework::RunPlan(cluster, plan, &store, {});
+    m.wall_seconds += host.ElapsedSeconds();
+    TIMR_CHECK(run.ok()) << name << ": " << run.status().ToString();
+    m.simulated_seconds += run.ValueOrDie().job_stats.TotalSimulatedSeconds();
+    m.stages += run.ValueOrDie().job_stats.stages.size();
+    std::vector<T::Event> out = std::move(run.ValueOrDie().output);
+    T::SortEventsCanonical(&out);
+    m.outputs.push_back(std::move(out));
+  }
+  return m;
+}
+
+ModeResult RunShared(
+    mr::LocalCluster* cluster,
+    const std::vector<std::pair<std::string, T::PlanNodePtr>>& queries,
+    const std::vector<Row>& rows, framework::SuiteRunResult* details) {
+  auto store = FreshStore(rows);
+  Stopwatch host;
+  auto run = framework::RunPlanSuite(cluster, queries, &store, {});
+  ModeResult m;
+  m.wall_seconds = host.ElapsedSeconds();
+  TIMR_CHECK(run.ok()) << run.status().ToString();
+  framework::SuiteRunResult& res = run.ValueOrDie();
+  m.simulated_seconds = res.job_stats.TotalSimulatedSeconds();
+  m.stages = res.num_stages;
+  m.outputs = std::move(res.outputs);
+  if (details != nullptr) {
+    details->shared = res.shared;
+    details->rows_executed_once = res.rows_executed_once;
+    details->query_names = res.query_names;
+  }
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  using benchutil::Header;
+  Header("Shared-fragment suite: 20-CQ BT catalog, merged job vs independent"
+         " runs (identical outputs asserted)");
+
+  auto log = workload::GenerateBtLog(benchutil::BenchWorkload());
+  const bt::BtQueryConfig cfg = benchutil::BenchBtConfig();
+  const auto queries = bt::BtCqSuite(cfg);
+  const auto rows = T::RowsFromEvents(log.events, false).ValueOrDie();
+  std::printf("workload: %zu events, %zu continuous queries\n",
+              log.events.size(), queries.size());
+
+  mr::LocalCluster cluster(/*num_machines=*/16);
+
+  // Warm-up, then alternate modes; keep the minimum wall per mode (the
+  // least-interfered run) so host scheduling noise cancels out.
+  framework::SuiteRunResult details;
+  RunShared(&cluster, queries, rows, nullptr);
+  constexpr int kRounds = 3;
+  ModeResult best_ind, best_sh;
+  best_ind.wall_seconds = 1e300;
+  best_sh.wall_seconds = 1e300;
+  for (int i = 0; i < kRounds; ++i) {
+    ModeResult ind = RunIndependent(&cluster, queries, rows);
+    ModeResult sh = RunShared(&cluster, queries, rows, &details);
+
+    TIMR_CHECK(ind.outputs.size() == sh.outputs.size());
+    for (size_t q = 0; q < ind.outputs.size(); ++q) {
+      const auto& a = ind.outputs[q];
+      const auto& b = sh.outputs[q];
+      TIMR_CHECK(a.size() == b.size())
+          << "output size mismatch for query " << details.query_names[q];
+      for (size_t e = 0; e < a.size(); ++e) {
+        TIMR_CHECK(a[e].le == b[e].le && a[e].re == b[e].re &&
+                   a[e].payload == b[e].payload)
+            << "output mismatch for query " << details.query_names[q]
+            << " at event " << e;
+      }
+    }
+    std::printf("round %d: independent %.3f s (%zu stages), merged %.3f s"
+                " (%zu stages)\n",
+                i + 1, ind.wall_seconds, ind.stages, sh.wall_seconds,
+                sh.stages);
+    if (ind.wall_seconds < best_ind.wall_seconds) best_ind = std::move(ind);
+    if (sh.wall_seconds < best_sh.wall_seconds) best_sh = std::move(sh);
+  }
+
+  size_t shared_multi = 0, occurrences = 0;
+  for (const auto& s : details.shared) {
+    if (s.num_consumers >= 2) ++shared_multi;
+    occurrences += s.occurrences;
+  }
+  const double speedup = best_ind.wall_seconds / best_sh.wall_seconds;
+  std::printf("\n%-28s %10s %10s %8s\n", "", "wall (s)", "sim (s)", "stages");
+  std::printf("%-28s %10.3f %10.3f %8zu\n", "independent (20 jobs)",
+              best_ind.wall_seconds, best_ind.simulated_seconds,
+              best_ind.stages);
+  std::printf("%-28s %10.3f %10.3f %8zu\n", "merged shared-fragment job",
+              best_sh.wall_seconds, best_sh.simulated_seconds, best_sh.stages);
+  std::printf("%-28s %9.2fx  (target >= 1.3x)\n", "speedup", speedup);
+  std::printf("shared fragments: %zu (%zu with >= 2 consumers), replacing %zu"
+              " occurrence sites; %zu rows executed once instead of per"
+              " consumer\n",
+              details.shared.size(), shared_multi, occurrences,
+              details.rows_executed_once);
+  for (const auto& s : details.shared) {
+    std::printf("  %-14s ops=%-3zu sites=%-3zu consumers=%-3zu rows=%zu\n",
+                s.dataset.c_str(), s.num_ops, s.occurrences, s.num_consumers,
+                s.rows_out);
+  }
+
+  benchutil::JsonLine("bench_shared_suite")
+      .Str("mode", "independent")
+      .Num("wall_seconds", best_ind.wall_seconds)
+      .Num("simulated_seconds", best_ind.simulated_seconds)
+      .Int("stages", best_ind.stages)
+      .Int("queries", queries.size())
+      .Append();
+  benchutil::JsonLine("bench_shared_suite")
+      .Str("mode", "shared")
+      .Num("wall_seconds", best_sh.wall_seconds)
+      .Num("simulated_seconds", best_sh.simulated_seconds)
+      .Int("stages", best_sh.stages)
+      .Int("queries", queries.size())
+      .Int("shared_fragments", details.shared.size())
+      .Int("shared_occurrences", occurrences)
+      .Int("rows_executed_once", details.rows_executed_once)
+      .Num("speedup", speedup)
+      .Append();
+  return 0;
+}

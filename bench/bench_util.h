@@ -134,6 +134,8 @@ inline void AppendJobStatsJson(const std::string& bench,
         .Num("sort_seconds", s.sort_seconds)
         .Num("reduce_seconds", s.reduce_seconds)
         .Num("simulated_seconds", s.simulated_parallel_seconds)
+        .Num("partition_seconds_max", s.partition_seconds_max)
+        .Num("partition_seconds_median", s.partition_seconds_median)
         .Int("task_attempts", static_cast<long long>(s.task_attempts))
         .Int("retried_tasks", static_cast<long long>(s.retried_tasks))
         .Int("speculative_tasks", static_cast<long long>(s.speculative_tasks))

@@ -151,6 +151,12 @@ AnalysisReport CheckFragments(const FragmentedPlan& plan) {
 
 AnalysisReport CheckStage(const FragmentedPlan& plan, size_t fragment_index,
                           const mr::MRStage& stage) {
+  return CheckStage(plan, fragment_index, stage, {plan.output_dataset});
+}
+
+AnalysisReport CheckStage(const FragmentedPlan& plan, size_t fragment_index,
+                          const mr::MRStage& stage,
+                          const std::set<std::string>& protected_outputs) {
   AnalysisReport report;
   const std::string subject = "stage " + stage.name;
   auto error = [&](std::string message) {
@@ -207,7 +213,7 @@ AnalysisReport CheckStage(const FragmentedPlan& plan, size_t fragment_index,
       error("marks external source \"" + name +
             "\" as consumable; only intermediate datasets may be released");
     }
-    if (name == plan.output_dataset) {
+    if (protected_outputs.count(name)) {
       error("marks the job output dataset \"" + name + "\" as consumable");
     }
     for (size_t later = fragment_index + 1; later < plan.fragments.size();
@@ -227,6 +233,12 @@ AnalysisReport CheckStage(const FragmentedPlan& plan, size_t fragment_index,
 AnalysisReport CheckCheckpointCut(const framework::FragmentedPlan& plan,
                                   const mr::CheckpointStore& store,
                                   size_t resume_from) {
+  return CheckCheckpointCut(plan, store, resume_from, {plan.output_dataset});
+}
+
+AnalysisReport CheckCheckpointCut(
+    const framework::FragmentedPlan& plan, const mr::CheckpointStore& store,
+    size_t resume_from, const std::set<std::string>& protected_outputs) {
   AnalysisReport report;
   auto error = [&report](const std::string& subject, std::string msg) {
     report.diagnostics.push_back(Diagnostic{Severity::kError, nullptr, subject,
@@ -257,7 +269,7 @@ AnalysisReport CheckCheckpointCut(const framework::FragmentedPlan& plan,
       continue;
     }
     for (const std::string& released : store.released(i)) {
-      if (released == plan.output_dataset) {
+      if (protected_outputs.count(released)) {
         error("checkpoint stage " + std::to_string(i),
               "releases the job output dataset \"" + released + "\"");
       }

@@ -18,6 +18,9 @@
 
 #pragma once
 
+#include <set>
+#include <string>
+
 #include "analysis/diagnostic.h"
 #include "mr/checkpoint.h"
 #include "mr/stage.h"
@@ -34,6 +37,17 @@ AnalysisReport CheckFragments(const framework::FragmentedPlan& plan);
 AnalysisReport CheckStage(const framework::FragmentedPlan& plan,
                           size_t fragment_index, const mr::MRStage& stage);
 
+/// Multi-output variant for merged suite plans (RunPlanSuite): a combined
+/// FragmentedPlan carries one *per query* output dataset, every one of which
+/// must survive to the end of the job — `protected_outputs` replaces the
+/// single `plan.output_dataset` in the consumable-release audit. Shared
+/// fragments' datasets are NOT protected: they are legitimately released at
+/// their last consumer, which the last-use claims below still verify against
+/// every downstream reader.
+AnalysisReport CheckStage(const framework::FragmentedPlan& plan,
+                          size_t fragment_index, const mr::MRStage& stage,
+                          const std::set<std::string>& protected_outputs);
+
 /// Invariant "checkpoint-cut": the checkpointed stage prefix `store` claims
 /// (resume index `resume_from`, as returned by CheckpointStore::Restore) must
 /// align with `plan`'s fragment cuts — same stage names in the same order —
@@ -44,5 +58,11 @@ AnalysisReport CheckStage(const framework::FragmentedPlan& plan,
 AnalysisReport CheckCheckpointCut(const framework::FragmentedPlan& plan,
                                   const mr::CheckpointStore& store,
                                   size_t resume_from);
+
+/// Multi-output variant (see the CheckStage overload): no restored stage may
+/// have released any of `protected_outputs`.
+AnalysisReport CheckCheckpointCut(
+    const framework::FragmentedPlan& plan, const mr::CheckpointStore& store,
+    size_t resume_from, const std::set<std::string>& protected_outputs);
 
 }  // namespace timr::analysis

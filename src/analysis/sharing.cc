@@ -79,9 +79,10 @@ std::string HexHash(uint64_t h) {
   return buf;
 }
 
-}  // namespace
-
-ShareReport BuildShareReport(
+/// Steps 1-3 shared by BuildShareReport and SelectSharedFragments: verified
+/// multi-query equivalence classes with same-query-set maximality applied.
+/// Order is NOT deterministic (hash-bucket iteration); callers sort.
+std::vector<Candidate> CollectMaximalCandidates(
     const std::vector<std::pair<std::string, PlanNodePtr>>& queries) {
   // 1. Fingerprint every query; bucket pure sub-DAGs by hash. Within one
   //    query a multicast-shared node is one plan node, hence one occurrence.
@@ -154,11 +155,21 @@ ShareReport BuildShareReport(
       }
     }
   }
-
-  ShareReport report;
+  std::vector<Candidate> maximal;
   for (size_t i = 0; i < candidates.size(); ++i) {
-    if (suppressed[i]) continue;
-    const Candidate& c = candidates[i];
+    if (!suppressed[i]) maximal.push_back(std::move(candidates[i]));
+  }
+  return maximal;
+}
+
+}  // namespace
+
+ShareReport BuildShareReport(
+    const std::vector<std::pair<std::string, PlanNodePtr>>& queries) {
+  const std::vector<Candidate> candidates = CollectMaximalCandidates(queries);
+  ShareReport report;
+  report.num_queries = queries.size();
+  for (const Candidate& c : candidates) {
     SharedFragment frag;
     frag.hash = c.hash;
     frag.num_ops = c.num_ops;
@@ -177,6 +188,132 @@ ShareReport BuildShareReport(
               return a.hash < b.hash;
             });
   return report;
+}
+
+std::vector<ExecutableFragment> SelectSharedFragments(
+    const std::vector<std::pair<std::string, PlanNodePtr>>& queries) {
+  std::vector<Candidate> candidates = CollectMaximalCandidates(queries);
+
+  // Deterministic node ordering (global preorder across the query list) and
+  // the top-context node set: sites reachable from a query root without
+  // entering a GroupApply sub-plan. Fingerprints cover sub-plan interiors
+  // too, but a read op can only be spliced in top context.
+  std::unordered_map<const PlanNode*, size_t> preorder;
+  std::unordered_set<const PlanNode*> top_context;
+  size_t next_index = 0;
+  for (const auto& [name, root] : queries) {
+    std::vector<const PlanNode*> stack{root.get()};
+    while (!stack.empty()) {
+      const PlanNode* n = stack.back();
+      stack.pop_back();
+      if (!preorder.emplace(n, next_index).second) continue;
+      ++next_index;
+      for (auto it = n->children.rbegin(); it != n->children.rend(); ++it) {
+        stack.push_back(it->get());
+      }
+      if (n->subplan) stack.push_back(n->subplan.get());
+    }
+    std::vector<const PlanNode*> top{root.get()};
+    while (!top.empty()) {
+      const PlanNode* n = top.back();
+      top.pop_back();
+      if (!top_context.insert(n).second) continue;
+      for (const auto& c : n->children) top.push_back(c.get());
+    }
+  }
+
+  // Restrict candidates to executable sites, then order them for the greedy
+  // pass: benefit descending (work saved if every site shares one run), hash
+  // ascending as the deterministic tiebreak.
+  for (Candidate& c : candidates) {
+    std::vector<Occurrence> kept;
+    for (const Occurrence& occ : c.occurrences) {
+      if (top_context.count(occ.node)) kept.push_back(occ);
+    }
+    std::sort(kept.begin(), kept.end(),
+              [&preorder](const Occurrence& a, const Occurrence& b) {
+                return preorder.at(a.node) < preorder.at(b.node);
+              });
+    c.occurrences = std::move(kept);
+    if (!c.occurrences.empty()) c.rep = c.occurrences.front().node;
+  }
+  candidates.erase(
+      std::remove_if(candidates.begin(), candidates.end(),
+                     [](const Candidate& c) {
+                       // Exchange-rooted fragments would silently change the
+                       // consumers' partitioning when substituted; bare input
+                       // leaves are free to re-read — materializing a copy of
+                       // the source would only add I/O.
+                       return c.occurrences.size() < 2 ||
+                              c.rep->kind == temporal::OpKind::kExchange ||
+                              c.rep->kind == temporal::OpKind::kInput;
+                     }),
+      candidates.end());
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              const size_t ba = a.num_ops * (a.occurrences.size() - 1);
+              const size_t bb = b.num_ops * (b.occurrences.size() - 1);
+              if (ba != bb) return ba > bb;
+              if (a.num_ops != b.num_ops) return a.num_ops > b.num_ops;
+              return a.hash < b.hash;
+            });
+
+  // Greedy acceptance. `swallowed` holds every strict descendant of an
+  // accepted occurrence site: a smaller fragment's site inside one of those
+  // subtrees disappears from the rewritten query (the whole enclosing
+  // occurrence becomes a dataset read) — but the accepted fragment's own
+  // shared plan still reads it, which `rep_descendants` credits back.
+  std::vector<const Candidate*> accepted;
+  std::unordered_set<const PlanNode*> swallowed;
+  std::vector<std::unordered_set<const PlanNode*>> rep_descendants;
+  for (const Candidate& c : candidates) {
+    size_t free_sites = 0;
+    for (const Occurrence& occ : c.occurrences) {
+      if (swallowed.count(occ.node) == 0) ++free_sites;
+    }
+    size_t plan_refs = 0;
+    for (const auto& desc : rep_descendants) {
+      for (const Occurrence& occ : c.occurrences) {
+        if (desc.count(occ.node)) {
+          ++plan_refs;
+          break;
+        }
+      }
+    }
+    if (free_sites + plan_refs < 2) continue;
+    accepted.push_back(&c);
+    for (const Occurrence& occ : c.occurrences) {
+      CollectStrictDescendants(occ.node, &swallowed);
+    }
+    rep_descendants.emplace_back();
+    CollectStrictDescendants(c.rep, &rep_descendants.back());
+  }
+
+  // Execution order: num_ops ascending. Strict containment implies strictly
+  // fewer ops, so every nested fragment's dataset is produced before the
+  // shared plan that reads it.
+  std::sort(accepted.begin(), accepted.end(),
+            [](const Candidate* a, const Candidate* b) {
+              if (a->num_ops != b->num_ops) return a->num_ops < b->num_ops;
+              return a->hash < b->hash;
+            });
+
+  std::vector<ExecutableFragment> out;
+  out.reserve(accepted.size());
+  for (const Candidate* c : accepted) {
+    ExecutableFragment f;
+    f.hash = c->hash;
+    f.num_ops = c->num_ops;
+    f.rep = c->rep;
+    std::set<size_t> qset;
+    for (const Occurrence& occ : c->occurrences) {
+      f.occurrences.push_back(SharedOccurrence{occ.query, occ.node});
+      qset.insert(occ.query);
+    }
+    f.query_indices.assign(qset.begin(), qset.end());
+    out.push_back(std::move(f));
+  }
+  return out;
 }
 
 std::string ShareReport::ToString() const {
@@ -200,7 +337,7 @@ std::string ShareReport::ToString() const {
 
 std::string ShareReport::ToJson() const {
   std::ostringstream os;
-  os << "{\"shared_fragments\":[";
+  os << "{\"queries\":" << num_queries << ",\"shared_fragments\":[";
   for (size_t i = 0; i < fragments.size(); ++i) {
     const SharedFragment& f = fragments[i];
     if (i > 0) os << ",";

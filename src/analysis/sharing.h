@@ -39,6 +39,7 @@ struct SharedFragment {
 /// \brief The cross-query CSE report: multi-query maximal shared fragments,
 /// largest first.
 struct ShareReport {
+  size_t num_queries = 0;  // how many queries the report was built over
   std::vector<SharedFragment> fragments;
 
   /// Human-readable rendering (one block per fragment).
@@ -54,6 +55,46 @@ struct ShareReport {
 /// Single-operator fragments (bare source leaves) are omitted: trivially
 /// shared, never worth materializing.
 ShareReport BuildShareReport(
+    const std::vector<std::pair<std::string, temporal::PlanNodePtr>>& queries);
+
+/// \brief One substitutable occurrence site of a shared fragment.
+struct SharedOccurrence {
+  size_t query_index = 0;                   // index into the input query list
+  const temporal::PlanNode* node = nullptr; // the site to replace with a read
+};
+
+/// \brief A shared fragment the suite runtime will execute once.
+///
+/// Unlike the report's SharedFragment this carries the concrete plan nodes a
+/// rewrite substitutes: `rep` is the sub-DAG to instantiate as the shared
+/// plan, `occurrences` are every *top-context* site (not inside a GroupApply
+/// sub-plan — a kInput read spliced inside a per-group instance would be
+/// meaningless) proven structurally equivalent to it.
+struct ExecutableFragment {
+  uint64_t hash = 0;
+  size_t num_ops = 0;
+  const temporal::PlanNode* rep = nullptr;
+  std::vector<SharedOccurrence> occurrences;  // sorted (query, preorder)
+  std::vector<size_t> query_indices;          // distinct, sorted
+};
+
+/// The cost-ordered merge policy for shared-fragment execution (ROADMAP 5a).
+/// Starting from the verified maximal candidates BuildShareReport is built
+/// on, fragments are considered greedily by descending benefit
+/// (num_ops x (occurrence_sites - 1)) and accepted while they still pay for
+/// their materialization: a fragment is kept when at least two consumers
+/// remain — occurrence sites not swallowed by an already-accepted enclosing
+/// fragment, plus accepted fragments whose own shared plan will read it
+/// (nested sharing: bot elimination inside the UBP prefix runs once and
+/// feeds both the UBP shared plan and its other direct consumers).
+/// Exchange-rooted candidates are skipped: replacing an exchange with a
+/// dataset read would silently change the consumer fragment's partitioning.
+///
+/// The result is in execution order — num_ops ascending, so a nested
+/// fragment's dataset exists before any enclosing shared plan runs — and is
+/// deterministic for a given query list (ties broken on canonical hashes,
+/// occurrence sites ordered by plan preorder).
+std::vector<ExecutableFragment> SelectSharedFragments(
     const std::vector<std::pair<std::string, temporal::PlanNodePtr>>& queries);
 
 }  // namespace timr::analysis

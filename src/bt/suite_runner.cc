@@ -1,0 +1,25 @@
+#include "bt/suite_runner.h"
+
+#include <utility>
+
+#include "bt/schema.h"
+#include "temporal/convert.h"
+
+namespace timr::bt {
+
+Status LoadBtSuiteStore(const std::vector<temporal::Event>& log_events,
+                        std::map<std::string, mr::Dataset>* store) {
+  TIMR_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                        temporal::RowsFromEvents(log_events, false));
+  (*store)[kBtInput] = mr::Dataset::FromRows(
+      temporal::PointRowSchema(UnifiedSchema()), std::move(rows));
+  return Status::OK();
+}
+
+Result<framework::SuiteRunResult> RunBtCqSuite(
+    mr::LocalCluster* cluster, std::map<std::string, mr::Dataset>* store,
+    const BtQueryConfig& config, const framework::SuiteOptions& options) {
+  return framework::RunPlanSuite(cluster, BtCqSuite(config), store, options);
+}
+
+}  // namespace timr::bt

@@ -1,0 +1,34 @@
+// Run the full BT CQ catalog (queries.h BtCqSuite) as ONE merged TiMR job
+// with shared-fragment elimination (timr/suite.h, ROADMAP 5a): the
+// bot-elimination / UBP prefixes that repeat across the ~20 CQs execute once
+// and fan out. The per-query outputs are the same temporal relations an
+// independent RunPlan per CQ produces, returned in canonical event order.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bt/queries.h"
+#include "common/status.h"
+#include "mr/cluster.h"
+#include "temporal/event.h"
+#include "timr/suite.h"
+
+namespace timr::bt {
+
+/// Wrap a unified BT log (point events over UnifiedSchema) into the store
+/// layout the suite reads: store[kBtInput] in point row layout.
+Status LoadBtSuiteStore(const std::vector<temporal::Event>& log_events,
+                        std::map<std::string, mr::Dataset>* store);
+
+/// Build BtCqSuite(config) and run it through RunPlanSuite against `store`
+/// (which must hold kBtInput; see LoadBtSuiteStore). Intermediate and
+/// per-query output datasets are added to the store.
+Result<framework::SuiteRunResult> RunBtCqSuite(
+    mr::LocalCluster* cluster, std::map<std::string, mr::Dataset>* store,
+    const BtQueryConfig& config = BtQueryConfig(),
+    const framework::SuiteOptions& options = framework::SuiteOptions());
+
+}  // namespace timr::bt

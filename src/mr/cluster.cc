@@ -75,7 +75,9 @@ std::string JobStats::ToString() const {
        << "s reduce=" << s.reduce_seconds
        << "s cpu_total=" << s.task_cpu_seconds_total
        << "s cpu_max=" << s.task_cpu_seconds_max
-       << "s simulated=" << s.simulated_parallel_seconds << "s";
+       << "s simulated=" << s.simulated_parallel_seconds
+       << "s part_max=" << s.partition_seconds_max
+       << "s part_median=" << s.partition_seconds_median << "s";
     if (s.retried_tasks > 0) os << " retries=" << s.retried_tasks;
     if (s.speculative_tasks > 0) {
       os << " speculative=" << s.speculative_tasks
@@ -574,6 +576,25 @@ Status LocalCluster::RunStage(const MRStage& stage,
     stats->rows_out += output.partition(p).size();
   }
   stats->simulated_parallel_seconds = Makespan(task_seconds, num_machines_);
+  if (!task_seconds.empty()) {
+    // Skew signal for adaptive repartitioning: the slowest partition vs the
+    // median one. nth_element on a copy — task_seconds stays partition-ordered
+    // for the makespan model above.
+    std::vector<double> sorted = task_seconds;
+    const size_t mid = sorted.size() / 2;
+    std::nth_element(sorted.begin(), sorted.begin() + static_cast<long>(mid),
+                     sorted.end());
+    stats->partition_seconds_max =
+        *std::max_element(task_seconds.begin(), task_seconds.end());
+    if (sorted.size() % 2 == 1) {
+      stats->partition_seconds_median = sorted[mid];
+    } else {
+      const double upper = sorted[mid];
+      const double lower =
+          *std::max_element(sorted.begin(), sorted.begin() + static_cast<long>(mid));
+      stats->partition_seconds_median = (lower + upper) / 2.0;
+    }
+  }
   stats->wall_seconds = wall.ElapsedSeconds();
 
   (*store)[stage.output] = std::move(output);

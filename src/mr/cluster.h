@@ -63,6 +63,12 @@ struct StageStats {
   double task_cpu_seconds_total = 0;  // sum over reducer attempts
   double task_cpu_seconds_max = 0;    // slowest single reducer task
   double simulated_parallel_seconds = 0;  // modeled makespan on the cluster
+  // Per-partition skew: max and median of the per-partition reducer CPU
+  // seconds (all attempts for the partition summed). Their ratio is the
+  // hot-partition signal ROADMAP 5(b)'s adaptive repartitioning keys off —
+  // under Zipf-skewed keys one hot partition gates the whole stage.
+  double partition_seconds_max = 0;
+  double partition_seconds_median = 0;
   // Fault-handling counters (fault.h). task_attempts counts every reducer
   // attempt; retried_tasks counts failed/discarded attempts that the retry
   // policy re-ran; speculative_tasks counts backup attempts launched for

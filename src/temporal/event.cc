@@ -90,17 +90,41 @@ EventBatch::~EventBatch() {
 }
 
 EventBatch EventBatch::Clone() const {
+  const EventBatch& src = r();
   EventBatch copy;
-  copy.events_.assign(events_.begin(), events_.end());
-  copy.ctis_.assign(ctis_.begin(), ctis_.end());
-  if (columnar_) {
-    copy.payload_ = payload_;
+  copy.events_.assign(src.events_.begin(), src.events_.end());
+  copy.ctis_.assign(src.ctis_.begin(), src.ctis_.end());
+  if (src.columnar_) {
+    copy.payload_ = src.payload_;
     copy.columnar_ = true;
   }
   return copy;
 }
 
+void EventBatch::Localize() {
+  std::shared_ptr<EventBatch> src = std::move(view_of_);
+  TIMR_DCHECK(src != nullptr);
+  if (src.use_count() == 1) {
+    // Last live reference: steal the storage. Swapping (not moving) hands our
+    // pooled-but-empty vectors to the dying source, so their capacity flows
+    // back to the thread-local pool through its destructor.
+    std::swap(events_, src->events_);
+    std::swap(ctis_, src->ctis_);
+    std::swap(payload_, src->payload_);
+    columnar_ = src->columnar_;
+    src->columnar_ = false;
+  } else {
+    events_.assign(src->events_.begin(), src->events_.end());
+    ctis_.assign(src->ctis_.begin(), src->ctis_.end());
+    if (src->columnar_) {
+      payload_ = src->payload_;
+      columnar_ = true;
+    }
+  }
+}
+
 void EventBatch::EnsureRows() {
+  EnsureOwned();
   if (!columnar_) return;
   TIMR_DCHECK(payload_.all_valid()) << "EnsureRows with a pending selection";
   const size_t n = payload_.num_rows();

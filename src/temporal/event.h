@@ -2,7 +2,9 @@
 
 #pragma once
 
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/logging.h"
@@ -84,7 +86,30 @@ class EventBatch {
   /// Deep copy (used by multicast fan-out; the last sink gets the original).
   EventBatch Clone() const;
 
+  /// \brief A copy-on-write view over `src` (shared, not deep-copied).
+  ///
+  /// The multiplexing tee hands the same underlying batch — including its
+  /// columnar payload — to every consumer as a view. Const readers see the
+  /// shared storage; the first mutation localizes the view via EnsureOwned()
+  /// (stealing the storage outright when this is the last live reference, so
+  /// a read-only fan-out plus one mutating consumer costs zero copies).
+  /// Nested views collapse: a view of a view shares the original storage.
+  static EventBatch View(std::shared_ptr<EventBatch> src) {
+    EventBatch v;
+    v.view_of_ = src->view_of_ ? src->view_of_ : std::move(src);
+    return v;
+  }
+
+  bool is_view() const { return view_of_ != nullptr; }
+
+  /// Detach from shared storage: steal it if uniquely referenced, deep-copy
+  /// otherwise. No-op on an owning batch; every mutator calls this first.
+  void EnsureOwned() {
+    if (view_of_) Localize();
+  }
+
   void Add(Event event) {
+    EnsureOwned();
     TIMR_DCHECK(!columnar_);
     events_.push_back(std::move(event));
   }
@@ -92,6 +117,7 @@ class EventBatch {
   /// Record CTI(t) before the next added event. Consecutive marks at the same
   /// position coalesce to the largest t (the earlier ones would be stale).
   void AddCti(Timestamp t) {
+    EnsureOwned();
     if (!ctis_.empty() && ctis_.back().pos == NumEvents()) {
       if (t > ctis_.back().t) ctis_.back().t = t;
       return;
@@ -99,11 +125,13 @@ class EventBatch {
     ctis_.push_back({NumEvents(), t});
   }
 
-  bool Empty() const { return NumEvents() == 0 && ctis_.empty(); }
+  bool Empty() const { return NumEvents() == 0 && r().ctis_.empty(); }
   size_t NumEvents() const {
-    return columnar_ ? payload_.num_rows() : events_.size();
+    const EventBatch& s = r();
+    return s.columnar_ ? s.payload_.num_rows() : s.events_.size();
   }
   void Clear() {
+    view_of_.reset();  // dropping the reference is the whole clear for a view
     events_.clear();
     ctis_.clear();
     if (columnar_) {
@@ -118,6 +146,7 @@ class EventBatch {
   /// schema. Subsequent events are appended with TryAppendColumnar.
   void BeginColumnar(const Schema& payload_schema) {
     TIMR_DCHECK(Empty());
+    view_of_.reset();  // an empty view owns nothing worth keeping
     payload_.Begin(payload_schema);
     columnar_ = true;
   }
@@ -130,12 +159,16 @@ class EventBatch {
     return payload_.TryAppend(le, re, payload);
   }
 
-  bool columnar() const { return columnar_; }
-  ColumnarPayload& columnar_payload() { return payload_; }
-  const ColumnarPayload& columnar_payload() const { return payload_; }
+  bool columnar() const { return r().columnar_; }
+  ColumnarPayload& columnar_payload() {
+    EnsureOwned();
+    return payload_;
+  }
+  const ColumnarPayload& columnar_payload() const { return r().payload_; }
 
   /// Apply a pending selection in the columnar payload, remapping CTI marks.
   void CompactColumnar() {
+    EnsureOwned();
     TIMR_DCHECK(columnar_);
     payload_.Compact(&ctis_);
   }
@@ -146,18 +179,26 @@ class EventBatch {
 
   /// LE of event `i` in either representation.
   Timestamp LeAt(size_t i) const {
-    return columnar_ ? payload_.le()[i] : events_[i].le;
+    const EventBatch& s = r();
+    return s.columnar_ ? s.payload_.le()[i] : s.events_[i].le;
   }
 
   /// LE of the last event (batch must be non-empty).
   Timestamp LastLe() const {
-    return columnar_ ? payload_.le().back() : events_.back().le;
+    const EventBatch& s = r();
+    return s.columnar_ ? s.payload_.le().back() : s.events_.back().le;
   }
 
-  std::vector<Event>& events() { return events_; }
-  const std::vector<Event>& events() const { return events_; }
-  std::vector<CtiMark>& mutable_ctis() { return ctis_; }
-  const std::vector<CtiMark>& ctis() const { return ctis_; }
+  std::vector<Event>& events() {
+    EnsureOwned();
+    return events_;
+  }
+  const std::vector<Event>& events() const { return r().events_; }
+  std::vector<CtiMark>& mutable_ctis() {
+    EnsureOwned();
+    return ctis_;
+  }
+  const std::vector<CtiMark>& ctis() const { return r().ctis_; }
 
   /// Replay the batch in stream order, moving events out; leaves the batch
   /// empty. This is the per-event fallback path (columnar batches are
@@ -179,6 +220,7 @@ class EventBatch {
   /// The single pass batched stateless operators are built on.
   template <class Fn>
   void FilterEvents(Fn&& fn) {
+    EnsureOwned();
     TIMR_DCHECK(!columnar_) << "FilterEvents on a columnar batch";
     size_t w = 0;
     size_t m = 0;
@@ -197,6 +239,7 @@ class EventBatch {
   /// AlterLifetime CTI transform is).
   template <class Fn>
   void TransformCtis(Fn&& fn) {
+    EnsureOwned();
     for (CtiMark& mark : ctis_) mark.t = fn(mark.t);
   }
 
@@ -204,6 +247,7 @@ class EventBatch {
   /// drops such stale punctuations too); `*running_cti` ends at the batch's
   /// final CTI. Returns nothing; marks end up strictly increasing.
   void RemoveStaleCtis(Timestamp* running_cti) {
+    EnsureOwned();
     size_t w = 0;
     for (const CtiMark& mark : ctis_) {
       if (mark.t <= *running_cti) continue;
@@ -214,10 +258,20 @@ class EventBatch {
   }
 
  private:
+  /// The batch to read from: the shared source for a view, *this otherwise.
+  const EventBatch& r() const { return view_of_ ? *view_of_ : *this; }
+
+  /// Out-of-line slow path of EnsureOwned (view_of_ is non-null on entry).
+  void Localize();
+
   std::vector<Event> events_;
   std::vector<CtiMark> ctis_;
   ColumnarPayload payload_;
   bool columnar_ = false;
+  /// Non-null iff this batch is a copy-on-write view (see View()). Mutually
+  /// exclusive with own content: a view's own vectors stay empty until
+  /// Localize() fills them.
+  std::shared_ptr<EventBatch> view_of_;
 };
 
 /// Sort events by (le, re) then payload, for canonical comparisons in tests.

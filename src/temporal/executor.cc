@@ -6,6 +6,7 @@
 
 #include "temporal/conformance.h"
 #include "temporal/group_apply.h"
+#include "temporal/tee.h"
 
 namespace timr::temporal {
 
@@ -222,9 +223,19 @@ class NetworkBuilder {
            n->kind == OpKind::kAlterLifetime;
   }
 
+  /// Consumer counts are kept on *physical* producers: an elided kExchange
+  /// aliases to its child's operator in Build(), so an edge into an exchange
+  /// is an edge into the node below it. Exchange nodes themselves are never
+  /// counted (and never consulted).
+  static const PlanNode* ResolveExchanges(const PlanNode* n) {
+    while (n->kind == OpKind::kExchange) n = n->children[0].get();
+    return n;
+  }
+
   void CountParents(const PlanNode* n) {
     for (const auto& c : n->children) {
-      if (++parents_[c.get()] == 1) CountParents(c.get());
+      const PlanNode* resolved = ResolveExchanges(c.get());
+      if (++parents_[resolved] == 1) CountParents(resolved);
     }
   }
 
@@ -233,6 +244,13 @@ class NetworkBuilder {
   /// input feeds `port` directly, sparing every routed event (and every
   /// broadcast CTI) a passthrough hop in every group instance. Multi-consumer
   /// leaves still build a PassthroughOp in Create as the fan-out node.
+  ///
+  /// A multi-consumer producer is fronted by one TeeOp that every consumer
+  /// port hangs off: batches fan out as shared copy-on-write views instead of
+  /// the deep Clone-per-sink the bare Operator::EmitBatch multicast performs.
+  /// Consumers are attached to the tee in wiring order, which is exactly the
+  /// order AddOutput calls happened before — delivery order (and therefore
+  /// output) is bit-identical.
   Status WireChild(const PlanNodePtr& child, EventSink* port) {
     if (child->kind == OpKind::kSubplanInput && parents_[child.get()] == 1) {
       if (subplan_sink_ != nullptr) {
@@ -242,6 +260,19 @@ class NetworkBuilder {
       return Status::OK();
     }
     TIMR_ASSIGN_OR_RETURN(Operator * op, Build(child));
+    if (parents_[ResolveExchanges(child.get())] > 1) {
+      // Key the tee by the physical operator: consumers that reach the same
+      // producer through different (elided) exchange aliases share one tee.
+      TeeOp*& tee = tees_[op];
+      if (tee == nullptr) {
+        auto owned = std::make_shared<TeeOp>();
+        tee = owned.get();
+        Register(std::move(owned));
+        op->AddOutput(tee->InputPort(0));
+      }
+      tee->AddPort(port);
+      return Status::OK();
+    }
     op->AddOutput(port);
     return Status::OK();
   }
@@ -397,6 +428,7 @@ class NetworkBuilder {
   std::map<std::string, Executor::InputNode*>* inputs_;
   std::unordered_map<const PlanNode*, Operator*> memo_;
   std::unordered_map<const PlanNode*, int> parents_;
+  std::unordered_map<Operator*, TeeOp*> tees_;
   ColumnarIngestDecisions ingest_;
   bool counted_ = false;
   EventSink* subplan_sink_ = nullptr;

@@ -1,0 +1,90 @@
+// Multiplexing tee: fans one punctuated stream out to several consumers.
+//
+// NetworkBuilder splices a TeeOp behind any operator with more than one
+// consumer (multi-parent plan nodes, including parents reached through elided
+// kExchange aliases). Batches are shared via EventBatch::View — every port
+// receives a copy-on-write view over one underlying batch, so a read-mostly
+// fan-out (collector sinks, synopsis builders that only materialize) never
+// deep-copies the columnar payload; a consumer that mutates localizes its own
+// view and the last localizer steals the storage outright.
+//
+// Punctuation is tracked per port: each port carries its own CTI floor, so a
+// consumer's punctuation stream stays independently monotone no matter how
+// the fan-out interleaves with per-event delivery. The tee does NOT re-filter
+// a batch's CTI marks per port — the producer's EmitBatch already removed
+// stale marks against its single emitted-CTI cursor, and every port sees the
+// same one stream, so per-port filtering would be a provable no-op that only
+// forced views to localize.
+//
+// The tee deliberately performs no CountConsumed bookkeeping: it is pure
+// plumbing, invisible to Executor::TotalEventsConsumed().
+
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "temporal/event.h"
+#include "temporal/operator.h"
+#include "temporal/time.h"
+
+namespace timr::temporal {
+
+class TeeOp final : public UnaryOperator {
+ public:
+  void AddPort(EventSink* sink) {
+    TIMR_DCHECK(sink != nullptr);
+    ports_.push_back(Port{sink, kMinTime});
+  }
+
+  size_t num_ports() const { return ports_.size(); }
+
+  void OnEvent(Event event) override {
+    if (ports_.empty()) return;
+    for (size_t i = 0; i + 1 < ports_.size(); ++i) {
+      ports_[i].sink->OnEvent(event);
+    }
+    ports_.back().sink->OnEvent(std::move(event));
+  }
+
+  void OnCti(Timestamp t) override {
+    for (Port& p : ports_) {
+      if (t <= p.cti) continue;
+      p.cti = t;
+      p.sink->OnCti(t);
+    }
+  }
+
+  void OnBatch(EventBatch&& batch) override {
+    if (ports_.empty()) return;
+    const Timestamp final_cti =
+        batch.ctis().empty() ? kMinTime : batch.ctis().back().t;
+    if (ports_.size() == 1) {
+      Port& p = ports_.front();
+      if (final_cti > p.cti) p.cti = final_cti;
+      p.sink->OnBatch(std::move(batch));
+      return;
+    }
+    auto shared = std::make_shared<EventBatch>(std::move(batch));
+    for (size_t i = 0; i < ports_.size(); ++i) {
+      Port& p = ports_[i];
+      EventBatch view = (i + 1 == ports_.size())
+                            ? EventBatch::View(std::move(shared))
+                            : EventBatch::View(shared);
+      if (final_cti > p.cti) p.cti = final_cti;
+      p.sink->OnBatch(std::move(view));
+    }
+  }
+
+ private:
+  struct Port {
+    EventSink* sink;
+    Timestamp cti;  // per-consumer punctuation floor (strictly advancing)
+  };
+
+  std::vector<Port> ports_;
+};
+
+}  // namespace timr::temporal

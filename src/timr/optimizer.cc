@@ -464,9 +464,16 @@ Result<ElisionResult> ElideRedundantExchanges(const PlanNodePtr& root) {
                             ": input already partitioned " +
                             child_part.ToString());
     const PlanNodePtr replacement = victim->children[0];
+    // CollectNodes hands back raw pointers, and the victim itself is one of
+    // them; splicing its parent's edge must not drop the last reference
+    // mid-walk or the walk would touch a freed node.
+    PlanNodePtr victim_keep_alive;
     for (PlanNode* n : temporal::CollectNodes(result.plan)) {
       for (auto& c : n->children) {
-        if (c.get() == victim) c = replacement;
+        if (c.get() == victim) {
+          if (victim_keep_alive == nullptr) victim_keep_alive = c;
+          c = replacement;
+        }
       }
     }
   }

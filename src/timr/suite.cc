@@ -1,0 +1,341 @@
+#include "timr/suite.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "analysis/analyzer.h"
+#include "analysis/fragment_checks.h"
+#include "analysis/sharing.h"
+#include "temporal/convert.h"
+#include "timr/optimizer.h"
+
+namespace timr::framework {
+
+using temporal::Event;
+using temporal::OpKind;
+using temporal::PlanNode;
+using temporal::PlanNodePtr;
+
+namespace {
+
+/// What an occurrence site is rewritten into: a read of the shared fragment's
+/// output dataset, carrying the sub-plan's payload schema (the same leaf shape
+/// FragmentCutter creates for an exchange-cut boundary).
+struct SubstTarget {
+  std::string dataset;
+  Schema schema;
+};
+
+using SubstMap = std::unordered_map<const PlanNode*, SubstTarget>;
+
+PlanNodePtr CloneWithSubstitutionImpl(
+    const PlanNode* node, const SubstMap& subst,
+    std::unordered_map<const PlanNode*, PlanNodePtr>* memo) {
+  if (node == nullptr) return nullptr;
+  auto it = memo->find(node);
+  if (it != memo->end()) return it->second;
+  auto sub = subst.find(node);
+  if (sub != subst.end()) {
+    auto leaf = std::make_shared<PlanNode>();
+    leaf->kind = OpKind::kInput;
+    leaf->name = sub->second.dataset;
+    leaf->input_schema = sub->second.schema;
+    (*memo)[node] = leaf;
+    return leaf;
+  }
+  auto copy = std::make_shared<PlanNode>(*node);
+  (*memo)[node] = copy;
+  for (auto& c : copy->children) {
+    c = CloneWithSubstitutionImpl(c.get(), subst, memo);
+  }
+  copy->subplan =
+      CloneWithSubstitutionImpl(node->subplan.get(), subst, memo);
+  return copy;
+}
+
+/// Memoized top-down clone replacing every occurrence site in `subst` with a
+/// kInput leaf reading the shared dataset. DAG sharing within the plan is
+/// preserved (one clone per source node). Substitution sites are top-context
+/// by construction (SelectSharedFragments), so no read leaf can end up inside
+/// a GroupApply sub-plan.
+PlanNodePtr CloneWithSubstitution(const PlanNode* root, const SubstMap& subst) {
+  std::unordered_map<const PlanNode*, PlanNodePtr> memo;
+  return CloneWithSubstitutionImpl(root, subst, &memo);
+}
+
+/// MakeFragments names fragments "frag_<i>" starting at 0 per call; a merged
+/// suite concatenates many such plans, so every sub-plan's fragments are
+/// renamed under a unique prefix before concatenation. The final fragment —
+/// the sub-plan's output — takes the bare prefix as its name. Patches
+/// fragment names, declared inputs, and the kInput leaves that reference
+/// renamed datasets (leaves naming external sources or other sub-plans'
+/// datasets are untouched: "frag_<i>" names are cutter-internal and cannot
+/// collide with them).
+void PrefixFragments(FragmentedPlan* plan, const std::string& prefix) {
+  std::map<std::string, std::string> rename;
+  for (size_t i = 0; i < plan->fragments.size(); ++i) {
+    const bool last = i + 1 == plan->fragments.size();
+    rename[plan->fragments[i].name] =
+        last ? prefix : prefix + "__" + plan->fragments[i].name;
+  }
+  for (Fragment& frag : plan->fragments) {
+    frag.name = rename.at(frag.name);
+    for (std::string& input : frag.inputs) {
+      auto it = rename.find(input);
+      if (it != rename.end()) input = it->second;
+    }
+    for (PlanNode* leaf : temporal::CollectInputs(frag.root)) {
+      auto it = rename.find(leaf->name);
+      if (it != rename.end()) leaf->name = it->second;
+    }
+  }
+  plan->output_dataset = rename.at(plan->output_dataset);
+}
+
+}  // namespace
+
+Result<SuiteRunResult> RunPlanSuite(
+    mr::LocalCluster* cluster,
+    const std::vector<std::pair<std::string, PlanNodePtr>>& queries,
+    std::map<std::string, mr::Dataset>* store, const SuiteOptions& options) {
+  if (queries.empty()) {
+    return Status::Invalid("RunPlanSuite: empty query list");
+  }
+  const TimrOptions& topt = options.timr;
+  SuiteRunResult result;
+
+  // --- Per-query verification + exchange elision (same as RunPlan). -------
+  std::vector<std::pair<std::string, PlanNodePtr>> roots;
+  roots.reserve(queries.size());
+  {
+    std::set<std::string> names;
+    for (const auto& [name, annotated_root] : queries) {
+      if (!names.insert(name).second) {
+        return Status::Invalid("RunPlanSuite: duplicate query name: " + name);
+      }
+      if (topt.validate_streams) {
+        TIMR_RETURN_NOT_OK(analysis::VerifyPlanForExecution(annotated_root));
+      }
+      PlanNodePtr root = annotated_root;
+      if (topt.elide_redundant_exchanges) {
+        TIMR_ASSIGN_OR_RETURN(ElisionResult elision,
+                              ElideRedundantExchanges(annotated_root));
+        root = std::move(elision.plan);
+        for (std::string& e : elision.elided) {
+          result.elided_exchanges.push_back(name + ": " + std::move(e));
+        }
+      }
+      result.query_names.push_back(name);
+      roots.emplace_back(name, std::move(root));
+    }
+  }
+
+  // --- Merge policy: pick the shared fragments, cost-ordered. -------------
+  std::vector<analysis::ExecutableFragment> selected;
+  if (options.share_fragments) {
+    selected = analysis::SelectSharedFragments(roots);
+  }
+
+  // --- Rewrite into one merged fragment DAG. ------------------------------
+  // Shared plans run first, smallest to largest (execution order from
+  // SelectSharedFragments), so a nested shared fragment's dataset exists
+  // before any enclosing shared plan — or query — reads it. The substitution
+  // map accumulates as shared plans are built: an outer shared plan is cloned
+  // with every inner occurrence already rewritten into a dataset read.
+  FragmentedPlan combined;
+  SubstMap subst;
+  std::vector<std::string> shared_datasets;
+  for (size_t k = 0; k < selected.size(); ++k) {
+    const analysis::ExecutableFragment& frag = selected[k];
+    const std::string dataset = "__shared_" + std::to_string(k);
+    PlanNodePtr shared_root = CloneWithSubstitution(frag.rep, subst);
+    TIMR_ASSIGN_OR_RETURN(FragmentedPlan sp, MakeFragments(shared_root));
+    PrefixFragments(&sp, dataset);
+    for (Fragment& f : sp.fragments) combined.fragments.push_back(std::move(f));
+    shared_datasets.push_back(dataset);
+    TIMR_ASSIGN_OR_RETURN(Schema payload, frag.rep->OutputSchema());
+    for (const analysis::SharedOccurrence& occ : frag.occurrences) {
+      subst[occ.node] = SubstTarget{dataset, payload};
+    }
+  }
+  std::vector<std::string> query_outputs;
+  query_outputs.reserve(roots.size());
+  for (const auto& [name, root] : roots) {
+    PlanNodePtr rewritten = CloneWithSubstitution(root.get(), subst);
+    TIMR_ASSIGN_OR_RETURN(FragmentedPlan qp, MakeFragments(rewritten));
+    PrefixFragments(&qp, "q_" + name);
+    for (Fragment& f : qp.fragments) combined.fragments.push_back(std::move(f));
+    query_outputs.push_back(qp.output_dataset);
+  }
+  combined.output_dataset = combined.fragments.back().name;
+
+  // Re-derive the external flags over the *combined* fragment list: a dataset
+  // another sub-plan produces (a shared fragment's output read by a query) was
+  // cut as an in-place source read, but is an intermediate of the merged job.
+  std::set<std::string> produced;
+  for (const Fragment& f : combined.fragments) {
+    if (store->count(f.name)) {
+      return Status::Invalid(
+          "RunPlanSuite: fragment dataset name collides with a store "
+          "dataset: " +
+          f.name);
+    }
+    if (!produced.insert(f.name).second) {
+      return Status::Invalid(
+          "RunPlanSuite: query names produce colliding fragment datasets: " +
+          f.name);
+    }
+  }
+  for (Fragment& f : combined.fragments) {
+    for (size_t i = 0; i < f.inputs.size(); ++i) {
+      f.input_is_external[i] = produced.count(f.inputs[i]) == 0;
+    }
+  }
+  if (topt.validate_streams) {
+    TIMR_RETURN_NOT_OK(analysis::CheckFragments(combined).ToStatus());
+  }
+
+  // Every query's output dataset must survive the whole job — the merged
+  // plan has one protected output per query, not just the final fragment's.
+  const std::set<std::string> protected_outputs(query_outputs.begin(),
+                                                query_outputs.end());
+
+  cluster->set_fault_tolerance(topt.fault_tolerance);
+
+  // --- Checkpoint resume over the merged stage sequence. ------------------
+  size_t resume_from = 0;
+  if (topt.checkpoint != nullptr) {
+    std::vector<std::string> names;
+    names.reserve(combined.fragments.size());
+    for (const Fragment& f : combined.fragments) names.push_back(f.name);
+    TIMR_ASSIGN_OR_RETURN(resume_from, topt.checkpoint->Restore(names, store));
+    if (topt.validate_streams) {
+      TIMR_RETURN_NOT_OK(analysis::CheckCheckpointCut(combined,
+                                                      *topt.checkpoint,
+                                                      resume_from,
+                                                      protected_outputs)
+                             .ToStatus());
+    }
+  }
+
+  // --- Last-use analysis, multi-consumer aware: a shared dataset is read by
+  // several fragments and is consumable only at the highest-indexed one (the
+  // map keeps the maximum fragment index per dataset). ---------------------
+  std::map<std::string, size_t> last_use;
+  for (size_t f = 0; f < combined.fragments.size(); ++f) {
+    for (const std::string& name : combined.fragments[f].inputs) {
+      last_use[name] = f;
+    }
+  }
+
+  std::map<std::string, size_t> rows_by_stage;
+  for (size_t frag_index = 0; frag_index < combined.fragments.size();
+       ++frag_index) {
+    const Fragment& fragment = combined.fragments[frag_index];
+    if (frag_index < resume_from) {
+      mr::StageStats sstats;
+      sstats.name = fragment.name;
+      sstats.rows_out = topt.checkpoint->rows_out(frag_index);
+      sstats.recovered_from_checkpoint = true;
+      rows_by_stage[fragment.name] = sstats.rows_out;
+      result.job_stats.stages.push_back(std::move(sstats));
+      FragmentStats fstats;
+      fstats.name = fragment.name;
+      result.fragment_stats.push_back(std::move(fstats));
+      continue;
+    }
+    std::vector<Schema> row_schemas;
+    std::vector<const mr::Dataset*> datasets;
+    for (const std::string& name : fragment.inputs) {
+      auto it = store->find(name);
+      if (it == store->end()) {
+        return Status::KeyError("RunPlanSuite: dataset not found: " + name);
+      }
+      row_schemas.push_back(it->second.schema());
+      datasets.push_back(&it->second);
+    }
+    std::pair<temporal::Timestamp, temporal::Timestamp> range{0, 0};
+    if (fragment.key.kind == temporal::PartitionSpec::Kind::kTemporal) {
+      TIMR_ASSIGN_OR_RETURN(range, ScanTimeRange(datasets));
+    }
+    FragmentStats fstats;
+    TIMR_ASSIGN_OR_RETURN(
+        mr::MRStage stage,
+        CompileFragment(fragment, row_schemas, cluster->num_machines(), topt,
+                        range, &fstats));
+    for (size_t i = 0; i < fragment.inputs.size(); ++i) {
+      const std::string& name = fragment.inputs[i];
+      if (!fragment.input_is_external[i] && last_use.at(name) == frag_index &&
+          protected_outputs.count(name) == 0) {
+        stage.consumable_inputs.push_back(static_cast<int>(i));
+      }
+    }
+    if (topt.validate_streams) {
+      TIMR_RETURN_NOT_OK(
+          analysis::CheckStage(combined, frag_index, stage, protected_outputs)
+              .ToStatus());
+    }
+    mr::StageStats sstats;
+    TIMR_RETURN_NOT_OK(cluster->RunStage(stage, store, &sstats));
+    rows_by_stage[fragment.name] = sstats.rows_out;
+    fstats.engine_events_consumed =
+        fstats.engine_events ? fstats.engine_events->load() : 0;
+    result.job_stats.stages.push_back(std::move(sstats));
+    result.fragment_stats.push_back(std::move(fstats));
+    if (topt.checkpoint != nullptr) {
+      std::vector<std::pair<std::string, const mr::Dataset*>> outputs;
+      outputs.emplace_back(stage.output, &store->at(stage.output));
+      if (topt.fault_tolerance.quarantine_inputs) {
+        const std::string qname = mr::QuarantineDatasetName(stage.name);
+        outputs.emplace_back(qname, &store->at(qname));
+      }
+      TIMR_RETURN_NOT_OK(topt.checkpoint->SaveStage(
+          frag_index, stage.name, outputs, mr::ConsumedInputNames(stage)));
+    }
+    if (topt.chaos_kill_after_stages >= 0 &&
+        static_cast<int>(frag_index) + 1 >= topt.chaos_kill_after_stages) {
+      return Status::ExecutionError(
+          "chaos kill: simulated driver death after fragment " + fragment.name +
+          " (" + std::to_string(frag_index + 1) + " of " +
+          std::to_string(combined.fragments.size()) + " fragments completed)");
+    }
+  }
+  result.num_stages = combined.fragments.size();
+
+  // --- Shared-fragment accounting. ----------------------------------------
+  for (size_t k = 0; k < selected.size(); ++k) {
+    SharedFragmentStats s;
+    s.dataset = shared_datasets[k];
+    s.hash = selected[k].hash;
+    s.num_ops = selected[k].num_ops;
+    s.occurrences = selected[k].occurrences.size();
+    for (const Fragment& f : combined.fragments) {
+      for (const std::string& input : f.inputs) {
+        if (input == s.dataset) {
+          ++s.num_consumers;
+          break;
+        }
+      }
+    }
+    s.rows_out = rows_by_stage.count(s.dataset) ? rows_by_stage[s.dataset] : 0;
+    if (s.num_consumers >= 2) result.rows_executed_once += s.rows_out;
+    result.shared.push_back(std::move(s));
+  }
+
+  // --- Gather per-query outputs, canonically ordered. ---------------------
+  // Materializing a sharing boundary may interleave ties at equal LE
+  // differently than the inline computation; the canonical sort makes
+  // equal-as-relations outputs byte-identical (see suite.h).
+  for (const std::string& dataset : query_outputs) {
+    const mr::Dataset& out = store->at(dataset);
+    TIMR_ASSIGN_OR_RETURN(std::vector<Event> events,
+                          temporal::EventsFromRows(out.schema(), out.Gather()));
+    temporal::SortEventsCanonical(&events);
+    result.outputs.push_back(std::move(events));
+  }
+  return result;
+}
+
+}  // namespace timr::framework

@@ -179,8 +179,6 @@ Result<mr::MRStage> CompileFragment(
   return stage;
 }
 
-namespace {
-
 Result<std::pair<Timestamp, Timestamp>> ScanTimeRange(
     const std::vector<const mr::Dataset*>& datasets) {
   Timestamp lo = kMaxTime;
@@ -197,8 +195,6 @@ Result<std::pair<Timestamp, Timestamp>> ScanTimeRange(
   if (lo > hi) return std::make_pair<Timestamp, Timestamp>(0, 0);
   return std::make_pair(lo, hi);
 }
-
-}  // namespace
 
 Result<TimrRunResult> RunPlan(mr::LocalCluster* cluster,
                               const temporal::PlanNodePtr& annotated_root,

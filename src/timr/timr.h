@@ -113,6 +113,11 @@ struct TimrRunResult {
   std::vector<std::string> elided_exchanges;
 };
 
+/// Min/max Time over the datasets' rows ({0, 0} when all are empty) — the
+/// span domain CompileFragment needs for temporally-partitioned fragments.
+Result<std::pair<temporal::Timestamp, temporal::Timestamp>> ScanTimeRange(
+    const std::vector<const mr::Dataset*>& datasets);
+
 /// Compile one fragment into an M-R stage. `row_schemas[i]` is the stored row
 /// layout of fragment.inputs[i]. `time_range` must cover all input timestamps
 /// when the fragment uses temporal partitioning.

@@ -1,0 +1,244 @@
+// Shared-fragment suite execution (timr/suite.h, ROADMAP 5a): the merged
+// 20-CQ BT job must produce byte-identical per-query output to independent
+// RunPlan runs — with sharing on or off, under exchange elision, under
+// randomized fault injection, and across a kill/resume — while actually
+// executing the repeated bot-elimination / UBP prefixes once.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bt_test_util.h"
+#include "bt/queries.h"
+#include "bt/schema.h"
+#include "bt/suite_runner.h"
+#include "mr/checkpoint.h"
+#include "mr/cluster.h"
+#include "mr/fault.h"
+#include "temporal/event.h"
+#include "temporal/query.h"
+#include "timr/suite.h"
+#include "timr/timr.h"
+#include "workload/generator.h"
+
+namespace timr {
+namespace {
+
+using temporal::Event;
+using temporal::PartitionSpec;
+using temporal::Query;
+using framework::RunPlanSuite;
+using framework::SuiteOptions;
+using framework::SuiteRunResult;
+
+const workload::BtLog& SmallLog() {
+  static const workload::BtLog log =
+      workload::GenerateBtLog(testutil::SmallWorkload());
+  return log;
+}
+
+std::map<std::string, mr::Dataset> SuiteStore() {
+  std::map<std::string, mr::Dataset> store;
+  Status s = bt::LoadBtSuiteStore(SmallLog().events, &store);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return store;
+}
+
+Result<SuiteRunResult> RunSuite(
+    const std::vector<std::pair<std::string, temporal::PlanNodePtr>>& queries,
+    const SuiteOptions& options = SuiteOptions(),
+    mr::FaultInjector* injector = nullptr) {
+  mr::LocalCluster cluster(/*num_machines=*/8);
+  if (injector != nullptr) cluster.set_fault_injector(injector);
+  auto store = SuiteStore();
+  return RunPlanSuite(&cluster, queries, &store, options);
+}
+
+/// Each query run independently through RunPlan (fresh store and cluster so
+/// the per-plan "frag_N" dataset names cannot collide), canonically sorted —
+/// the reference RunPlanSuite must match byte-for-byte.
+std::vector<std::vector<Event>> IndependentOutputs(
+    const std::vector<std::pair<std::string, temporal::PlanNodePtr>>& queries,
+    const framework::TimrOptions& options = framework::TimrOptions()) {
+  std::vector<std::vector<Event>> outputs;
+  for (const auto& [name, plan] : queries) {
+    mr::LocalCluster cluster(/*num_machines=*/8);
+    auto store = SuiteStore();
+    auto run = framework::RunPlan(&cluster, plan, &store, options);
+    EXPECT_TRUE(run.ok()) << name << ": " << run.status().ToString();
+    std::vector<Event> out;
+    if (run.ok()) out = std::move(run.ValueOrDie().output);
+    temporal::SortEventsCanonical(&out);
+    outputs.push_back(std::move(out));
+  }
+  return outputs;
+}
+
+void ExpectOutputsIdentical(const std::vector<std::vector<Event>>& a,
+                            const SuiteRunResult& b) {
+  ASSERT_EQ(a.size(), b.outputs.size());
+  for (size_t q = 0; q < a.size(); ++q) {
+    SCOPED_TRACE("query " + b.query_names[q]);
+    testutil::ExpectEventsIdentical(a[q], b.outputs[q]);
+  }
+}
+
+TEST(SharedSuite, BtSuiteMatchesIndependentRunsBitIdentical) {
+  const auto queries = bt::BtCqSuite(testutil::SmallBtConfig());
+  ASSERT_GE(queries.size(), 15u);
+
+  auto run = RunSuite(queries);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  const SuiteRunResult& res = run.ValueOrDie();
+
+  // Sharing must actually kick in: the bot-elimination / UBP prefixes repeat
+  // across the catalog, so at least one shared stage has >= 2 consumers and
+  // rows that every consumer would otherwise have recomputed ran once.
+  ASSERT_FALSE(res.shared.empty());
+  size_t multi_consumer = 0;
+  for (const auto& s : res.shared) {
+    EXPECT_GE(s.occurrences, 2u) << s.dataset;
+    if (s.num_consumers >= 2) ++multi_consumer;
+  }
+  EXPECT_GE(multi_consumer, 1u);
+  EXPECT_GT(res.rows_executed_once, 0u);
+
+  ExpectOutputsIdentical(IndependentOutputs(queries), res);
+}
+
+TEST(SharedSuite, SingleQuerySuiteMatchesRunPlan) {
+  auto all = bt::BtCqSuite(testutil::SmallBtConfig());
+  std::vector<std::pair<std::string, temporal::PlanNodePtr>> one(
+      all.begin(), all.begin() + 1);
+
+  auto run = RunSuite(one);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ExpectOutputsIdentical(IndependentOutputs(one), run.ValueOrDie());
+}
+
+TEST(SharedSuite, SharingOnOffBitIdentical) {
+  const auto queries = bt::BtCqSuite(testutil::SmallBtConfig());
+
+  SuiteOptions off;
+  off.share_fragments = false;
+  auto base = RunSuite(queries, off);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+  EXPECT_TRUE(base.ValueOrDie().shared.empty());
+
+  auto shared = RunSuite(queries);
+  ASSERT_TRUE(shared.ok()) << shared.status().ToString();
+  EXPECT_FALSE(shared.ValueOrDie().shared.empty());
+
+  ExpectOutputsIdentical(base.ValueOrDie().outputs, shared.ValueOrDie());
+}
+
+// Structurally identical plans whose UDOs are opaque (impure: the fingerprint
+// pass salts them by identity) must NOT merge — each query keeps its own copy
+// of the UDO fragment, and outputs still match independent runs.
+TEST(SharedSuite, OpaqueUdoFragmentsDoNotMerge) {
+  auto make_query = [](int64_t offset) {
+    return Query::Input(bt::kBtInput, bt::UnifiedSchema())
+        .Exchange(PartitionSpec::ByTime(/*span_width=*/12 * temporal::kHour,
+                                        /*overlap=*/7 * temporal::kHour))
+        .Udo(
+            6 * temporal::kHour, temporal::kHour,
+            [offset](temporal::Timestamp, temporal::Timestamp,
+                     const std::vector<Event>& active) -> std::vector<Row> {
+              return {Row{Value(static_cast<int64_t>(active.size()) + offset)}};
+            },
+            Schema::Of({{"Cnt", ValueType::kInt64}}));
+  };
+  // Same offset: byte-identical structure and behavior, but the UDO bodies
+  // are distinct opaque callables — exactly the case that must not merge.
+  std::vector<std::pair<std::string, temporal::PlanNodePtr>> queries;
+  queries.emplace_back("udo_a", make_query(0).node());
+  queries.emplace_back("udo_b", make_query(0).node());
+
+  auto run = RunSuite(queries);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_TRUE(run.ValueOrDie().shared.empty());
+  ExpectOutputsIdentical(IndependentOutputs(queries), run.ValueOrDie());
+}
+
+TEST(SharedSuite, BitIdenticalWithExchangeElision) {
+  const auto queries = bt::BtCqSuite(testutil::SmallBtConfig());
+
+  auto base = RunSuite(queries);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+
+  SuiteOptions elide;
+  elide.timr.elide_redundant_exchanges = true;
+  auto elided = RunSuite(queries, elide);
+  ASSERT_TRUE(elided.ok()) << elided.status().ToString();
+  EXPECT_LE(elided.ValueOrDie().num_stages, base.ValueOrDie().num_stages);
+
+  ExpectOutputsIdentical(base.ValueOrDie().outputs, elided.ValueOrDie());
+}
+
+TEST(SharedSuite, BitIdenticalUnderChaosSeeds) {
+  const auto queries = bt::BtCqSuite(testutil::SmallBtConfig());
+
+  auto clean = RunSuite(queries);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+
+  for (uint64_t seed : {uint64_t{7}, uint64_t{19}}) {
+    mr::ChaosInjector injector(mr::FaultPlan::AllKinds(
+        seed, /*p=*/0.12, /*straggler_seconds=*/0.01));
+    auto chaotic = RunSuite(queries, SuiteOptions(), &injector);
+    ASSERT_TRUE(chaotic.ok())
+        << "seed " << seed << ": " << chaotic.status().ToString();
+    EXPECT_GT(injector.total_injected(), 0) << "seed " << seed;
+    ExpectOutputsIdentical(clean.ValueOrDie().outputs, chaotic.ValueOrDie());
+  }
+}
+
+// Kill the merged job mid-way (every query output is a protected dataset in
+// the checkpoint-cut check) and resume from the checkpoint: the restored-
+// prefix run must still produce the clean suite's outputs exactly.
+TEST(SharedSuite, KillAndResumeBitIdentical) {
+  const auto queries = bt::BtCqSuite(testutil::SmallBtConfig());
+
+  auto clean = RunSuite(queries);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  const int num_stages = static_cast<int>(clean.ValueOrDie().num_stages);
+  ASSERT_GT(num_stages, 2);
+
+  mr::CheckpointStore checkpoint;
+  {
+    SuiteOptions opts;
+    opts.timr.checkpoint = &checkpoint;
+    opts.timr.chaos_kill_after_stages = num_stages / 2;
+    auto killed = RunSuite(queries, opts);
+    ASSERT_FALSE(killed.ok());
+    EXPECT_NE(killed.status().message().find("chaos kill"), std::string::npos);
+  }
+  ASSERT_EQ(checkpoint.num_stages(), static_cast<size_t>(num_stages / 2));
+
+  SuiteOptions opts;
+  opts.timr.checkpoint = &checkpoint;
+  auto resumed = RunSuite(queries, opts);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  int recovered = 0;
+  for (const auto& s : resumed.ValueOrDie().job_stats.stages) {
+    if (s.recovered_from_checkpoint) ++recovered;
+  }
+  EXPECT_EQ(recovered, num_stages / 2);
+  ExpectOutputsIdentical(clean.ValueOrDie().outputs, resumed.ValueOrDie());
+}
+
+TEST(SharedSuite, RejectsDuplicateQueryNames) {
+  auto all = bt::BtCqSuite(testutil::SmallBtConfig());
+  std::vector<std::pair<std::string, temporal::PlanNodePtr>> dup;
+  dup.emplace_back("same", all[0].second);
+  dup.emplace_back("same", all[1].second);
+  auto run = RunSuite(dup);
+  ASSERT_FALSE(run.ok());
+  EXPECT_NE(run.status().message().find("duplicate query name"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace timr

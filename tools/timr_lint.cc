@@ -438,9 +438,13 @@ void PrintTargetJson(std::ostream& os, const LintTarget& target,
   os << "]}" << (last ? "" : ",") << "\n";
 }
 
+/// `share_report_json`, when non-empty, is folded into the JSON output as a
+/// sibling of the lint results — one well-formed document, not two
+/// concatenated top-level values.
 int RunTargets(const std::vector<LintTarget>& targets,
                const std::vector<std::string>& names,
-               const std::set<std::string>& allowlist, bool json) {
+               const std::set<std::string>& allowlist, bool json,
+               const std::string& share_report_json = std::string()) {
   std::vector<const LintTarget*> selected;
   for (const auto& target : targets) {
     if (names.empty() ||
@@ -454,7 +458,14 @@ int RunTargets(const std::vector<LintTarget>& targets,
   }
 
   size_t mismatches = 0, gate_failures = 0, residual_warnings = 0;
-  if (json) std::cout << "[\n";
+  if (json) {
+    if (!share_report_json.empty()) {
+      std::cout << "{\n\"share_report\": " << share_report_json
+                << ",\n\"targets\": [\n";
+    } else {
+      std::cout << "[\n";
+    }
+  }
   for (size_t i = 0; i < selected.size(); ++i) {
     const LintTarget& target = *selected[i];
     const AnalysisReport report = target.run();
@@ -483,7 +494,7 @@ int RunTargets(const std::vector<LintTarget>& targets,
       }
     }
   }
-  if (json) std::cout << "]\n";
+  if (json) std::cout << (share_report_json.empty() ? "]\n" : "]\n}\n");
 
   if (mismatches > 0 && !json) {
     std::cout << mismatches << " plan(s) did not lint as expected\n";
@@ -512,35 +523,48 @@ int main(int argc, char** argv) {
   std::vector<std::string> names;
   std::string allowlist_path = DefaultAllowlistPath(argv[0]);
   bool json = false;
+  bool list = false;
+  bool share_report = false;
+  // Two passes: flags first, so flag order never changes behavior
+  // (--share-report --json and --json --share-report are the same request).
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--list") == 0) {
-      for (const auto& t : Registry()) {
-        std::cout << t.name << "  -  " << t.description
-                  << (t.expect_errors ? " [seeded corruption]" : "") << "\n";
-      }
-      return 0;
-    }
-    if (std::strcmp(arg, "--share-report") == 0) {
-      // The cross-query CSE report over every shipped BT CQ, as JSON (the CI
-      // artifact; ROADMAP item 5a's input).
-      std::cout << timr::analysis::BuildShareReport(timr::bt::BtCqSuite())
-                       .ToJson();
-      return 0;
-    }
-    if (std::strcmp(arg, "--json") == 0) {
+      list = true;
+    } else if (std::strcmp(arg, "--share-report") == 0) {
+      share_report = true;
+    } else if (std::strcmp(arg, "--json") == 0) {
       json = true;
-      continue;
-    }
-    if (std::strcmp(arg, "--columnar-allowlist") == 0) {
+    } else if (std::strcmp(arg, "--columnar-allowlist") == 0) {
       if (i + 1 >= argc) {
         std::cerr << "--columnar-allowlist needs a file argument\n";
         return 2;
       }
       allowlist_path = argv[++i];
-      continue;
+    } else {
+      names.emplace_back(arg);
     }
-    names.emplace_back(arg);
   }
-  return RunTargets(Registry(), names, LoadAllowlist(allowlist_path), json);
+  if (list) {
+    for (const auto& t : Registry()) {
+      std::cout << t.name << "  -  " << t.description
+                << (t.expect_errors ? " [seeded corruption]" : "") << "\n";
+    }
+    return 0;
+  }
+  std::string share_json;
+  if (share_report) {
+    // The cross-query CSE report over every shipped BT CQ, as JSON (the CI
+    // artifact; the input RunPlanSuite consumes via SelectSharedFragments).
+    share_json =
+        timr::analysis::BuildShareReport(timr::bt::BtCqSuite()).ToJson();
+    if (!json) {
+      // Bare report: always exit 0 — an empty-but-clean report is a valid
+      // answer, not a lint failure.
+      std::cout << share_json << "\n";
+      return 0;
+    }
+  }
+  return RunTargets(Registry(), names, LoadAllowlist(allowlist_path), json,
+                    share_json);
 }
