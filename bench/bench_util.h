@@ -136,6 +136,13 @@ inline void AppendJobStatsJson(const std::string& bench,
         .Num("simulated_seconds", s.simulated_parallel_seconds)
         .Num("partition_seconds_max", s.partition_seconds_max)
         .Num("partition_seconds_median", s.partition_seconds_median)
+        .Int("partition_rows_max", s.partition_rows_max)
+        .Num("partition_rows_median", s.partition_rows_median)
+        .Int("hot_keys_detected", static_cast<long long>(s.hot_keys_detected))
+        .Int("partitions_split", static_cast<long long>(s.partitions_split))
+        .Int("virtual_partitions",
+             static_cast<long long>(s.virtual_partitions))
+        .Num("post_split_rows_ratio", s.post_split_rows_ratio)
         .Int("task_attempts", static_cast<long long>(s.task_attempts))
         .Int("retried_tasks", static_cast<long long>(s.retried_tasks))
         .Int("speculative_tasks", static_cast<long long>(s.speculative_tasks))

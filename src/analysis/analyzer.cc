@@ -15,6 +15,7 @@ AnalysisReport AnalyzePlan(const PlanNodePtr& root) {
   if (report.HasErrors()) return report;
   report.Absorb(CheckExchangePlacement(root));
   report.Absorb(CheckDeterminism(root));
+  report.Absorb(CheckSplitExchange(root));
   return report;
 }
 

@@ -598,6 +598,29 @@ AnalysisReport CheckExchangePlacement(const PlanNodePtr& root) {
   return ExchangeChecker().Run(root);
 }
 
+AnalysisReport CheckSplitExchange(const PlanNodePtr& root) {
+  AnalysisReport report;
+  if (root == nullptr) return report;
+  for (const PlanNode* node : temporal::CollectNodes(root)) {
+    if (node->kind != OpKind::kExchange || !node->exchange.adaptive_split) {
+      continue;
+    }
+    if (node->exchange.kind == PartitionSpec::Kind::kTemporal) {
+      report.diagnostics.push_back(
+          Make(Severity::kError, node, "split-exchange",
+               "adaptive_split on a temporal exchange: overlapping spans "
+               "replicate boundary rows, so hot-key sub-partitioning has no "
+               "lossless coalesce; only keyed exchanges may opt in"));
+    } else if (node->exchange.keys.empty()) {
+      report.diagnostics.push_back(
+          Make(Severity::kError, node, "split-exchange",
+               "adaptive_split on an exchange with no keys: a singleton "
+               "exchange has one partition and no key hash to split on"));
+    }
+  }
+  return report;
+}
+
 AnalysisReport CheckDeterminism(const PlanNodePtr& root) {
   AnalysisReport report;
   if (root == nullptr) return report;

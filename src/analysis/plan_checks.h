@@ -20,7 +20,13 @@
 //  - "determinism"        UDOs not declared order-insensitive that consume a
 //                         merged stream are flagged, since replayed shuffles
 //                         only guarantee the canonical RowTimeLess order
-//                         across exchange boundaries.
+//                         across exchange boundaries;
+//  - "split-exchange"     PartitionSpec::adaptive_split (adaptive skew-aware
+//                         repartitioning, mr::SkewPolicy) is only sound on a
+//                         keyed exchange: temporal spans replicate boundary
+//                         rows across overlapping spans, so hot-key
+//                         sub-partitioning has no lossless coalesce, and a
+//                         singleton exchange has no key hash to split on.
 //
 // Passes return structured diagnostics; they never abort. Run CheckPlanSchemas
 // first — the placement pass assumes schemas resolve.
@@ -44,5 +50,12 @@ AnalysisReport CheckExchangePlacement(const temporal::PlanNodePtr& root);
 
 /// Invariant "determinism" (warnings only).
 AnalysisReport CheckDeterminism(const temporal::PlanNodePtr& root);
+
+/// Invariant "split-exchange": adaptive_split only on keyed exchanges with a
+/// non-empty key set (errors otherwise). A valid salted split still satisfies
+/// kKeys partitioning for consumers — every key stays co-located — so this
+/// pass is the only split-specific placement rule needed; exchange-placement
+/// and elision reasoning are unaffected by the flag.
+AnalysisReport CheckSplitExchange(const temporal::PlanNodePtr& root);
 
 }  // namespace timr::analysis

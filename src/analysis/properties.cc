@@ -165,6 +165,12 @@ class PropertyInference {
         } else if (n->exchange.keys.empty()) {
           p.partitioning = Partitioning::Singleton();
         } else {
+          // adaptive_split does not weaken this: a salted split sub-partitions
+          // whole keys (hash(key_hash ^ salt), never a finer column set) and
+          // the runtime coalesces virtual partitions back into their base
+          // partition before the output is visible, so every key is still
+          // co-located in exactly one of the exchange's partitions. Elision
+          // and placement reasoning over Keys(...) stay sound.
           p.partitioning = Partitioning::Keys(n->exchange.keys);
         }
         return p;

@@ -6,13 +6,19 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <functional>
+#include <iterator>
 #include <mutex>
 #include <queue>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
 
+#include "common/hash.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
@@ -59,6 +65,19 @@ std::string TaskLabel(const std::string& stage, int partition) {
   return "stage " + stage + " partition " + std::to_string(partition);
 }
 
+/// Median with the even-size convention used throughout the stats (mean of
+/// the two middle elements). Takes the vector by value: nth_element reorders.
+double MedianOf(std::vector<double> v) {
+  if (v.empty()) return 0;
+  const size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<long>(mid), v.end());
+  if (v.size() % 2 == 1) return v[mid];
+  const double upper = v[mid];
+  const double lower =
+      *std::max_element(v.begin(), v.begin() + static_cast<long>(mid));
+  return (lower + upper) / 2.0;
+}
+
 }  // namespace
 
 std::string JobStats::ToString() const {
@@ -77,7 +96,15 @@ std::string JobStats::ToString() const {
        << "s cpu_max=" << s.task_cpu_seconds_max
        << "s simulated=" << s.simulated_parallel_seconds
        << "s part_max=" << s.partition_seconds_max
-       << "s part_median=" << s.partition_seconds_median << "s";
+       << "s part_median=" << s.partition_seconds_median << "s"
+       << " rows_max=" << s.partition_rows_max
+       << " rows_median=" << s.partition_rows_median;
+    if (s.partitions_split > 0) {
+      os << " hot_keys=" << s.hot_keys_detected
+         << " splits=" << s.partitions_split
+         << " virtual=" << s.virtual_partitions
+         << " post_split_ratio=" << s.post_split_rows_ratio;
+    }
     if (s.retried_tasks > 0) os << " retries=" << s.retried_tasks;
     if (s.speculative_tasks > 0) {
       os << " speculative=" << s.speculative_tasks
@@ -113,6 +140,17 @@ Status LocalCluster::RunStage(const MRStage& stage,
   stats->name = stage.name;
   const int parts = stage.num_partitions > 0 ? stage.num_partitions : num_machines_;
   stats->partitions = parts;
+
+  // Adaptive repartitioning is live when the stage opted in *and* carries the
+  // key hash that makes whole-key sub-partitioning meaningful. When live, the
+  // map phase routes via key_hash_fn % parts directly — by HashPartitioner's
+  // construction the exact assignment partition_fn would have produced — so
+  // detection, routing, and the salted split all see one hash.
+  const SkewPolicy& skew = stage.skew;
+  const bool skew_enabled =
+      skew.adaptive_repartition && stage.key_hash_fn != nullptr && parts > 1;
+  const size_t sample_mask =
+      (size_t{1} << std::clamp(skew.sample_shift, 0, 20)) - 1;
 
   std::vector<Dataset*> inputs;
   for (const auto& name : stage.inputs) {
@@ -161,6 +199,11 @@ Status LocalCluster::RunStage(const MRStage& stage,
     size_t rows_in = 0;
     size_t rows_shuffled = 0;
     Status status;
+    // Hot-key sketch (skew_enabled only): sampled key-hash occurrence counts.
+    // Uncapped and merged by summation, so the merged sketch is a pure
+    // function of the input data — morsel boundaries (which depend on the
+    // thread count) cannot change it.
+    std::unordered_map<uint64_t, uint32_t> sketch;
   };
   std::vector<MorselOut> mouts(morsels.size());
   std::atomic<bool> map_failed{false};
@@ -192,7 +235,18 @@ Status LocalCluster::RunStage(const MRStage& stage,
           }
         }
         targets.clear();
-        stage.partition_fn(static_cast<int>(mo.input), row, parts, &targets);
+        if (skew_enabled) {
+          const uint64_t h = stage.key_hash_fn(static_cast<int>(mo.input), row);
+          targets.push_back(static_cast<int>(h % static_cast<uint64_t>(parts)));
+          // Sample by a hash of the absolute source row index: deterministic
+          // for any thread count (r is the row's position in its source
+          // partition, not in the morsel), and — unlike a bare stride — free
+          // of aliasing when the input interleaves keys with a period that
+          // divides the sample rate.
+          if ((HashMix(r) & sample_mask) == 0) out.sketch[h] += 1;
+        } else {
+          stage.partition_fn(static_cast<int>(mo.input), row, parts, &targets);
+        }
         for (int t : targets) {
           if (t < 0 || t >= parts) {
             out.status = Status::ExecutionError("partitioner produced target " +
@@ -266,6 +320,136 @@ Status LocalCluster::RunStage(const MRStage& stage,
       std::vector<Row>().swap(inputs[i]->partition(p));
     }
   }
+
+  // Row-count skew over the routing (always recorded — the detector's input,
+  // and the row twin of partition_seconds_max/median).
+  std::vector<size_t> routed_rows(parts, 0);
+  for (const MorselOut& out : mouts) {
+    for (int p = 0; p < parts; ++p) routed_rows[p] += out.buckets[p].size();
+  }
+  {
+    std::vector<double> as_double(routed_rows.begin(), routed_rows.end());
+    stats->partition_rows_max =
+        routed_rows.empty()
+            ? 0
+            : *std::max_element(routed_rows.begin(), routed_rows.end());
+    stats->partition_rows_median = MedianOf(std::move(as_double));
+  }
+
+  // --- Adaptive repartitioning: detect hot partitions, split their hot keys
+  // across virtual partitions. Every decision is a pure function of
+  // (input data, stage name, policy): the sketch is sampled by source row
+  // index and merged by summation, candidates are ordered by
+  // (count desc, key hash asc), and the virtual slot is
+  // HashMix(key_hash ^ hash(stage name)) % fanout — never runtime timing.
+  struct SplitDecision {
+    int partition = 0;
+    std::vector<uint64_t> hot_keys;        // (count desc, hash asc) order
+    std::unordered_set<uint64_t> hot_set;  // same keys, for reroute lookup
+  };
+  std::vector<SplitDecision> decisions;
+  const int fanout = std::max(2, skew.hot_key_fanout);
+  if (skew_enabled) {
+    const double median_rows = std::max(stats->partition_rows_median, 1.0);
+    std::unordered_map<uint64_t, uint64_t> sketch;
+    for (MorselOut& out : mouts) {
+      for (const auto& [h, c] : out.sketch) sketch[h] += c;
+      out.sketch.clear();
+    }
+    for (int p = 0; p < parts; ++p) {
+      if (routed_rows[p] < skew.min_partition_rows) continue;
+      if (static_cast<double>(routed_rows[p]) <=
+          skew.skew_ratio_threshold * median_rows) {
+        continue;
+      }
+      std::vector<std::pair<uint64_t, uint64_t>> cand;  // (count, key hash)
+      for (const auto& [h, c] : sketch) {
+        if (c >= skew.min_hot_key_samples &&
+            static_cast<int>(h % static_cast<uint64_t>(parts)) == p) {
+          cand.emplace_back(c, h);
+        }
+      }
+      if (cand.empty()) continue;
+      // Full tie-broken sort: the merged sketch's iteration order is not
+      // deterministic across thread counts, the selected set must be.
+      std::sort(cand.begin(), cand.end(), [](const auto& a, const auto& b) {
+        return a.first != b.first ? a.first > b.first : a.second < b.second;
+      });
+      const size_t keep = std::min<size_t>(
+          cand.size(), std::max(1, skew.max_hot_keys_per_partition));
+      SplitDecision d;
+      d.partition = p;
+      d.hot_keys.reserve(keep);
+      for (size_t i = 0; i < keep; ++i) {
+        d.hot_keys.push_back(cand[i].second);
+        d.hot_set.insert(cand[i].second);
+      }
+      decisions.push_back(std::move(d));
+    }
+  }
+
+  int phys_parts = parts;
+  std::vector<int> vbase(decisions.size(), 0);
+  for (size_t d = 0; d < decisions.size(); ++d) {
+    vbase[d] = phys_parts;
+    phys_parts += fanout;
+  }
+  if (!decisions.empty()) {
+    const uint64_t stage_salt =
+        HashBytes(stage.name.data(), stage.name.size());
+    impl_->pool.ParallelFor(morsels.size(), [&](size_t m) {
+      MorselOut& out = mouts[m];
+      out.buckets.resize(phys_parts);
+      const int input_index = static_cast<int>(morsels[m].input);
+      for (size_t d = 0; d < decisions.size(); ++d) {
+        std::vector<Row>& src = out.buckets[decisions[d].partition];
+        if (src.empty()) continue;
+        std::vector<Row> keep_rows;
+        keep_rows.reserve(src.size());
+        for (Row& row : src) {
+          const uint64_t h = stage.key_hash_fn(input_index, row);
+          if (decisions[d].hot_set.count(h) > 0) {
+            const int slot = static_cast<int>(
+                HashMix(h ^ stage_salt) % static_cast<uint64_t>(fanout));
+            out.buckets[vbase[d] + slot].push_back(std::move(row));
+          } else {
+            keep_rows.push_back(std::move(row));
+          }
+        }
+        src = std::move(keep_rows);
+      }
+    });
+    std::vector<double> phys_rows(phys_parts, 0.0);
+    for (const MorselOut& out : mouts) {
+      for (int p = 0; p < phys_parts; ++p) {
+        phys_rows[p] += static_cast<double>(out.buckets[p].size());
+      }
+    }
+    const double phys_max =
+        *std::max_element(phys_rows.begin(), phys_rows.end());
+    stats->post_split_rows_ratio =
+        phys_max / std::max(MedianOf(std::move(phys_rows)), 1.0);
+    for (const SplitDecision& d : decisions) {
+      stats->hot_keys_detected += static_cast<int>(d.hot_keys.size());
+    }
+    stats->partitions_split = static_cast<int>(decisions.size());
+    stats->virtual_partitions = phys_parts - parts;
+  }
+
+  // Physical partition -> base (pre-split) partition, and which tasks' outputs
+  // must be canonically sorted so the coalesce can k-way merge them. Outputs
+  // of unsplit partitions are never touched: a run where nothing splits is
+  // byte-for-byte identical to one with the policy off.
+  std::vector<int> base_of(phys_parts);
+  std::vector<char> sort_output(phys_parts, 0);
+  for (int p = 0; p < parts; ++p) base_of[p] = p;
+  for (size_t d = 0; d < decisions.size(); ++d) {
+    sort_output[decisions[d].partition] = 1;
+    for (int s = 0; s < fanout; ++s) {
+      base_of[vbase[d] + s] = decisions[d].partition;
+      sort_output[vbase[d] + s] = 1;
+    }
+  }
   stats->map_shuffle_seconds = wall.ElapsedSeconds();
 
   // --- Phase 2: parallel merge + sort per (partition, input) bucket. ---
@@ -273,10 +457,10 @@ Status LocalCluster::RunStage(const MRStage& stage,
   // total order; see header comment). Each bucket is an independent task.
   Stopwatch sort_watch;
   std::vector<std::vector<std::vector<Row>>> buckets(
-      parts, std::vector<std::vector<Row>>(inputs.size()));
+      phys_parts, std::vector<std::vector<Row>>(inputs.size()));
   try {
     impl_->pool.ParallelFor(
-        static_cast<size_t>(parts) * inputs.size(), [&](size_t task) {
+        static_cast<size_t>(phys_parts) * inputs.size(), [&](size_t task) {
           const size_t p = task / inputs.size();
           const size_t i = task % inputs.size();
           std::vector<Row>& dst = buckets[p][i];
@@ -342,10 +526,12 @@ Status LocalCluster::RunStage(const MRStage& stage,
     double cpu_seconds = 0;
   };
   std::vector<std::unique_ptr<TaskState>> tasks;
-  tasks.reserve(parts);
-  for (int p = 0; p < parts; ++p) tasks.push_back(std::make_unique<TaskState>());
+  tasks.reserve(phys_parts);
+  for (int p = 0; p < phys_parts; ++p) {
+    tasks.push_back(std::make_unique<TaskState>());
+  }
 
-  std::atomic<int> outstanding{parts};
+  std::atomic<int> outstanding{phys_parts};
   std::mutex done_mu;
   std::condition_variable done_cv;
   std::mutex walls_mu;
@@ -410,7 +596,7 @@ Status LocalCluster::RunStage(const MRStage& stage,
           }
           if (check.ok()) {
             // Nothing to corrupt (empty partition): attempt runs clean.
-            st = stage.reducer(p, buckets[p], &out_rows);
+            st = stage.reducer(base_of[p], buckets[p], &out_rows);
           } else {
             st = Status::DataError("injected corrupt input read: " +
                                    check.message());
@@ -422,7 +608,7 @@ Status LocalCluster::RunStage(const MRStage& stage,
             std::this_thread::sleep_for(
                 std::chrono::duration<double>(fault.straggler_seconds));
           }
-          st = stage.reducer(p, buckets[p], &out_rows);
+          st = stage.reducer(base_of[p], buckets[p], &out_rows);
           if (st.ok() && fault.kind == FaultKind::kPartialOutput) {
             const size_t emitted = out_rows.size() / 2;
             st = Status::ExecutionError(
@@ -445,6 +631,14 @@ Status LocalCluster::RunStage(const MRStage& stage,
                                   ": reducer threw a non-standard exception");
     }
     if (!st.ok()) out_rows.clear();  // per-attempt output discard
+    if (st.ok() && sort_output[p] != 0) {
+      // Split-partition outputs (base remainder and every virtual sibling)
+      // are put into canonical RowTimeLess order *before* acceptance, so the
+      // coalesce below is a pure k-way merge and the speculative byte-compare
+      // sees order-independent outputs. Counted into the task's CPU time —
+      // it is work the split caused.
+      std::sort(out_rows.begin(), out_rows.end(), RowTimeLess);
+    }
     const double cpu = ThreadCpuSeconds() - cpu0;
     const double wall_s = attempt_wall.ElapsedSeconds();
     if (st.ok()) {
@@ -497,7 +691,7 @@ Status LocalCluster::RunStage(const MRStage& stage,
     if (terminal) signal_done();
   };
 
-  for (int p = 0; p < parts; ++p) {
+  for (int p = 0; p < phys_parts; ++p) {
     std::lock_guard<std::mutex> lock(tasks[p]->mu);
     launch(p, /*is_backup=*/false);
   }
@@ -536,7 +730,7 @@ Status LocalCluster::RunStage(const MRStage& stage,
       const double threshold = std::max(fault_.min_straggler_seconds,
                                         fault_.straggler_factor * median);
       const auto now = std::chrono::steady_clock::now();
-      for (int p = 0; p < parts; ++p) {
+      for (int p = 0; p < phys_parts; ++p) {
         TaskState& t = *tasks[p];
         std::lock_guard<std::mutex> lock(t.mu);
         if (t.done || t.accepted || t.backup_launched || t.executing == 0 ||
@@ -554,8 +748,8 @@ Status LocalCluster::RunStage(const MRStage& stage,
   impl_->pool.WaitIdle();
   stats->reduce_seconds = reduce_watch.ElapsedSeconds();
 
-  std::vector<double> task_seconds(parts, 0.0);
-  for (int p = 0; p < parts; ++p) {
+  std::vector<double> task_seconds(phys_parts, 0.0);
+  for (int p = 0; p < phys_parts; ++p) {
     TaskState& t = *tasks[p];
     stats->task_attempts += t.attempts_started;
     stats->retried_tasks += t.retried;
@@ -566,34 +760,56 @@ Status LocalCluster::RunStage(const MRStage& stage,
     stats->task_cpu_seconds_max =
         std::max(stats->task_cpu_seconds_max, t.cpu_seconds);
   }
-  for (int p = 0; p < parts; ++p) {
+  for (int p = 0; p < phys_parts; ++p) {
     // First error in partition order, for a deterministic message. Nothing is
     // added to the store on failure — no partial output survives.
     TIMR_RETURN_NOT_OK(tasks[p]->terminal_error);
   }
   for (int p = 0; p < parts; ++p) {
     output.partition(p) = std::move(tasks[p]->out_rows);
+  }
+  // Coalesce: k-way merge each split partition's virtual outputs back into
+  // its base partition. Every run involved is already in canonical
+  // RowTimeLess order (sorted at acceptance), so a pairwise merge tree
+  // reconstructs one canonically ordered partition — the logical output keeps
+  // `parts` partitions, as if no split had happened.
+  for (size_t d = 0; d < decisions.size(); ++d) {
+    std::vector<std::vector<Row>> runs;
+    runs.reserve(1 + static_cast<size_t>(fanout));
+    runs.push_back(std::move(output.partition(decisions[d].partition)));
+    for (int s = 0; s < fanout; ++s) {
+      runs.push_back(std::move(tasks[vbase[d] + s]->out_rows));
+    }
+    while (runs.size() > 1) {
+      std::vector<std::vector<Row>> next;
+      next.reserve(runs.size() / 2 + 1);
+      for (size_t i = 0; i + 1 < runs.size(); i += 2) {
+        std::vector<Row> merged;
+        merged.reserve(runs[i].size() + runs[i + 1].size());
+        std::merge(std::make_move_iterator(runs[i].begin()),
+                   std::make_move_iterator(runs[i].end()),
+                   std::make_move_iterator(runs[i + 1].begin()),
+                   std::make_move_iterator(runs[i + 1].end()),
+                   std::back_inserter(merged), RowTimeLess);
+        next.push_back(std::move(merged));
+      }
+      if (runs.size() % 2 == 1) next.push_back(std::move(runs.back()));
+      runs = std::move(next);
+    }
+    output.partition(decisions[d].partition) = std::move(runs.front());
+  }
+  for (int p = 0; p < parts; ++p) {
     stats->rows_out += output.partition(p).size();
   }
+  // The makespan and time-skew stats run over the *physical* tasks: with
+  // splits applied they show the rebalanced schedule the policy bought.
   stats->simulated_parallel_seconds = Makespan(task_seconds, num_machines_);
   if (!task_seconds.empty()) {
     // Skew signal for adaptive repartitioning: the slowest partition vs the
-    // median one. nth_element on a copy — task_seconds stays partition-ordered
-    // for the makespan model above.
-    std::vector<double> sorted = task_seconds;
-    const size_t mid = sorted.size() / 2;
-    std::nth_element(sorted.begin(), sorted.begin() + static_cast<long>(mid),
-                     sorted.end());
+    // median one.
     stats->partition_seconds_max =
         *std::max_element(task_seconds.begin(), task_seconds.end());
-    if (sorted.size() % 2 == 1) {
-      stats->partition_seconds_median = sorted[mid];
-    } else {
-      const double upper = sorted[mid];
-      const double lower =
-          *std::max_element(sorted.begin(), sorted.begin() + static_cast<long>(mid));
-      stats->partition_seconds_median = (lower + upper) / 2.0;
-    }
+    stats->partition_seconds_median = MedianOf(task_seconds);
   }
   stats->wall_seconds = wall.ElapsedSeconds();
 
@@ -630,24 +846,34 @@ Result<JobStats> LocalCluster::RunJob(const std::vector<MRStage>& stages,
     }
   }
   for (size_t i = resume_from; i < stages.size(); ++i) {
-    const MRStage& stage = stages[i];
+    const MRStage* stage = &stages[i];
+    // Job-wide skew policy: stages with a key hash inherit it unless they set
+    // their own. The copy is cheap (names + std::functions) and keeps the
+    // caller's stage list const.
+    MRStage patched;
+    if (options.skew.adaptive_repartition &&
+        !stage->skew.adaptive_repartition && stage->key_hash_fn != nullptr) {
+      patched = *stage;
+      patched.skew = options.skew;
+      stage = &patched;
+    }
     StageStats stats;
-    TIMR_RETURN_NOT_OK(RunStage(stage, store, &stats));
+    TIMR_RETURN_NOT_OK(RunStage(*stage, store, &stats));
     job.stages.push_back(std::move(stats));
     if (options.checkpoint != nullptr) {
       std::vector<std::pair<std::string, const Dataset*>> outputs;
-      outputs.emplace_back(stage.output, &store->at(stage.output));
+      outputs.emplace_back(stage->output, &store->at(stage->output));
       if (fault_.quarantine_inputs) {
-        const std::string qname = QuarantineDatasetName(stage.name);
+        const std::string qname = QuarantineDatasetName(stage->name);
         outputs.emplace_back(qname, &store->at(qname));
       }
       TIMR_RETURN_NOT_OK(options.checkpoint->SaveStage(
-          i, stage.name, outputs, ConsumedInputNames(stage)));
+          i, stage->name, outputs, ConsumedInputNames(*stage)));
     }
     if (options.chaos_kill_after_stages >= 0 &&
         static_cast<int>(i) + 1 >= options.chaos_kill_after_stages) {
       return Status::ExecutionError(
-          "chaos kill: simulated driver death after stage " + stage.name +
+          "chaos kill: simulated driver death after stage " + stage->name +
           " (" + std::to_string(i + 1) + " of " +
           std::to_string(stages.size()) + " stages completed)");
     }

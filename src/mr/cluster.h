@@ -26,6 +26,14 @@
 //     speculative backups whose outputs are byte-compared against the
 //     primary's, and injected faults (FaultInjector) exercise all of it.
 //
+// With SkewPolicy::adaptive_repartition on (per stage or via JobOptions), a
+// sampled hot-key sketch rides phase 1; a partition whose routed row count
+// exceeds the configured skew ratio has its hot keys split across salted
+// virtual partitions that sort and reduce independently (phases 2–3) and are
+// k-way merged back into the base partition in canonical order. Decisions
+// are pure functions of the input data, so outputs stay bit-identical across
+// thread counts, retries, and chaos; see SkewPolicy in stage.h.
+//
 // Because this host has few cores while the paper's cluster had ~150
 // machines, every task's CPU time is measured (CLOCK_THREAD_CPUTIME_ID) and a
 // deterministic list-scheduling model computes the *simulated* parallel
@@ -69,6 +77,20 @@ struct StageStats {
   // under Zipf-skewed keys one hot partition gates the whole stage.
   double partition_seconds_max = 0;
   double partition_seconds_median = 0;
+  // Row-count skew over the partitioner's routing (pre-split): max and median
+  // rows routed per partition. This is the adaptive repartitioner's actual
+  // detector input — the row-count twin of the time-skew pair above.
+  size_t partition_rows_max = 0;
+  double partition_rows_median = 0;
+  // Adaptive repartitioning decisions (SkewPolicy; zero when the policy is
+  // off or nothing was split). virtual_partitions counts the extra physical
+  // reducer tasks created; post_split_rows_ratio is max/median routed rows
+  // over the physical (post-split) partitions — compare against
+  // partition_rows_max / partition_rows_median for the before/after picture.
+  int hot_keys_detected = 0;
+  int partitions_split = 0;
+  int virtual_partitions = 0;
+  double post_split_rows_ratio = 0;
   // Fault-handling counters (fault.h). task_attempts counts every reducer
   // attempt; retried_tasks counts failed/discarded attempts that the retry
   // policy re-ran; speculative_tasks counts backup attempts launched for
@@ -109,6 +131,11 @@ struct JobOptions {
   /// Chaos hook: simulate driver death after this many completed (and
   /// checkpointed) stages — RunJob returns kExecutionError. -1 = never.
   int chaos_kill_after_stages = -1;
+
+  /// Job-wide adaptive repartitioning policy: applied to every stage that
+  /// carries a KeyHashFn and does not set its own policy (a stage-level
+  /// SkewPolicy with adaptive_repartition=true wins). See SkewPolicy.
+  SkewPolicy skew;
 };
 
 class LocalCluster {

@@ -5,15 +5,26 @@
 
 namespace timr::mr {
 
-PartitionFn HashPartitioner(std::vector<std::vector<int>> key_indices_per_input) {
-  return [keys = std::move(key_indices_per_input)](
-             int input_index, const Row& row, int num_partitions,
-             std::vector<int>* targets) {
+KeyHashFn MakeKeyHasher(std::vector<std::vector<int>> key_indices_per_input) {
+  return [keys = std::move(key_indices_per_input)](int input_index,
+                                                   const Row& row) {
     TIMR_DCHECK(input_index >= 0 &&
                 static_cast<size_t>(input_index) < keys.size());
     const auto& idx = keys[input_index];
     uint64_t h = 0x51ed270b0a1f3c49ULL;
     for (int i : idx) h = HashCombine(h, row[i].Hash());
+    return h;
+  };
+}
+
+PartitionFn HashPartitioner(std::vector<std::vector<int>> key_indices_per_input) {
+  // Built on MakeKeyHasher so routing and skew detection share one hash: the
+  // cluster may route via the stage's key_hash_fn and get exactly this
+  // partition assignment.
+  return [hash = MakeKeyHasher(std::move(key_indices_per_input))](
+             int input_index, const Row& row, int num_partitions,
+             std::vector<int>* targets) {
+    const uint64_t h = hash(input_index, row);
     targets->push_back(static_cast<int>(h % static_cast<uint64_t>(num_partitions)));
   };
 }

@@ -36,7 +36,9 @@ std::string PartitionSpec::ToString() const {
     if (i > 0) out += ",";
     out += keys[i];
   }
-  return out + "}";
+  out += "}";
+  if (adaptive_split) out += "+split";
+  return out;
 }
 
 Result<Schema> PlanNode::OutputSchema() const {

@@ -51,6 +51,14 @@ struct PartitionSpec {
   Timestamp span_width = 0;       // kTemporal: s
   Timestamp overlap = 0;          // kTemporal: w (max window across inputs)
 
+  /// kKeys only: opt this exchange into adaptive skew-aware repartitioning
+  /// (hot keys split across salted virtual partitions; see mr::SkewPolicy).
+  /// Advisory for the runtime — the exchange still *satisfies* kKeys
+  /// partitioning for its consumers (every key stays co-located), so
+  /// property derivation and spec equality ignore it. Invalid on kTemporal
+  /// specs (analysis::CheckSplitExchange rejects it).
+  bool adaptive_split = false;
+
   static PartitionSpec ByKeys(std::vector<std::string> keys) {
     PartitionSpec spec;
     spec.kind = Kind::kKeys;

@@ -105,7 +105,18 @@ Result<mr::MRStage> CompileFragment(
       TIMR_ASSIGN_OR_RETURN(std::vector<int> idx, rs.IndicesOf(fragment.key.keys));
       key_indices.push_back(std::move(idx));
     }
-    stage.partition_fn = mr::HashPartitioner(std::move(key_indices));
+    stage.partition_fn = mr::HashPartitioner(key_indices);
+    // Keyed exchanges are eligible for adaptive skew-aware repartitioning:
+    // the key hash lets the cluster detect hot keys and split them across
+    // salted virtual partitions without breaking the per-key co-location the
+    // fragment's embedded engine relies on (§III-A exchange placement:
+    // exchange keys ⊆ downstream grouping keys, so hash(key) % n is a valid
+    // routing for any n). Temporal and singleton fragments never set
+    // key_hash_fn and are never split.
+    stage.key_hash_fn = mr::MakeKeyHasher(std::move(key_indices));
+    stage.skew = options.skew;
+    stage.skew.adaptive_repartition =
+        options.skew.adaptive_repartition || fragment.key.adaptive_split;
   }
 
   // --- Reduce phase: the paper's P (row pump) around P' (embedded engine). ---

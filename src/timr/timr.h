@@ -79,6 +79,19 @@ struct TimrOptions {
   /// paths.
   bool assume_sorted_shuffle = true;
 
+  /// Adaptive skew-aware repartitioning (mr/stage.h, ROADMAP 5(b)): when
+  /// skew.adaptive_repartition is on, every keyed-exchange stage detects hot
+  /// keys from a sampled sketch and splits partitions exceeding
+  /// skew.skew_ratio_threshold across skew.hot_key_fanout salted virtual
+  /// partitions, coalescing outputs back in canonical order. Valid because a
+  /// keyed fragment is per-key decomposable and hash(key) % n co-locates each
+  /// key for any n (the §III-A exchange-placement invariant); temporal and
+  /// singleton fragments are never split. Output is equivalent up to row
+  /// order within a partition (bit-identical whenever nothing splits, and
+  /// bit-identical across thread counts / retries / chaos always). A plan may
+  /// also opt in per exchange via PartitionSpec::adaptive_split.
+  mr::SkewPolicy skew;
+
   /// Fault-tolerance policy for the run — retry budget, speculative
   /// execution, poison-row quarantine (mr/fault.h). RunPlan installs it on
   /// the cluster with set_fault_tolerance, replacing whatever was there.

@@ -1,6 +1,7 @@
 #include "workload/generator.h"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
 
 #include "bt/schema.h"
@@ -153,9 +154,28 @@ BtLog GenerateBtLog(const GeneratorConfig& config) {
       (config.searches_per_user_day + config.impressions_per_user_day) *
       (horizon / day) * 1.3));
 
+  // Per-user Zipf activity weights (user_activity_zipf): w_u = (u+1)^-s
+  // normalized to mean 1. Computed arithmetically — no RNG draws — so the
+  // default (0) leaves the generated stream byte-identical to a build without
+  // the knob, and any skewed workload is reproducible from (seed, s).
+  std::vector<double> activity_weight;
+  if (config.user_activity_zipf > 0 && config.num_users > 0) {
+    activity_weight.resize(static_cast<size_t>(config.num_users));
+    double sum = 0;
+    for (int u = 0; u < config.num_users; ++u) {
+      activity_weight[u] =
+          std::pow(static_cast<double>(u + 1), -config.user_activity_zipf);
+      sum += activity_weight[u];
+    }
+    const double mean = sum / static_cast<double>(config.num_users);
+    for (double& w : activity_weight) w /= mean;
+  }
+
   for (int u = 0; u < config.num_users; ++u) {
     const bool is_bot = truth.bot_users.count(u) > 0;
-    const double mult = is_bot ? config.bot_activity_multiplier : 1.0;
+    const double zipf_w = activity_weight.empty() ? 1.0 : activity_weight[u];
+    const double mult =
+        (is_bot ? config.bot_activity_multiplier : 1.0) * zipf_w;
 
     // Interest profile: 1-3 ad classes whose planted pools this user searches.
     // "Negative-pool" users exist independently: they search a class's
@@ -200,9 +220,9 @@ BtLog GenerateBtLog(const GeneratorConfig& config) {
     // Merge search and impression point processes in time order. Bots surf
     // (and therefore trigger impressions) far more than normal users too.
     double search_rate = config.searches_per_user_day * mult / day;
-    double impression_rate = config.impressions_per_user_day *
-                             (is_bot ? config.bot_impression_multiplier : 1.0) /
-                             day;
+    double impression_rate =
+        config.impressions_per_user_day *
+        (is_bot ? config.bot_impression_multiplier : 1.0) * zipf_w / day;
     double t_search = rng.Exponential(1.0 / search_rate);
     double t_impr = rng.Exponential(1.0 / impression_rate);
 

@@ -48,6 +48,15 @@ struct GeneratorConfig {
   double searches_per_user_day = 10.0;
   double impressions_per_user_day = 6.0;
 
+  /// Zipf skew over per-user activity volume: user u's search and impression
+  /// rates are multiplied by (u+1)^-user_activity_zipf, normalized so the
+  /// mean multiplier over all users is 1 (total volume is preserved). 0 (the
+  /// default) disables the knob and leaves the generated log byte-identical
+  /// to earlier versions — the weights are computed without consuming any RNG
+  /// draws. Skewed workloads for the adaptive-repartitioning tests and
+  /// bench_skew are reproducible from the (seed, user_activity_zipf) pair.
+  double user_activity_zipf = 0.0;
+
   double base_ctr = 0.05;
   /// Odds multipliers for planted keywords present in the 6h UBP.
   double pos_lift_min = 2.5, pos_lift_max = 9.0;

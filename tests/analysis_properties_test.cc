@@ -83,6 +83,20 @@ TEST(PropertyInference, ExchangeEstablishesKeysAndCanonicalOrder) {
   EXPECT_EQ(src.ordering, Ordering::kLeOrdered);
 }
 
+// A keyed exchange that opts into adaptive hot-key splitting still delivers
+// Keys partitioning: the split is whole-key (every row of a key lands in one
+// virtual partition) and virtual partitions are coalesced back in canonical
+// order before any consumer sees them — so downstream elision and
+// exchange-placement reasoning stay sound.
+TEST(PropertyInference, AdaptiveSplitExchangeStillEstablishesKeys) {
+  PartitionSpec spec = PartitionSpec::ByKeys({"K"});
+  spec.adaptive_split = true;
+  Query q = KvInput().Exchange(spec);
+  const NodeProperties p = InferProperties(q.node()).at(q.node().get());
+  EXPECT_EQ(p.partitioning, Partitioning::Keys({"K"}));
+  EXPECT_EQ(p.ordering, Ordering::kCanonical);
+}
+
 TEST(PropertyInference, EmptyKeyExchangeMeansSingleton) {
   Query q = KvInput().Exchange(PartitionSpec::ByKeys({}));
   PropertyMap map = InferProperties(q.node());

@@ -265,6 +265,51 @@ TEST(ExchangePlacement, RejectsExchangeInsideGroupSubplan) {
 }
 
 // ---------------------------------------------------------------------------
+// "split-exchange" (adaptive skew-aware repartitioning placement)
+// ---------------------------------------------------------------------------
+
+TEST(SplitExchange, AcceptsAdaptiveSplitOnKeyedExchange) {
+  PartitionSpec spec = PartitionSpec::ByKeys({"UserId"});
+  spec.adaptive_split = true;
+  auto plan = ClickInput()
+                  .Exchange(spec)
+                  .GroupApply({"UserId"},
+                              [](Query g) { return g.Window(kHour).Count(); })
+                  .node();
+  EXPECT_TRUE(CheckSplitExchange(plan).ToStatus().ok());
+  // And the full analyzer pipeline stays clean too.
+  EXPECT_FALSE(AnalyzePlan(plan).HasErrors());
+}
+
+TEST(SplitExchange, RejectsAdaptiveSplitOnTemporalExchange) {
+  // Overlapping temporal spans replicate boundary rows; hot-key splitting has
+  // no lossless coalesce there, so opting in is a plan error.
+  PartitionSpec spec = PartitionSpec::ByTime(12 * kHour, 6 * kHour);
+  spec.adaptive_split = true;
+  auto plan = ClickInput()
+                  .Exchange(spec)
+                  .Window(6 * kHour)
+                  .Aggregate(AggregateSpec::Count("Cnt"))
+                  .node();
+  AnalysisReport report = CheckSplitExchange(plan);
+  EXPECT_TRUE(HasErrorContaining(report, "split-exchange", "temporal"))
+      << report.ToString();
+}
+
+TEST(SplitExchange, RejectsAdaptiveSplitOnSingletonExchange) {
+  PartitionSpec spec = PartitionSpec::ByKeys({});
+  spec.adaptive_split = true;
+  auto plan = ClickInput()
+                  .Exchange(spec)
+                  .Window(kHour)
+                  .Aggregate(AggregateSpec::Count("Cnt"))
+                  .node();
+  AnalysisReport report = CheckSplitExchange(plan);
+  EXPECT_TRUE(HasErrorContaining(report, "split-exchange", "no keys"))
+      << report.ToString();
+}
+
+// ---------------------------------------------------------------------------
 // "determinism"
 // ---------------------------------------------------------------------------
 

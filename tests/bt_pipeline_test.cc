@@ -76,6 +76,42 @@ TEST(Workload, BotsAreSmallButLoud) {
   EXPECT_GT(static_cast<double>(bot_searches) / searches, 2 * user_share);
 }
 
+// The user_activity_zipf knob: skewed logs are reproducible from the
+// (seed, zipf_s) pair, concentrate activity on head user ids, and the mean-1
+// weight normalization keeps total volume in the same ballpark.
+TEST(Workload, UserActivityZipfSkewsAndIsReproducible) {
+  workload::GeneratorConfig base = SmallConfig();
+  base.bot_activity_multiplier = 1.0;  // isolate the Zipf profile
+  base.bot_impression_multiplier = 1.0;
+
+  workload::GeneratorConfig skewed = base;
+  skewed.user_activity_zipf = 1.1;
+
+  const auto a = workload::GenerateBtLog(skewed);
+  const auto b = workload::GenerateBtLog(skewed);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (size_t i = 0; i < a.events.size(); ++i) {
+    ASSERT_EQ(a.events[i].le, b.events[i].le) << "event " << i;
+    ASSERT_EQ(a.events[i].re, b.events[i].re) << "event " << i;
+    ASSERT_EQ(a.events[i].payload, b.events[i].payload) << "event " << i;
+  }
+
+  // Share of events owned by the first 5% of user ids (the Zipf head).
+  auto head_share = [&](const workload::BtLog& log) {
+    const int64_t head = base.num_users / 20;
+    size_t head_events = 0;
+    for (const Event& e : log.events) {
+      if (e.payload[1].AsInt64() < head) ++head_events;
+    }
+    return static_cast<double>(head_events) / log.events.size();
+  };
+  const auto flat = workload::GenerateBtLog(base);
+  EXPECT_GT(head_share(a), 3 * head_share(flat));
+
+  EXPECT_GT(a.events.size(), flat.events.size() / 2);
+  EXPECT_LT(a.events.size(), flat.events.size() * 2);
+}
+
 TEST(BotElimination, RemovesBotActivityKeepsNormalUsers) {
   const auto& log = SharedLog();
   Query q = BotElimination(BtInput(), SmallBtConfig());

@@ -36,6 +36,22 @@ inline bt::BtQueryConfig SmallBtConfig() {
   return cfg;
 }
 
+/// A Zipf-skewed variant of the small workload, reproducible from
+/// (seed, zipf_s): a handful of head users dominate the log, so the keyed
+/// user-hash shuffles develop a hot partition — the input the adaptive
+/// repartitioning tests and bench_skew exercise. Bot multipliers are neutral
+/// so the skew profile is exactly the Zipf weights (the forced bot at user 0
+/// would otherwise stack a 25x multiplier on the Zipf-heaviest key).
+inline workload::GeneratorConfig SkewedWorkload(uint64_t seed = 20120401,
+                                                double zipf_s = 1.1) {
+  workload::GeneratorConfig cfg = SmallWorkload();
+  cfg.seed = seed;
+  cfg.user_activity_zipf = zipf_s;
+  cfg.bot_activity_multiplier = 1.0;
+  cfg.bot_impression_multiplier = 1.0;
+  return cfg;
+}
+
 struct BtRun {
   Status status;  // RunPlan outcome (chaos-kill runs fail by design)
   std::vector<temporal::Event> output;
@@ -47,13 +63,16 @@ struct BtRunConfig {
   int num_threads = 0;  // 0 = hardware
   mr::FaultInjector* injector = nullptr;
   framework::TimrOptions options;  // fault_tolerance / checkpoint / chaos kill
+  /// Workload to generate (default: SmallWorkload(); tests exercising skew
+  /// pass SkewedWorkload(...)).
+  workload::GeneratorConfig workload = SmallWorkload();
 };
 
-/// Generate the small BT log, run the standard BT feature pipeline through
-/// TiMR, and hand back output, stats, and the final store. The store is
-/// returned even on failure so kill-resume tests can inspect it.
+/// Generate the configured BT log, run the standard BT feature pipeline
+/// through TiMR, and hand back output, stats, and the final store. The store
+/// is returned even on failure so kill-resume tests can inspect it.
 inline BtRun RunBtJob(const BtRunConfig& cfg) {
-  auto log = workload::GenerateBtLog(SmallWorkload());
+  auto log = workload::GenerateBtLog(cfg.workload);
 
   mr::LocalCluster cluster(/*num_machines=*/8, cfg.num_threads);
   if (cfg.injector != nullptr) cluster.set_fault_injector(cfg.injector);

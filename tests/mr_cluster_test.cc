@@ -766,6 +766,171 @@ TEST(Checkpoint, MismatchedStageListIsRejected) {
 }
 
 // ---------------------------------------------------------------------------
+// AdaptiveSkew: sampled hot-key detection, deterministic salted splits, and
+// the canonical coalesce (SkewPolicy, ROADMAP 5(b)).
+// ---------------------------------------------------------------------------
+
+SkewPolicy AggressiveSkewPolicy() {
+  SkewPolicy policy;
+  policy.adaptive_repartition = true;
+  policy.skew_ratio_threshold = 2.0;
+  policy.hot_key_fanout = 4;
+  policy.min_partition_rows = 64;
+  policy.sample_shift = 3;
+  return policy;
+}
+
+/// Rows planting `num_hot` heavy keys that all collide in partition 0 of
+/// `parts` (probed through the real key hash), over a uniform background of
+/// singleton keys. The collision matters: a single hot key can only move as a
+/// whole, but several colliding hot keys are exactly what the salted split
+/// separates.
+Dataset SkewedData(int parts, int num_hot, int rows_per_hot, int background) {
+  auto hasher = MakeKeyHasher({{1}});
+  std::vector<int64_t> hot;
+  for (int64_t k = 0; static_cast<int>(hot.size()) < num_hot; ++k) {
+    Row probe = {Value(int64_t{0}), Value(k), Value(int64_t{0})};
+    if (hasher(0, probe) % static_cast<uint64_t>(parts) == 0) hot.push_back(k);
+  }
+  std::vector<Row> rows;
+  int64_t t = 0;
+  for (int64_t k : hot) {
+    for (int i = 0; i < rows_per_hot; ++i) {
+      rows.push_back({Value(t++), Value(k), Value(static_cast<int64_t>(i))});
+    }
+  }
+  for (int i = 0; i < background; ++i) {
+    rows.push_back(
+        {Value(t++), Value(static_cast<int64_t>(1000 + i)), Value(int64_t{0})});
+  }
+  return Dataset::FromRows(RowSchema(), std::move(rows));
+}
+
+MRStage SkewedIdentityStage(int parts) {
+  MRStage stage = IdentityStage("in", "out", 1);
+  stage.num_partitions = parts;
+  stage.key_hash_fn = MakeKeyHasher({{1}});
+  return stage;
+}
+
+TEST(AdaptiveSkew, SplitsHotPartitionAndCoalescesExactly) {
+  const int parts = 4;
+  std::map<std::string, Dataset> store_off, store_on;
+  store_off["in"] = SkewedData(parts, 3, 200, 200);
+  store_on["in"] = SkewedData(parts, 3, 200, 200);
+
+  LocalCluster cluster(parts, 2);
+  MRStage stage = SkewedIdentityStage(parts);
+  StageStats off_stats;
+  ASSERT_TRUE(cluster.RunStage(stage, &store_off, &off_stats).ok());
+  EXPECT_EQ(off_stats.partitions_split, 0);
+  // The row-skew stats are recorded with the policy off too — they are the
+  // detector's input and the observable that says a split would help.
+  EXPECT_GT(off_stats.partition_rows_max, 0u);
+  EXPECT_GT(off_stats.partition_rows_median, 0.0);
+  EXPECT_GT(static_cast<double>(off_stats.partition_rows_max),
+            2.0 * off_stats.partition_rows_median);
+
+  stage.skew = AggressiveSkewPolicy();
+  StageStats on_stats;
+  ASSERT_TRUE(cluster.RunStage(stage, &store_on, &on_stats).ok());
+  EXPECT_GE(on_stats.partitions_split, 1);
+  EXPECT_GE(on_stats.hot_keys_detected, 3);
+  EXPECT_EQ(on_stats.virtual_partitions,
+            on_stats.partitions_split * stage.skew.hot_key_fanout);
+  EXPECT_GT(on_stats.post_split_rows_ratio, 0.0);
+  EXPECT_EQ(on_stats.rows_out, off_stats.rows_out);
+
+  // The identity reducer emits its canonically sorted input, so the coalesced
+  // split partitions must be *byte-identical* to the unsplit run's.
+  const Dataset& off = store_off.at("out");
+  const Dataset& on = store_on.at("out");
+  ASSERT_EQ(off.num_partitions(), on.num_partitions());
+  for (size_t p = 0; p < off.num_partitions(); ++p) {
+    EXPECT_EQ(off.partition(p), on.partition(p)) << "partition " << p;
+  }
+}
+
+TEST(AdaptiveSkew, DecisionsAndOutputStableAcrossThreadCounts) {
+  const int parts = 4;
+  MRStage stage = SkewedIdentityStage(parts);
+  stage.skew = AggressiveSkewPolicy();
+
+  Dataset reference;
+  int ref_splits = -1;
+  int ref_hot_keys = -1;
+  for (int threads : {1, 2, 4}) {
+    LocalCluster cluster(parts, threads);
+    std::map<std::string, Dataset> store;
+    store["in"] = SkewedData(parts, 3, 200, 200);
+    StageStats stats;
+    ASSERT_TRUE(cluster.RunStage(stage, &store, &stats).ok());
+    EXPECT_GE(stats.partitions_split, 1) << "threads=" << threads;
+    if (ref_splits < 0) {
+      ref_splits = stats.partitions_split;
+      ref_hot_keys = stats.hot_keys_detected;
+      reference = std::move(store.at("out"));
+      continue;
+    }
+    // Split decisions are a pure function of the data: same partitions, same
+    // hot keys, bit-identical output for any thread count.
+    EXPECT_EQ(stats.partitions_split, ref_splits) << "threads=" << threads;
+    EXPECT_EQ(stats.hot_keys_detected, ref_hot_keys) << "threads=" << threads;
+    const Dataset& out = store.at("out");
+    ASSERT_EQ(out.num_partitions(), reference.num_partitions());
+    for (size_t p = 0; p < out.num_partitions(); ++p) {
+      EXPECT_EQ(out.partition(p), reference.partition(p))
+          << "threads=" << threads << " partition " << p;
+    }
+  }
+}
+
+TEST(AdaptiveSkew, UniformKeysNeverSplit) {
+  const int parts = 4;
+  std::vector<Row> rows;
+  for (int64_t i = 0; i < 400; ++i) {
+    rows.push_back({Value(i), Value(i % 97), Value(int64_t{0})});
+  }
+  std::map<std::string, Dataset> store;
+  store["in"] = Dataset::FromRows(RowSchema(), std::move(rows));
+
+  LocalCluster cluster(parts, 2);
+  MRStage stage = SkewedIdentityStage(parts);
+  stage.skew = AggressiveSkewPolicy();
+  stage.skew.min_partition_rows = 1;
+  StageStats stats;
+  ASSERT_TRUE(cluster.RunStage(stage, &store, &stats).ok());
+  EXPECT_EQ(stats.partitions_split, 0);
+  EXPECT_EQ(stats.hot_keys_detected, 0);
+  EXPECT_EQ(stats.virtual_partitions, 0);
+  EXPECT_EQ(stats.rows_out, 400u);
+}
+
+TEST(AdaptiveSkew, JobOptionsPolicyAppliesOnlyToKeyedStages) {
+  const int parts = 4;
+  std::map<std::string, Dataset> store;
+  store["in"] = SkewedData(parts, 3, 200, 200);
+
+  // Stage 1 carries a key hash (eligible); stage 2 is a single-partition
+  // merge with no key hash (must be left alone by the job-wide policy).
+  MRStage keyed = SkewedIdentityStage(parts);
+  MRStage merge = IdentityStage("out", "merged", 1);
+  merge.name = "merge";
+  merge.partition_fn = SinglePartition();
+
+  LocalCluster cluster(parts, 2);
+  JobOptions options;
+  options.skew = AggressiveSkewPolicy();
+  auto run = cluster.RunJob({keyed, merge}, &store, options);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  const JobStats& job = run.ValueOrDie();
+  ASSERT_EQ(job.stages.size(), 2u);
+  EXPECT_GE(job.stages[0].partitions_split, 1);
+  EXPECT_EQ(job.stages[1].partitions_split, 0);
+  EXPECT_EQ(job.stages[1].rows_out, job.stages[0].rows_out);
+}
+
+// ---------------------------------------------------------------------------
 // Chaos: the full BT pipeline under randomized-but-replayable fault
 // schedules. Every run must reproduce the fault-free output and store
 // bit-for-bit (paper §III-C.1: deterministic re-execution makes failure
@@ -847,6 +1012,49 @@ TEST(Chaos, BtJobWithExchangeElisionBitIdenticalUnderChaos) {
     ChaosInjector injector(FaultPlan::AllKinds(seed, /*p=*/0.12,
                                                /*straggler_seconds=*/0.01));
     testutil::BtRunConfig cfg = clean_cfg;
+    cfg.injector = &injector;
+    testutil::BtRun chaotic = testutil::RunBtJob(cfg);
+    ASSERT_TRUE(chaotic.status.ok())
+        << "seed " << seed << ": " << chaotic.status.ToString();
+    testutil::ExpectEventsIdentical(clean.output, chaotic.output);
+    testutil::ExpectStoresBitIdentical(clean.store, chaotic.store);
+  }
+}
+
+TEST(Chaos, AdaptiveSkewBtJobBitIdenticalUnderChaos) {
+  // The Zipf-skewed BT pipeline with adaptive repartitioning on must survive
+  // randomized fault schedules bit-identically: split decisions are data-pure,
+  // retried/speculative attempts of a virtual partition reproduce their
+  // output, and the coalesce is order-canonical. Against the policy-off run,
+  // the output is the same relation (canonical order may differ, since an
+  // unsplit reducer emits its rows in engine order).
+  testutil::BtRunConfig off_cfg;
+  off_cfg.workload = testutil::SkewedWorkload();
+  testutil::BtRun off = testutil::RunBtJob(off_cfg);
+  ASSERT_TRUE(off.status.ok()) << off.status.ToString();
+
+  testutil::BtRunConfig on_cfg = off_cfg;
+  on_cfg.options.skew.adaptive_repartition = true;
+  on_cfg.options.skew.skew_ratio_threshold = 2.0;
+  on_cfg.options.skew.hot_key_fanout = 4;
+  on_cfg.options.skew.min_partition_rows = 64;
+  on_cfg.options.skew.sample_shift = 3;
+  testutil::BtRun clean = testutil::RunBtJob(on_cfg);
+  ASSERT_TRUE(clean.status.ok()) << clean.status.ToString();
+  int splits = 0;
+  for (const auto& s : clean.stats.stages) splits += s.partitions_split;
+  EXPECT_GT(splits, 0) << "skewed workload did not trigger any split";
+
+  std::vector<temporal::Event> off_sorted = off.output;
+  std::vector<temporal::Event> on_sorted = clean.output;
+  temporal::SortEventsCanonical(&off_sorted);
+  temporal::SortEventsCanonical(&on_sorted);
+  testutil::ExpectEventsIdentical(off_sorted, on_sorted);
+
+  for (uint64_t seed : ChaosSeeds()) {
+    ChaosInjector injector(FaultPlan::AllKinds(seed, /*p=*/0.12,
+                                               /*straggler_seconds=*/0.01));
+    testutil::BtRunConfig cfg = on_cfg;
     cfg.injector = &injector;
     testutil::BtRun chaotic = testutil::RunBtJob(cfg);
     ASSERT_TRUE(chaotic.status.ok())

@@ -229,6 +229,45 @@ TEST(SharedSuite, KillAndResumeBitIdentical) {
   ExpectOutputsIdentical(clean.ValueOrDie().outputs, resumed.ValueOrDie());
 }
 
+// Adaptive skew-aware repartitioning composes with shared-fragment suite
+// execution: on a Zipf-skewed log the merged BT suite splits at least one hot
+// keyed shuffle while still sharing fragments, and every per-query output
+// matches the skew-off merged run byte-for-byte.
+TEST(SharedSuite, AdaptiveSkewOnOffBitIdentical) {
+  const auto queries = bt::BtCqSuite(testutil::SmallBtConfig());
+  const workload::BtLog log =
+      workload::GenerateBtLog(testutil::SkewedWorkload());
+
+  auto run_suite = [&](const SuiteOptions& options) {
+    mr::LocalCluster cluster(/*num_machines=*/8);
+    std::map<std::string, mr::Dataset> store;
+    Status s = bt::LoadBtSuiteStore(log.events, &store);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    return RunPlanSuite(&cluster, queries, &store, options);
+  };
+
+  auto off = run_suite(SuiteOptions());
+  ASSERT_TRUE(off.ok()) << off.status().ToString();
+
+  SuiteOptions skew;
+  skew.timr.skew.adaptive_repartition = true;
+  skew.timr.skew.skew_ratio_threshold = 2.0;
+  skew.timr.skew.hot_key_fanout = 4;
+  skew.timr.skew.min_partition_rows = 64;
+  skew.timr.skew.sample_shift = 3;
+  auto on = run_suite(skew);
+  ASSERT_TRUE(on.ok()) << on.status().ToString();
+
+  int splits = 0;
+  for (const auto& s : on.ValueOrDie().job_stats.stages) {
+    splits += s.partitions_split;
+  }
+  EXPECT_GT(splits, 0);
+  EXPECT_FALSE(on.ValueOrDie().shared.empty());
+
+  ExpectOutputsIdentical(off.ValueOrDie().outputs, on.ValueOrDie());
+}
+
 TEST(SharedSuite, RejectsDuplicateQueryNames) {
   auto all = bt::BtCqSuite(testutil::SmallBtConfig());
   std::vector<std::pair<std::string, temporal::PlanNodePtr>> dup;

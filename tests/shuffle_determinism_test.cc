@@ -152,5 +152,126 @@ TEST(ShuffleDeterminism, ReducerRetryUnderParallelShuffleIsRepeatable) {
   ExpectStoresBitIdentical(clean.store, retried.store);
 }
 
+/// Skew policy that reliably triggers splits on the small Zipf workload.
+framework::TimrOptions AdaptiveSkewOptions() {
+  framework::TimrOptions options;
+  options.skew.adaptive_repartition = true;
+  options.skew.skew_ratio_threshold = 2.0;
+  options.skew.hot_key_fanout = 4;
+  options.skew.min_partition_rows = 64;
+  options.skew.sample_shift = 3;
+  return options;
+}
+
+TEST(ShuffleDeterminism, AdaptiveSkewBtJobBitIdenticalAcrossThreadCounts) {
+  // With adaptive repartitioning live on a Zipf-skewed workload, every split
+  // decision is a pure function of the data: the whole job — final output,
+  // every intermediate dataset, the split counters themselves — must be
+  // bit-identical for any host thread count.
+  testutil::BtRunConfig cfg;
+  cfg.workload = testutil::SkewedWorkload();
+  cfg.options = AdaptiveSkewOptions();
+  cfg.num_threads = 1;
+  BtRun base = RunBtJob(cfg);
+  ASSERT_TRUE(base.status.ok()) << base.status.ToString();
+  int base_splits = 0;
+  for (const auto& s : base.stats.stages) base_splits += s.partitions_split;
+  ASSERT_GT(base_splits, 0) << "skewed workload did not trigger any split";
+
+  for (int threads : {2, 0 /* hardware */}) {
+    testutil::BtRunConfig run_cfg = cfg;
+    run_cfg.num_threads = threads;
+    BtRun run = RunBtJob(run_cfg);
+    ASSERT_TRUE(run.status.ok()) << run.status.ToString();
+    ExpectEventsIdentical(base.output, run.output);
+    ExpectStoresBitIdentical(base.store, run.store);
+    ASSERT_EQ(run.stats.stages.size(), base.stats.stages.size());
+    for (size_t s = 0; s < base.stats.stages.size(); ++s) {
+      const auto& bs = base.stats.stages[s];
+      const auto& rs = run.stats.stages[s];
+      EXPECT_EQ(rs.partitions_split, bs.partitions_split) << bs.name;
+      EXPECT_EQ(rs.hot_keys_detected, bs.hot_keys_detected) << bs.name;
+      EXPECT_EQ(rs.virtual_partitions, bs.virtual_partitions) << bs.name;
+      EXPECT_EQ(rs.partition_rows_max, bs.partition_rows_max) << bs.name;
+      EXPECT_EQ(rs.partition_rows_median, bs.partition_rows_median) << bs.name;
+      EXPECT_EQ(rs.rows_out, bs.rows_out) << bs.name;
+    }
+  }
+}
+
+TEST(ShuffleDeterminism, AdaptiveSkewOnOffProduceTheSameRelation) {
+  // On vs off: identical output relation. Split stages emit their partitions
+  // in canonical order while unsplit reducers emit engine order, so the
+  // comparison is canonical — and when nothing splits (the default policy's
+  // thresholds on this small log), the runs must be byte-identical.
+  testutil::BtRunConfig off_cfg;
+  off_cfg.workload = testutil::SkewedWorkload();
+  BtRun off = RunBtJob(off_cfg);
+  ASSERT_TRUE(off.status.ok()) << off.status.ToString();
+
+  testutil::BtRunConfig on_cfg = off_cfg;
+  on_cfg.options = AdaptiveSkewOptions();
+  BtRun on = RunBtJob(on_cfg);
+  ASSERT_TRUE(on.status.ok()) << on.status.ToString();
+  int splits = 0;
+  for (const auto& s : on.stats.stages) splits += s.partitions_split;
+  EXPECT_GT(splits, 0);
+  std::vector<temporal::Event> off_sorted = off.output;
+  std::vector<temporal::Event> on_sorted = on.output;
+  temporal::SortEventsCanonical(&off_sorted);
+  temporal::SortEventsCanonical(&on_sorted);
+  ExpectEventsIdentical(off_sorted, on_sorted);
+
+  // Policy on but with default (conservative) thresholds: nothing on this
+  // small log crosses min_partition_rows, no split happens, and the run is
+  // bit-for-bit the policy-off run.
+  testutil::BtRunConfig noop_cfg = off_cfg;
+  noop_cfg.options.skew.adaptive_repartition = true;
+  BtRun noop = RunBtJob(noop_cfg);
+  ASSERT_TRUE(noop.status.ok()) << noop.status.ToString();
+  for (const auto& s : noop.stats.stages) {
+    EXPECT_EQ(s.partitions_split, 0) << s.name;
+  }
+  ExpectEventsIdentical(off.output, noop.output);
+  ExpectStoresBitIdentical(off.store, noop.store);
+}
+
+TEST(ShuffleDeterminism, AdaptiveSkewReducerRetryIsRepeatable) {
+  // Retries of virtual-partition tasks must reproduce their outputs exactly
+  // (the §III-C.1 repeatability argument extends to split partitions: same
+  // shuffled input, same canonical sort, same coalesce).
+  testutil::BtRunConfig cfg;
+  cfg.workload = testutil::SkewedWorkload();
+  cfg.options = AdaptiveSkewOptions();
+  BtRun clean = RunBtJob(cfg);
+  ASSERT_TRUE(clean.status.ok()) << clean.status.ToString();
+
+  mr::FailureInjector injector;
+  int injected = 0;
+  for (const auto& stage : clean.stats.stages) {
+    // Partition indices past `partitions` are the virtual (split) tasks; fail
+    // the last physical task of every splitting stage plus partition 0.
+    injector.FailOnce(stage.name, 0);
+    ++injected;
+    if (stage.virtual_partitions > 0) {
+      injector.FailOnce(stage.name,
+                        stage.partitions + stage.virtual_partitions - 1);
+      ++injected;
+    }
+  }
+  testutil::BtRunConfig retry_cfg = cfg;
+  retry_cfg.injector = &injector;
+  BtRun retried = RunBtJob(retry_cfg);
+  ASSERT_TRUE(retried.status.ok()) << retried.status.ToString();
+  EXPECT_TRUE(injector.empty());
+  int retries = 0;
+  for (const auto& stage : retried.stats.stages) {
+    retries += stage.retried_tasks;
+  }
+  EXPECT_EQ(retries, injected);
+  ExpectEventsIdentical(clean.output, retried.output);
+  ExpectStoresBitIdentical(clean.store, retried.store);
+}
+
 }  // namespace
 }  // namespace timr

@@ -8,6 +8,10 @@
 //   timr_lint --json          machine-readable per-target results on stdout
 //   timr_lint --share-report  cross-query CSE report over the BT CQ suite
 //                             (analysis/sharing.h) as JSON on stdout
+//   timr_lint --skew-report   per-query skew-mitigation audit over the BT CQ
+//                             suite: every keyed exchange, whether it opts
+//                             into adaptive splitting, and a note for the
+//                             ones a hot key could stall; JSON on stdout
 //   timr_lint --columnar-allowlist <file>
 //                             override the expected-warning allowlist
 //                             (default: columnar_allowlist.txt next to the
@@ -36,7 +40,9 @@
 #include <iostream>
 #include <memory>
 #include <set>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/analyzer.h"
@@ -151,6 +157,20 @@ timr::framework::FragmentedPlan CorruptCyclicFragments() {
   plan.fragments = {consumer, producer};  // wrong order on purpose
   plan.output_dataset = "frag_0";
   return plan;
+}
+
+/// Seeded corruption: adaptive hot-key splitting requested on a temporal
+/// exchange. Overlapping spans replicate boundary rows, so sub-partitioned
+/// hot keys have no lossless coalesce — analysis::CheckSplitExchange must
+/// reject the placement before the job runs.
+PlanNodePtr CorruptSplitExchange() {
+  PartitionSpec spec = PartitionSpec::ByTime(12 * kHour, 6 * kHour);
+  spec.adaptive_split = true;
+  return ClickInput()
+      .Exchange(spec)
+      .Window(6 * kHour)
+      .Aggregate(timr::temporal::AggregateSpec::Count("Cnt"))
+      .node();
 }
 
 /// Seeded corruption 4: a stream whose CTI regresses and whose events travel
@@ -331,6 +351,9 @@ std::vector<LintTarget> Registry() {
   add_plan("corrupt_narrow_span",
            "temporal overlap narrower than the downstream window", true,
            CorruptNarrowSpan);
+  add_plan("corrupt_split_exchange",
+           "adaptive_split on a temporal exchange (no lossless coalesce)",
+           true, CorruptSplitExchange);
   targets.push_back(LintTarget{
       "corrupt_cyclic_fragments", "fragment DAG not in topological order",
       true, [] {
@@ -438,13 +461,57 @@ void PrintTargetJson(std::ostream& os, const LintTarget& target,
   os << "]}" << (last ? "" : ",") << "\n";
 }
 
-/// `share_report_json`, when non-empty, is folded into the JSON output as a
-/// sibling of the lint results — one well-formed document, not two
+/// --skew-report: per-query audit of the shipped BT CQ suite for skew
+/// exposure. Lists every keyed exchange and whether it opts into adaptive
+/// skew-aware splitting; keyed exchanges without a split policy get a note —
+/// they are exactly the shuffles one hot key can stall, and enabling
+/// TimrOptions::skew (job-wide) or PartitionSpec::adaptive_split (per
+/// exchange) mitigates that without changing output bytes.
+std::string BuildSkewReportJson() {
+  std::ostringstream os;
+  size_t keyed = 0, with_policy = 0;
+  os << "{\"queries\": [\n";
+  const auto suite = timr::bt::BtCqSuite();
+  for (size_t q = 0; q < suite.size(); ++q) {
+    const auto& [name, plan] = suite[q];
+    os << "  {\"query\": \"" << JsonEscape(name)
+       << "\", \"keyed_exchanges\": [";
+    bool first = true;
+    for (const PlanNode* node : timr::temporal::CollectNodes(plan)) {
+      if (node->kind != OpKind::kExchange) continue;
+      if (node->exchange.kind != PartitionSpec::Kind::kKeys ||
+          node->exchange.keys.empty()) {
+        continue;
+      }
+      ++keyed;
+      if (node->exchange.adaptive_split) ++with_policy;
+      if (!first) os << ", ";
+      first = false;
+      os << "{\"spec\": \"" << JsonEscape(node->exchange.ToString())
+         << "\", \"adaptive_split\": "
+         << (node->exchange.adaptive_split ? "true" : "false");
+      if (!node->exchange.adaptive_split) {
+        os << ", \"note\": \"keyed exchange without a split policy: one hot "
+              "key serializes this shuffle; enable TimrOptions::skew or "
+              "PartitionSpec::adaptive_split to mitigate\"";
+      }
+      os << "}";
+    }
+    os << "]}" << (q + 1 == suite.size() ? "" : ",") << "\n";
+  }
+  os << "],\n\"keyed_exchanges\": " << keyed
+     << ", \"with_split_policy\": " << with_policy << "}";
+  return os.str();
+}
+
+/// `extra_sections`, when non-empty, are folded into the JSON output as
+/// siblings of the lint results — one well-formed document, not several
 /// concatenated top-level values.
 int RunTargets(const std::vector<LintTarget>& targets,
                const std::vector<std::string>& names,
                const std::set<std::string>& allowlist, bool json,
-               const std::string& share_report_json = std::string()) {
+               const std::vector<std::pair<std::string, std::string>>&
+                   extra_sections = {}) {
   std::vector<const LintTarget*> selected;
   for (const auto& target : targets) {
     if (names.empty() ||
@@ -459,9 +526,12 @@ int RunTargets(const std::vector<LintTarget>& targets,
 
   size_t mismatches = 0, gate_failures = 0, residual_warnings = 0;
   if (json) {
-    if (!share_report_json.empty()) {
-      std::cout << "{\n\"share_report\": " << share_report_json
-                << ",\n\"targets\": [\n";
+    if (!extra_sections.empty()) {
+      std::cout << "{\n";
+      for (const auto& [key, value] : extra_sections) {
+        std::cout << "\"" << key << "\": " << value << ",\n";
+      }
+      std::cout << "\"targets\": [\n";
     } else {
       std::cout << "[\n";
     }
@@ -494,7 +564,7 @@ int RunTargets(const std::vector<LintTarget>& targets,
       }
     }
   }
-  if (json) std::cout << (share_report_json.empty() ? "]\n" : "]\n}\n");
+  if (json) std::cout << (extra_sections.empty() ? "]\n" : "]\n}\n");
 
   if (mismatches > 0 && !json) {
     std::cout << mismatches << " plan(s) did not lint as expected\n";
@@ -525,6 +595,7 @@ int main(int argc, char** argv) {
   bool json = false;
   bool list = false;
   bool share_report = false;
+  bool skew_report = false;
   // Two passes: flags first, so flag order never changes behavior
   // (--share-report --json and --json --share-report are the same request).
   for (int i = 1; i < argc; ++i) {
@@ -533,6 +604,8 @@ int main(int argc, char** argv) {
       list = true;
     } else if (std::strcmp(arg, "--share-report") == 0) {
       share_report = true;
+    } else if (std::strcmp(arg, "--skew-report") == 0) {
+      skew_report = true;
     } else if (std::strcmp(arg, "--json") == 0) {
       json = true;
     } else if (std::strcmp(arg, "--columnar-allowlist") == 0) {
@@ -552,19 +625,25 @@ int main(int argc, char** argv) {
     }
     return 0;
   }
-  std::string share_json;
+  std::vector<std::pair<std::string, std::string>> extra_sections;
   if (share_report) {
     // The cross-query CSE report over every shipped BT CQ, as JSON (the CI
     // artifact; the input RunPlanSuite consumes via SelectSharedFragments).
-    share_json =
-        timr::analysis::BuildShareReport(timr::bt::BtCqSuite()).ToJson();
-    if (!json) {
-      // Bare report: always exit 0 — an empty-but-clean report is a valid
-      // answer, not a lint failure.
-      std::cout << share_json << "\n";
-      return 0;
+    extra_sections.emplace_back(
+        "share_report",
+        timr::analysis::BuildShareReport(timr::bt::BtCqSuite()).ToJson());
+  }
+  if (skew_report) {
+    extra_sections.emplace_back("skew_report", BuildSkewReportJson());
+  }
+  if (!extra_sections.empty() && !json) {
+    // Bare report(s): always exit 0 — an empty-but-clean report is a valid
+    // answer, not a lint failure.
+    for (const auto& [key, value] : extra_sections) {
+      std::cout << value << "\n";
     }
+    return 0;
   }
   return RunTargets(Registry(), names, LoadAllowlist(allowlist_path), json,
-                    share_json);
+                    extra_sections);
 }
