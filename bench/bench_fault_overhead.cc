@@ -13,6 +13,7 @@
 #include "common/stopwatch.h"
 #include "mr/checkpoint.h"
 #include "mr/cluster.h"
+#include "mr/driver.h"
 #include "mr/fault.h"
 #include "temporal/convert.h"
 #include "timr/timr.h"
@@ -29,12 +30,14 @@ struct Measurement {
 };
 
 Measurement RunOnce(mr::LocalCluster* cluster, const T::PlanNodePtr& plan,
-                    const std::vector<Row>& rows, bool armed) {
+                    const std::vector<Row>& rows, bool armed,
+                    int process_workers = 0) {
   std::map<std::string, mr::Dataset> store;
   store[bt::kBtInput] =
       mr::Dataset::FromRows(T::PointRowSchema(bt::UnifiedSchema()), rows);
 
   framework::TimrOptions options;
+  options.process.workers = process_workers;
   mr::CheckpointStore checkpoint;  // in-memory: snapshots every stage output
   mr::ChaosInjector injector(mr::FaultPlan{});  // all probabilities zero
   if (armed) {
@@ -104,13 +107,45 @@ int main() {
       << "fault machinery changed the output: " << off_rows << " vs "
       << on_rows;
 
+  // Process-mode column: the same fault-free pipeline on a gang of forked
+  // workers over RPC. Prices the fork + serialization + heartbeat tax when
+  // nothing fails; target < 10% idle overhead vs threads.
+  constexpr int kProcWorkers = 4;
+  double procs_wall = 1e300, procs_sim = 0;
+  size_t procs_rows = 0;
+  const bool procs_supported = mr::ProcessModeSupported();
+  if (procs_supported) {
+    for (int i = 0; i < kRounds; ++i) {
+      Measurement procs = RunOnce(&cluster, plan, rows, false, kProcWorkers);
+      procs_wall = std::min(procs_wall, procs.wall_seconds);
+      procs_sim = procs.simulated_seconds;
+      procs_rows = procs.output_rows;
+      std::printf("round %d: procs(%d) %.3f s\n", i + 1, kProcWorkers,
+                  procs.wall_seconds);
+    }
+    TIMR_CHECK(procs_rows == off_rows)
+        << "process mode changed the output: " << off_rows << " vs "
+        << procs_rows;
+  }
+
   const double overhead_pct = (on_wall / off_wall - 1.0) * 100.0;
+  const double procs_overhead_pct =
+      procs_supported ? (procs_wall / off_wall - 1.0) * 100.0 : 0.0;
   std::printf("\n%-34s %10s %10s\n", "", "wall (s)", "sim (s)");
   std::printf("%-34s %10.3f %10.3f\n", "fault machinery off", off_wall,
               off_sim);
   std::printf("%-34s %10.3f %10.3f\n", "checkpoint + chaos + speculation",
               on_wall, on_sim);
   std::printf("%-34s %9.1f %%  (target < 5%%)\n", "overhead", overhead_pct);
+  if (procs_supported) {
+    std::printf("%-34s %10.3f %10.3f\n", "multi-process (4 workers, idle)",
+                procs_wall, procs_sim);
+    std::printf("%-34s %9.1f %%  (target < 10%%)\n", "process-mode overhead",
+                procs_overhead_pct);
+  } else {
+    std::printf("%-34s %10s\n", "multi-process (4 workers, idle)",
+                "skipped (unsupported build)");
+  }
   std::printf("output rows (identical both modes): %zu\n", off_rows);
 
   benchutil::JsonLine("bench_fault_overhead")
@@ -119,9 +154,13 @@ int main() {
       .Int("output_rows", off_rows)
       .Num("wall_seconds_off", off_wall)
       .Num("wall_seconds_on", on_wall)
+      .Num("wall_seconds_procs", procs_supported ? procs_wall : -1.0)
       .Num("simulated_seconds_off", off_sim)
       .Num("simulated_seconds_on", on_sim)
       .Num("overhead_pct", overhead_pct)
+      .Num("procs_overhead_pct", procs_overhead_pct)
+      .Int("procs_workers", static_cast<long long>(
+               procs_supported ? kProcWorkers : 0))
       .Append();
   return 0;
 }

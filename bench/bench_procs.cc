@@ -1,0 +1,176 @@
+// Multi-process runtime bench (ROADMAP 2): the full BT feature pipeline on
+// the driver + forked-worker-gang runtime (mr/driver.h) vs thread mode.
+// Reports per-worker-count wall time with the RPC/heartbeat counters from
+// StageStats, and the recovery cost of a real mid-job SIGKILL (a scripted
+// worker death between map-commit and reduce-fetch, absorbed by respawn +
+// requeue). Byte-identical outputs are asserted in-bench before anything is
+// reported. Numbers land in EXPERIMENTS.md / BENCH_procs.json.
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "mr/cluster.h"
+#include "mr/driver.h"
+#include "mr/fault.h"
+#include "temporal/convert.h"
+#include "timr/timr.h"
+
+namespace {
+
+using namespace timr;
+namespace T = timr::temporal;
+
+struct Measurement {
+  double wall_seconds = 0;
+  std::vector<T::Event> output;
+  mr::JobStats stats;
+};
+
+bool EventsIdentical(const std::vector<T::Event>& a,
+                     const std::vector<T::Event>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].le != b[i].le || a[i].re != b[i].re ||
+        a[i].payload != b[i].payload) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Measurement RunOnce(mr::LocalCluster* cluster, const T::PlanNodePtr& plan,
+                    const std::vector<Row>& rows,
+                    const mr::ProcessOptions& process) {
+  std::map<std::string, mr::Dataset> store;
+  store[bt::kBtInput] =
+      mr::Dataset::FromRows(T::PointRowSchema(bt::UnifiedSchema()), rows);
+  framework::TimrOptions options;
+  options.process = process;
+  Stopwatch host;
+  auto run = framework::RunPlan(cluster, plan, &store, options);
+  TIMR_CHECK(run.ok()) << run.status().ToString();
+  Measurement m;
+  m.wall_seconds = host.ElapsedSeconds();
+  m.output = run.ValueOrDie().output;
+  m.stats = run.ValueOrDie().job_stats;
+  return m;
+}
+
+size_t Sum(const mr::JobStats& stats, int mr::StageStats::*field) {
+  size_t n = 0;
+  for (const auto& s : stats.stages) n += static_cast<size_t>(s.*field);
+  return n;
+}
+
+}  // namespace
+
+int main() {
+  using benchutil::Header;
+  Header("Multi-process runtime: BT pipeline on a forked worker gang over "
+         "RPC, vs threads; plus recovery from a real mid-job SIGKILL");
+
+  if (!mr::ProcessModeSupported()) {
+    std::printf("process mode unsupported in this build (sanitizer); "
+                "nothing to measure\n");
+    return 0;
+  }
+
+  auto log = workload::GenerateBtLog(benchutil::BenchWorkload());
+  bt::BtQueryConfig cfg = benchutil::BenchBtConfig();
+  auto plan = bt::BtFeaturePipeline(cfg, bt::Annotation::kStandard).node();
+  auto rows = T::RowsFromEvents(log.events, false).ValueOrDie();
+  std::printf("workload: %zu events, full BT feature pipeline (kStandard)\n",
+              log.events.size());
+
+  mr::LocalCluster cluster(/*num_machines=*/16);
+
+  // Thread-mode baseline (min of 3: least-interfered run on a shared host).
+  constexpr int kRounds = 3;
+  Measurement base = RunOnce(&cluster, plan, rows, mr::ProcessOptions{});
+  for (int i = 1; i < kRounds; ++i) {
+    Measurement m = RunOnce(&cluster, plan, rows, mr::ProcessOptions{});
+    if (m.wall_seconds < base.wall_seconds) base.wall_seconds = m.wall_seconds;
+  }
+
+  std::printf("\n%-26s %10s %8s %9s %8s %8s\n", "mode", "wall (s)", "vs thr",
+              "restarts", "rpc_rtr", "hb_to");
+  std::printf("%-26s %10.3f %8s %9s %8s %8s\n", "threads", base.wall_seconds,
+              "1.00x", "-", "-", "-");
+
+  for (int workers : {1, 2, 4}) {
+    mr::ProcessOptions process;
+    process.workers = workers;
+    Measurement m = RunOnce(&cluster, plan, rows, process);
+    for (int i = 1; i < kRounds; ++i) {
+      Measurement r = RunOnce(&cluster, plan, rows, process);
+      if (r.wall_seconds < m.wall_seconds) m.wall_seconds = r.wall_seconds;
+    }
+    TIMR_CHECK(EventsIdentical(m.output, base.output))
+        << "process mode (" << workers << " workers) changed the output";
+    char label[32];
+    std::snprintf(label, sizeof(label), "procs(%d)", workers);
+    std::printf("%-26s %10.3f %7.2fx %9zu %8zu %8zu\n", label, m.wall_seconds,
+                m.wall_seconds / base.wall_seconds,
+                Sum(m.stats, &mr::StageStats::worker_restarts),
+                Sum(m.stats, &mr::StageStats::rpc_retries),
+                Sum(m.stats, &mr::StageStats::heartbeat_timeouts));
+    benchutil::JsonLine("bench_procs")
+        .Str("stage", "summary")
+        .Int("workers", static_cast<long long>(workers))
+        .Num("wall_seconds", m.wall_seconds)
+        .Num("wall_seconds_threads", base.wall_seconds)
+        .Int("worker_restarts",
+             static_cast<long long>(Sum(m.stats, &mr::StageStats::worker_restarts)))
+        .Int("rpc_retries",
+             static_cast<long long>(Sum(m.stats, &mr::StageStats::rpc_retries)))
+        .Int("heartbeat_timeouts",
+             static_cast<long long>(Sum(m.stats, &mr::StageStats::heartbeat_timeouts)))
+        .Append();
+    benchutil::AppendJobStatsJson("bench_procs_w" + std::to_string(workers),
+                                  m.stats);
+  }
+
+  // Recovery cost: one scripted SIGKILL of worker 0 between map-commit and
+  // reduce-fetch (the window where committed map output must survive the
+  // death). The driver detects the EOF, respawns the slot, and requeues the
+  // in-flight reduce task; recovery time is the wall delta vs the clean
+  // 2-worker run.
+  mr::ProcessOptions clean2;
+  clean2.workers = 2;
+  Measurement clean = RunOnce(&cluster, plan, rows, clean2);
+  for (int i = 1; i < kRounds; ++i) {
+    Measurement r = RunOnce(&cluster, plan, rows, clean2);
+    if (r.wall_seconds < clean.wall_seconds) clean.wall_seconds = r.wall_seconds;
+  }
+  mr::ProcessOptions killed = clean2;
+  killed.heartbeat_interval_seconds = 0.02;
+  killed.heartbeat_deadline_seconds = 1.0;
+  mr::ScriptedProcessKill kill;
+  kill.stage = "*";
+  kill.window = mr::ScriptedProcessKill::Window::kOnReduceRequest;
+  kill.worker_index = 0;
+  killed.chaos.scripted.push_back(kill);
+  Measurement hurt = RunOnce(&cluster, plan, rows, killed);
+  TIMR_CHECK(EventsIdentical(hurt.output, base.output))
+      << "output changed across a mid-job SIGKILL";
+  const size_t restarts = Sum(hurt.stats, &mr::StageStats::worker_restarts);
+  TIMR_CHECK(restarts > 0) << "scripted kill did not fire";
+  const double recovery =
+      std::max(0.0, hurt.wall_seconds - clean.wall_seconds);
+  std::printf("\nmid-job SIGKILL (2 workers): clean %.3f s, killed %.3f s, "
+              "recovery %.3f s, restarts %zu (output identical)\n",
+              clean.wall_seconds, hurt.wall_seconds, recovery, restarts);
+  benchutil::JsonLine("bench_procs")
+      .Str("stage", "sigkill_recovery")
+      .Int("workers", static_cast<long long>(2))
+      .Num("wall_seconds_clean", clean.wall_seconds)
+      .Num("wall_seconds_killed", hurt.wall_seconds)
+      .Num("recovery_seconds", recovery)
+      .Int("worker_restarts", static_cast<long long>(restarts))
+      .Append();
+  return 0;
+}

@@ -146,7 +146,13 @@ inline void AppendJobStatsJson(const std::string& bench,
         .Int("task_attempts", static_cast<long long>(s.task_attempts))
         .Int("retried_tasks", static_cast<long long>(s.retried_tasks))
         .Int("speculative_tasks", static_cast<long long>(s.speculative_tasks))
+        .Int("speculative_won", static_cast<long long>(s.speculative_won))
         .Int("quarantined_rows", s.quarantined_rows)
+        .Int("workers", static_cast<long long>(s.workers))
+        .Int("worker_restarts", static_cast<long long>(s.worker_restarts))
+        .Int("rpc_retries", static_cast<long long>(s.rpc_retries))
+        .Int("heartbeat_timeouts",
+             static_cast<long long>(s.heartbeat_timeouts))
         .Append();
   }
 }

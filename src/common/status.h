@@ -26,6 +26,8 @@ enum class StatusCode : uint8_t {
                     // stage, partition, and attempt count)
   kDataError = 7,   // input rows failed schema/decode checks beyond the
                     // configured tolerance (poison-row quarantine)
+  kRpcError = 8,    // a driver<->worker RPC frame was malformed, truncated,
+                    // or timed out (mr/rpc.h); transport-level, retryable
 };
 
 /// \brief Outcome of a fallible operation: a code plus a human-readable message.
@@ -58,6 +60,9 @@ class Status {
   static Status DataError(std::string msg) {
     return Status(StatusCode::kDataError, std::move(msg));
   }
+  static Status RpcError(std::string msg) {
+    return Status(StatusCode::kRpcError, std::move(msg));
+  }
   /// Rebuild a status with the same taxonomy but a new message — for adding
   /// context (stage/partition/attempt) at a task boundary without collapsing
   /// every error into kExecutionError.
@@ -89,6 +94,7 @@ class Status {
       case StatusCode::kIOError: return "IOError";
       case StatusCode::kTaskFailed: return "TaskFailed";
       case StatusCode::kDataError: return "DataError";
+      case StatusCode::kRpcError: return "RpcError";
     }
     return "Unknown";
   }

@@ -1,7 +1,5 @@
 #include "mr/cluster.h"
 
-#include <time.h>
-
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -10,75 +8,20 @@
 #include <functional>
 #include <iterator>
 #include <mutex>
-#include <queue>
 #include <sstream>
-#include <stdexcept>
 #include <thread>
 #include <unordered_map>
-#include <unordered_set>
 #include <utility>
 
-#include "common/hash.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "mr/driver.h"
+#include "mr/runtime_util.h"
+#include "mr/skew.h"
+#include "mr/worker.h"
 
 namespace timr::mr {
-
-namespace {
-
-double ThreadCpuSeconds() {
-  timespec ts;
-  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
-  return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
-}
-
-bool RowTimeLess(const Row& a, const Row& b) {
-  // Primary: Time column. Ties: full lexicographic row comparison, making the
-  // sorted order canonical (independent of arrival order).
-  const int64_t ta = a[0].AsInt64();
-  const int64_t tb = b[0].AsInt64();
-  if (ta != tb) return ta < tb;
-  return std::lexicographical_compare(a.begin() + 1, a.end(), b.begin() + 1,
-                                      b.end());
-}
-
-/// Deterministic list scheduling: assign task durations (in partition order)
-/// to the least-loaded of `machines`; returns the makespan.
-double Makespan(const std::vector<double>& task_seconds, int machines) {
-  std::priority_queue<double, std::vector<double>, std::greater<>> loads;
-  for (int i = 0; i < machines; ++i) loads.push(0.0);
-  for (double t : task_seconds) {
-    double least = loads.top();
-    loads.pop();
-    loads.push(least + t);
-  }
-  double makespan = 0;
-  while (!loads.empty()) {
-    makespan = std::max(makespan, loads.top());
-    loads.pop();
-  }
-  return makespan;
-}
-
-std::string TaskLabel(const std::string& stage, int partition) {
-  return "stage " + stage + " partition " + std::to_string(partition);
-}
-
-/// Median with the even-size convention used throughout the stats (mean of
-/// the two middle elements). Takes the vector by value: nth_element reorders.
-double MedianOf(std::vector<double> v) {
-  if (v.empty()) return 0;
-  const size_t mid = v.size() / 2;
-  std::nth_element(v.begin(), v.begin() + static_cast<long>(mid), v.end());
-  if (v.size() % 2 == 1) return v[mid];
-  const double upper = v[mid];
-  const double lower =
-      *std::max_element(v.begin(), v.begin() + static_cast<long>(mid));
-  return (lower + upper) / 2.0;
-}
-
-}  // namespace
 
 std::string JobStats::ToString() const {
   std::ostringstream os;
@@ -105,12 +48,16 @@ std::string JobStats::ToString() const {
          << " virtual=" << s.virtual_partitions
          << " post_split_ratio=" << s.post_split_rows_ratio;
     }
-    if (s.retried_tasks > 0) os << " retries=" << s.retried_tasks;
-    if (s.speculative_tasks > 0) {
-      os << " speculative=" << s.speculative_tasks
-         << " spec_won=" << s.speculative_won;
-    }
-    if (s.quarantined_rows > 0) os << " quarantined=" << s.quarantined_rows;
+    // The fault and process counter set is emitted unconditionally — a
+    // counter that reads 0 is information ("no retries happened"), and log
+    // scrapers get a fixed set of fields to key on.
+    os << " attempts=" << s.task_attempts << " retries=" << s.retried_tasks
+       << " speculative=" << s.speculative_tasks
+       << " spec_won=" << s.speculative_won
+       << " quarantined=" << s.quarantined_rows << " workers=" << s.workers
+       << " worker_restarts=" << s.worker_restarts
+       << " rpc_retries=" << s.rpc_retries
+       << " heartbeat_timeouts=" << s.heartbeat_timeouts;
     os << "\n";
   }
   return os.str();
@@ -136,6 +83,25 @@ LocalCluster::~LocalCluster() = default;
 Status LocalCluster::RunStage(const MRStage& stage,
                               std::map<std::string, Dataset>* store,
                               StageStats* stats) {
+  if (process_.workers > 0) {
+    ProcessStageEnv env;
+    env.options = &process_;
+    env.injector = injector_;
+    env.fault = &fault_;
+    env.num_machines = num_machines_;
+    bool ran = false;
+    TIMR_RETURN_NOT_OK(RunStageProcess(stage, store, stats, env, &ran));
+    if (ran) return Status::OK();
+    // Process mode unavailable (TSan build, or not a single worker could be
+    // spawned): degrade to the thread-mode runtime with fresh stats.
+    *stats = StageStats{};
+  }
+  return RunStageThreaded(stage, store, stats);
+}
+
+Status LocalCluster::RunStageThreaded(const MRStage& stage,
+                                      std::map<std::string, Dataset>* store,
+                                      StageStats* stats) {
   Stopwatch wall;
   stats->name = stage.name;
   const int parts = stage.num_partitions > 0 ? stage.num_partitions : num_machines_;
@@ -161,15 +127,19 @@ Status LocalCluster::RunStage(const MRStage& stage,
     }
     inputs.push_back(&it->second);
   }
+  std::vector<Schema> schemas;
+  schemas.reserve(inputs.size());
+  for (const Dataset* d : inputs) schemas.push_back(d->schema());
 
   // Consumable inputs (see stage.h): rows may be moved out of them.
   const std::vector<bool> consumable = ConsumableInputFlags(stage);
 
   // --- Phase 1: parallel map + partition. ---
   // Each (input, source partition) is split into morsels; a morsel routes its
-  // row range into morsel-local per-destination buckets, so workers share no
-  // state. Morsel boundaries never affect the result: phase 2 concatenates
-  // buckets in morsel order, which reproduces source order exactly.
+  // row range into morsel-local per-destination buckets (RunMapTask — the
+  // task body shared with the worker process), so workers share no state.
+  // Morsel boundaries never affect the result: phase 2 concatenates buckets
+  // in morsel order, which reproduces source order exactly.
   struct Morsel {
     size_t input;
     size_t src_part;
@@ -192,89 +162,32 @@ Status LocalCluster::RunStage(const MRStage& stage,
   }
 
   const bool quarantine = fault_.quarantine_inputs;
-  struct MorselOut {
-    std::vector<std::vector<Row>> buckets;  // per destination partition
-    std::vector<Row> quarantined;  // [input_idx, cells...] poison rows
-    Status first_bad;              // first schema violation, for diagnostics
-    size_t rows_in = 0;
-    size_t rows_shuffled = 0;
-    Status status;
-    // Hot-key sketch (skew_enabled only): sampled key-hash occurrence counts.
-    // Uncapped and merged by summation, so the merged sketch is a pure
-    // function of the input data — morsel boundaries (which depend on the
-    // thread count) cannot change it.
-    std::unordered_map<uint64_t, uint32_t> sketch;
-  };
-  std::vector<MorselOut> mouts(morsels.size());
+  std::vector<MapTaskResult> mouts(morsels.size());
+  std::vector<Status> mstatus(morsels.size());
   std::atomic<bool> map_failed{false};
-  try {
-    impl_->pool.ParallelFor(morsels.size(), [&](size_t m) {
-      const Morsel& mo = morsels[m];
-      MorselOut& out = mouts[m];
-      out.buckets.resize(parts);
-      std::vector<Row>& src = inputs[mo.input]->partition(mo.src_part);
-      const Schema& src_schema = inputs[mo.input]->schema();
-      const bool may_move = consumable[mo.input];
-      std::vector<int> targets;
-      for (size_t r = mo.begin; r < mo.end; ++r) {
-        if (map_failed.load(std::memory_order_relaxed)) return;
-        Row& row = src[r];
-        ++out.rows_in;
-        if (quarantine) {
-          Status vs = ValidateRowSchema(src_schema, row);
-          if (!vs.ok()) {
-            if (out.first_bad.ok()) out.first_bad = std::move(vs);
-            Row q;
-            q.reserve(row.size() + 1);
-            q.push_back(Value(static_cast<int64_t>(mo.input)));
-            for (Value& v : row) {
-              q.push_back(may_move ? std::move(v) : v);
-            }
-            out.quarantined.push_back(std::move(q));
-            continue;
-          }
-        }
-        targets.clear();
-        if (skew_enabled) {
-          const uint64_t h = stage.key_hash_fn(static_cast<int>(mo.input), row);
-          targets.push_back(static_cast<int>(h % static_cast<uint64_t>(parts)));
-          // Sample by a hash of the absolute source row index: deterministic
-          // for any thread count (r is the row's position in its source
-          // partition, not in the morsel), and — unlike a bare stride — free
-          // of aliasing when the input interleaves keys with a period that
-          // divides the sample rate.
-          if ((HashMix(r) & sample_mask) == 0) out.sketch[h] += 1;
-        } else {
-          stage.partition_fn(static_cast<int>(mo.input), row, parts, &targets);
-        }
-        for (int t : targets) {
-          if (t < 0 || t >= parts) {
-            out.status = Status::ExecutionError("partitioner produced target " +
-                                                std::to_string(t) +
-                                                " out of range");
-            map_failed.store(true, std::memory_order_relaxed);
-            return;
-          }
-        }
-        out.rows_shuffled += targets.size();
-        if (targets.size() == 1 && may_move) {
-          out.buckets[targets[0]].push_back(std::move(row));
-        } else {
-          for (int t : targets) out.buckets[t].push_back(row);
-        }
-      }
-    });
-  } catch (const std::exception& e) {
-    // Partitioners are framework-supplied today, but contain UDO-shaped code
-    // the same way reducers do: an escaped exception becomes a Status.
-    return Status::ExecutionError("stage " + stage.name +
-                                  ": map phase threw: " + e.what());
-  }
-  for (const MorselOut& out : mouts) {
+  impl_->pool.ParallelFor(morsels.size(), [&](size_t m) {
+    const Morsel& mo = morsels[m];
+    MapTaskSpec spec;
+    spec.task_id = static_cast<uint32_t>(m);
+    spec.input_index = static_cast<int>(mo.input);
+    spec.src_partition = mo.src_part;
+    spec.begin = mo.begin;
+    spec.end = mo.end;
+    spec.parts = parts;
+    spec.quarantine = quarantine;
+    spec.skew_enabled = skew_enabled;
+    spec.may_move = consumable[mo.input];
+    spec.sample_mask = sample_mask;
+    mstatus[m] = RunMapTask(stage, inputs[mo.input]->schema(),
+                            &inputs[mo.input]->partition(mo.src_part), spec,
+                            &mouts[m], &map_failed);
+    if (!mstatus[m].ok()) map_failed.store(true, std::memory_order_relaxed);
+  });
+  for (const Status& st : mstatus) {
     // First error in morsel order, for a deterministic message.
-    TIMR_RETURN_NOT_OK(out.status);
+    TIMR_RETURN_NOT_OK(st);
   }
-  for (const MorselOut& out : mouts) {
+  for (const MapTaskResult& out : mouts) {
     stats->rows_in += out.rows_in;
     stats->rows_shuffled += out.rows_shuffled;
     stats->quarantined_rows += out.quarantined.size();
@@ -285,9 +198,9 @@ Status LocalCluster::RunStage(const MRStage& stage,
     const double rate = static_cast<double>(stats->quarantined_rows) /
                         static_cast<double>(stats->rows_in);
     if (rate > fault_.max_input_error_rate) {
-      Status first;
-      for (const MorselOut& out : mouts) {
-        if (!out.first_bad.ok()) {
+      std::string first;
+      for (const MapTaskResult& out : mouts) {
+        if (!out.first_bad.empty()) {
           first = out.first_bad;
           break;
         }
@@ -296,7 +209,7 @@ Status LocalCluster::RunStage(const MRStage& stage,
       os << "stage " << stage.name << ": " << stats->quarantined_rows << " of "
          << stats->rows_in << " input rows (" << rate * 100
          << "%) failed schema validation, exceeding max_input_error_rate="
-         << fault_.max_input_error_rate << "; first error: " << first.message();
+         << fault_.max_input_error_rate << "; first error: " << first;
       return Status::DataError(os.str());
     }
   }
@@ -304,7 +217,7 @@ Status LocalCluster::RunStage(const MRStage& stage,
   if (quarantine) {
     std::vector<Row> qrows;
     qrows.reserve(stats->quarantined_rows);
-    for (MorselOut& out : mouts) {
+    for (MapTaskResult& out : mouts) {
       // Morsel order is source order, so the quarantine dataset is
       // deterministic for any thread count like every other output.
       for (Row& q : out.quarantined) qrows.push_back(std::move(q));
@@ -324,7 +237,7 @@ Status LocalCluster::RunStage(const MRStage& stage,
   // Row-count skew over the routing (always recorded — the detector's input,
   // and the row twin of partition_seconds_max/median).
   std::vector<size_t> routed_rows(parts, 0);
-  for (const MorselOut& out : mouts) {
+  for (const MapTaskResult& out : mouts) {
     for (int p = 0; p < parts; ++p) routed_rows[p] += out.buckets[p].size();
   }
   {
@@ -337,55 +250,19 @@ Status LocalCluster::RunStage(const MRStage& stage,
   }
 
   // --- Adaptive repartitioning: detect hot partitions, split their hot keys
-  // across virtual partitions. Every decision is a pure function of
-  // (input data, stage name, policy): the sketch is sampled by source row
-  // index and merged by summation, candidates are ordered by
-  // (count desc, key hash asc), and the virtual slot is
-  // HashMix(key_hash ^ hash(stage name)) % fanout — never runtime timing.
-  struct SplitDecision {
-    int partition = 0;
-    std::vector<uint64_t> hot_keys;        // (count desc, hash asc) order
-    std::unordered_set<uint64_t> hot_set;  // same keys, for reroute lookup
-  };
+  // across virtual partitions (skew.h — the same pure decision functions the
+  // multi-process driver uses, so both modes split identically).
   std::vector<SplitDecision> decisions;
   const int fanout = std::max(2, skew.hot_key_fanout);
   if (skew_enabled) {
     const double median_rows = std::max(stats->partition_rows_median, 1.0);
     std::unordered_map<uint64_t, uint64_t> sketch;
-    for (MorselOut& out : mouts) {
+    for (MapTaskResult& out : mouts) {
       for (const auto& [h, c] : out.sketch) sketch[h] += c;
       out.sketch.clear();
     }
-    for (int p = 0; p < parts; ++p) {
-      if (routed_rows[p] < skew.min_partition_rows) continue;
-      if (static_cast<double>(routed_rows[p]) <=
-          skew.skew_ratio_threshold * median_rows) {
-        continue;
-      }
-      std::vector<std::pair<uint64_t, uint64_t>> cand;  // (count, key hash)
-      for (const auto& [h, c] : sketch) {
-        if (c >= skew.min_hot_key_samples &&
-            static_cast<int>(h % static_cast<uint64_t>(parts)) == p) {
-          cand.emplace_back(c, h);
-        }
-      }
-      if (cand.empty()) continue;
-      // Full tie-broken sort: the merged sketch's iteration order is not
-      // deterministic across thread counts, the selected set must be.
-      std::sort(cand.begin(), cand.end(), [](const auto& a, const auto& b) {
-        return a.first != b.first ? a.first > b.first : a.second < b.second;
-      });
-      const size_t keep = std::min<size_t>(
-          cand.size(), std::max(1, skew.max_hot_keys_per_partition));
-      SplitDecision d;
-      d.partition = p;
-      d.hot_keys.reserve(keep);
-      for (size_t i = 0; i < keep; ++i) {
-        d.hot_keys.push_back(cand[i].second);
-        d.hot_set.insert(cand[i].second);
-      }
-      decisions.push_back(std::move(d));
-    }
+    decisions =
+        DecidePartitionSplits(skew, routed_rows, median_rows, sketch, parts);
   }
 
   int phys_parts = parts;
@@ -395,32 +272,18 @@ Status LocalCluster::RunStage(const MRStage& stage,
     phys_parts += fanout;
   }
   if (!decisions.empty()) {
-    const uint64_t stage_salt =
-        HashBytes(stage.name.data(), stage.name.size());
+    const uint64_t stage_salt = StageSalt(stage.name);
     impl_->pool.ParallelFor(morsels.size(), [&](size_t m) {
-      MorselOut& out = mouts[m];
-      out.buckets.resize(phys_parts);
+      MapTaskResult& out = mouts[m];
+      out.buckets.resize(static_cast<size_t>(phys_parts));
       const int input_index = static_cast<int>(morsels[m].input);
       for (size_t d = 0; d < decisions.size(); ++d) {
-        std::vector<Row>& src = out.buckets[decisions[d].partition];
-        if (src.empty()) continue;
-        std::vector<Row> keep_rows;
-        keep_rows.reserve(src.size());
-        for (Row& row : src) {
-          const uint64_t h = stage.key_hash_fn(input_index, row);
-          if (decisions[d].hot_set.count(h) > 0) {
-            const int slot = static_cast<int>(
-                HashMix(h ^ stage_salt) % static_cast<uint64_t>(fanout));
-            out.buckets[vbase[d] + slot].push_back(std::move(row));
-          } else {
-            keep_rows.push_back(std::move(row));
-          }
-        }
-        src = std::move(keep_rows);
+        RerouteHotRows(stage.key_hash_fn, input_index, stage_salt, fanout,
+                       decisions[d], vbase[d], &out.buckets);
       }
     });
     std::vector<double> phys_rows(phys_parts, 0.0);
-    for (const MorselOut& out : mouts) {
+    for (const MapTaskResult& out : mouts) {
       for (int p = 0; p < phys_parts; ++p) {
         phys_rows[p] += static_cast<double>(out.buckets[p].size());
       }
@@ -492,8 +355,9 @@ Status LocalCluster::RunStage(const MRStage& stage,
 
   // --- Phase 3: fault-handling reduce, one task per partition. ---
   //
-  // Each partition runs as a sequence of *attempts*. An attempt that throws
-  // or returns an error discards its output and is retried, up to
+  // Each partition runs as a sequence of *attempts* (RunReduceAttempt — the
+  // task body shared with the worker process). An attempt that throws or
+  // returns an error discards its output and is retried, up to
   // max_task_attempts; exhausting the budget fails the stage with a
   // structured kTaskFailed naming stage/partition/attempts. With speculative
   // execution on, the caller thread doubles as a straggler monitor: an
@@ -565,80 +429,21 @@ Status LocalCluster::RunStage(const MRStage& stage,
       t.executing++;
       t.attempt_start = std::chrono::steady_clock::now();
     }
-    Fault fault;
+    ReduceAttemptContext ctx;
+    ctx.stage = &stage;
+    ctx.physical_partition = p;
+    ctx.base_partition = base_of[p];
+    ctx.attempt = attempt;
+    ctx.sort_output = sort_output[p] != 0;
+    ctx.buckets = &buckets[p];
+    ctx.input_schemas = &schemas;
     if (injector_ != nullptr) {
-      fault = injector_->OnReduceAttempt(stage.name, p, attempt, max_attempts);
+      ctx.fault = injector_->OnReduceAttempt(stage.name, p, attempt, max_attempts);
     }
     Stopwatch attempt_wall;
     const double cpu0 = ThreadCpuSeconds();
-    Status st;
     std::vector<Row> out_rows;
-    // Task boundary: nothing a reducer does — throw, error, stall, emit and
-    // lose output — escapes this block as anything but a Status.
-    try {
-      switch (fault.kind) {
-        case FaultKind::kTransientError:
-          st = Status::ExecutionError("injected transient error");
-          break;
-        case FaultKind::kCrash:
-          throw std::runtime_error("injected task crash");
-        case FaultKind::kCorruptInput: {
-          // A corrupted read of one shuffle row for this attempt only: the
-          // schema/decode check guarding reducer input (the same check the
-          // quarantine uses) rejects it and the attempt fails; the retry
-          // re-reads the intact shuffle data.
-          Status check;
-          for (size_t i = 0; i < buckets[p].size() && check.ok(); ++i) {
-            if (buckets[p][i].empty()) continue;
-            Row corrupt = buckets[p][i].front();
-            corrupt.push_back(Value(int64_t{0}));  // arity mismatch
-            check = ValidateRowSchema(inputs[i]->schema(), corrupt);
-          }
-          if (check.ok()) {
-            // Nothing to corrupt (empty partition): attempt runs clean.
-            st = stage.reducer(base_of[p], buckets[p], &out_rows);
-          } else {
-            st = Status::DataError("injected corrupt input read: " +
-                                   check.message());
-          }
-          break;
-        }
-        default: {
-          if (fault.kind == FaultKind::kStraggler) {
-            std::this_thread::sleep_for(
-                std::chrono::duration<double>(fault.straggler_seconds));
-          }
-          st = stage.reducer(base_of[p], buckets[p], &out_rows);
-          if (st.ok() && fault.kind == FaultKind::kPartialOutput) {
-            const size_t emitted = out_rows.size() / 2;
-            st = Status::ExecutionError(
-                "injected abort mid-output after emitting " +
-                std::to_string(emitted) + " of " +
-                std::to_string(out_rows.size()) + " rows");
-          } else if (st.ok() && fault.kind == FaultKind::kDiscardOutput) {
-            st = Status::ExecutionError("injected output loss after completion");
-          }
-          break;
-        }
-      }
-    } catch (const std::exception& e) {
-      st = Status::ExecutionError(TaskLabel(stage.name, p) + " attempt " +
-                                  std::to_string(attempt) +
-                                  ": reducer threw: " + e.what());
-    } catch (...) {
-      st = Status::ExecutionError(TaskLabel(stage.name, p) + " attempt " +
-                                  std::to_string(attempt) +
-                                  ": reducer threw a non-standard exception");
-    }
-    if (!st.ok()) out_rows.clear();  // per-attempt output discard
-    if (st.ok() && sort_output[p] != 0) {
-      // Split-partition outputs (base remainder and every virtual sibling)
-      // are put into canonical RowTimeLess order *before* acceptance, so the
-      // coalesce below is a pure k-way merge and the speculative byte-compare
-      // sees order-independent outputs. Counted into the task's CPU time —
-      // it is work the split caused.
-      std::sort(out_rows.begin(), out_rows.end(), RowTimeLess);
-    }
+    Status st = RunReduceAttempt(ctx, &out_rows);
     const double cpu = ThreadCpuSeconds() - cpu0;
     const double wall_s = attempt_wall.ElapsedSeconds();
     if (st.ok()) {
@@ -780,23 +585,7 @@ Status LocalCluster::RunStage(const MRStage& stage,
     for (int s = 0; s < fanout; ++s) {
       runs.push_back(std::move(tasks[vbase[d] + s]->out_rows));
     }
-    while (runs.size() > 1) {
-      std::vector<std::vector<Row>> next;
-      next.reserve(runs.size() / 2 + 1);
-      for (size_t i = 0; i + 1 < runs.size(); i += 2) {
-        std::vector<Row> merged;
-        merged.reserve(runs[i].size() + runs[i + 1].size());
-        std::merge(std::make_move_iterator(runs[i].begin()),
-                   std::make_move_iterator(runs[i].end()),
-                   std::make_move_iterator(runs[i + 1].begin()),
-                   std::make_move_iterator(runs[i + 1].end()),
-                   std::back_inserter(merged), RowTimeLess);
-        next.push_back(std::move(merged));
-      }
-      if (runs.size() % 2 == 1) next.push_back(std::move(runs.back()));
-      runs = std::move(next);
-    }
-    output.partition(decisions[d].partition) = std::move(runs.front());
+    output.partition(decisions[d].partition) = MergeSortedRuns(std::move(runs));
   }
   for (int p = 0; p < parts; ++p) {
     stats->rows_out += output.partition(p).size();

@@ -99,6 +99,16 @@ struct StageStats {
   int retried_tasks = 0;
   int speculative_tasks = 0;
   int speculative_won = 0;
+  // Multi-process runtime counters (driver.h); all zero in thread mode.
+  // workers is the gang size actually spawned; worker_restarts counts
+  // respawns after a worker loss; rpc_retries counts transport-level task
+  // re-dispatches (RPC deadline, worker death, dropped response);
+  // heartbeat_timeouts counts workers declared lost by the heartbeat
+  // deadline specifically.
+  int workers = 0;
+  int worker_restarts = 0;
+  int rpc_retries = 0;
+  int heartbeat_timeouts = 0;
   // True for stages not executed because their output was restored from a
   // CheckpointStore (row/time stats then reflect the checkpoint, not a run).
   bool recovered_from_checkpoint = false;
@@ -138,6 +148,43 @@ struct JobOptions {
   SkewPolicy skew;
 };
 
+/// Multi-process runtime knobs (driver.h). With workers == 0 (the default)
+/// every stage runs on the in-process thread pool; with workers > 0 stages
+/// run on a gang of forked worker processes, falling back to thread mode
+/// when process mode is unsupported (TSan) or no worker can be spawned.
+struct ProcessOptions {
+  int workers = 0;
+
+  /// Worker -> driver heartbeat cadence, and how long the driver lets a
+  /// worker go silent before declaring it lost. The deadline must comfortably
+  /// exceed the interval; the defaults give ~40 missed beats.
+  double heartbeat_interval_seconds = 0.05;
+  double heartbeat_deadline_seconds = 2.0;
+
+  /// Per-dispatch RPC deadline: a task whose response has not arrived within
+  /// this many seconds has its worker SIGKILLed (presumed stuck) and is
+  /// requeued. Generous by default — heartbeats catch hung workers much
+  /// faster; this is the backstop for a worker that heartbeats but never
+  /// answers. Chaos tests that drop responses lower it.
+  double rpc_timeout_seconds = 60.0;
+
+  /// Transport re-dispatches allowed per task before the driver gives up on
+  /// shipping it and runs it in-process. Requeued tasks wait
+  /// min(backoff_cap, backoff_base * 2^(dispatches-1)) before re-dispatch.
+  int max_rpc_retries = 3;
+  double backoff_base_seconds = 0.01;
+  double backoff_cap_seconds = 0.25;
+
+  /// Worker respawns allowed per stage. Once spent, lost workers are not
+  /// replaced and the stage degrades to the surviving gang — down to fully
+  /// in-process execution when none survive.
+  int max_worker_restarts = 8;
+
+  /// Process-level chaos (real SIGKILLs, truncated frames, dropped/delayed
+  /// responses); see ProcessFaultPlan.
+  ProcessFaultPlan chaos;
+};
+
 class LocalCluster {
  public:
   /// `num_machines`: modeled cluster size (partition default & makespan
@@ -161,6 +208,13 @@ class LocalCluster {
   }
   const FaultToleranceOptions& fault_tolerance() const { return fault_; }
 
+  /// Multi-process execution for subsequent RunStage calls (workers == 0
+  /// keeps the in-process thread pool). See ProcessOptions / driver.h.
+  void set_process_options(const ProcessOptions& options) {
+    process_ = options;
+  }
+  const ProcessOptions& process_options() const { return process_; }
+
   /// Run one stage against the named datasets; adds the output under
   /// stage.output (and `<stage>.quarantine` when quarantine is enabled) and
   /// records stats. On failure nothing is added to the store, though inputs
@@ -177,11 +231,16 @@ class LocalCluster {
                           const JobOptions& options);
 
  private:
+  Status RunStageThreaded(const MRStage& stage,
+                          std::map<std::string, Dataset>* store,
+                          StageStats* stats);
+
   int num_machines_;
   class Impl;
   std::unique_ptr<Impl> impl_;
   FaultInjector* injector_ = nullptr;
   FaultToleranceOptions fault_;
+  ProcessOptions process_;
 };
 
 }  // namespace timr::mr

@@ -1,0 +1,61 @@
+// Driver side of the multi-process runtime (DESIGN.md §5g).
+//
+// RunStageProcess executes one MRStage across a gang of fork()ed worker
+// processes (worker.h) speaking the length-prefixed RPC of rpc.h over
+// socketpairs. The driver owns the task-attempt scheduler, placement, and the
+// dataset store; workers execute the map / sort / reduce task bodies and ship
+// serialized shuffle partitions and reduce outputs back.
+//
+// Robustness machinery (all exercised by ProcessFaultPlan chaos):
+//  - per-worker heartbeats with a deadline — a worker that goes silent is
+//    SIGKILLed, declared lost, and its in-flight task requeued;
+//  - per-RPC timeout with capped exponential backoff and a bounded transport
+//    retry budget per task; a task that exhausts it runs in-process;
+//  - idempotent task acceptance: responses are attempt-tagged, the first
+//    committed response wins, and a late duplicate is compared against the
+//    committed output — a mismatch is a determinism violation (§III-C.1);
+//  - worker loss detection (EOF, heartbeat deadline, RPC deadline) requeues
+//    in-flight tasks and respawns workers within max_worker_restarts;
+//  - graceful degradation: when every worker is lost and the respawn budget
+//    is spent, remaining tasks run in-process on the driver thread — a job
+//    never fails because workers died; when no worker can be spawned at all,
+//    *ran is false and the caller falls back to the thread-mode runtime.
+//
+// Output contract: bit-identical to the thread-mode runtime for any worker
+// count, chaos seed, and loss schedule. The task bodies are the same code
+// (RunMapTask / RunReduceAttempt), the serialization round-trips values
+// exactly, and every ordering decision (morsel order, canonical sort, salted
+// split, k-way merge) is the same pure function of the input data.
+
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "mr/cluster.h"
+
+namespace timr::mr {
+
+/// Everything RunStageProcess needs from the owning LocalCluster.
+struct ProcessStageEnv {
+  const ProcessOptions* options = nullptr;
+  FaultInjector* injector = nullptr;  // probed driver-side, per reduce attempt
+  const FaultToleranceOptions* fault = nullptr;
+  int num_machines = 1;  // makespan model, default partition count
+};
+
+/// True when this build can run the multi-process runtime. ThreadSanitizer
+/// cannot follow a fork of a multi-threaded process, so TSan builds always
+/// use thread mode.
+bool ProcessModeSupported();
+
+/// Run one stage on a gang of env.options->workers forked worker processes.
+/// Sets *ran=false — leaving store and stats untouched — when process mode is
+/// unsupported or no worker could be spawned; the caller then runs the
+/// thread-mode path. With *ran=true the semantics match
+/// LocalCluster::RunStage exactly (same outputs, same error messages).
+Status RunStageProcess(const MRStage& stage,
+                       std::map<std::string, Dataset>* store, StageStats* stats,
+                       const ProcessStageEnv& env, bool* ran);
+
+}  // namespace timr::mr

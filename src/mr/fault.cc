@@ -77,6 +77,56 @@ int ChaosInjector::total_injected() const {
   return total;
 }
 
+const char* ProcessFaultKindName(ProcessFaultKind kind) {
+  switch (kind) {
+    case ProcessFaultKind::kNone: return "none";
+    case ProcessFaultKind::kKillAtTaskStart: return "kill-at-task-start";
+    case ProcessFaultKind::kTruncateResponse: return "truncate-response";
+    case ProcessFaultKind::kDropResponse: return "drop-response";
+    case ProcessFaultKind::kDelayResponse: return "delay-response";
+  }
+  return "unknown";
+}
+
+ProcessFaultPlan ProcessFaultPlan::AllKinds(uint64_t seed, double p,
+                                            double delay_seconds) {
+  ProcessFaultPlan plan;
+  plan.seed = seed;
+  plan.kill_probability = p;
+  plan.truncate_probability = p;
+  plan.drop_probability = p;
+  plan.delay_probability = p;
+  plan.delay_seconds = delay_seconds;
+  return plan;
+}
+
+ProcessFaultKind DrawProcessFault(const ProcessFaultPlan& plan,
+                                  bool worker_side, const std::string& stage,
+                                  uint8_t msg_kind, int task_id,
+                                  int dispatch) {
+  if (dispatch > plan.max_faulted_dispatch) return ProcessFaultKind::kNone;
+  uint64_t h = HashCombine(plan.seed, HashBytes(stage.data(), stage.size()));
+  h = HashCombine(h, worker_side ? 0x77ull : 0xddull);
+  h = HashCombine(h, static_cast<uint64_t>(msg_kind));
+  h = HashCombine(h, static_cast<uint64_t>(task_id));
+  h = HashCombine(h, static_cast<uint64_t>(dispatch));
+  Rng rng(h);
+  const double u = rng.UniformDouble();
+  double cum = 0;
+  if (worker_side) {
+    cum += plan.kill_probability;
+    if (u < cum) return ProcessFaultKind::kKillAtTaskStart;
+    cum += plan.truncate_probability;
+    if (u < cum) return ProcessFaultKind::kTruncateResponse;
+  } else {
+    cum += plan.drop_probability;
+    if (u < cum) return ProcessFaultKind::kDropResponse;
+    cum += plan.delay_probability;
+    if (u < cum) return ProcessFaultKind::kDelayResponse;
+  }
+  return ProcessFaultKind::kNone;
+}
+
 Schema QuarantineSchema() {
   return Schema::Of({{"Input", ValueType::kInt64}});
 }

@@ -29,6 +29,7 @@
 #include <string>
 #include <tuple>
 #include <utility>
+#include <vector>
 
 #include "common/row.h"
 #include "common/status.h"
@@ -173,6 +174,85 @@ class ChaosInjector : public FaultInjector {
   FaultPlan plan_;
   mutable std::array<std::atomic<int>, 7> counts_{};
 };
+
+// ---------------------------------------------------------------------------
+// Process-level faults (the multi-process driver/worker runtime, driver.h).
+// Unlike FaultKind — which simulates task misbehavior inside one process —
+// these are *real* transport- and process-level failures: a worker is
+// SIGKILLed, a response frame is truncated mid-transfer, an RPC message is
+// dropped or delayed. The driver's recovery machinery (heartbeat deadlines,
+// per-RPC timeouts with capped backoff, requeue on worker loss, in-process
+// fallback) must absorb all of them with bit-identical final output.
+// ---------------------------------------------------------------------------
+
+enum class ProcessFaultKind : uint8_t {
+  kNone = 0,
+  kKillAtTaskStart,    // worker SIGKILLs itself upon receiving the task
+  kTruncateResponse,   // worker sends a truncated response, then SIGKILLs
+  kDropResponse,       // driver discards a completed response (lost message)
+  kDelayResponse,      // driver delays handling a response
+};
+
+const char* ProcessFaultKindName(ProcessFaultKind kind);
+
+/// Targeted worker-death windows for the worker-loss tests. Each entry fires
+/// at most once per process holding the plan; worker-side windows are
+/// consumed in the worker's own (forked) copy, so entries are scoped by
+/// worker slot to make exactly one worker die.
+struct ScriptedProcessKill {
+  enum class Window : uint8_t {
+    kOnReduceRequest,    // between map-commit and reduce-fetch: die on
+                         // receiving the first reduce request of the stage
+    kAfterMapResponse,   // idle death right after shipping a map response
+    kMidReduceResponse,  // mid-shuffle-transfer: truncate the reduce
+                         // response frame, then die
+    kHangSilently,       // on the next reduce request: stop heartbeating and
+                         // responding without dying (heartbeat-gap window)
+  };
+  std::string stage = "*";  // exact stage name, or "*" for any stage
+  Window window = Window::kOnReduceRequest;
+  int worker_index = 0;  // slot in the gang that should die
+};
+
+/// Process-level chaos plan. Probabilistic draws are pure functions of
+/// (seed, stage, side, message kind, task id, dispatch count) — replayable
+/// like FaultPlan, independent of scheduling. Worker-side kinds (kill,
+/// truncate) are evaluated in the worker; driver-side kinds (drop, delay) in
+/// the driver's receive path.
+struct ProcessFaultPlan {
+  uint64_t seed = 0;
+  double kill_probability = 0;      // kKillAtTaskStart — a real SIGKILL
+  double truncate_probability = 0;  // kTruncateResponse — also a real SIGKILL
+  double drop_probability = 0;      // kDropResponse
+  double delay_probability = 0;     // kDelayResponse
+  double delay_seconds = 0.02;
+
+  /// Probabilistic faults only fire while the task's transport dispatch count
+  /// is <= this bound. Recovery terminates regardless (the driver degrades to
+  /// in-process execution when workers run out) — the bound just keeps chaos
+  /// runs from chewing through the whole respawn budget on one task.
+  int max_faulted_dispatch = 1;
+
+  /// Targeted one-shot death windows (see ScriptedProcessKill).
+  std::vector<ScriptedProcessKill> scripted;
+
+  bool any() const {
+    return kill_probability > 0 || truncate_probability > 0 ||
+           drop_probability > 0 || delay_probability > 0 || !scripted.empty();
+  }
+
+  /// Every probabilistic kind at probability `p` each.
+  static ProcessFaultPlan AllKinds(uint64_t seed, double p,
+                                   double delay_seconds = 0.005);
+};
+
+/// Deterministic chaos draw for one RPC. `worker_side` selects which kinds
+/// can fire (kill/truncate in the worker, drop/delay in the driver);
+/// `msg_kind` is the request/response message type byte, `dispatch` the
+/// task's transport-level send count.
+ProcessFaultKind DrawProcessFault(const ProcessFaultPlan& plan,
+                                  bool worker_side, const std::string& stage,
+                                  uint8_t msg_kind, int task_id, int dispatch);
 
 /// Knobs for the cluster's fault-handling task-execution path. Defaults keep
 /// the always-on machinery (exception containment, bounded retries) active and

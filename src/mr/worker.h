@@ -1,0 +1,168 @@
+// Worker side of the multi-process runtime (DESIGN.md §5g), plus the task
+// bodies it shares with the thread-mode runtime.
+//
+// The worker is a process fork()ed by the driver at stage start: it inherits
+// the stage (closures and all — PartitionFn/ReducerFn cannot cross a process
+// boundary by serialization) and a copy-on-write snapshot of the stage's
+// input datasets, then serves task RPCs over its socketpair until told to
+// shut down. Map tasks read the inherited inputs by (partition, row range)
+// and ship serialized shuffle buckets back; reduce tasks receive serialized
+// shuffle partitions, sort them canonically, run the reducer, and ship the
+// output rows back. A heartbeat thread keeps liveness flowing while a long
+// task runs.
+//
+// RunMapTask / RunReduceAttempt are the single implementation of the map and
+// reduce task bodies: cluster.cc (thread mode), WorkerMain (worker process),
+// and the driver's in-process fallback all call them, so every mode absorbs
+// the same FaultKinds with identical semantics and produces identical bytes.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "mr/dataset.h"
+#include "mr/fault.h"
+#include "mr/stage.h"
+
+namespace timr::mr {
+
+// ------------------------------------------------- shared map task body --
+
+struct MapTaskSpec {
+  uint32_t task_id = 0;   // morsel index within the stage
+  uint32_t dispatch = 0;  // transport-level send count (chaos keying)
+  int input_index = 0;
+  uint64_t src_partition = 0;
+  uint64_t begin = 0;  // row range [begin, end) in the source partition
+  uint64_t end = 0;
+  int parts = 0;
+  bool quarantine = false;
+  bool skew_enabled = false;
+  bool may_move = false;  // move rows out of src (consumable input)
+  uint64_t sample_mask = 0;
+};
+
+struct MapTaskResult {
+  std::vector<std::vector<Row>> buckets;  // per destination partition
+  std::vector<Row> quarantined;           // [input_idx, cells...] poison rows
+  std::string first_bad;  // first schema-violation message ("" = none)
+  uint64_t rows_in = 0;
+  uint64_t rows_shuffled = 0;
+  // Hot-key sketch (skew_enabled only): sampled key-hash occurrence counts,
+  // merged by summation driver-side.
+  std::vector<std::pair<uint64_t, uint32_t>> sketch;
+};
+
+/// Route one morsel's rows into per-destination buckets — the map-phase body
+/// shared verbatim by thread mode, worker processes, and the driver's
+/// in-process fallback. Errors (partitioner target out of range, an escaped
+/// partitioner exception) return non-OK; quarantined rows are not errors.
+/// `abort` (optional) makes the task return early when another morsel failed.
+Status RunMapTask(const MRStage& stage, const Schema& input_schema,
+                  std::vector<Row>* src_rows, const MapTaskSpec& spec,
+                  MapTaskResult* out,
+                  const std::atomic<bool>* abort = nullptr);
+
+// -------------------------------------------- shared reduce attempt body --
+
+struct ReduceAttemptContext {
+  const MRStage* stage = nullptr;
+  int physical_partition = 0;  // task id; virtual partitions included
+  int base_partition = 0;      // partition index the reducer sees
+  int attempt = 0;
+  bool sort_output = false;  // split partitions: canonical-sort before accept
+  const std::vector<std::vector<Row>>* buckets = nullptr;  // per input, sorted
+  const std::vector<Schema>* input_schemas = nullptr;  // kCorruptInput check
+  Fault fault;  // injected fault to apply (probed by the caller)
+};
+
+/// One reduce attempt: apply the injected fault, run the reducer inside the
+/// task boundary (nothing escapes as anything but a Status), canonically sort
+/// the output when ctx.sort_output. On error `out_rows` is left empty
+/// (per-attempt output discard).
+Status RunReduceAttempt(const ReduceAttemptContext& ctx,
+                        std::vector<Row>* out_rows);
+
+// ------------------------------------------------- request/response wire --
+
+namespace wire {
+
+/// Encode/decode a Status as [code u8][message str].
+void EncodeStatus(const Status& st, std::string* out);
+
+void EncodeMapRequest(const MapTaskSpec& spec, std::string* payload);
+Status DecodeMapRequest(std::string_view payload, MapTaskSpec* spec);
+
+struct MapResponse {
+  uint32_t task_id = 0;
+  uint32_t dispatch = 0;
+  Status status;
+  MapTaskResult result;  // valid when status.ok()
+};
+void EncodeMapResponse(const MapResponse& resp, std::string* payload);
+Status DecodeMapResponse(std::string_view payload, MapResponse* resp);
+
+struct ReduceRequest {
+  uint32_t task_id = 0;   // == physical partition
+  uint32_t dispatch = 0;
+  uint32_t attempt = 0;
+  uint32_t base_partition = 0;
+  bool sort_output = false;
+  bool presorted = false;  // inputs already canonically sorted (skip sort)
+  FaultKind fault_kind = FaultKind::kNone;  // injected fault for this attempt
+  double straggler_seconds = 0;
+  std::vector<Schema> input_schemas;
+  std::vector<std::vector<Row>> buckets;  // per input, shuffle rows
+};
+void EncodeReduceRequest(const ReduceRequest& req, std::string* payload);
+/// Same wire layout, but schemas/buckets come from the caller's storage —
+/// the driver re-dispatches tasks without copying the shuffle data into a
+/// request struct first (req.input_schemas / req.buckets are ignored).
+void EncodeReduceRequest(const ReduceRequest& req,
+                         const std::vector<Schema>& input_schemas,
+                         const std::vector<std::vector<Row>>& buckets,
+                         std::string* payload);
+Status DecodeReduceRequest(std::string_view payload, ReduceRequest* req);
+
+struct ReduceResponse {
+  uint32_t task_id = 0;
+  uint32_t dispatch = 0;
+  double cpu_seconds = 0;
+  double sort_seconds = 0;
+  Status status;
+  std::vector<Row> rows;  // valid when status.ok()
+};
+void EncodeReduceResponse(const ReduceResponse& resp, std::string* payload);
+Status DecodeReduceResponse(std::string_view payload, ReduceResponse* resp);
+
+/// Read the [task_id, dispatch] prefix every request/response payload starts
+/// with (the driver's receive path needs them before full decode, e.g. for
+/// chaos keying and idempotent acceptance).
+bool PeekIds(std::string_view payload, uint32_t* task_id, uint32_t* dispatch);
+
+}  // namespace wire
+
+// ------------------------------------------------------- worker process --
+
+struct WorkerEnv {
+  int worker_index = 0;
+  const MRStage* stage = nullptr;
+  std::vector<Dataset*> inputs;  // COW snapshot; map tasks read these
+  std::vector<Schema> input_schemas;
+  bool quarantine = false;
+  ProcessFaultPlan chaos;
+  double heartbeat_interval_seconds = 0.05;
+};
+
+/// Worker process main loop: serve task RPCs on `fd` until a shutdown frame,
+/// a driver disconnect, or a (possibly chaos-induced) death. Never returns —
+/// exits with _exit(), skipping atexit/leak-check machinery inherited from
+/// the forked driver image.
+[[noreturn]] void WorkerMain(int fd, const WorkerEnv& env);
+
+}  // namespace timr::mr

@@ -203,6 +203,7 @@ Result<SuiteRunResult> RunPlanSuite(
                                                 query_outputs.end());
 
   cluster->set_fault_tolerance(topt.fault_tolerance);
+  cluster->set_process_options(topt.process);
 
   // --- Checkpoint resume over the merged stage sequence. ------------------
   size_t resume_from = 0;

@@ -230,6 +230,7 @@ Result<TimrRunResult> RunPlan(mr::LocalCluster* cluster,
   }
 
   cluster->set_fault_tolerance(options.fault_tolerance);
+  cluster->set_process_options(options.process);
 
   // Resume: replay checkpointed fragment outputs (and input releases) into
   // the store and skip the restored prefix. The store must hold the plan's

@@ -97,6 +97,13 @@ struct TimrOptions {
   /// the cluster with set_fault_tolerance, replacing whatever was there.
   mr::FaultToleranceOptions fault_tolerance;
 
+  /// Multi-process execution (mr/driver.h): with process.workers > 0 every
+  /// stage runs on a gang of forked worker processes behind an RPC boundary,
+  /// with heartbeats, retries, and worker-loss recovery — output stays
+  /// bit-identical to in-process execution. RunPlan installs it on the
+  /// cluster with set_process_options, replacing whatever was there.
+  mr::ProcessOptions process;
+
   /// When set, every completed fragment's outputs are checkpointed here and
   /// RunPlan resumes past the longest already-checkpointed prefix, producing
   /// bit-identical final output (mr/checkpoint.h). Not owned.

@@ -12,6 +12,12 @@
 //                             suite: every keyed exchange, whether it opts
 //                             into adaptive splitting, and a note for the
 //                             ones a hot key could stall; JSON on stdout
+//   timr_lint --runtime-report
+//                             exchanges of the BT CQ suite ranked by
+//                             estimated inter-process shuffle cost: wire
+//                             bytes per input row under the mr/rpc.h
+//                             tagged-cell row encoding, times the temporal
+//                             replication factor; JSON on stdout
 //   timr_lint --columnar-allowlist <file>
 //                             override the expected-warning allowlist
 //                             (default: columnar_allowlist.txt next to the
@@ -244,6 +250,44 @@ AnalysisReport LintStaleProperties() {
   return timr::analysis::ValidatePropertySnapshot(plan, cached);
 }
 
+/// Estimated wire bytes per row crossing `exchange`, under the tagged-cell
+/// row encoding workers ship shuffle partitions with (mr/rpc.h): an 8-byte
+/// cell count, a 1-byte type tag per cell, 8 bytes per scalar, and
+/// length-prefixed bytes for strings (16 assumed — the BT vocabulary's
+/// typical keyword length). Rows on the wire carry the two interval
+/// timestamps alongside the payload columns (temporal/convert.h's
+/// IntervalRowSchema layout), so those are costed as two extra int64 cells.
+timr::Result<size_t> EstimateWireRowBytes(const PlanNode* exchange) {
+  if (exchange->children.empty()) {
+    return timr::Status::Invalid(
+        "runtime-report: exchange node has no input to cost");
+  }
+  const auto schema = exchange->children[0]->OutputSchema();
+  if (!schema.ok()) return schema.status();
+  size_t bytes = 8 + 2 * 9;  // cell count + Vs/Ve interval cells
+  for (const auto& field : schema.ValueOrDie().fields()) {
+    bytes += field.type == ValueType::kString ? size_t{25} : size_t{9};
+  }
+  return bytes;
+}
+
+/// Seeded corruption: the runtime-cost estimator pointed at an exchange with
+/// no input — there is no schema to cost, and silently pricing it at zero
+/// would rank a real shuffle below nothing. The estimator must refuse.
+AnalysisReport LintCorruptRuntimeCost() {
+  auto orphan = std::make_shared<PlanNode>();
+  orphan->kind = OpKind::kExchange;
+  orphan->exchange = PartitionSpec::ByKeys({"UserId"});
+  AnalysisReport report;
+  const auto est = EstimateWireRowBytes(orphan.get());
+  if (!est.ok()) {
+    report.diagnostics.push_back(timr::analysis::Diagnostic{
+        Severity::kError, nullptr, "Exchange{UserId} (no input)",
+        "runtime-report", est.status().ToString()});
+  }
+  return report;
+}
+
 /// Seeded corruption 7: a checkpoint whose cut does not match the resuming
 /// plan — stage 0 released the dataset a post-resume fragment still reads,
 /// and stage 1 was recorded under a different cut's name.
@@ -374,6 +418,10 @@ std::vector<LintTarget> Registry() {
                                "checkpoint misaligned with the resuming "
                                "plan's fragment cuts",
                                true, LintCorruptCheckpointCut});
+  targets.push_back(LintTarget{"corrupt_runtime_cost",
+                               "shuffle-cost estimate requested for an "
+                               "exchange with no input",
+                               true, LintCorruptRuntimeCost});
   return targets;
 }
 
@@ -504,6 +552,67 @@ std::string BuildSkewReportJson() {
   return os.str();
 }
 
+/// --runtime-report: the BT CQ suite's exchanges ranked by estimated
+/// inter-process shuffle cost. In multi-process mode (mr/driver.h) every
+/// exchange ships its rows through the driver↔worker RPC twice — map buckets
+/// up, reduce output back — so the ranking says which stages dominate the
+/// wire and deserve partitioning attention first. Cost per input row is the
+/// tagged-cell wire width times the temporal replication factor
+/// ((span+overlap)/span for overlapping spans, 1 for keyed exchanges).
+std::string BuildRuntimeReportJson() {
+  struct Entry {
+    std::string query;
+    std::string spec;
+    size_t row_bytes = 0;
+    double replication = 1.0;
+    double cost = 0.0;
+  };
+  std::vector<Entry> entries;
+  size_t unestimated = 0;
+  const auto suite = timr::bt::BtCqSuite();
+  for (const auto& [name, plan] : suite) {
+    for (const PlanNode* node : timr::temporal::CollectNodes(plan)) {
+      if (node->kind != OpKind::kExchange) continue;
+      const auto est = EstimateWireRowBytes(node);
+      if (!est.ok()) {
+        ++unestimated;
+        continue;
+      }
+      Entry e;
+      e.query = name;
+      e.spec = node->exchange.ToString();
+      e.row_bytes = est.ValueOrDie();
+      if (node->exchange.kind == PartitionSpec::Kind::kTemporal &&
+          node->exchange.span_width > 0) {
+        e.replication =
+            static_cast<double>(node->exchange.span_width +
+                                node->exchange.overlap) /
+            static_cast<double>(node->exchange.span_width);
+      }
+      e.cost = static_cast<double>(e.row_bytes) * e.replication;
+      entries.push_back(std::move(e));
+    }
+  }
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    if (a.cost != b.cost) return a.cost > b.cost;
+    if (a.query != b.query) return a.query < b.query;
+    return a.spec < b.spec;
+  });
+  std::ostringstream os;
+  os << "{\"stages\": [\n";
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    os << "  {\"query\": \"" << JsonEscape(e.query) << "\", \"exchange\": \""
+       << JsonEscape(e.spec) << "\", \"wire_bytes_per_row\": " << e.row_bytes
+       << ", \"replication\": " << e.replication
+       << ", \"bytes_per_input_row\": " << e.cost << "}"
+       << (i + 1 == entries.size() ? "" : ",") << "\n";
+  }
+  os << "],\n\"exchanges\": " << entries.size()
+     << ", \"unestimated\": " << unestimated << "}";
+  return os.str();
+}
+
 /// `extra_sections`, when non-empty, are folded into the JSON output as
 /// siblings of the lint results — one well-formed document, not several
 /// concatenated top-level values.
@@ -596,6 +705,7 @@ int main(int argc, char** argv) {
   bool list = false;
   bool share_report = false;
   bool skew_report = false;
+  bool runtime_report = false;
   // Two passes: flags first, so flag order never changes behavior
   // (--share-report --json and --json --share-report are the same request).
   for (int i = 1; i < argc; ++i) {
@@ -606,6 +716,8 @@ int main(int argc, char** argv) {
       share_report = true;
     } else if (std::strcmp(arg, "--skew-report") == 0) {
       skew_report = true;
+    } else if (std::strcmp(arg, "--runtime-report") == 0) {
+      runtime_report = true;
     } else if (std::strcmp(arg, "--json") == 0) {
       json = true;
     } else if (std::strcmp(arg, "--columnar-allowlist") == 0) {
@@ -635,6 +747,9 @@ int main(int argc, char** argv) {
   }
   if (skew_report) {
     extra_sections.emplace_back("skew_report", BuildSkewReportJson());
+  }
+  if (runtime_report) {
+    extra_sections.emplace_back("runtime_report", BuildRuntimeReportJson());
   }
   if (!extra_sections.empty() && !json) {
     // Bare report(s): always exit 0 — an empty-but-clean report is a valid
